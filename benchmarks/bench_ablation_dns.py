@@ -1,0 +1,16 @@
+"""Ablation (§7.4): full DNS visibility vs sampled-flow evidence."""
+
+from repro.experiments import dns_visibility
+
+
+def bench_ablation_dns(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        dns_visibility.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("ablation_dns", dns_visibility.render(result))
+    # DNS evidence detects at least as many classes, never slower.
+    assert result.detected("dns") >= result.detected("flows")
+    for class_name, hours in result.flow_times.items():
+        assert result.dns_times[class_name] <= hours + 1e-9
+    assert result.median_time("dns") <= result.median_time("flows")

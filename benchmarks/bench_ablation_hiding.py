@@ -1,0 +1,63 @@
+"""Ablation: hiding IoT services behind shared infrastructure (§7.4).
+
+"Given that we are unable to identify IoT services if they are using
+shared infrastructures (e.g., CDNs), this also points out a good way to
+hide IoT services."  We migrate a set of classes onto the shared CDN
+and measure what the pipeline can still detect.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.core.hitlist import build_hitlist
+from repro.scenario import build_default_scenario
+
+HIDDEN = ("Philips Dev.", "Yi Camera", "Ring Doorbell")
+
+
+def _run():
+    baseline = build_hitlist(build_default_scenario(seed=7))
+    hidden = build_hitlist(
+        build_default_scenario(seed=7, hide_classes=set(HIDDEN))
+    )
+    return baseline, hidden
+
+
+def bench_ablation_hiding(benchmark, write_artefact):
+    baseline, hidden = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = [
+        (
+            "surviving classes",
+            len(baseline.class_domains),
+            len(hidden.class_domains),
+        ),
+        (
+            "dedicated domains",
+            baseline.report.dedicated_domains,
+            hidden.report.dedicated_domains,
+        ),
+        (
+            "shared domains",
+            baseline.report.shared_domains,
+            hidden.report.shared_domains,
+        ),
+        (
+            "excluded products",
+            len(baseline.report.excluded_products),
+            len(hidden.report.excluded_products),
+        ),
+    ]
+    table = render_table(
+        ("metric", "baseline", f"after hiding {len(HIDDEN)} classes"),
+        rows,
+        title="Ablation: CDN migration defeats detection (§7.4)",
+    )
+    write_artefact("ablation_hiding", table)
+    assert set(hidden.report.dropped_classes) == set(HIDDEN)
+    assert len(hidden.class_domains) == len(baseline.class_domains) - len(
+        HIDDEN
+    )
+    # The rest of the world is unaffected.
+    for class_name in hidden.class_domains:
+        assert (
+            hidden.class_domains[class_name]
+            == baseline.class_domains[class_name]
+        )

@@ -1,0 +1,48 @@
+"""Ablation: detection-threshold (D) sweep on the ground truth.
+
+Figure 10 shows that raising D slows detection and eventually makes
+classes undetectable, at the benefit of lower false-positive risk.
+This bench quantifies the trade-off on the sampled ground truth.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.experiments import fig10_crosscheck
+
+THRESHOLDS = (0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def bench_ablation_threshold(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        fig10_crosscheck.run,
+        args=(context,),
+        kwargs={"thresholds": THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for threshold in THRESHOLDS:
+        active = fig10_crosscheck.detection_rates(
+            result, "active", threshold
+        )
+        rows.append(
+            (
+                f"D={threshold:.1f}",
+                f"{active[1]:.0%}",
+                f"{active[24]:.0%}",
+                f"{active[72]:.0%}",
+                len(result.times["active"][threshold]),
+            )
+        )
+    table = render_table(
+        ("threshold", "<=1h", "<=24h", "<=72h", "classes detected"),
+        rows,
+        title="Ablation: detection threshold vs time-to-detect (active)",
+    )
+    write_artefact("ablation_threshold", table)
+    # Detected class count must be non-increasing in D.
+    detected = [
+        len(result.times["active"][threshold])
+        for threshold in THRESHOLDS
+    ]
+    assert all(a >= b for a, b in zip(detected, detected[1:]))

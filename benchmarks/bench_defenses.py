@@ -1,0 +1,26 @@
+"""Extension: counter-detection defenses (future work of §9).
+
+Quantifies the §7.4 observation: padding is useless against
+destination-based detection, throttling only delays it, and shared-CDN
+fronting is the one defense that works.
+"""
+
+from repro.experiments import defense_eval
+
+
+def bench_defenses(benchmark, context, write_artefact):
+    result = benchmark.pedantic(
+        defense_eval.run,
+        args=(context,),
+        kwargs={"product": "Yi Cam", "hours": 48, "trials": 5},
+        rounds=1,
+        iterations=1,
+    )
+    write_artefact("defense_eval", defense_eval.render(result))
+    baseline = result.detection_hours["none"]
+    assert baseline is not None
+    padded = result.detection_hours["padding"]
+    assert padded is not None and padded <= baseline + 2.0
+    throttled = result.detection_hours["throttle"]
+    assert throttled is None or throttled > baseline
+    assert result.detection_hours["fronting"] is None

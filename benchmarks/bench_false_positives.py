@@ -1,0 +1,15 @@
+"""Section 5 — false-positive crosscheck (subset experiment)."""
+
+from repro.experiments import false_positives
+
+
+def bench_false_positives(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        false_positives.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact(
+        "false_positives", false_positives.render(result)
+    )
+    assert result.false_positives == set()
+    assert result.missed == set()

@@ -1,0 +1,17 @@
+"""Figure 11 / Section 6.2 — in-the-wild ISP detection counts."""
+
+from repro.experiments import fig11_isp_wild
+
+
+def bench_fig11(benchmark, context, write_artefact):
+    context.wild  # the wild run itself is shared across benchmarks
+    result = benchmark.pedantic(
+        fig11_isp_wild.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig11_isp_wild", fig11_isp_wild.render(result))
+    assert 0.11 <= result.alexa_daily_penetration <= 0.16  # paper ~14%
+    assert 0.15 <= result.any_daily_penetration <= 0.30  # paper ~20%
+    assert 1.2 <= result.alexa_daily_to_hourly <= 3.5  # paper ~2x
+    assert result.samsung_daily_to_hourly > result.alexa_daily_to_hourly
+    profile = result.alexa_hour_of_day
+    assert profile[18:21].mean() > profile[2:5].mean()  # diurnal

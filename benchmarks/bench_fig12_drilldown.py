@@ -1,0 +1,14 @@
+"""Figure 12 — Amazon/Samsung hierarchy drill-down."""
+
+from repro.experiments import fig12_drilldown
+
+
+def bench_fig12(benchmark, context, write_artefact):
+    context.wild
+    result = benchmark.pedantic(
+        fig12_drilldown.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig12_drilldown", fig12_drilldown.render(result))
+    assert 0 < result.fraction("Fire TV", "Amazon Product") < 1
+    assert 0 < result.fraction("Amazon Product", "Alexa Enabled") < 1
+    assert 0 < result.fraction("Samsung TV", "Samsung IoT") < 1

@@ -1,0 +1,16 @@
+"""Figure 13 — cumulative lines and /24s under address churn."""
+
+from repro.experiments import fig13_churn
+
+
+def bench_fig13(benchmark, context, write_artefact):
+    context.wild
+    result = benchmark.pedantic(
+        fig13_churn.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig13_churn", fig13_churn.render(result))
+    for name in result.cumulative_lines:
+        # Line identifiers keep inflating above the daily level …
+        assert result.line_inflation(name) > 1.05
+        # … while /24 aggregation largely stabilises in week two.
+        assert result.slash24_flatness(name) < 0.5

@@ -1,0 +1,20 @@
+"""Figure 14 — per-day counts for the other 32 device types."""
+
+from repro.experiments import fig14_heatmap
+
+
+def bench_fig14(benchmark, context, write_artefact):
+    context.wild
+    result = benchmark.pedantic(
+        fig14_heatmap.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig14_heatmap", fig14_heatmap.render(result))
+    assert len(result.order) == 32
+    # popularity ordering holds: popular classes dominate unpopular ones
+    assert (
+        result.rows["Philips Dev."].mean()
+        > result.rows["Microseven Cam."].mean()
+    )
+    # counts are stable day over day for a popular class
+    series = result.rows["Philips Dev."]
+    assert series.std() <= max(2.0, series.mean() * 0.2)

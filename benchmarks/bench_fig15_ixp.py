@@ -1,0 +1,17 @@
+"""Figure 15 — detected IoT IPs per day at the IXP."""
+
+from repro.experiments import fig15_ixp
+
+
+def bench_fig15(benchmark, context, write_artefact):
+    context.ixp
+    result = benchmark.pedantic(
+        fig15_ixp.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig15_ixp", fig15_ixp.render(result))
+    alexa = result.daily["Alexa Enabled"]
+    samsung = result.daily["Samsung IoT"]
+    other = result.daily["Other 32 IoT Device types"]
+    assert alexa.mean() > samsung.mean() > 0  # paper: 200k vs 90k
+    assert other.mean() > 0
+    assert result.spoofed_suppressed > 0

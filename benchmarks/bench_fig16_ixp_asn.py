@@ -1,0 +1,14 @@
+"""Figure 16 — per-member-AS skew of detected IoT IPs."""
+
+from repro.experiments import fig16_ixp_asn
+
+
+def bench_fig16(benchmark, context, write_artefact):
+    context.ixp
+    result = benchmark.pedantic(
+        fig16_ixp_asn.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig16_ixp_asn", fig16_ixp_asn.render(result))
+    for group in ("Alexa Enabled", "Samsung IoT"):
+        assert result.skew(group) > 50  # top-5 members hold majority
+        assert len(result.shares[group]) > 20  # long tail exists

@@ -1,0 +1,17 @@
+"""Figure 17 — single Alexa device activity at both vantage points."""
+
+from repro.experiments import fig17_alexa_activity
+
+
+def bench_fig17(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        fig17_alexa_activity.run, args=(context,), rounds=1,
+        iterations=1,
+    )
+    write_artefact(
+        "fig17_alexa_activity", fig17_alexa_activity.render(result)
+    )
+    assert result.home_active_peak > result.home_idle_peak
+    assert result.home_active_peak > 1000  # paper: spikes above 1k
+    assert result.isp_active_peak >= 10  # paper: above 10 sampled

@@ -1,0 +1,15 @@
+"""Figure 18 / Section 7.1 — active-usage detection in the wild."""
+
+from repro.experiments import fig18_usage
+
+
+def bench_fig18(benchmark, context, write_artefact):
+    context.wild
+    result = benchmark.pedantic(
+        fig18_usage.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig18_usage", fig18_usage.render(result))
+    assert result.peak_active > 0
+    # Paper: ~27k actively used of ~2.2M detected daily (~1.2%).
+    assert 0.002 <= result.peak_active_share <= 0.06
+    assert result.active_hourly.mean() < result.hourly_detected.mean()

@@ -1,0 +1,21 @@
+"""Figure 5 + Section 3 — ground-truth visibility at Home-VP vs ISP-VP."""
+
+from repro.experiments import fig5_visibility
+
+
+def bench_fig5(benchmark, context, write_artefact):
+    context.capture  # build the ground truth outside the timed region
+    result = benchmark.pedantic(
+        fig5_visibility.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig5_visibility", fig5_visibility.render(result))
+    # Paper shape: partial hourly IP visibility, ~2/3 device visibility,
+    # whole-period visibility above hourly.
+    assert 0.08 <= result.ip_visibility_idle <= 0.35
+    assert 0.5 <= result.device_visibility_idle <= 0.85
+    assert (
+        result.whole_period_ip_visibility_idle
+        > result.ip_visibility_idle
+    )
+    counts = result.home_ips_per_hour.values()
+    assert 400 <= min(counts) and max(counts) <= 1600

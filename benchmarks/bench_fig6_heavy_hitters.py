@@ -1,0 +1,19 @@
+"""Figure 6 — heavy-hitter visibility."""
+
+from repro.experiments import fig6_heavy_hitters
+
+
+def bench_fig6(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        fig6_heavy_hitters.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact(
+        "fig6_heavy_hitters", fig6_heavy_hitters.render(result)
+    )
+    assert result.mean_active[0.1] > 0.6  # paper: >75%, up to 90%
+    assert (
+        result.mean_active[0.1]
+        >= result.mean_active[0.2]
+        >= result.mean_active[0.3]
+    )

@@ -1,0 +1,17 @@
+"""Figure 7 — methodology-flowchart execution trace."""
+
+from repro.experiments import fig7_pipeline_trace
+
+
+def bench_fig7(benchmark, context, write_artefact):
+    result = benchmark.pedantic(
+        fig7_pipeline_trace.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact(
+        "fig7_pipeline_trace", fig7_pipeline_trace.render(result)
+    )
+    by_branch = {row.branch: row for row in result.rows}
+    assert len(by_branch) == 6
+    hit = [row for row in result.rows if row.in_hitlist]
+    dropped = [row for row in result.rows if not row.in_hitlist]
+    assert len(hit) == 3 and len(dropped) == 3

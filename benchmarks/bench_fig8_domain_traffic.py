@@ -1,0 +1,15 @@
+"""Figure 8 — per-domain packet rates, laconic vs gossiping devices."""
+
+from repro.experiments import fig8_domain_traffic
+
+
+def bench_fig8(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        fig8_domain_traffic.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact(
+        "fig8_domain_traffic", fig8_domain_traffic.render(result)
+    )
+    assert {"Echo Dot", "Apple TV"} <= set(result.gossiping)
+    assert len(result.laconic) >= 8

@@ -1,0 +1,13 @@
+"""Figure 9 — ECDF of per-(device, domain) packet rates."""
+
+from repro.experiments import fig9_ecdf
+
+
+def bench_fig9(benchmark, context, write_artefact):
+    context.capture
+    result = benchmark.pedantic(
+        fig9_ecdf.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("fig9_ecdf", fig9_ecdf.render(result))
+    assert result.active.median > result.idle.median
+    assert result.active.quantile(0.99) > 500

@@ -1,0 +1,23 @@
+"""Section 4 — hitlist pipeline counts (domain classification,
+dedicated/shared split, Censys recovery, device exclusion)."""
+
+from repro.core.hitlist import build_hitlist
+from repro.experiments import pipeline_counts
+
+
+def bench_pipeline(benchmark, context, write_artefact):
+    report = benchmark.pedantic(
+        lambda: build_hitlist(context.scenario).report,
+        rounds=1,
+        iterations=1,
+    )
+    write_artefact("pipeline_counts", pipeline_counts.render(report))
+    assert report.support_domains == 19
+    assert report.generic_domains == 90
+    assert report.censys_recovered_domains == 8
+    assert report.censys_recovered_products == 5
+    assert {
+        "Apple TV", "Google Home", "Google Home Mini", "LG TV",
+        "Lefun Cam", "WeMo Plug", "Wink 2",
+    } <= set(report.excluded_products)
+    assert report.dropped_classes == ()

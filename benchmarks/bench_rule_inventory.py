@@ -1,0 +1,14 @@
+"""Section 4.3 — detection-rule inventory."""
+
+from repro.experiments import rule_inventory
+
+
+def bench_rule_inventory(benchmark, context, write_artefact):
+    inventory = benchmark(rule_inventory.run, context)
+    write_artefact("rule_inventory", rule_inventory.render(inventory))
+    assert inventory.platform_rules == 6
+    assert inventory.manufacturer_rules == 20
+    assert inventory.product_rules == 11
+    assert (inventory.min_domains, inventory.max_domains) == (1, 67)
+    assert inventory.conflicts == 0
+    assert 0.70 <= inventory.manufacturer_coverage <= 0.80

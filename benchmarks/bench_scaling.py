@@ -1,0 +1,64 @@
+"""Scale-invariance of the wild-scale simulation.
+
+The paper's detection percentages hold at 15M subscriber lines; our
+default runs at 100k.  This bench runs the wild ISP study at three
+population scales and asserts the detected *penetrations* are
+scale-invariant (so the default-scale results extrapolate), while
+absolute counts grow linearly.
+"""
+
+from repro.analysis.reporting import render_table
+from repro.isp.simulation import WildConfig, run_wild_isp
+
+SCALES = (25_000, 50_000, 100_000)
+DAYS = 3
+
+
+def _run(context):
+    results = {}
+    for subscribers in SCALES:
+        results[subscribers] = run_wild_isp(
+            context.scenario,
+            context.rules,
+            context.hitlist,
+            WildConfig(subscribers=subscribers, days=DAYS, seed=5),
+        )
+    return results
+
+
+def bench_scaling(benchmark, context, write_artefact):
+    results = benchmark.pedantic(
+        _run, args=(context,), rounds=1, iterations=1
+    )
+    rows = []
+    for subscribers in SCALES:
+        result = results[subscribers]
+        rows.append(
+            (
+                f"{subscribers:,}",
+                int(result.daily_counts["Alexa Enabled"].mean()),
+                f"{result.penetration('Alexa Enabled'):.2%}",
+                f"{result.any_daily.mean() / subscribers:.2%}",
+            )
+        )
+    table = render_table(
+        (
+            "subscriber lines",
+            "Alexa lines/day",
+            "Alexa penetration",
+            "any-IoT penetration",
+        ),
+        rows,
+        title="Scale invariance of detected penetrations",
+    )
+    write_artefact("scaling", table)
+    penetrations = [
+        results[s].penetration("Alexa Enabled") for s in SCALES
+    ]
+    assert max(penetrations) - min(penetrations) < 0.01
+    counts = [
+        results[s].daily_counts["Alexa Enabled"].mean() for s in SCALES
+    ]
+    # Linear growth: doubling the population ~doubles the counts.
+    assert 1.8 <= counts[1] / counts[0] <= 2.2
+    assert 1.8 <= counts[2] / counts[1] <= 2.2

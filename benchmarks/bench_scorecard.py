@@ -1,0 +1,18 @@
+"""The reproduction scorecard: every headline metric vs its paper
+target, graded."""
+
+from repro.experiments import scorecard
+
+
+def bench_scorecard(benchmark, context, write_artefact):
+    context.capture
+    context.wild
+    context.ixp
+    result = benchmark.pedantic(
+        scorecard.run, args=(context,), rounds=1, iterations=1
+    )
+    write_artefact("scorecard", scorecard.render(result))
+    # The reproduction stands if the large majority of metrics land in
+    # band and nothing is divergent without an EXPERIMENTS.md entry.
+    assert result.reproduced_fraction >= 0.75
+    assert result.count("DIVERGENT") == 0

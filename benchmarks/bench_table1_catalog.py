@@ -1,0 +1,11 @@
+"""Table 1 — regenerate the device inventory."""
+
+from repro.experiments import table1_catalog
+
+
+def bench_table1(benchmark, context, write_artefact):
+    result = benchmark(table1_catalog.run, context.scenario.catalog)
+    write_artefact("table1_catalog", table1_catalog.render(result))
+    assert result.product_count == 56
+    assert result.device_count == 96
+    assert result.manufacturer_count == 40

@@ -1,0 +1,87 @@
+"""Scalability micro-benchmarks (the paper's "scales to millions of
+subscriber lines within minutes" claim, §1/§9): flow-record codec and
+detector throughput."""
+
+from repro.core.detector import FlowDetector
+from repro.netflow.ipfix import IpfixCodec
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+from repro.netflow.v9 import NetflowV9Codec
+from repro.timeutil import STUDY_START
+
+
+def _flows(count):
+    return [
+        FlowRecord(
+            key=FlowKey(
+                src_ip=0x0A000000 + index,
+                dst_ip=0x0B000000 + (index % 97),
+                protocol=PROTO_TCP,
+                src_port=40000 + (index % 1000),
+                dst_port=443,
+            ),
+            first_switched=STUDY_START + index,
+            last_switched=STUDY_START + index + 30,
+            packets=2,
+            bytes=240,
+            tcp_flags=TCP_ACK,
+        )
+        for index in range(count)
+    ]
+
+
+def bench_netflow_v9_roundtrip(benchmark):
+    codec = NetflowV9Codec()
+    flows = _flows(1000)
+
+    def roundtrip():
+        return codec.decode(codec.encode(flows, STUDY_START))
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == 1000
+
+
+def bench_ipfix_roundtrip(benchmark):
+    codec = IpfixCodec()
+    flows = _flows(1000)
+
+    def roundtrip():
+        return codec.decode(codec.encode(flows, STUDY_START))
+
+    decoded = benchmark(roundtrip)
+    assert len(decoded) == 1000
+
+
+def bench_detector_throughput(benchmark, context):
+    """Flows/second through the streaming detector on hitlist traffic."""
+    hitlist = context.hitlist
+    endpoints = sorted(hitlist.endpoints_for_day(0))
+    flows = []
+    for index in range(5000):
+        address, port = endpoints[index % len(endpoints)]
+        flows.append(
+            FlowRecord(
+                key=FlowKey(
+                    src_ip=0x0A000000 + index % 500,
+                    dst_ip=address,
+                    protocol=PROTO_TCP,
+                    src_port=40000,
+                    dst_port=port,
+                ),
+                first_switched=STUDY_START + index,
+                last_switched=STUDY_START + index,
+                packets=1,
+                bytes=100,
+                tcp_flags=TCP_ACK,
+            )
+        )
+
+    def feed():
+        detector = FlowDetector(
+            context.rules, hitlist, threshold=0.4
+        )
+        for flow in flows:
+            detector.observe_flow(flow.src_ip, flow)
+        return detector
+
+    detector = benchmark(feed)
+    assert detector.flows_matched == 5000

@@ -1,0 +1,38 @@
+"""Benchmark harness fixtures.
+
+Each benchmark regenerates one paper table/figure: it runs the
+experiment (timed via pytest-benchmark), writes the rendered rows/series
+to ``benchmarks/output/<artefact>.txt``, and asserts the paper's
+qualitative shape.  The expensive world state (scenario, ground-truth
+capture, wild runs) is built once per session at full default scale.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Full-scale experiment context shared by all benchmarks."""
+    return ExperimentContext(
+        seed=7, wild_subscribers=100_000, wild_days=14
+    )
+
+
+@pytest.fixture(scope="session")
+def write_artefact():
+    """Write one artefact's rendered output under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _write

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""ISP IoT census: the network-analytics scenario of Section 6.
+
+An ISP operator wants to know which IoT products its subscriber base
+runs — without payload inspection, from sampled NetFlow only.  This
+example runs the in-the-wild simulation over a week at reduced scale
+and prints an operator dashboard: per-class penetration, the
+Amazon/Samsung drill-down, diurnal usage, and the actively-used Alexa
+estimate of Section 7.1.
+
+Run:  python examples/isp_iot_census.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import render_histogram_row, render_table
+from repro.core.hitlist import build_hitlist
+from repro.core.rules import generate_rules
+from repro.isp.simulation import WildConfig, run_wild_isp
+from repro.scenario import build_default_scenario
+
+SUBSCRIBERS = 60_000
+DAYS = 7
+
+
+def main() -> None:
+    scenario = build_default_scenario(seed=11)
+    hitlist = build_hitlist(scenario)
+    rules = generate_rules(scenario.catalog, hitlist)
+
+    print(
+        f"running the wild ISP study: {SUBSCRIBERS:,} subscriber lines, "
+        f"{DAYS} days, 1-in-100 packet sampling ..."
+    )
+    result = run_wild_isp(
+        scenario,
+        rules,
+        hitlist,
+        WildConfig(subscribers=SUBSCRIBERS, days=DAYS, seed=3),
+    )
+
+    print("\n== daily penetration (mean over the week) ==")
+    rows = []
+    for class_name in (
+        "Alexa Enabled", "Amazon Product", "Fire TV",
+        "Samsung IoT", "Samsung TV",
+    ):
+        daily = result.daily_counts[class_name].mean()
+        rows.append(
+            (
+                class_name,
+                int(daily),
+                f"{daily / SUBSCRIBERS:.2%}",
+                result.owner_counts[class_name],
+            )
+        )
+    rows.append(
+        (
+            "any IoT class",
+            int(result.any_daily.mean()),
+            f"{result.any_daily.mean() / SUBSCRIBERS:.2%}",
+            "-",
+        )
+    )
+    print(
+        render_table(
+            ("class", "lines/day", "penetration", "true owners"), rows
+        )
+    )
+
+    print("\n== top 10 other device types (mean lines/day) ==")
+    others = sorted(
+        (
+            (series.mean(), name)
+            for name, series in result.daily_counts.items()
+            if name
+            not in (
+                "Alexa Enabled", "Amazon Product", "Fire TV",
+                "Samsung IoT", "Samsung TV",
+            )
+        ),
+        reverse=True,
+    )[:10]
+    maximum = others[0][0] if others else 1.0
+    for value, name in others:
+        print(render_histogram_row(name, value, maximum))
+
+    print("\n== Alexa diurnal profile (mean detected lines per hour of day) ==")
+    hourly = result.hourly_counts["Alexa Enabled"].reshape(-1, 24)
+    profile = hourly.mean(axis=0)
+    for hour, value in enumerate(profile):
+        print(render_histogram_row(f"{hour:02d}:00", value, profile.max()))
+
+    print("\n== actively used Alexa devices (Section 7.1) ==")
+    active = result.alexa_active_hourly
+    print(
+        f"peak hour: {active.max():,} lines in active use "
+        f"({active.max() / max(1, result.daily_counts['Alexa Enabled'].mean()):.1%} "
+        "of the detected population) — the paper reports ~27k of ~2.2M"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""IXP anti-spoofing (Section 6.3): why TCP flows need established
+evidence before they count.
+
+An IXP cannot enforce spoofing prevention on its members.  A SYN flood
+with forged sources towards known IoT backends would — naively — make
+thousands of innocent addresses look like IoT hosts.  The paper's
+filter requires a packet indicating an established connection before
+trusting a TCP flow.  This example measures the damage without the
+filter and the result with it.
+
+Run:  python examples/ixp_antispoofing.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_table
+from repro.core.detector import FlowDetector
+from repro.core.hitlist import build_hitlist
+from repro.core.rules import generate_rules
+from repro.ixp.fabric import make_spoofed_flows
+from repro.scenario import build_default_scenario
+
+SPOOFED_FLOWS = 5_000
+
+
+def main() -> None:
+    scenario = build_default_scenario(seed=31)
+    hitlist = build_hitlist(scenario)
+    rules = generate_rules(scenario.catalog, hitlist)
+
+    print(
+        f"injecting {SPOOFED_FLOWS:,} SYN-only flows with forged "
+        "sources towards hitlist endpoints ..."
+    )
+    spoofed = make_spoofed_flows(hitlist, SPOOFED_FLOWS, seed=8)
+
+    rows = []
+    for filtered in (False, True):
+        detector = FlowDetector(
+            rules,
+            hitlist,
+            threshold=0.4,
+            require_established=filtered,
+        )
+        for flow in spoofed:
+            detector.observe_flow(flow.src_ip, flow)
+        detections = detector.detections()
+        phantom_hosts = {d.subscriber for d in detections}
+        rows.append(
+            (
+                "established-evidence filter ON"
+                if filtered
+                else "no filter (naive)",
+                detector.flows_matched,
+                detector.flows_rejected_spoof,
+                len(phantom_hosts),
+            )
+        )
+    print(
+        render_table(
+            (
+                "configuration",
+                "flows matched",
+                "flows rejected",
+                "phantom IoT hosts",
+            ),
+            rows,
+        )
+    )
+    naive_phantoms = rows[0][3]
+    filtered_phantoms = rows[1][3]
+    print(
+        f"\nwithout the filter the spoof run fabricates "
+        f"{naive_phantoms:,} phantom IoT hosts; with it, "
+        f"{filtered_phantoms} — while legitimate established flows "
+        "(see examples/quickstart.py) still pass."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""End-to-end wire-format pipeline: packets → sampler → flow cache →
+binary NetFlow v9 export → collector parse → detection.
+
+Everything the ISP side of the paper does, on real bytes: a border
+router samples packets 1-in-100, aggregates them into a flow cache,
+exports binary NetFlow v9 packets; a collector parses the export and
+feeds the flow records to the detector.
+
+Run:  python examples/netflow_wire_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import FlowDetector
+from repro.core.hitlist import build_hitlist
+from repro.core.rules import generate_rules
+from repro.devices.behavior import DeviceBehavior
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import PacketRecord, TCP_ACK
+from repro.netflow.sampler import PacketSampler
+from repro.netflow.v9 import NetflowV9Codec
+from repro.scenario import build_default_scenario
+from repro.timeutil import SECONDS_PER_HOUR, STUDY_START
+
+SAMPLING = 100
+HOURS = 8
+SUBSCRIBER_IP = 0x0A141E28
+
+
+def main() -> None:
+    scenario = build_default_scenario(seed=17)
+    hitlist = build_hitlist(scenario)
+    rules = generate_rules(scenario.catalog, hitlist)
+    resolver = scenario.make_resolver(feed_dnsdb=False)
+    rng = np.random.default_rng(2)
+
+    # --- router side -----------------------------------------------------
+    sampler = PacketSampler(SAMPLING, mode="random", seed=9)
+    cache = FlowCollector(sampling_interval=SAMPLING)
+    behavior = DeviceBehavior(scenario.library.profile("Fire TV"))
+
+    print(
+        f"generating {HOURS}h of Fire TV packets through a 1/{SAMPLING} "
+        "sampled border router ..."
+    )
+    for hour in range(HOURS):
+        when = STUDY_START + hour * SECONDS_PER_HOUR
+        traffic = behavior.hour_traffic(rng, active=True,
+                                        functional_interactions=2)
+        for fqdn, packet_count in traffic.packets.items():
+            spec = scenario.library.domain(fqdn)
+            resolution = resolver.resolve(fqdn, when)
+            if not resolution.addresses:
+                continue
+            dst_ip = resolution.addresses[0]
+            for index in range(packet_count):
+                packet = PacketRecord(
+                    timestamp=when + (index * 3600) // max(
+                        1, packet_count
+                    ),
+                    src_ip=SUBSCRIBER_IP,
+                    dst_ip=dst_ip,
+                    protocol=spec.protocol,
+                    src_port=49152,
+                    dst_port=spec.primary_port,
+                    size=120,
+                    tcp_flags=TCP_ACK,
+                )
+                if sampler.sample(packet):
+                    cache.observe(packet)
+    cache.flush()
+    flows = cache.drain()
+    print(
+        f"  {sampler.seen:,} packets on the wire, {sampler.kept:,} "
+        f"sampled ({sampler.observed_rate:.2%}), {len(flows)} flow "
+        "records exported"
+    )
+
+    # --- export / collect on real bytes -----------------------------------
+    codec = NetflowV9Codec(source_id=7, sampling_interval=SAMPLING)
+    export_packets = [
+        codec.encode(flows[offset : offset + 24], STUDY_START)
+        for offset in range(0, len(flows), 24)
+    ]
+    wire_bytes = sum(len(packet) for packet in export_packets)
+    print(
+        f"  exported {len(export_packets)} NetFlow v9 packets "
+        f"({wire_bytes:,} bytes on the management network)"
+    )
+
+    collector_codec = NetflowV9Codec(sampling_interval=SAMPLING)
+    parsed = [
+        flow
+        for packet in export_packets
+        for flow in collector_codec.decode(packet)
+    ]
+    assert len(parsed) == len(flows)
+    print(f"  collector parsed {len(parsed)} records back")
+
+    # --- detection -----------------------------------------------------------
+    detector = FlowDetector(rules, hitlist, threshold=0.4)
+    for flow in parsed:
+        detector.observe_flow(flow.src_ip, flow)
+    print("\ndetections from the parsed export:")
+    for detection in detector.detections():
+        hours = (detection.detected_at - STUDY_START) / 3600
+        print(
+            f"  {detection.class_name:<16s} after {hours:4.1f}h "
+            f"({len(detection.matched_domains)} domains matched)"
+        )
+
+
+if __name__ == "__main__":
+    main()

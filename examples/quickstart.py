@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Quickstart: build the world, derive detection rules, detect devices.
+
+This walks the paper's full pipeline end to end at small scale:
+
+1. build the simulated world (devices, backends, DNS, TLS scans);
+2. run the Figure-7 hitlist pipeline (classify domains, split
+   dedicated/shared backends via passive DNS, recover no-record domains
+   via certificates, drop shared-infrastructure devices);
+3. generate detection rules (Section 4.3);
+4. feed sampled flow records from one simulated subscriber through the
+   detector and print what it finds.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.addressing import ip_to_str
+from repro.core.detector import FlowDetector
+from repro.core.hitlist import build_hitlist
+from repro.core.rules import generate_rules
+from repro.devices.behavior import DeviceBehavior
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+from repro.scenario import build_default_scenario
+from repro.timeutil import STUDY_START, SECONDS_PER_HOUR
+
+
+def main() -> None:
+    print("building the simulated world ...")
+    scenario = build_default_scenario(seed=7)
+    print(
+        f"  {len(scenario.library.domains)} domains, "
+        f"{len(scenario.clusters)} dedicated clusters, "
+        f"{len(scenario.dnsdb)} passive-DNS tuples, "
+        f"{len(scenario.scans)} scanned hosts"
+    )
+
+    print("running the hitlist pipeline (Figure 7) ...")
+    hitlist = build_hitlist(scenario)
+    report = hitlist.report
+    print(
+        f"  {report.observed_domains} observed domains -> "
+        f"{report.dedicated_domains} dedicated / "
+        f"{report.shared_domains} shared / "
+        f"{report.no_record_domains} no-record "
+        f"({report.censys_recovered_domains} recovered via certificates)"
+    )
+    print(f"  excluded products: {', '.join(report.excluded_products)}")
+
+    rules = generate_rules(scenario.catalog, hitlist)
+    print(f"generated {len(rules)} detection rules")
+
+    # Simulate one subscriber line hosting an Echo Dot and a Yi camera,
+    # observed through 1-in-100 packet sampling for six hours.
+    print("\nsimulating one subscriber line (Echo Dot + Yi Cam) ...")
+    detector = FlowDetector(rules, hitlist, threshold=0.4)
+    rng = np.random.default_rng(1)
+    resolver = scenario.make_resolver(feed_dnsdb=False)
+    subscriber_ip = 0x0A0B0C0D
+    sampling = 100
+
+    for product in ("Echo Dot", "Yi Cam"):
+        behavior = DeviceBehavior(scenario.library.profile(product))
+        for hour in range(6):
+            when = STUDY_START + hour * SECONDS_PER_HOUR
+            traffic = behavior.hour_traffic(rng, active=False)
+            for fqdn, packets in traffic.packets.items():
+                sampled = rng.binomial(packets, 1.0 / sampling)
+                if sampled == 0:
+                    continue
+                resolution = resolver.resolve(fqdn, when)
+                if not resolution.addresses:
+                    continue
+                spec = scenario.library.domain(fqdn)
+                flow = FlowRecord(
+                    key=FlowKey(
+                        src_ip=subscriber_ip,
+                        dst_ip=resolution.addresses[0],
+                        protocol=PROTO_TCP,
+                        src_port=49152,
+                        dst_port=spec.primary_port,
+                    ),
+                    first_switched=when + 60,
+                    last_switched=when + 120,
+                    packets=int(sampled),
+                    bytes=int(sampled) * 120,
+                    tcp_flags=TCP_ACK,
+                    sampling_interval=sampling,
+                )
+                detector.observe_flow(subscriber_ip, flow)
+
+    print(
+        f"  observed {detector.flows_seen} sampled flows, "
+        f"{detector.flows_matched} matched the hitlist"
+    )
+    print("\ndetections (threshold D=0.4):")
+    for detection in detector.detections():
+        hours = (detection.detected_at - STUDY_START) / 3600
+        print(
+            f"  {detection.class_name:<22s} after {hours:4.1f}h "
+            f"via {len(detection.matched_domains)} domain(s) "
+            f"(subscriber {detection.subscriber})"
+        )
+    print(
+        "\nnote: subscriber identifiers are anonymised hashes — the raw "
+        f"address {ip_to_str(subscriber_ip)} never enters analysis state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Reproduction of "A Haystack Full of Needles: Scalable Detection of IoT
+Devices in the Wild" (Saidi et al., IMC 2020).
+
+The package is organised as a set of substrates (``netflow``, ``dns``,
+``tls``, ``cloud``, ``devices``, ``isp``, ``ixp``) underneath the paper's
+primary contribution in :mod:`repro.core`: a methodology for detecting
+consumer IoT devices at subscriber-line granularity from sparsely sampled
+flow headers.
+
+Quickstart::
+
+    from repro.scenario import build_default_scenario
+    from repro.core.hitlist import build_hitlist
+    from repro.core.rules import generate_rules
+    from repro.core.detector import FlowDetector
+
+    scenario = build_default_scenario(seed=7)
+    hitlist = build_hitlist(scenario)
+    rules = generate_rules(scenario, hitlist)
+    detector = FlowDetector(rules, hitlist, threshold=0.4)
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,24 @@
+"""Shared analysis utilities: time bucketing, ECDFs, heavy-hitter
+visibility, an analytic/Monte-Carlo detection-probability model, and
+plain-text rendering of tables and series for the benchmark harness."""
+
+from repro.analysis.timeline import HourlySeries, bucket_by_day, bucket_by_hour
+from repro.analysis.ecdf import Ecdf
+from repro.analysis.heavyhitters import heavy_hitter_visibility
+from repro.analysis.detection_model import (
+    estimate_detection_probabilities,
+    DetectionProbabilities,
+)
+from repro.analysis.reporting import render_series, render_table
+
+__all__ = [
+    "HourlySeries",
+    "bucket_by_day",
+    "bucket_by_hour",
+    "Ecdf",
+    "heavy_hitter_visibility",
+    "estimate_detection_probabilities",
+    "DetectionProbabilities",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,55 @@
+"""Empirical cumulative distribution functions (Figures 9 and 16)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Ecdf"]
+
+
+class Ecdf:
+    """An empirical CDF over a sample of real values."""
+
+    def __init__(self, values: Iterable[float]) -> None:
+        self._values = np.sort(np.asarray(list(values), dtype=float))
+        if self._values.size == 0:
+            raise ValueError("ECDF needs at least one value")
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def evaluate(self, x: float) -> float:
+        """Fraction of the sample <= x."""
+        return float(
+            np.searchsorted(self._values, x, side="right")
+            / self._values.size
+        )
+
+    def quantile(self, q: float) -> float:
+        """The smallest value v with evaluate(v) >= q."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1]: {q}")
+        index = int(np.ceil(q * self._values.size)) - 1
+        return float(self._values[index])
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """The (value, cumulative fraction) step points."""
+        n = self._values.size
+        return [
+            (float(value), (index + 1) / n)
+            for index, value in enumerate(self._values)
+        ]
+
+    def sampled_points(self, count: int = 40) -> List[Tuple[float, float]]:
+        """Evenly spaced points for compact textual rendering."""
+        points = self.points()
+        if len(points) <= count:
+            return points
+        indices = np.linspace(0, len(points) - 1, count).astype(int)
+        return [points[index] for index in indices]

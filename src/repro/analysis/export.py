@@ -1,0 +1,107 @@
+"""CSV export of experiment results.
+
+The benchmark harness renders human-readable text; downstream users
+(plotting scripts, notebooks) usually want machine-readable series.
+These helpers flatten the main result objects into CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "csv_text",
+    "series_csv",
+    "wild_daily_csv",
+    "wild_hourly_csv",
+    "crosscheck_csv",
+    "ixp_daily_csv",
+]
+
+
+def csv_text(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render headers + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def series_csv(
+    series: Mapping[str, Sequence], index_name: str = "bucket"
+) -> str:
+    """Columnar CSV of parallel named series (e.g. per-hour counts).
+
+    All series must have equal length; the index column counts from 0.
+    """
+    names = list(series)
+    if not names:
+        raise ValueError("no series to export")
+    lengths = {len(series[name]) for name in names}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    rows = [
+        [index] + [series[name][index] for name in names]
+        for index in range(length)
+    ]
+    return csv_text([index_name] + names, rows)
+
+
+def wild_daily_csv(result) -> str:
+    """Per-day detected-line counts of a WildIspResult."""
+    series: Dict[str, Sequence] = dict(
+        sorted(result.daily_counts.items())
+    )
+    series["other_32_dedup"] = result.other_daily
+    series["any_iot"] = result.any_daily
+    return series_csv(series, index_name="day")
+
+
+def wild_hourly_csv(result) -> str:
+    """Per-hour detected-line counts of a WildIspResult."""
+    series: Dict[str, Sequence] = dict(
+        sorted(result.hourly_counts.items())
+    )
+    series["other_32_dedup"] = result.other_hourly
+    series["alexa_active_usage"] = result.alexa_active_hourly
+    return series_csv(series, index_name="hour")
+
+
+def crosscheck_csv(result) -> str:
+    """Long-format CSV of a CrosscheckResult: one row per
+    (mode, threshold, class) with hours-to-detect (empty = never)."""
+    rows: List[Tuple] = []
+    for mode, by_threshold in sorted(result.times.items()):
+        classes = sorted(
+            {
+                name
+                for per_class in by_threshold.values()
+                for name in per_class
+            }
+        )
+        for threshold, per_class in sorted(by_threshold.items()):
+            for class_name in classes:
+                hours = per_class.get(class_name)
+                rows.append(
+                    (
+                        mode,
+                        threshold,
+                        class_name,
+                        "" if hours is None else f"{hours:.3f}",
+                    )
+                )
+    return csv_text(
+        ("mode", "threshold", "class", "hours_to_detect"), rows
+    )
+
+
+def ixp_daily_csv(result) -> str:
+    """Per-day detected-IP counts of an IxpResult."""
+    return series_csv(
+        dict(sorted(result.daily_ip_counts.items())), index_name="day"
+    )

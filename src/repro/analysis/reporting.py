@@ -1,0 +1,86 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the rows/series each paper table or figure
+reports; these helpers keep that output uniform and readable in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_histogram_row"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    materialised = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(
+        " | ".join(
+            header.ljust(width) for header, width in zip(headers, widths)
+        )
+    )
+    lines.append(separator)
+    for row in materialised:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def render_series(
+    name: str,
+    points: Sequence[Tuple[object, object]],
+    max_points: int = 40,
+) -> str:
+    """Render a labelled (x, y) series, subsampled when long."""
+    if len(points) > max_points:
+        step = max(1, len(points) // max_points)
+        points = list(points)[::step]
+    body = "  ".join(
+        f"{_format_cell(x)}={_format_cell(y)}" for x, y in points
+    )
+    return f"{name}: {body}"
+
+
+def render_histogram_row(
+    label: str, value: float, maximum: float, width: int = 40
+) -> str:
+    """One text-histogram bar (used by heatmap-style figures)."""
+    if maximum <= 0:
+        bar = ""
+    else:
+        bar = "#" * max(0, int(round(width * value / maximum)))
+    return f"{label:<28s} {bar} {_format_cell(value)}"

@@ -1,0 +1,82 @@
+"""Hour/day bucketing of event streams."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+from repro.timeutil import (
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    STUDY_START,
+    format_day,
+    format_hour,
+    hour_start,
+)
+
+__all__ = ["HourlySeries", "bucket_by_hour", "bucket_by_day"]
+
+EventT = TypeVar("EventT")
+
+
+def bucket_by_hour(
+    events: Iterable[EventT],
+    timestamp: Callable[[EventT], int],
+    key: Callable[[EventT], Hashable],
+    origin: int = STUDY_START,
+) -> Dict[int, Set[Hashable]]:
+    """Group the distinct ``key`` values of events into hour buckets."""
+    buckets: Dict[int, Set[Hashable]] = defaultdict(set)
+    for event in events:
+        bucket = (timestamp(event) - origin) // SECONDS_PER_HOUR
+        buckets[bucket].add(key(event))
+    return dict(buckets)
+
+
+def bucket_by_day(
+    events: Iterable[EventT],
+    timestamp: Callable[[EventT], int],
+    key: Callable[[EventT], Hashable],
+    origin: int = STUDY_START,
+) -> Dict[int, Set[Hashable]]:
+    """Group the distinct ``key`` values of events into day buckets."""
+    buckets: Dict[int, Set[Hashable]] = defaultdict(set)
+    for event in events:
+        bucket = (timestamp(event) - origin) // SECONDS_PER_DAY
+        buckets[bucket].add(key(event))
+    return dict(buckets)
+
+
+@dataclass
+class HourlySeries:
+    """A labelled per-hour count series anchored at the study start."""
+
+    name: str
+    counts: Dict[int, int] = field(default_factory=dict)
+    origin: int = STUDY_START
+
+    @classmethod
+    def from_sets(
+        cls, name: str, buckets: Dict[int, Set[Hashable]],
+        origin: int = STUDY_START,
+    ) -> "HourlySeries":
+        return cls(
+            name,
+            {bucket: len(values) for bucket, values in buckets.items()},
+            origin,
+        )
+
+    def label_for(self, bucket: int) -> str:
+        return format_hour(hour_start(bucket, self.origin))
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self.counts.items())
+
+    def mean(self) -> float:
+        if not self.counts:
+            return 0.0
+        return sum(self.counts.values()) / len(self.counts)
+
+    def max(self) -> int:
+        return max(self.counts.values(), default=0)

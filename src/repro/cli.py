@@ -1,0 +1,284 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro experiment fig11 --subscribers 50000 --days 7
+    python -m repro experiment all -o results/
+    python -m repro pipeline
+    python -m repro export wild-daily -o daily.csv
+
+Experiments run against the shared
+:class:`~repro.experiments.context.ExperimentContext`; the first
+invocation of a ground-truth- or wild-backed experiment pays the
+simulation cost, later ones in the same process reuse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.experiments import (
+    false_positives,
+    fig5_visibility,
+    fig7_pipeline_trace,
+    fig6_heavy_hitters,
+    fig8_domain_traffic,
+    fig9_ecdf,
+    fig10_crosscheck,
+    fig11_isp_wild,
+    fig12_drilldown,
+    fig13_churn,
+    fig14_heatmap,
+    fig15_ixp,
+    fig16_ixp_asn,
+    fig17_alexa_activity,
+    fig18_usage,
+    defense_eval,
+    dns_visibility,
+    pipeline_counts,
+    rule_inventory,
+    scorecard,
+    table1_catalog,
+)
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = ["main", "EXPERIMENTS"]
+
+#: experiment id -> (run(context) -> result, render(result) -> str)
+EXPERIMENTS: Dict[str, Tuple[Callable, Callable]] = {
+    "table1": (
+        lambda context: table1_catalog.run(context.scenario.catalog),
+        table1_catalog.render,
+    ),
+    "fig5": (fig5_visibility.run, fig5_visibility.render),
+    "fig6": (fig6_heavy_hitters.run, fig6_heavy_hitters.render),
+    "fig7": (fig7_pipeline_trace.run, fig7_pipeline_trace.render),
+    "fig8": (fig8_domain_traffic.run, fig8_domain_traffic.render),
+    "fig9": (fig9_ecdf.run, fig9_ecdf.render),
+    "pipeline": (pipeline_counts.run, pipeline_counts.render),
+    "rules": (rule_inventory.run, rule_inventory.render),
+    "fig10": (fig10_crosscheck.run, fig10_crosscheck.render),
+    "fig11": (fig11_isp_wild.run, fig11_isp_wild.render),
+    "fig12": (fig12_drilldown.run, fig12_drilldown.render),
+    "fig13": (fig13_churn.run, fig13_churn.render),
+    "fig14": (fig14_heatmap.run, fig14_heatmap.render),
+    "fig15": (fig15_ixp.run, fig15_ixp.render),
+    "fig16": (fig16_ixp_asn.run, fig16_ixp_asn.render),
+    "fig17": (fig17_alexa_activity.run, fig17_alexa_activity.render),
+    "fig18": (fig18_usage.run, fig18_usage.render),
+    "false-positives": (false_positives.run, false_positives.render),
+    "dns-visibility": (dns_visibility.run, dns_visibility.render),
+    "scorecard": (scorecard.run, scorecard.render),
+    "defenses": (defense_eval.run, defense_eval.render),
+}
+
+_EXPORTS = ("wild-daily", "wild-hourly", "crosscheck", "ixp-daily")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Haystack Full of Needles' (IMC 2020): "
+            "run any paper experiment from the command line."
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="world seed (default 7)"
+    )
+    parser.add_argument(
+        "--subscribers",
+        type=int,
+        default=100_000,
+        help="wild-run subscriber lines (default 100000)",
+    )
+    parser.add_argument(
+        "--days",
+        type=int,
+        default=14,
+        help="wild-run study days (default 14)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available experiments")
+
+    experiment = commands.add_parser(
+        "experiment", help="run one experiment (or 'all') and print it"
+    )
+    experiment.add_argument(
+        "id", choices=sorted(EXPERIMENTS) + ["all"]
+    )
+    experiment.add_argument(
+        "-o",
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        help="write output to this file (or directory for 'all')",
+    )
+
+    commands.add_parser(
+        "pipeline", help="run the Figure-7 hitlist pipeline and report"
+    )
+
+    export = commands.add_parser(
+        "export", help="export result series as CSV"
+    )
+    export.add_argument("what", choices=_EXPORTS)
+    export.add_argument(
+        "-o", "--output", type=pathlib.Path, default=None,
+        help="CSV output path (default: stdout)",
+    )
+
+    artifacts = commands.add_parser(
+        "artifacts",
+        help="export the daily hitlist and rule set as JSON",
+    )
+    artifacts.add_argument(
+        "directory", type=pathlib.Path,
+        help="directory receiving hitlist.json and rules.json",
+    )
+
+    detect = commands.add_parser(
+        "detect",
+        help=(
+            "run detection over a flow file (see "
+            "repro.netflow.flowfile) using JSON artifacts"
+        ),
+    )
+    detect.add_argument(
+        "flows", type=pathlib.Path, help="flow file (haystack-flows CSV)"
+    )
+    detect.add_argument(
+        "--artifacts", type=pathlib.Path, default=None,
+        help=(
+            "directory with hitlist.json/rules.json (default: derive "
+            "them from the simulated world)"
+        ),
+    )
+    detect.add_argument(
+        "--threshold", type=float, default=0.4,
+        help="detection threshold D (default 0.4)",
+    )
+    return parser
+
+
+def _emit(text: str, output: Optional[pathlib.Path]) -> None:
+    if output is None:
+        print(text)
+    else:
+        output.write_text(text + "\n")
+        print(f"wrote {output}", file=sys.stderr)
+
+
+def _run_experiment(
+    identifier: str, context: ExperimentContext
+) -> str:
+    run, render = EXPERIMENTS[identifier]
+    return render(run(context))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for identifier in sorted(EXPERIMENTS):
+            print(identifier)
+        return 0
+
+    context = get_context(
+        seed=args.seed,
+        wild_subscribers=args.subscribers,
+        wild_days=args.days,
+    )
+
+    if args.command == "pipeline":
+        print(pipeline_counts.render(pipeline_counts.run(context)))
+        return 0
+
+    if args.command == "experiment":
+        if args.id == "all":
+            directory = args.output or pathlib.Path("results")
+            directory.mkdir(parents=True, exist_ok=True)
+            for identifier in sorted(EXPERIMENTS):
+                text = _run_experiment(identifier, context)
+                _emit(text, directory / f"{identifier}.txt")
+            return 0
+        _emit(_run_experiment(args.id, context), args.output)
+        return 0
+
+    if args.command == "artifacts":
+        from repro.core.serialization import (
+            hitlist_to_json,
+            rules_to_json,
+        )
+
+        args.directory.mkdir(parents=True, exist_ok=True)
+        _emit(
+            hitlist_to_json(context.hitlist),
+            args.directory / "hitlist.json",
+        )
+        _emit(
+            rules_to_json(context.rules),
+            args.directory / "rules.json",
+        )
+        return 0
+
+    if args.command == "detect":
+        from repro.core.detector import FlowDetector
+        from repro.core.serialization import (
+            hitlist_from_json,
+            rules_from_json,
+        )
+        from repro.netflow.flowfile import read_flow_file
+
+        if args.artifacts is not None:
+            hitlist = hitlist_from_json(
+                (args.artifacts / "hitlist.json").read_text()
+            )
+            rules = rules_from_json(
+                (args.artifacts / "rules.json").read_text()
+            )
+        else:
+            hitlist, rules = context.hitlist, context.rules
+        detector = FlowDetector(
+            rules, hitlist, threshold=args.threshold
+        )
+        for flow in read_flow_file(args.flows):
+            detector.observe_flow(flow.src_ip, flow)
+        print(
+            f"# flows={detector.flows_seen} "
+            f"matched={detector.flows_matched}"
+        )
+        for detection in detector.detections():
+            print(
+                f"{detection.subscriber},{detection.class_name},"
+                f"{detection.detected_at}"
+            )
+        return 0
+
+    if args.command == "export":
+        from repro.analysis import export as export_module
+        from repro.experiments import fig10_crosscheck as crosscheck
+
+        if args.what == "wild-daily":
+            text = export_module.wild_daily_csv(context.wild)
+        elif args.what == "wild-hourly":
+            text = export_module.wild_hourly_csv(context.wild)
+        elif args.what == "crosscheck":
+            text = export_module.crosscheck_csv(
+                crosscheck.run(context)
+            )
+        else:
+            text = export_module.ixp_daily_csv(context.ixp)
+        _emit(text.rstrip("\n"), args.output)
+        return 0
+
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,259 @@
+"""IPv4 addressing, prefixes, and autonomous-system bookkeeping.
+
+Addresses are plain ``int`` values throughout the simulation for speed; the
+helpers here convert to and from dotted-quad strings and group addresses
+into prefixes and autonomous systems.  The :class:`AddressAllocator` hands
+out non-overlapping prefixes so every simulated infrastructure (dedicated
+clusters, clouds, CDNs, ISP subscriber pools, IXP members) receives globally
+unique address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "ip_to_str",
+    "str_to_ip",
+    "Prefix",
+    "AutonomousSystem",
+    "ASRegistry",
+    "AddressAllocator",
+]
+
+
+def ip_to_str(address: int) -> str:
+    """Render an integer IPv4 address as a dotted quad."""
+    if not 0 <= address <= 0xFFFFFFFF:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    return ".".join(
+        str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+def str_to_ip(text: str) -> int:
+    """Parse a dotted quad into an integer IPv4 address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted quad: {text!r}")
+    address = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        address = (address << 8) | octet
+    return address
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (``network/length``)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise ValueError(f"invalid prefix length: {self.length}")
+        if self.network & ~self.mask:
+            raise ValueError(
+                f"network {ip_to_str(self.network)} has host bits set "
+                f"for /{self.length}"
+            )
+
+    @property
+    def mask(self) -> int:
+        """The integer netmask of this prefix."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    @property
+    def first(self) -> int:
+        return self.network
+
+    @property
+    def last(self) -> int:
+        return self.network + self.size - 1
+
+    def __contains__(self, address: int) -> bool:
+        return (address & self.mask) == self.network
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.first, self.last + 1))
+
+    def slash24(self, address: int) -> int:
+        """Return the /24 network containing ``address`` (which must be in
+        this prefix)."""
+        if address not in self:
+            raise ValueError(
+                f"{ip_to_str(address)} not in {self}"
+            )
+        return address & 0xFFFFFF00
+
+    def __str__(self) -> str:
+        return f"{ip_to_str(self.network)}/{self.length}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` into a :class:`Prefix`."""
+        network_text, _, length_text = text.partition("/")
+        if not length_text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(str_to_ip(network_text), int(length_text))
+
+
+@dataclass
+class AutonomousSystem:
+    """A simulated autonomous system.
+
+    ``kind`` captures the coarse role the AS plays in the topology and is
+    used by the ethics-motivated server-IP heuristics and by the IXP
+    eyeball analysis:
+
+    * ``"eyeball"`` — residential access network,
+    * ``"cloud"`` — public-cloud provider (exclusive VM tenancy),
+    * ``"cdn"`` — shared content-delivery network,
+    * ``"hosting"`` — dedicated hosting / colocation,
+    * ``"transit"`` — everything else.
+    """
+
+    asn: int
+    name: str
+    kind: str
+    prefixes: List[Prefix] = field(default_factory=list)
+
+    def announce(self, prefix: Prefix) -> None:
+        """Record that this AS originates ``prefix``."""
+        self.prefixes.append(prefix)
+
+    def __contains__(self, address: int) -> bool:
+        return any(address in prefix for prefix in self.prefixes)
+
+
+class ASRegistry:
+    """Registry mapping addresses to their originating AS.
+
+    Lookups are answered from a sorted list of (network, mask-length, asn)
+    entries with longest-prefix-match semantics.  The registry is the
+    simulation's stand-in for a BGP routing table / IP-to-AS database.
+    """
+
+    def __init__(self) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        self._routes: List[tuple] = []  # (first, last, length, asn)
+        self._sorted = True
+
+    def register(self, autonomous_system: AutonomousSystem) -> None:
+        """Add an AS and index all of its prefixes."""
+        if autonomous_system.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN {autonomous_system.asn}")
+        self._by_asn[autonomous_system.asn] = autonomous_system
+        for prefix in autonomous_system.prefixes:
+            self.announce(autonomous_system.asn, prefix)
+
+    def announce(self, asn: int, prefix: Prefix) -> None:
+        """Index an additional prefix for an already-registered AS."""
+        if asn not in self._by_asn:
+            raise KeyError(f"unknown ASN {asn}")
+        self._routes.append((prefix.first, prefix.last, prefix.length, asn))
+        self._sorted = False
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._routes.sort()
+            self._sorted = True
+
+    def lookup(self, address: int) -> Optional[AutonomousSystem]:
+        """Longest-prefix-match an address to its origin AS, or ``None``."""
+        self._ensure_sorted()
+        best: Optional[tuple] = None
+        # Linear scan over candidate routes whose range covers the address.
+        # The registry holds at most a few hundred routes, so binary search
+        # plus a short backward walk keeps this cheap.
+        import bisect
+
+        position = bisect.bisect_right(
+            self._routes, (address, 0xFFFFFFFF, 33, 0)
+        )
+        for route in reversed(self._routes[:position]):
+            first, last, length, _ = route
+            if first <= address <= last:
+                if best is None or length > best[2]:
+                    best = route
+            # Routes are sorted by first address; once the first address of
+            # a candidate is below any possible covering /0 we could stop,
+            # but supernets may start much earlier, so walk the whole list
+            # prefix-length-aware only when needed.
+        if best is None:
+            return None
+        return self._by_asn[best[3]]
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """Return the AS with number ``asn``."""
+        return self._by_asn[asn]
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+
+class AddressAllocator:
+    """Sequential allocator of non-overlapping IPv4 prefixes.
+
+    The allocator carves prefixes out of a configurable super-block
+    (default ``10.0.0.0/8`` is *not* used — the simulation pretends to be
+    the public Internet, so we allocate from ``1.0.0.0/8`` upward, skipping
+    well-known reserved blocks).
+    """
+
+    _RESERVED = (
+        Prefix.parse("0.0.0.0/8"),
+        Prefix.parse("10.0.0.0/8"),
+        Prefix.parse("127.0.0.0/8"),
+        Prefix.parse("169.254.0.0/16"),
+        Prefix.parse("172.16.0.0/12"),
+        Prefix.parse("192.168.0.0/16"),
+        Prefix.parse("224.0.0.0/3"),
+    )
+
+    def __init__(self, start: int = 0x01000000) -> None:
+        self._cursor = start
+
+    def allocate(self, length: int) -> Prefix:
+        """Return the next free prefix of the requested length."""
+        if not 8 <= length <= 32:
+            raise ValueError(f"unsupported prefix length {length}")
+        size = 1 << (32 - length)
+        cursor = self._cursor
+        # Align the cursor to the prefix size.
+        if cursor % size:
+            cursor += size - (cursor % size)
+        while True:
+            candidate = Prefix(cursor, length)
+            clash = next(
+                (
+                    reserved
+                    for reserved in self._RESERVED
+                    if candidate.first <= reserved.last
+                    and reserved.first <= candidate.last
+                ),
+                None,
+            )
+            if clash is None:
+                break
+            cursor = clash.last + 1
+            if cursor % size:
+                cursor += size - (cursor % size)
+        if cursor + size - 1 > 0xFFFFFFFF:
+            raise RuntimeError("IPv4 space exhausted in simulation")
+        self._cursor = cursor + size
+        return Prefix(cursor, length)

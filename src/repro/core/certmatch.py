@@ -1,0 +1,93 @@
+"""Certificate/banner fallback — Section 4.2.2.
+
+For domains that passive DNS never recorded, the paper falls back to
+Censys: if the device spoke HTTPS to the domain, find the certificate
+its hosts present, require that the certificate's Name matches the
+domain at the second level or deeper **and carries no other Subject
+Alternative Name**, then query for every host presenting the same
+certificate *and* HTTPS banner checksum.  Those hosts become the
+domain's service addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.dns.names import (
+    is_subdomain,
+    matches_pattern,
+    normalize,
+    second_level_domain,
+)
+from repro.tls.certificates import Certificate
+from repro.tls.scanner import ScanDataset
+
+__all__ = ["CensysRecovery", "certificate_is_specific", "recover_via_certificates"]
+
+
+@dataclass(frozen=True)
+class CensysRecovery:
+    """Successful recovery of a no-record domain's service addresses."""
+
+    fqdn: str
+    fingerprint: str
+    banner_checksum: str
+    addresses: Tuple[int, ...]
+
+
+def certificate_is_specific(certificate: Certificate, fqdn: str) -> bool:
+    """The paper's matching criterion: every certificate name matches
+    ``fqdn`` at the SLD or deeper (exact name or a wildcard within the
+    same SLD), with no foreign Subject Alternative Names."""
+    fqdn = normalize(fqdn)
+    sld = second_level_domain(fqdn)
+    if not certificate.covers(fqdn):
+        return False
+    for name in certificate.names:
+        bare = name[2:] if name.startswith("*.") else name
+        if not is_subdomain(bare, sld):
+            return False
+        if "*" in name:
+            if not matches_pattern(fqdn, name):
+                return False
+        elif name != fqdn:
+            return False
+    return True
+
+
+def recover_via_certificates(
+    fqdn: str,
+    scans: ScanDataset,
+    uses_https: bool,
+) -> Optional[CensysRecovery]:
+    """Attempt to recover service addresses for a no-record domain.
+
+    ``uses_https`` is the ground-truth observation of whether the device
+    talked to the domain on port 443 — the precondition the paper
+    states.  Returns ``None`` when recovery is impossible.
+    """
+    fqdn = normalize(fqdn)
+    if not uses_https:
+        return None
+    for certificate in scans.certificates_for_domain(fqdn):
+        if not certificate_is_specific(certificate, fqdn):
+            continue
+        hosts = scans.hosts_with_certificate(certificate.fingerprint)
+        if not hosts:
+            continue
+        # Require a consistent banner across the deployment, then take
+        # every host matching certificate + banner.
+        banner = hosts[0].banner_checksum
+        matching = scans.hosts_matching(certificate.fingerprint, banner)
+        if not matching:
+            continue
+        return CensysRecovery(
+            fqdn=fqdn,
+            fingerprint=certificate.fingerprint,
+            banner_checksum=banner,
+            addresses=tuple(
+                sorted({host.address for host in matching})
+            ),
+        )
+    return None

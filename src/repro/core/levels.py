@@ -1,0 +1,138 @@
+"""Detection-level determination — Section 4.3.1.
+
+Given the surviving per-class domain sets, derive the granularity at
+which each class is distinguishable and validate the properties the
+paper relies on to avoid false positives:
+
+* sibling classes (no ancestor relation) must have *differing* domain
+  sets — the paper: "we also try to avoid false positives by ensuring
+  that the domain sets per device differ";
+* a child class must monitor strictly more information than its parent
+  (a superset, or a disjoint specialised set gated on the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.rules import RuleSet
+from repro.devices.catalog import DeviceCatalog
+
+__all__ = [
+    "LevelConflict",
+    "determine_levels",
+    "infer_levels",
+    "validate_distinguishability",
+]
+
+
+@dataclass(frozen=True)
+class LevelConflict:
+    """A pair of classes whose rules cannot be told apart."""
+
+    first: str
+    second: str
+    reason: str
+
+
+def determine_levels(
+    catalog: DeviceCatalog, rules: RuleSet
+) -> Dict[str, str]:
+    """Detection level per surviving class (from the class structure)."""
+    return {
+        rule.class_name: catalog.detection_class(rule.class_name).level
+        for rule in rules
+    }
+
+
+def infer_levels(catalog: DeviceCatalog, rules: RuleSet) -> Dict[str, str]:
+    """Infer the *finest supportable* detection level per class (§4.3.1).
+
+    The paper's decision procedure, mechanised: a rule whose member
+    products span several manufacturers — or whose backend is an open
+    IoT platform — can at best identify the shared *platform*; one
+    covering several products of a single manufacturer at best the
+    *manufacturer*; one covering a single product can go down to the
+    *product*.  A class may legitimately be declared *coarser* than
+    this bound (the paper keeps single-product vendors at manufacturer
+    level when it lacks side information about product-specific
+    domains), but never finer — see :func:`validate_levels`.
+    """
+    from repro.devices.catalog import (
+        LEVEL_MANUFACTURER,
+        LEVEL_PLATFORM,
+        LEVEL_PRODUCT,
+    )
+
+    inferred: Dict[str, str] = {}
+    for rule in rules:
+        spec = catalog.detection_class(rule.class_name)
+        manufacturers = {
+            catalog.product(member).manufacturer
+            for member in spec.member_products
+        }
+        if len(manufacturers) > 1 or spec.platform is not None:
+            inferred[rule.class_name] = LEVEL_PLATFORM
+        elif len(spec.member_products) > 1:
+            inferred[rule.class_name] = LEVEL_MANUFACTURER
+        else:
+            inferred[rule.class_name] = LEVEL_PRODUCT
+    return inferred
+
+
+#: Granularity order: lower rank = coarser claim.
+_LEVEL_RANK = {"Platform": 0, "Manufacturer": 1, "Product": 2}
+
+
+def validate_levels(
+    catalog: DeviceCatalog, rules: RuleSet
+) -> List[str]:
+    """Classes whose declared level is *finer* than structure supports.
+
+    Claiming a finer level than the backend structure allows would be a
+    misattribution (e.g. calling an open-platform rule a product rule);
+    claiming a coarser one is merely conservative.
+    """
+    finest = infer_levels(catalog, rules)
+    declared = determine_levels(catalog, rules)
+    return [
+        class_name
+        for class_name in declared
+        if _LEVEL_RANK[declared[class_name]]
+        > _LEVEL_RANK[finest[class_name]]
+    ]
+
+
+def _related(rules: RuleSet, first: str, second: str) -> bool:
+    return (
+        first in rules.ancestors(second)
+        or second in rules.ancestors(first)
+    )
+
+
+def validate_distinguishability(rules: RuleSet) -> List[LevelConflict]:
+    """Return every pair of unrelated classes with identical or fully
+    contained rule-domain sets (candidates for misclassification)."""
+    conflicts: List[LevelConflict] = []
+    names = sorted(rules.class_names())
+    domain_sets: Dict[str, Set[str]] = {
+        name: set(rules.rule(name).domains) for name in names
+    }
+    for index, first in enumerate(names):
+        for second in names[index + 1 :]:
+            if _related(rules, first, second):
+                continue
+            first_set, second_set = domain_sets[first], domain_sets[second]
+            if first_set == second_set:
+                conflicts.append(
+                    LevelConflict(first, second, "identical domain sets")
+                )
+            elif first_set <= second_set or second_set <= first_set:
+                conflicts.append(
+                    LevelConflict(
+                        first, second,
+                        "one rule's domains contain the other's",
+                    )
+                )
+    return conflicts

@@ -1,0 +1,206 @@
+"""Mitigation policies — the Section 7.2 "potential security benefits".
+
+Once a device class is identified as misbehaving (botnet membership,
+known vulnerability, abandoned by its manufacturer), the paper suggests
+an ISP/IXP can *block* access to the class's backend endpoints or
+*redirect* its traffic to a benign server (privacy notices, patched
+firmware).  The hitlist already contains everything needed: the daily
+(address, port) endpoints of every monitored domain.
+
+:class:`MitigationPlanner` turns a detection class into concrete
+per-day policies; :class:`FlowFilter` applies them to a flow stream the
+way a border-router ACL or policy-based-routing rule would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.hitlist import Hitlist
+from repro.core.rules import RuleSet
+from repro.netflow.records import FlowRecord
+from repro.timeutil import day_index
+
+__all__ = [
+    "ACTION_BLOCK",
+    "ACTION_FORWARD",
+    "ACTION_REDIRECT",
+    "MitigationPolicy",
+    "MitigationPlanner",
+    "FlowFilter",
+]
+
+ACTION_FORWARD = "forward"
+ACTION_BLOCK = "block"
+ACTION_REDIRECT = "redirect"
+
+
+@dataclass(frozen=True)
+class MitigationPolicy:
+    """One day's policy for one detection class."""
+
+    class_name: str
+    day: int
+    action: str  # ACTION_BLOCK or ACTION_REDIRECT
+    endpoints: Tuple[Tuple[int, int], ...]  # (address, port)
+    domains: Tuple[str, ...]
+    redirect_target: Optional[int] = None  # required for redirects
+
+    def __post_init__(self) -> None:
+        if self.action not in (ACTION_BLOCK, ACTION_REDIRECT):
+            raise ValueError(f"unknown mitigation action {self.action!r}")
+        if self.action == ACTION_REDIRECT and self.redirect_target is None:
+            raise ValueError("redirect policy needs a target address")
+
+    @property
+    def endpoint_count(self) -> int:
+        return len(self.endpoints)
+
+
+class MitigationPlanner:
+    """Derives per-day mitigation policies from the hitlist."""
+
+    def __init__(self, rules: RuleSet, hitlist: Hitlist) -> None:
+        self.rules = rules
+        self.hitlist = hitlist
+
+    def _class_endpoints(
+        self, class_name: str, day: int, include_descendants: bool
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[str, ...]]:
+        if class_name not in self.rules:
+            raise KeyError(f"no rule for class {class_name!r}")
+        targets = {class_name}
+        if include_descendants:
+            targets |= {
+                rule.class_name
+                for rule in self.rules
+                if class_name in self.rules.ancestors(rule.class_name)
+            }
+        domains: Set[str] = set()
+        for name in targets:
+            domains.update(self.rules.rule(name).domains)
+        endpoints = tuple(
+            sorted(
+                (endpoint, fqdn)
+                for endpoint, fqdn in self.hitlist.endpoints_for_day(
+                    day
+                ).items()
+                if fqdn in domains
+            )
+        )
+        return (
+            tuple(endpoint for endpoint, _ in endpoints),
+            tuple(sorted(domains)),
+        )
+
+    def block(
+        self,
+        class_name: str,
+        day: int,
+        include_descendants: bool = True,
+    ) -> MitigationPolicy:
+        """A block policy for every endpoint of the class on ``day``."""
+        endpoints, domains = self._class_endpoints(
+            class_name, day, include_descendants
+        )
+        return MitigationPolicy(
+            class_name=class_name,
+            day=day,
+            action=ACTION_BLOCK,
+            endpoints=endpoints,
+            domains=domains,
+        )
+
+    def redirect(
+        self,
+        class_name: str,
+        day: int,
+        target: int,
+        include_descendants: bool = True,
+    ) -> MitigationPolicy:
+        """A redirect policy sending the class's traffic to ``target``
+        (e.g. a notification/patching server)."""
+        endpoints, domains = self._class_endpoints(
+            class_name, day, include_descendants
+        )
+        return MitigationPolicy(
+            class_name=class_name,
+            day=day,
+            action=ACTION_REDIRECT,
+            endpoints=endpoints,
+            domains=domains,
+            redirect_target=target,
+        )
+
+    def campaign(
+        self,
+        class_name: str,
+        days: Iterable[int],
+        action: str = ACTION_BLOCK,
+        target: Optional[int] = None,
+    ) -> List[MitigationPolicy]:
+        """Policies for a multi-day campaign (hitlists are daily)."""
+        policies = []
+        for day in days:
+            if action == ACTION_BLOCK:
+                policies.append(self.block(class_name, day))
+            else:
+                if target is None:
+                    raise ValueError("redirect campaign needs a target")
+                policies.append(self.redirect(class_name, day, target))
+        return policies
+
+
+class FlowFilter:
+    """Applies mitigation policies to a flow stream (router ACL)."""
+
+    def __init__(self, policies: Iterable[MitigationPolicy]) -> None:
+        self._by_day: Dict[int, Dict[Tuple[int, int], MitigationPolicy]] = {}
+        for policy in policies:
+            day_map = self._by_day.setdefault(policy.day, {})
+            for endpoint in policy.endpoints:
+                day_map[endpoint] = policy
+        self.forwarded = 0
+        self.blocked = 0
+        self.redirected = 0
+
+    def decide(self, flow: FlowRecord) -> str:
+        """The action for one flow."""
+        day = day_index(flow.first_switched)
+        policy = self._by_day.get(day, {}).get(
+            (flow.dst_ip, flow.dst_port)
+        )
+        if policy is None:
+            return ACTION_FORWARD
+        return policy.action
+
+    def apply(self, flow: FlowRecord) -> Optional[FlowRecord]:
+        """Apply the policy: pass through, drop, or rewrite the flow.
+
+        Returns the (possibly rewritten) flow, or ``None`` if blocked.
+        """
+        day = day_index(flow.first_switched)
+        policy = self._by_day.get(day, {}).get(
+            (flow.dst_ip, flow.dst_port)
+        )
+        if policy is None:
+            self.forwarded += 1
+            return flow
+        if policy.action == ACTION_BLOCK:
+            self.blocked += 1
+            return None
+        self.redirected += 1
+        return replace(
+            flow,
+            key=replace(flow.key, dst_ip=policy.redirect_target),
+        )
+
+    def filter(
+        self, flows: Iterable[FlowRecord]
+    ) -> Iterable[FlowRecord]:
+        """Apply policies to a stream, yielding surviving flows."""
+        for flow in flows:
+            result = self.apply(flow)
+            if result is not None:
+                yield result

@@ -1,0 +1,160 @@
+"""JSON persistence for hitlists and rule sets.
+
+The paper's pipeline produces a *daily* hitlist that detection
+infrastructure consumes; operationally that artefact has to move
+between systems (the analysis box builds it, border collectors load
+it).  These helpers serialise the detection-relevant parts of a
+:class:`~repro.core.hitlist.Hitlist` and a
+:class:`~repro.core.rules.RuleSet` to plain JSON and back.
+
+Provenance data (classifications, passive-DNS verdicts) stays behind in
+the analysis system — the exported hitlist carries only what detection
+needs, which also keeps the artefact privacy-clean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple
+
+from repro.core.hitlist import Hitlist, PipelineReport
+from repro.core.rules import DetectionRule, RuleSet
+
+__all__ = [
+    "hitlist_to_json",
+    "hitlist_from_json",
+    "rules_to_json",
+    "rules_from_json",
+]
+
+_FORMAT = "haystack-hitlist/1"
+_RULES_FORMAT = "haystack-rules/1"
+
+
+def hitlist_to_json(hitlist: Hitlist) -> str:
+    """Serialise the detection-relevant hitlist parts to JSON."""
+    payload = {
+        "format": _FORMAT,
+        "window": [hitlist.window_start, hitlist.window_end],
+        "class_domains": {
+            name: list(domains)
+            for name, domains in hitlist.class_domains.items()
+        },
+        "class_critical": {
+            name: list(domains)
+            for name, domains in hitlist.class_critical.items()
+        },
+        "domain_ports": {
+            fqdn: list(ports)
+            for fqdn, ports in hitlist.domain_ports.items()
+        },
+        "daily_endpoints": {
+            str(day): [
+                [address, port, fqdn]
+                for (address, port), fqdn in sorted(endpoints.items())
+            ]
+            for day, endpoints in hitlist.daily_endpoints.items()
+        },
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def hitlist_from_json(text: str) -> Hitlist:
+    """Load a hitlist exported by :func:`hitlist_to_json`.
+
+    Provenance fields (classifications, verdicts, recoveries, report)
+    are empty in the loaded object — only detection state is restored.
+    """
+    payload = json.loads(text)
+    if payload.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document: {payload.get('format')!r}"
+        )
+    daily_endpoints: Dict[int, Dict[Tuple[int, int], str]] = {
+        int(day): {
+            (int(address), int(port)): fqdn
+            for address, port, fqdn in entries
+        }
+        for day, entries in payload["daily_endpoints"].items()
+    }
+    class_domains = {
+        name: tuple(domains)
+        for name, domains in payload["class_domains"].items()
+    }
+    domain_classes: Dict[str, Tuple[str, ...]] = {}
+    for class_name, domains in class_domains.items():
+        for fqdn in domains:
+            domain_classes[fqdn] = domain_classes.get(fqdn, ()) + (
+                class_name,
+            )
+    empty_report = PipelineReport(
+        observed_domains=0,
+        primary_domains=0,
+        support_domains=0,
+        generic_domains=0,
+        iot_specific_domains=0,
+        dedicated_domains=0,
+        shared_domains=0,
+        no_record_domains=0,
+        censys_recovered_domains=0,
+        censys_recovered_products=0,
+        excluded_products=(),
+        surviving_classes=tuple(class_domains),
+        dropped_classes=(),
+    )
+    return Hitlist(
+        window_start=int(payload["window"][0]),
+        window_end=int(payload["window"][1]),
+        class_domains=class_domains,
+        class_critical={
+            name: tuple(domains)
+            for name, domains in payload["class_critical"].items()
+        },
+        domain_ports={
+            fqdn: tuple(int(port) for port in ports)
+            for fqdn, ports in payload["domain_ports"].items()
+        },
+        daily_endpoints=daily_endpoints,
+        domain_classes=domain_classes,
+        classifications={},
+        verdicts={},
+        recoveries={},
+        report=empty_report,
+    )
+
+
+def rules_to_json(rules: RuleSet) -> str:
+    """Serialise a rule set to JSON."""
+    payload = {
+        "format": _RULES_FORMAT,
+        "rules": [
+            {
+                "class_name": rule.class_name,
+                "level": rule.level,
+                "domains": list(rule.domains),
+                "critical": list(rule.critical),
+                "parent": rule.parent,
+            }
+            for rule in rules
+        ],
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def rules_from_json(text: str) -> RuleSet:
+    """Load a rule set exported by :func:`rules_to_json`."""
+    payload = json.loads(text)
+    if payload.get("format") != _RULES_FORMAT:
+        raise ValueError(
+            f"not a {_RULES_FORMAT} document: {payload.get('format')!r}"
+        )
+    return RuleSet(
+        DetectionRule(
+            class_name=entry["class_name"],
+            level=entry["level"],
+            domains=tuple(entry["domains"]),
+            critical=tuple(entry["critical"]),
+            parent=entry["parent"],
+        )
+        for entry in payload["rules"]
+    )

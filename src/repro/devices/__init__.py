@@ -1,0 +1,43 @@
+"""IoT device substrate: the testbed catalog (Table 1), per-device
+traffic profiles, idle/active behaviour models, and the testbed +
+experiment automation of Section 2."""
+
+from repro.devices.catalog import (
+    CATEGORIES,
+    DetectionClassSpec,
+    DeviceCatalog,
+    LEVEL_MANUFACTURER,
+    LEVEL_PLATFORM,
+    LEVEL_PRODUCT,
+    ProductSpec,
+    default_catalog,
+)
+from repro.devices.profiles import (
+    DomainSpec,
+    DomainUsage,
+    DeviceProfile,
+    ProfileLibrary,
+    build_profile_library,
+)
+from repro.devices.behavior import DeviceBehavior, InteractionKind
+from repro.devices.testbed import Testbed, ExperimentSchedule
+
+__all__ = [
+    "CATEGORIES",
+    "DetectionClassSpec",
+    "DeviceCatalog",
+    "LEVEL_MANUFACTURER",
+    "LEVEL_PLATFORM",
+    "LEVEL_PRODUCT",
+    "ProductSpec",
+    "default_catalog",
+    "DomainSpec",
+    "DomainUsage",
+    "DeviceProfile",
+    "ProfileLibrary",
+    "build_profile_library",
+    "DeviceBehavior",
+    "InteractionKind",
+    "Testbed",
+    "ExperimentSchedule",
+]

@@ -1,0 +1,653 @@
+"""The device catalog: Table 1 of the paper plus the detection-class
+structure of Section 4.3 / Figure 10.
+
+*Products* are the 56 unique devices under test (96 physical devices:
+products deployed in both testbeds count twice).  *Detection classes*
+are the 37 rule targets of Figure 10 — 6 platform-level, 20
+manufacturer-level and 11 product-level — plus the class hierarchy the
+paper defines (Fire TV ⊂ Amazon Product ⊂ Alexa Enabled;
+Samsung TV ⊂ Samsung IoT).
+
+Products excluded from detection (shared backend infrastructure or
+insufficient data — Section 4.2.3) carry ``detection_classes=()`` and an
+``exclusion_reason`` describing why the hitlist pipeline is expected to
+drop them.  The pipeline *rediscovers* these exclusions from the
+simulated DNS/TLS data; the annotations here are only used by tests to
+assert the rediscovery matches the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CATEGORIES",
+    "POPULARITY_BANDS",
+    "LEVEL_PLATFORM",
+    "LEVEL_MANUFACTURER",
+    "LEVEL_PRODUCT",
+    "ProductSpec",
+    "DetectionClassSpec",
+    "DeviceCatalog",
+    "default_catalog",
+]
+
+CATEGORIES = (
+    "Surveillance",
+    "Smart Hubs",
+    "Home Automation",
+    "Video",
+    "Audio",
+    "Appliances",
+)
+
+#: Amazon market-rank bands used on the left axis of Figure 14.
+POPULARITY_BANDS = (
+    "Top 10",
+    "Top 100",
+    "Top 200",
+    "Top 500",
+    "Top 2k",
+    "10k",
+    "No Market",
+    "Other",
+)
+
+LEVEL_PLATFORM = "Platform"
+LEVEL_MANUFACTURER = "Manufacturer"
+LEVEL_PRODUCT = "Product"
+
+_LEVEL_ABBREVIATIONS = {
+    LEVEL_PLATFORM: "Pl.",
+    LEVEL_MANUFACTURER: "Man.",
+    LEVEL_PRODUCT: "Pr.",
+}
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """One row of Table 1 — a unique product under test."""
+
+    name: str
+    category: str
+    manufacturer: str
+    testbeds: Tuple[str, ...]  # deployment: ("eu",), ("us",), or both
+    detection_classes: Tuple[str, ...] = ()
+    idle_only: bool = False  # experiments could not be automated
+    exclusion_reason: Optional[str] = None
+
+    @property
+    def instances(self) -> int:
+        """Physical devices this product contributes to the testbeds."""
+        return len(self.testbeds)
+
+    @property
+    def detectable(self) -> bool:
+        return bool(self.detection_classes)
+
+
+@dataclass(frozen=True)
+class DetectionClassSpec:
+    """One row of Figure 10 — a detection-rule target.
+
+    ``rule_domains`` is N, the number of IoT-specific Primary domains the
+    rule monitors.  ``parent`` encodes the paper's class hierarchy: a
+    child may only be claimed once its parent has been detected.
+    ``platform`` names the backend platform operator for platform-level
+    classes.  ``popularity_band`` feeds Figure 14; ``penetration`` is the
+    simulated fraction of ISP subscriber lines owning a device of this
+    class (chosen so headline percentages match the paper's).
+    """
+
+    name: str
+    level: str
+    rule_domains: int
+    member_products: Tuple[str, ...]
+    parent: Optional[str] = None
+    platform: Optional[str] = None
+    critical_domain_count: int = 0  # domains that must always be seen
+    popularity_band: str = "Other"
+    penetration: float = 0.001
+    idle_rate_scale: float = 1.0  # multiplier on idle traffic volume
+
+    @property
+    def label(self) -> str:
+        """Figure-10 style label, e.g. ``"Yi Camera(Man.)"``."""
+        return f"{self.name}({_LEVEL_ABBREVIATIONS[self.level]})"
+
+
+def _product(
+    name: str,
+    category: str,
+    manufacturer: str,
+    classes: Sequence[str] = (),
+    testbeds: Sequence[str] = ("eu", "us"),
+    idle_only: bool = False,
+    exclusion_reason: Optional[str] = None,
+) -> ProductSpec:
+    return ProductSpec(
+        name=name,
+        category=category,
+        manufacturer=manufacturer,
+        testbeds=tuple(testbeds),
+        detection_classes=tuple(classes),
+        idle_only=idle_only,
+        exclusion_reason=exclusion_reason,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — 56 unique products, 96 physical devices.
+
+_SHARED = "relies exclusively on shared (CDN/generic-cloud) infrastructure"
+_INSUFFICIENT = "insufficient DNSDB/Censys information for its domains"
+_ONE_OF_FOUR = "only one of four domains on dedicated infrastructure"
+
+_PRODUCTS: Tuple[ProductSpec, ...] = (
+    # Surveillance ---------------------------------------------------------
+    _product("Amcrest Cam", "Surveillance", "Amcrest", ["Amcrest Cam."]),
+    _product("Blink Cam", "Surveillance", "Blink", ["Blink Hub & Cam."]),
+    _product(
+        "Blink Hub", "Surveillance", "Blink", ["Blink Hub & Cam."],
+        testbeds=("eu",),
+    ),
+    _product("Icsee Doorbell", "Surveillance", "Icsee", ["Icsee Doorbell"]),
+    _product(
+        "Lefun Cam", "Surveillance", "Lefun",
+        exclusion_reason=_SHARED, testbeds=("us",),
+    ),
+    _product(
+        "Luohe Cam", "Surveillance", "Luohe", ["Luohe Cam."],
+    ),
+    _product(
+        "Microseven Cam", "Surveillance", "Microseven",
+        ["Microseven Cam."], testbeds=("us",),
+    ),
+    _product("Reolink Cam", "Surveillance", "Reolink", ["Reolink Cam."]),
+    _product("Ring Doorbell", "Surveillance", "Ring", ["Ring Doorbell"]),
+    _product(
+        "Ubell Doorbell", "Surveillance", "Ubell", ["Ubell Doorbell"],
+    ),
+    _product("Wansview Cam", "Surveillance", "Wansview", ["Wansview Cam."]),
+    _product("Yi Cam", "Surveillance", "Yi", ["Yi Camera"]),
+    _product("ZModo Doorbell", "Surveillance", "ZModo", ["ZModo Doorbell"]),
+    # Smart Hubs -----------------------------------------------------------
+    _product("Insteon", "Smart Hubs", "Insteon", ["Insteon Hub"]),
+    _product("Lightify", "Smart Hubs", "Osram", ["Lightify Hub"]),
+    _product("Philips Hue", "Smart Hubs", "Philips", ["Philips Dev."]),
+    _product("Sengled", "Smart Hubs", "Sengled", ["Sengled Dev."]),
+    _product(
+        "Smartthings", "Smart Hubs", "SmartThings", ["Smartthings Dev."]
+    ),
+    _product(
+        "SwitchBot", "Smart Hubs", "SwitchBot",
+        exclusion_reason=_SHARED, testbeds=("eu",),
+    ),
+    _product(
+        "Wink 2", "Smart Hubs", "Wink",
+        exclusion_reason=_INSUFFICIENT, testbeds=("us",),
+    ),
+    _product("Xiaomi Home", "Smart Hubs", "Xiaomi", ["Xiaomi Dev."]),
+    # Home Automation ------------------------------------------------------
+    _product(
+        "D-Link Mov Sensor", "Home Automation", "D-Link",
+        ["Dlink Motion Sens."],
+    ),
+    _product(
+        "Flux Bulb", "Home Automation", "MagicHome", ["Flux Bulb"],
+    ),
+    _product(
+        "Honeywell T-stat", "Home Automation", "Honeywell",
+        ["Honeywell T-stat"],
+    ),
+    _product(
+        "Magichome Strip", "Home Automation", "MagicHome",
+        ["Magichome Stripe"],
+    ),
+    _product(
+        "Meross Door Opener", "Home Automation", "Meross",
+        ["Meross Dooropener"],
+    ),
+    _product("Nest T-stat", "Home Automation", "Nest", ["Nest Device"]),
+    _product(
+        "Philips Bulb", "Home Automation", "Philips", ["Philips Dev."],
+        testbeds=("eu",),
+    ),
+    _product(
+        "Smartlife Bulb", "Home Automation", "SmartLife", ["Smartlife"]
+    ),
+    _product(
+        "Smartlife Remote", "Home Automation", "SmartLife", ["Smartlife"],
+        testbeds=("eu",),
+    ),
+    _product(
+        "TP-Link Bulb", "Home Automation", "TP-Link", ["TP-link Dev."]
+    ),
+    _product(
+        "TP-Link Plug", "Home Automation", "TP-Link", ["TP-link Dev."]
+    ),
+    _product(
+        "WeMo Plug", "Home Automation", "Belkin",
+        exclusion_reason=_INSUFFICIENT,
+    ),
+    _product(
+        "Xiaomi Strip", "Home Automation", "Xiaomi", ["Xiaomi Dev."],
+        testbeds=("eu",),
+    ),
+    _product("Xiaomi Plug", "Home Automation", "Xiaomi", ["Xiaomi Dev."]),
+    # Video ------------------------------------------------------------
+    _product(
+        "Apple TV", "Video", "Apple", exclusion_reason=_SHARED,
+    ),
+    _product(
+        "Fire TV", "Video", "Amazon",
+        ["Alexa Enabled", "Amazon Product", "Fire TV"],
+    ),
+    _product(
+        "LG TV", "Video", "LG", exclusion_reason=_ONE_OF_FOUR,
+        testbeds=("eu",),
+    ),
+    _product("Roku TV", "Video", "Roku", ["Roku TV"], testbeds=("us",)),
+    _product(
+        "Samsung TV", "Video", "Samsung", ["Samsung IoT", "Samsung TV"]
+    ),
+    # Audio ------------------------------------------------------------
+    _product(
+        "Allure with Alexa", "Audio", "Allure", ["Alexa Enabled"],
+        testbeds=("us",),
+    ),
+    _product(
+        "Echo Dot", "Audio", "Amazon", ["Alexa Enabled", "Amazon Product"]
+    ),
+    _product(
+        "Echo Spot", "Audio", "Amazon", ["Alexa Enabled", "Amazon Product"]
+    ),
+    _product(
+        "Echo Plus", "Audio", "Amazon",
+        ["Alexa Enabled", "Amazon Product"],
+    ),
+    _product(
+        "Google Home Mini", "Audio", "Google", exclusion_reason=_SHARED,
+    ),
+    _product(
+        "Google Home", "Audio", "Google", exclusion_reason=_SHARED,
+        testbeds=("eu",),
+    ),
+    # Appliances ---------------------------------------------------------
+    _product(
+        "Anova Sousvide", "Appliances", "Anova", ["Anova Sousvide"],
+        testbeds=("us",),
+    ),
+    _product("Appkettle", "Appliances", "AppKettle", ["AppKettle"]),
+    _product(
+        "GE Microwave", "Appliances", "GE", ["GE Microwave"],
+        testbeds=("us",),
+    ),
+    _product(
+        "Netatmo Weather", "Appliances", "Netatmo",
+        ["Netatmo Weather St."],
+    ),
+    _product(
+        "Samsung Dryer", "Appliances", "Samsung", ["Samsung IoT"],
+        idle_only=True, testbeds=("eu",),
+    ),
+    _product(
+        "Samsung Fridge", "Appliances", "Samsung", ["Samsung IoT"],
+        idle_only=True, testbeds=("eu",),
+    ),
+    _product(
+        "Smarter Brewer", "Appliances", "Smarter", ["Smarter Coffee"],
+    ),
+    _product(
+        "Smarter Coffee Machine", "Appliances", "Smarter",
+        ["Smarter Coffee"],
+    ),
+    _product("Smarter iKettle", "Appliances", "Smarter", ["iKettle"]),
+    _product(
+        "Xiaomi Rice Cooker", "Appliances", "Xiaomi", ["Xiaomi Dev."],
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — detection classes: 6 platform-, 20 manufacturer-,
+# 11 product-level.
+
+
+def _cls(
+    name: str,
+    level: str,
+    rule_domains: int,
+    members: Sequence[str],
+    parent: Optional[str] = None,
+    platform: Optional[str] = None,
+    critical: int = 0,
+    band: str = "Other",
+    penetration: float = 0.001,
+    idle_scale: float = 1.0,
+) -> DetectionClassSpec:
+    return DetectionClassSpec(
+        name=name,
+        level=level,
+        rule_domains=rule_domains,
+        member_products=tuple(members),
+        parent=parent,
+        platform=platform,
+        critical_domain_count=critical,
+        popularity_band=band,
+        penetration=penetration,
+        idle_rate_scale=idle_scale,
+    )
+
+
+_ALEXA_MEMBERS = (
+    "Echo Dot",
+    "Echo Spot",
+    "Echo Plus",
+    "Allure with Alexa",
+    "Fire TV",
+)
+_AMAZON_MEMBERS = ("Echo Dot", "Echo Spot", "Echo Plus", "Fire TV")
+
+_DETECTION_CLASSES: Tuple[DetectionClassSpec, ...] = (
+    # --- the Alexa / Amazon hierarchy -------------------------------------
+    _cls(
+        "Alexa Enabled", LEVEL_PLATFORM, 1, _ALEXA_MEMBERS,
+        platform="avs", critical=1, band="Top 10", penetration=0.14,
+        idle_scale=1.1,
+    ),
+    _cls(
+        "Amazon Product", LEVEL_MANUFACTURER, 33, _AMAZON_MEMBERS,
+        parent="Alexa Enabled", band="Top 10", penetration=0.085,
+        idle_scale=0.8,
+    ),
+    _cls(
+        "Fire TV", LEVEL_PRODUCT, 33, ("Fire TV",),
+        parent="Amazon Product", band="Top 10", penetration=0.021,
+        idle_scale=0.8,
+    ),
+    # --- the Samsung hierarchy --------------------------------------------
+    _cls(
+        "Samsung IoT", LEVEL_MANUFACTURER, 14,
+        ("Samsung TV", "Samsung Dryer", "Samsung Fridge"),
+        critical=1, band="Top 10", penetration=0.082, idle_scale=0.8,
+    ),
+    _cls(
+        "Samsung TV", LEVEL_PRODUCT, 16, ("Samsung TV",),
+        parent="Samsung IoT", band="Top 10", penetration=0.058,
+        idle_scale=0.8,
+    ),
+    # --- remaining platform-level classes ---------------------------------
+    _cls(
+        "Smartlife", LEVEL_PLATFORM, 4,
+        ("Smartlife Bulb", "Smartlife Remote"), platform="tuya",
+        band="Top 500", penetration=0.0035, idle_scale=0.12,
+    ),
+    _cls(
+        "Flux Bulb", LEVEL_PLATFORM, 2, ("Flux Bulb",),
+        platform="magichome", band="Top 2k", penetration=0.0011, idle_scale=0.12,
+    ),
+    _cls(
+        "iKettle", LEVEL_PLATFORM, 1, ("Smarter iKettle",),
+        platform="smarter", band="Top 100", penetration=0.00095, idle_scale=0.15,
+    ),
+    _cls(
+        "Smarter Coffee", LEVEL_PLATFORM, 1,
+        ("Smarter Brewer", "Smarter Coffee Machine"), platform="smarter",
+        band="Top 200", penetration=0.00052, idle_scale=0.15,
+    ),
+    _cls(
+        "Lightify Hub", LEVEL_PLATFORM, 2, ("Lightify",),
+        platform="osram", band="Top 500", penetration=0.0016, idle_scale=0.2,
+    ),
+    # --- manufacturer-level classes ----------------------------------------
+    _cls(
+        "Philips Dev.", LEVEL_MANUFACTURER, 5,
+        ("Philips Hue", "Philips Bulb"), band="Top 10",
+        penetration=0.0095, idle_scale=0.6,
+    ),
+    _cls(
+        "Smartthings Dev.", LEVEL_MANUFACTURER, 2, ("Smartthings",),
+        band="Top 10", penetration=0.0041, idle_scale=0.5,
+    ),
+    _cls(
+        "Netatmo Weather St.", LEVEL_MANUFACTURER, 1,
+        ("Netatmo Weather",), band="Top 10", penetration=0.0028, idle_scale=0.4,
+    ),
+    _cls(
+        "Meross Dooropener", LEVEL_MANUFACTURER, 1,
+        ("Meross Door Opener",), band="Top 10", penetration=0.0024,
+        idle_scale=0.002,
+    ),
+    _cls(
+        "Wansview Cam.", LEVEL_MANUFACTURER, 2, ("Wansview Cam",),
+        band="Top 10", penetration=0.0019,
+    ),
+    _cls(
+        "Yi Camera", LEVEL_MANUFACTURER, 4, ("Yi Cam",),
+        band="Top 100", penetration=0.0017, idle_scale=0.7,
+    ),
+    _cls(
+        "Honeywell T-stat", LEVEL_MANUFACTURER, 3, ("Honeywell T-stat",),
+        band="Top 100", penetration=0.0013, idle_scale=0.5,
+    ),
+    _cls(
+        "Amcrest Cam.", LEVEL_MANUFACTURER, 6, ("Amcrest Cam",),
+        band="Top 500", penetration=0.00065,
+    ),
+    _cls(
+        "Dlink Motion Sens.", LEVEL_MANUFACTURER, 5,
+        ("D-Link Mov Sensor",), band="Top 500", penetration=0.00055, idle_scale=0.15,
+    ),
+    _cls(
+        "Nest Device", LEVEL_MANUFACTURER, 4, ("Nest T-stat",),
+        band="Top 2k", penetration=0.0011, idle_scale=0.25,
+    ),
+    _cls(
+        "Ring Doorbell", LEVEL_MANUFACTURER, 4, ("Ring Doorbell",),
+        band="Top 2k", penetration=0.0014, idle_scale=0.6,
+    ),
+    _cls(
+        "Ubell Doorbell", LEVEL_MANUFACTURER, 4, ("Ubell Doorbell",),
+        band="Top 2k", penetration=0.00028, idle_scale=0.1,
+    ),
+    _cls(
+        "Sengled Dev.", LEVEL_MANUFACTURER, 2, ("Sengled",),
+        band="Top 500", penetration=0.00045, idle_scale=0.15,
+    ),
+    _cls(
+        "GE Microwave", LEVEL_MANUFACTURER, 2, ("GE Microwave",),
+        band="Top 500", penetration=0.00038, idle_scale=0.08,
+    ),
+    _cls(
+        "Blink Hub & Cam.", LEVEL_MANUFACTURER, 2,
+        ("Blink Cam", "Blink Hub"), band="Top 500",
+        penetration=0.00058,
+    ),
+    _cls(
+        "Xiaomi Dev.", LEVEL_MANUFACTURER, 3,
+        ("Xiaomi Home", "Xiaomi Strip", "Xiaomi Plug",
+         "Xiaomi Rice Cooker"),
+        band="Top 100", penetration=0.0021, idle_scale=0.5,
+    ),
+    _cls(
+        "TP-link Dev.", LEVEL_MANUFACTURER, 5,
+        ("TP-Link Bulb", "TP-Link Plug"), band="10k",
+        penetration=0.0036, idle_scale=0.15,
+    ),
+    _cls(
+        "ZModo Doorbell", LEVEL_MANUFACTURER, 5, ("ZModo Doorbell",),
+        band="Top 500", penetration=0.00042,
+    ),
+    # --- product-level classes ---------------------------------------------
+    _cls(
+        "Anova Sousvide", LEVEL_PRODUCT, 1, ("Anova Sousvide",),
+        band="Top 100", penetration=0.00088, idle_scale=0.0015,
+    ),
+    _cls(
+        "Insteon Hub", LEVEL_PRODUCT, 1, ("Insteon",), band="Top 500",
+        penetration=0.00033, idle_scale=0.002,
+    ),
+    _cls(
+        "Magichome Stripe", LEVEL_PRODUCT, 1, ("Magichome Strip",),
+        band="Top 2k", penetration=0.00062, idle_scale=0.12,
+    ),
+    _cls(
+        "Microseven Cam.", LEVEL_PRODUCT, 1, ("Microseven Cam",),
+        band="No Market", penetration=0.000012, idle_scale=0.0015,
+    ),
+    _cls(
+        "AppKettle", LEVEL_PRODUCT, 2, ("Appkettle",),
+        band="Top 2k", penetration=0.00021, idle_scale=0.08,
+    ),
+    _cls(
+        "Icsee Doorbell", LEVEL_PRODUCT, 2, ("Icsee Doorbell",),
+        band="Top 2k", penetration=0.00058, idle_scale=0.06,
+    ),
+    _cls(
+        "Luohe Cam.", LEVEL_PRODUCT, 2, ("Luohe Cam",),
+        band="No Market", penetration=0.00003, idle_scale=0.0015,
+    ),
+    _cls(
+        "Reolink Cam.", LEVEL_PRODUCT, 2, ("Reolink Cam",),
+        band="Top 100", penetration=0.00092,
+    ),
+    _cls(
+        "Roku TV", LEVEL_PRODUCT, 8, ("Roku TV",),
+        band="Other", penetration=0.0022, idle_scale=0.8,
+    ),
+)
+
+
+class DeviceCatalog:
+    """Indexed view over products and detection classes."""
+
+    def __init__(
+        self,
+        products: Sequence[ProductSpec],
+        detection_classes: Sequence[DetectionClassSpec],
+    ) -> None:
+        self.products: Tuple[ProductSpec, ...] = tuple(products)
+        self.detection_classes: Tuple[DetectionClassSpec, ...] = tuple(
+            detection_classes
+        )
+        self._products_by_name = {
+            product.name: product for product in self.products
+        }
+        self._classes_by_name = {
+            spec.name: spec for spec in self.detection_classes
+        }
+        if len(self._products_by_name) != len(self.products):
+            raise ValueError("duplicate product names in catalog")
+        if len(self._classes_by_name) != len(self.detection_classes):
+            raise ValueError("duplicate detection-class names in catalog")
+        self._validate()
+
+    def _validate(self) -> None:
+        for spec in self.detection_classes:
+            for member in spec.member_products:
+                if member not in self._products_by_name:
+                    raise ValueError(
+                        f"class {spec.name!r} references unknown product "
+                        f"{member!r}"
+                    )
+            if spec.parent is not None and spec.parent not in (
+                self._classes_by_name
+            ):
+                raise ValueError(
+                    f"class {spec.name!r} has unknown parent {spec.parent!r}"
+                )
+        for product in self.products:
+            for class_name in product.detection_classes:
+                if class_name not in self._classes_by_name:
+                    raise ValueError(
+                        f"product {product.name!r} references unknown "
+                        f"class {class_name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # product queries
+
+    def product(self, name: str) -> ProductSpec:
+        return self._products_by_name[name]
+
+    def products_in_category(self, category: str) -> List[ProductSpec]:
+        return [
+            product
+            for product in self.products
+            if product.category == category
+        ]
+
+    @property
+    def device_count(self) -> int:
+        """Physical devices across both testbeds (the paper's 96)."""
+        return sum(product.instances for product in self.products)
+
+    @property
+    def product_count(self) -> int:
+        """Unique products (the paper's 56)."""
+        return len(self.products)
+
+    @property
+    def manufacturers(self) -> Tuple[str, ...]:
+        """Distinct manufacturers (the paper's 40 vendors)."""
+        seen: Dict[str, None] = {}
+        for product in self.products:
+            seen.setdefault(product.manufacturer)
+        return tuple(seen)
+
+    def excluded_products(self) -> List[ProductSpec]:
+        """Products the pipeline should end up dropping (Section 4.2.3)."""
+        return [
+            product for product in self.products if not product.detectable
+        ]
+
+    # ------------------------------------------------------------------
+    # detection-class queries
+
+    def detection_class(self, name: str) -> DetectionClassSpec:
+        return self._classes_by_name[name]
+
+    def classes_at_level(self, level: str) -> List[DetectionClassSpec]:
+        return [
+            spec for spec in self.detection_classes if spec.level == level
+        ]
+
+    def children_of(self, name: str) -> List[DetectionClassSpec]:
+        return [
+            spec for spec in self.detection_classes if spec.parent == name
+        ]
+
+    def classes_for_product(self, product_name: str) -> List[
+        DetectionClassSpec
+    ]:
+        product = self.product(product_name)
+        return [
+            self._classes_by_name[class_name]
+            for class_name in product.detection_classes
+        ]
+
+    def detected_manufacturer_coverage(self) -> float:
+        """Fraction of manufacturers covered by manufacturer- or
+        product-level rules — the paper's 77%."""
+        detected = {
+            self._products_by_name[member].manufacturer
+            for spec in self.detection_classes
+            if spec.level in (LEVEL_MANUFACTURER, LEVEL_PRODUCT)
+            for member in spec.member_products
+        }
+        return len(detected) / len(self.manufacturers)
+
+    def platforms(self) -> Tuple[str, ...]:
+        """Distinct platform backends among platform-level classes."""
+        seen: Dict[str, None] = {}
+        for spec in self.detection_classes:
+            if spec.platform is not None:
+                seen.setdefault(spec.platform)
+        return tuple(seen)
+
+
+def default_catalog() -> DeviceCatalog:
+    """The paper's testbed catalog (Table 1 + Figure 10)."""
+    return DeviceCatalog(_PRODUCTS, _DETECTION_CLASSES)

@@ -1,0 +1,170 @@
+"""Counter-detection defenses — the paper's future-work direction.
+
+Section 9: "we would like to investigate how to minimize the harm of
+potential attacks and surveillance using IoT devices."  The related
+work (Apthorpe et al.) proposes traffic shaping; Section 7.4 observes
+that shared infrastructure hides services.  This module implements
+three device-side defenses as *profile transformations*, so the same
+simulation and detection pipeline can evaluate each one:
+
+* :func:`pad_with_cover_traffic` — add cover flows to popular generic
+  services so the device's traffic mix looks like ordinary browsing.
+  Defeats nothing by itself: detection keys on *which dedicated
+  endpoints* are contacted, not on traffic proportions.
+* :func:`throttle_rule_domains` — rate-limit contacts to the vendor's
+  dedicated backends (batching heartbeats).  Slows detection roughly
+  linearly in the throttle factor, at a functionality cost.
+* :func:`front_through_cdn` — move backend access behind a shared CDN
+  (domain fronting).  The only defense that breaks the methodology, at
+  the cost of re-architecting the service (matches §7.4's conclusion).
+
+Each transformation returns a new :class:`DeviceProfile`; nothing else
+in the pipeline needs to change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Sequence, Tuple
+
+from repro.devices.profiles import (
+    DeviceProfile,
+    DomainUsage,
+    ProfileLibrary,
+)
+
+__all__ = [
+    "pad_with_cover_traffic",
+    "throttle_rule_domains",
+    "front_through_cdn",
+    "apply_defense",
+]
+
+#: Popular generic services used as cover-traffic destinations.
+_COVER_DOMAINS: Tuple[str, ...] = (
+    "videocdn.example",
+    "search.example",
+    "fonts.example",
+    "social.example",
+)
+
+
+def pad_with_cover_traffic(
+    profile: DeviceProfile, cover_pph: float = 200.0
+) -> DeviceProfile:
+    """Add constant-rate cover traffic towards generic services.
+
+    The padded profile emits ``cover_pph`` extra packets/hour spread
+    over popular shared destinations.  Rule-domain contacts are
+    untouched, which is exactly why this defense fails against the
+    destination-based methodology.
+    """
+    if cover_pph < 0:
+        raise ValueError("cover traffic rate must be non-negative")
+    existing = {usage.fqdn for usage in profile.usages}
+    per_domain = cover_pph / len(_COVER_DOMAINS)
+    additions = tuple(
+        DomainUsage(
+            fqdn=fqdn,
+            idle_pph=per_domain,
+            active_pph=per_domain,
+            bytes_per_packet=640,  # video-sized cover
+        )
+        for fqdn in _COVER_DOMAINS
+        if fqdn not in existing
+    )
+    return replace(profile, usages=profile.usages + additions)
+
+
+def throttle_rule_domains(
+    profile: DeviceProfile,
+    library: ProfileLibrary,
+    factor: float = 10.0,
+) -> DeviceProfile:
+    """Divide the rates towards dedicated rule domains by ``factor``.
+
+    Models firmware that batches heartbeats/telemetry.  Generic and
+    shared-hosted traffic is untouched (it carries no evidence).
+    """
+    if factor < 1:
+        raise ValueError("throttle factor must be >= 1")
+    monitored = {
+        fqdn
+        for fqdns in library.rule_domains.values()
+        for fqdn in fqdns
+    }
+    throttled = tuple(
+        replace(
+            usage,
+            idle_pph=usage.idle_pph / factor,
+            active_pph=usage.active_pph / factor,
+        )
+        if usage.fqdn in monitored
+        else usage
+        for usage in profile.usages
+    )
+    return replace(profile, usages=throttled)
+
+
+def front_through_cdn(
+    profile: DeviceProfile,
+    library: ProfileLibrary,
+    front_domain: str = "videocdn.example",
+) -> DeviceProfile:
+    """Redirect all rule-domain traffic through one shared CDN name.
+
+    Domain fronting: the device still exchanges the same volume, but
+    every monitored flow now targets a shared CDN endpoint that the
+    dedicated/shared classifier can never attribute.  The evidence
+    stream towards dedicated endpoints drops to zero.
+    """
+    monitored = {
+        fqdn
+        for fqdns in library.rule_domains.values()
+        for fqdn in fqdns
+    }
+    fronted_rate_idle = sum(
+        usage.idle_pph
+        for usage in profile.usages
+        if usage.fqdn in monitored
+    )
+    fronted_rate_active = sum(
+        usage.active_pph
+        for usage in profile.usages
+        if usage.fqdn in monitored
+    )
+    kept = tuple(
+        usage for usage in profile.usages if usage.fqdn not in monitored
+    )
+    front = DomainUsage(
+        fqdn=front_domain,
+        idle_pph=fronted_rate_idle,
+        active_pph=fronted_rate_active,
+        bytes_per_packet=480,
+    )
+    return replace(profile, usages=kept + (front,))
+
+
+_DEFENSES = {
+    "padding": pad_with_cover_traffic,
+    "throttle": None,  # needs the library argument
+    "fronting": None,
+}
+
+
+def apply_defense(
+    name: str,
+    profile: DeviceProfile,
+    library: ProfileLibrary,
+    **kwargs,
+) -> DeviceProfile:
+    """Apply a defense by name: ``padding``, ``throttle``, ``fronting``."""
+    if name == "padding":
+        return pad_with_cover_traffic(profile, **kwargs)
+    if name == "throttle":
+        return throttle_rule_domains(profile, library, **kwargs)
+    if name == "fronting":
+        return front_through_cdn(profile, library, **kwargs)
+    raise ValueError(
+        f"unknown defense {name!r}; choose from padding/throttle/fronting"
+    )

@@ -1,0 +1,214 @@
+"""The two IoT testbeds and the automated experiment schedule.
+
+Section 2 of the paper: 96 devices across two testbeds (Europe and US)
+tunnel all traffic through a VPN endpoint on one ISP subscriber line
+(the Home-VP).  Active experiments (November 15th-18th, 2019) drive
+9,810 automated power and functional interactions; idle experiments
+(November 23th-25th) leave the devices untouched after an initial
+power-on.  Testbed 1's active experiments start after Testbed 2's
+(the paper notes the offset in Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.behavior import DeviceBehavior, InteractionKind
+from repro.devices.catalog import DeviceCatalog
+from repro.devices.profiles import ProfileLibrary
+from repro.timeutil import (
+    ACTIVE_END,
+    ACTIVE_START,
+    IDLE_END,
+    IDLE_START,
+    SECONDS_PER_HOUR,
+)
+
+__all__ = ["DeviceInstance", "Testbed", "ExperimentSchedule"]
+
+#: Total automated interactions across the active experiment window.
+TOTAL_INTERACTIONS = 9810
+
+
+@dataclass(frozen=True)
+class DeviceInstance:
+    """One physical device in one testbed."""
+
+    device_id: int
+    product_name: str
+    testbed: str  # "eu" (Testbed 1) or "us" (Testbed 2)
+
+    def __str__(self) -> str:
+        return f"{self.product_name}@{self.testbed}"
+
+
+@dataclass
+class Testbed:
+    """A testbed: the set of device instances deployed at one site."""
+
+    name: str
+    devices: List[DeviceInstance] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+
+def build_testbeds(catalog: DeviceCatalog) -> Tuple[Testbed, Testbed]:
+    """Instantiate the paper's two testbeds (96 devices total)."""
+    eu = Testbed("eu")
+    us = Testbed("us")
+    device_id = 0
+    for product in catalog.products:
+        for site in product.testbeds:
+            instance = DeviceInstance(device_id, product.name, site)
+            (eu if site == "eu" else us).devices.append(instance)
+            device_id += 1
+    return eu, us
+
+
+@dataclass(frozen=True)
+class ScheduledHour:
+    """One device-hour of the ground-truth schedule."""
+
+    instance: DeviceInstance
+    hour_start: int
+    mode: str  # "active" | "idle"
+    power_interactions: int
+    functional_interactions: int
+    startup: bool
+
+
+class ExperimentSchedule:
+    """The full ground-truth experiment timetable.
+
+    Interactions are spread over the active window deterministically
+    (seeded), skipping devices whose experiments could not be automated
+    (``idle_only`` products, which only participate in the idle window).
+    Testbed 1 ("eu") starts its active experiments ``testbed1_delay_hours``
+    after Testbed 2 ("us").
+    """
+
+    def __init__(
+        self,
+        catalog: DeviceCatalog,
+        library: ProfileLibrary,
+        seed: int = 20191115,
+        testbed1_delay_hours: int = 12,
+    ) -> None:
+        self.catalog = catalog
+        self.library = library
+        self.seed = seed
+        self.testbed1_delay_hours = testbed1_delay_hours
+        self.testbed_eu, self.testbed_us = build_testbeds(catalog)
+        self.behaviors: Dict[int, DeviceBehavior] = {
+            instance.device_id: DeviceBehavior(
+                library.profile(instance.product_name)
+            )
+            for instance in self.all_instances()
+        }
+        self._interaction_plan = self._plan_interactions()
+
+    def all_instances(self) -> List[DeviceInstance]:
+        return self.testbed_eu.devices + self.testbed_us.devices
+
+    @property
+    def device_count(self) -> int:
+        return len(self.testbed_eu) + len(self.testbed_us)
+
+    def _automatable_instances(self) -> List[DeviceInstance]:
+        return [
+            instance
+            for instance in self.all_instances()
+            if not self.catalog.product(instance.product_name).idle_only
+        ]
+
+    def _active_hours_for(self, instance: DeviceInstance) -> List[int]:
+        start = ACTIVE_START
+        if instance.testbed == "eu":
+            start += self.testbed1_delay_hours * SECONDS_PER_HOUR
+        return list(range(start, ACTIVE_END, SECONDS_PER_HOUR))
+
+    def _plan_interactions(self) -> Dict[Tuple[int, int], Tuple[int, int]]:
+        """Distribute the 9,810 interactions over (device, hour) slots.
+
+        Returns ``(device_id, hour_start) -> (power, functional)``.
+        Roughly a third of interactions are power interactions (driven by
+        the TP-Link smart plugs), the rest functional.
+        """
+        rng = np.random.default_rng(self.seed)
+        plan: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        instances = self._automatable_instances()
+        slots = [
+            (instance.device_id, hour)
+            for instance in instances
+            for hour in self._active_hours_for(instance)
+        ]
+        choices = rng.integers(0, len(slots), size=TOTAL_INTERACTIONS)
+        kinds = rng.random(TOTAL_INTERACTIONS) < (1 / 3)
+        for slot_index, is_power in zip(choices, kinds):
+            device_id, hour = slots[int(slot_index)]
+            power, functional = plan.get((device_id, hour), (0, 0))
+            if is_power:
+                power += 1
+            else:
+                functional += 1
+            plan[(device_id, hour)] = (power, functional)
+        return plan
+
+    def interactions_at(
+        self, device_id: int, hour_start: int
+    ) -> Tuple[int, int]:
+        """(power, functional) interactions for a device-hour."""
+        return self._interaction_plan.get((device_id, hour_start), (0, 0))
+
+    @property
+    def total_interactions(self) -> int:
+        return sum(
+            power + functional
+            for power, functional in self._interaction_plan.values()
+        )
+
+    def iter_schedule(self) -> Iterator[ScheduledHour]:
+        """Yield every device-hour of both experiment windows in time
+        order."""
+        entries: List[ScheduledHour] = []
+        for instance in self.all_instances():
+            active_hours = set(self._active_hours_for(instance))
+            idle_only = self.catalog.product(
+                instance.product_name
+            ).idle_only
+            for hour in range(ACTIVE_START, ACTIVE_END, SECONDS_PER_HOUR):
+                if idle_only or hour not in active_hours:
+                    # Device is connected but not exercised.
+                    entries.append(
+                        ScheduledHour(
+                            instance, hour, "idle", 0, 0,
+                            startup=hour == ACTIVE_START,
+                        )
+                    )
+                    continue
+                power, functional = self.interactions_at(
+                    instance.device_id, hour
+                )
+                entries.append(
+                    ScheduledHour(
+                        instance,
+                        hour,
+                        "active",
+                        power,
+                        functional,
+                        startup=hour == min(active_hours),
+                    )
+                )
+            for hour in range(IDLE_START, IDLE_END, SECONDS_PER_HOUR):
+                entries.append(
+                    ScheduledHour(
+                        instance, hour, "idle", 0, 0,
+                        startup=hour == IDLE_START,
+                    )
+                )
+        entries.sort(key=lambda entry: (entry.hour_start, entry.instance.device_id))
+        return iter(entries)

@@ -1,0 +1,27 @@
+"""DNS substrate: name utilities, authoritative zones, a caching resolver
+with TTL-driven churn, and a passive-DNS observation store standing in for
+Farsight DNSDB."""
+
+from repro.dns.names import (
+    is_subdomain,
+    matches_pattern,
+    normalize,
+    second_level_domain,
+)
+from repro.dns.zone import ResourceRecord, Zone, ZoneSet
+from repro.dns.resolver import Resolver, Resolution
+from repro.dns.dnsdb import PassiveDnsDatabase, PdnsObservation
+
+__all__ = [
+    "is_subdomain",
+    "matches_pattern",
+    "normalize",
+    "second_level_domain",
+    "ResourceRecord",
+    "Zone",
+    "ZoneSet",
+    "Resolver",
+    "Resolution",
+    "PassiveDnsDatabase",
+    "PdnsObservation",
+]

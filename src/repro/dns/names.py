@@ -1,0 +1,115 @@
+"""Domain-name utilities.
+
+The methodology reasons about names at two granularities: fully qualified
+domain names (FQDNs, the unit of the hitlist) and "second-level" domains
+(SLDs, the unit of ownership used by the dedicated/shared classifier and
+the certificate matcher).  Wildcard patterns such as
+``avs-alexa.*.amazon-iot.example`` appear in detection-rule side
+information and in certificate names.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+from typing import Tuple
+
+__all__ = [
+    "normalize",
+    "labels",
+    "second_level_domain",
+    "is_subdomain",
+    "matches_pattern",
+]
+
+_LABEL_RE = re.compile(r"^[a-z0-9_]([a-z0-9_-]*[a-z0-9_])?$")
+
+#: Public suffixes that require three labels to identify ownership,
+#: mirroring entries like ``co.uk`` on the real public-suffix list.
+_TWO_LABEL_SUFFIXES = frozenset(
+    {"co.uk", "com.au", "co.jp", "com.cn", "org.uk"}
+)
+
+
+def normalize(name: str) -> str:
+    """Lowercase a domain name and strip any trailing dot."""
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    return name
+
+
+def labels(name: str) -> Tuple[str, ...]:
+    """Split a normalised name into its labels, root first.
+
+    >>> labels("a.b.example")
+    ('example', 'b', 'a')
+    """
+    name = normalize(name)
+    if not name:
+        return ()
+    return tuple(reversed(name.split(".")))
+
+
+def validate(name: str) -> None:
+    """Raise :class:`ValueError` if ``name`` is not a plausible FQDN."""
+    name = normalize(name)
+    if not name or len(name) > 253:
+        raise ValueError(f"invalid domain name: {name!r}")
+    for label in name.split("."):
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label {label!r} in {name!r}")
+
+
+@lru_cache(maxsize=65536)
+def second_level_domain(name: str) -> str:
+    """Return the registrable "second-level" domain of a name.
+
+    >>> second_level_domain("api.eu.vendor.example")
+    'vendor.example'
+    >>> second_level_domain("shop.vendor.co.uk")
+    'vendor.co.uk'
+    """
+    name = normalize(name)
+    parts = name.split(".")
+    if len(parts) < 2:
+        return name
+    suffix = ".".join(parts[-2:])
+    if suffix in _TWO_LABEL_SUFFIXES and len(parts) >= 3:
+        return ".".join(parts[-3:])
+    return suffix
+
+
+def is_subdomain(name: str, ancestor: str) -> bool:
+    """True if ``name`` equals ``ancestor`` or sits below it.
+
+    >>> is_subdomain("api.vendor.example", "vendor.example")
+    True
+    >>> is_subdomain("vendorx.example", "vendor.example")
+    False
+    """
+    name = normalize(name)
+    ancestor = normalize(ancestor)
+    return name == ancestor or name.endswith("." + ancestor)
+
+
+def matches_pattern(name: str, pattern: str) -> bool:
+    """Match a name against a wildcard pattern.
+
+    ``*`` matches exactly one label; a leading ``*.`` therefore matches
+    direct children only (the X.509 wildcard convention).  Patterns may
+    contain multiple wildcards, e.g. ``avs-alexa.*.amazon-iot.example``.
+
+    >>> matches_pattern("a.vendor.example", "*.vendor.example")
+    True
+    >>> matches_pattern("a.b.vendor.example", "*.vendor.example")
+    False
+    """
+    name_parts = normalize(name).split(".")
+    pattern_parts = normalize(pattern).split(".")
+    if len(name_parts) != len(pattern_parts):
+        return False
+    return all(
+        want == "*" or want == have
+        for have, want in zip(name_parts, pattern_parts)
+    )

@@ -1,0 +1,98 @@
+"""A caching recursive resolver over the simulated zones.
+
+Devices resolve their backend domains through this resolver; every
+resolution is (optionally) mirrored into the passive-DNS database, the
+way Farsight's DNSDB ingests sensor data below recursive resolvers.
+TTL-driven cache expiry is what surfaces the authoritative churn of
+dedicated clusters and CDNs to the clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.addressing import str_to_ip
+from repro.dns.names import normalize
+from repro.dns.zone import ResourceRecord, ZoneSet
+
+__all__ = ["Resolution", "Resolver"]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """The outcome of one query: final addresses plus the raw records."""
+
+    qname: str
+    addresses: Tuple[int, ...]
+    records: Tuple[ResourceRecord, ...]
+    from_cache: bool
+
+    @property
+    def nxdomain(self) -> bool:
+        return not self.records
+
+    @property
+    def cname_targets(self) -> Tuple[str, ...]:
+        return tuple(
+            record.rdata
+            for record in self.records
+            if record.rrtype == "CNAME"
+        )
+
+
+@dataclass
+class _CacheEntry:
+    expires: int
+    addresses: Tuple[int, ...]
+    records: Tuple[ResourceRecord, ...]
+
+
+@dataclass
+class Resolver:
+    """Caching resolver; optionally feeds a passive-DNS sink.
+
+    ``sink`` is any object with an ``ingest(records, when)`` method —
+    in practice :class:`repro.dns.dnsdb.PassiveDnsDatabase`.
+    """
+
+    zones: ZoneSet
+    sink: Optional[object] = None
+    negative_ttl: int = 300
+    _cache: Dict[str, _CacheEntry] = field(default_factory=dict)
+    queries: int = 0
+    cache_hits: int = 0
+
+    def resolve(self, qname: str, when: int) -> Resolution:
+        """Resolve ``qname`` at epoch second ``when``."""
+        qname = normalize(qname)
+        self.queries += 1
+        entry = self._cache.get(qname)
+        if entry is not None and entry.expires > when:
+            self.cache_hits += 1
+            return Resolution(qname, entry.addresses, entry.records, True)
+        records = tuple(self.zones.answers(qname, when))
+        addresses = tuple(
+            str_to_ip(record.rdata)
+            for record in records
+            if record.rrtype == "A"
+        )
+        if records:
+            ttl = min(record.ttl for record in records)
+        else:
+            ttl = self.negative_ttl
+        self._cache[qname] = _CacheEntry(when + ttl, addresses, records)
+        if self.sink is not None and records:
+            self.sink.ingest(records, when)
+        return Resolution(qname, addresses, records, False)
+
+    def flush(self) -> None:
+        """Drop every cached answer."""
+        self._cache.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from cache."""
+        if not self.queries:
+            return 0.0
+        return self.cache_hits / self.queries

@@ -1,0 +1,123 @@
+"""Authoritative DNS data.
+
+A :class:`Zone` wraps one backend infrastructure and synthesises the
+records a resolver would receive: an optional CNAME chain (cloud/CDN
+indirection) terminated by time-varying A records.  A :class:`ZoneSet`
+aggregates all zones in a scenario and answers by longest matching
+hosted name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.dns.names import normalize
+
+__all__ = ["ResourceRecord", "Zone", "ZoneSet"]
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """A single DNS resource record as seen in a response."""
+
+    rrname: str
+    rrtype: str  # "A" or "CNAME"
+    rdata: str  # dotted quad for A, target name for CNAME
+    ttl: int
+
+
+class _Infrastructure(Protocol):
+    """The duck type every backend infrastructure satisfies."""
+
+    def cname_chain(self, fqdn: str) -> List[str]: ...
+
+    def a_records(self, fqdn: str, when: int) -> List[int]: ...
+
+    def ports_for(self, fqdn: str) -> Tuple[int, ...]: ...
+
+    @property
+    def domains(self) -> Dict[str, Tuple[int, ...]]: ...
+
+
+class Zone:
+    """Authoritative data for the domains hosted by one infrastructure."""
+
+    def __init__(
+        self,
+        infrastructure: _Infrastructure,
+        a_ttl: int = 300,
+        cname_ttl: int = 3600,
+    ) -> None:
+        self.infrastructure = infrastructure
+        self.a_ttl = a_ttl
+        self.cname_ttl = cname_ttl
+
+    def hosted_names(self) -> List[str]:
+        """All FQDNs this zone can answer for."""
+        return list(self.infrastructure.domains)
+
+    def answers(self, fqdn: str, when: int) -> List[ResourceRecord]:
+        """Produce the full answer section for a query at time ``when``.
+
+        The answer lists the CNAME chain first (if any), followed by the
+        A records attached to the final name — exactly the shape a real
+        recursive response takes and the shape the passive-DNS store
+        ingests.
+        """
+        from repro.cloud.addressing import ip_to_str
+
+        fqdn = normalize(fqdn)
+        records: List[ResourceRecord] = []
+        owner = fqdn
+        for target in self.infrastructure.cname_chain(fqdn):
+            records.append(
+                ResourceRecord(owner, "CNAME", target, self.cname_ttl)
+            )
+            owner = target
+        for address in self.infrastructure.a_records(fqdn, when):
+            records.append(
+                ResourceRecord(owner, "A", ip_to_str(address), self.a_ttl)
+            )
+        return records
+
+
+class ZoneSet:
+    """All authoritative zones of a scenario, indexed by hosted FQDN."""
+
+    def __init__(self) -> None:
+        self._by_fqdn: Dict[str, Zone] = {}
+
+    def add(self, zone: Zone) -> None:
+        """Register ``zone`` for every name it hosts."""
+        for fqdn in zone.hosted_names():
+            fqdn = normalize(fqdn)
+            if fqdn in self._by_fqdn:
+                raise ValueError(f"{fqdn!r} hosted by two zones")
+            self._by_fqdn[fqdn] = zone
+
+    def zone_for(self, fqdn: str) -> Optional[Zone]:
+        return self._by_fqdn.get(normalize(fqdn))
+
+    def answers(self, fqdn: str, when: int) -> List[ResourceRecord]:
+        """Authoritative answer for ``fqdn`` or an empty list (NXDOMAIN)."""
+        zone = self.zone_for(fqdn)
+        if zone is None:
+            return []
+        return zone.answers(fqdn, when)
+
+    def hosted_names(self) -> List[str]:
+        return list(self._by_fqdn)
+
+    def ports_for(self, fqdn: str) -> Sequence[int]:
+        """Service ports for a hosted name."""
+        zone = self.zone_for(fqdn)
+        if zone is None:
+            raise KeyError(f"no zone hosts {fqdn!r}")
+        return zone.infrastructure.ports_for(normalize(fqdn))
+
+    def __contains__(self, fqdn: str) -> bool:
+        return normalize(fqdn) in self._by_fqdn
+
+    def __len__(self) -> int:
+        return len(self._by_fqdn)

@@ -1,0 +1,8 @@
+"""One module per paper artefact (table/figure), plus a shared cached
+:class:`~repro.experiments.context.ExperimentContext` so the scenario,
+ground-truth capture, and wild runs are computed once per process and
+reused by every benchmark."""
+
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

@@ -1,0 +1,115 @@
+"""Shared experiment context.
+
+Building the world, running the ground-truth capture, and running the
+wild-scale studies are the expensive steps every experiment shares.
+:func:`get_context` memoises one fully-initialised bundle per
+(seed, scale) so the benchmark suite pays the cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.hitlist import Hitlist, build_hitlist
+from repro.core.rules import RuleSet, generate_rules
+from repro.devices.testbed import ExperimentSchedule
+from repro.isp.simulation import (
+    GroundTruthCapture,
+    WildConfig,
+    WildIspResult,
+    run_ground_truth,
+    run_wild_isp,
+)
+from repro.ixp.fabric import IxpConfig, IxpResult, run_wild_ixp
+from repro.ixp.members import build_members
+from repro.scenario import Scenario, build_default_scenario
+
+__all__ = ["ExperimentContext", "get_context"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the per-figure experiments need, built lazily."""
+
+    seed: int = 7
+    wild_subscribers: int = 100_000
+    wild_days: int = 14
+    scenario: Scenario = field(init=False)
+    schedule: ExperimentSchedule = field(init=False)
+    hitlist: Hitlist = field(init=False)
+    rules: RuleSet = field(init=False)
+    _capture: Optional[GroundTruthCapture] = field(
+        default=None, init=False, repr=False
+    )
+    _wild: Optional[WildIspResult] = field(
+        default=None, init=False, repr=False
+    )
+    _ixp: Optional[IxpResult] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.scenario = build_default_scenario(seed=self.seed)
+        self.schedule = ExperimentSchedule(
+            self.scenario.catalog, self.scenario.library
+        )
+        self.hitlist = build_hitlist(self.scenario)
+        self.rules = generate_rules(self.scenario.catalog, self.hitlist)
+
+    @property
+    def capture(self) -> GroundTruthCapture:
+        """The ground-truth run (computed on first use)."""
+        if self._capture is None:
+            self._capture = run_ground_truth(
+                self.scenario, schedule=self.schedule
+            )
+        return self._capture
+
+    @property
+    def wild(self) -> WildIspResult:
+        """The wild ISP run (computed on first use)."""
+        if self._wild is None:
+            self._wild = run_wild_isp(
+                self.scenario,
+                self.rules,
+                self.hitlist,
+                WildConfig(
+                    subscribers=self.wild_subscribers,
+                    days=self.wild_days,
+                ),
+            )
+        return self._wild
+
+    @property
+    def ixp(self) -> IxpResult:
+        """The wild IXP run (computed on first use)."""
+        if self._ixp is None:
+            members = build_members(
+                self.scenario.allocator, self.scenario.registry
+            )
+            self._ixp = run_wild_ixp(
+                self.scenario,
+                self.rules,
+                self.hitlist,
+                members,
+                IxpConfig(days=self.wild_days),
+            )
+        return self._ixp
+
+
+_CONTEXTS: Dict[Tuple[int, int, int], ExperimentContext] = {}
+
+
+def get_context(
+    seed: int = 7,
+    wild_subscribers: int = 100_000,
+    wild_days: int = 14,
+) -> ExperimentContext:
+    """Memoised context per (seed, subscribers, days)."""
+    key = (seed, wild_subscribers, wild_days)
+    if key not in _CONTEXTS:
+        _CONTEXTS[key] = ExperimentContext(
+            seed=seed,
+            wild_subscribers=wild_subscribers,
+            wild_days=wild_days,
+        )
+    return _CONTEXTS[key]

@@ -1,0 +1,78 @@
+"""Figure 12 — drill-down of the Amazon and Samsung hierarchies:
+Alexa Enabled ⊃ Amazon Product ⊃ Fire TV and Samsung IoT ⊃ Samsung TV,
+per day, at the conservative threshold D=0.4."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["Fig12Result", "run", "render", "DRILLDOWN_CLASSES"]
+
+DRILLDOWN_CLASSES = (
+    "Alexa Enabled",
+    "Amazon Product",
+    "Fire TV",
+    "Samsung IoT",
+    "Samsung TV",
+)
+
+
+@dataclass
+class Fig12Result:
+    daily: Dict[str, np.ndarray]
+    subscribers: int
+
+    def fraction(self, child: str, parent: str) -> float:
+        child_mean = float(self.daily[child].mean())
+        parent_mean = float(self.daily[parent].mean())
+        if parent_mean == 0:
+            return 0.0
+        return child_mean / parent_mean
+
+
+def run(context: ExperimentContext) -> Fig12Result:
+    wild = context.wild
+    return Fig12Result(
+        daily={
+            name: wild.daily_counts[name] for name in DRILLDOWN_CLASSES
+        },
+        subscribers=wild.config.subscribers,
+    )
+
+
+def render(result: Fig12Result) -> str:
+    lines = ["Figure 12: Amazon/Samsung drill-down per day (D=0.4)"]
+    for name in DRILLDOWN_CLASSES:
+        lines.append(
+            render_series(name, list(enumerate(result.daily[name])))
+        )
+    lines.append(
+        render_table(
+            ("relation", "measured", "paper expectation"),
+            [
+                (
+                    "Amazon Product / Alexa Enabled",
+                    f"{result.fraction('Amazon Product', 'Alexa Enabled'):.0%}",
+                    "a fraction (<100%)",
+                ),
+                (
+                    "Fire TV / Amazon Product",
+                    f"{result.fraction('Fire TV', 'Amazon Product'):.0%}",
+                    "a smaller fraction",
+                ),
+                (
+                    "Samsung TV / Samsung IoT",
+                    f"{result.fraction('Samsung TV', 'Samsung IoT'):.0%}",
+                    "a fraction (<100%)",
+                ),
+            ],
+            title="hierarchy consistency",
+        )
+    )
+    return "\n".join(lines)

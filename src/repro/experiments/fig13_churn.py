@@ -1,0 +1,91 @@
+"""Figure 13 — cumulative unique subscriber-line identifiers and /24s
+with daily IoT activity across the two study weeks (address churn)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["Fig13Result", "run", "render"]
+
+
+@dataclass
+class Fig13Result:
+    cumulative_lines: Dict[str, np.ndarray]
+    cumulative_slash24: Dict[str, np.ndarray]
+    daily: Dict[str, np.ndarray]
+
+    def line_inflation(self, class_name: str) -> float:
+        """Final cumulative line count over the mean daily count — the
+        double-counting factor churn introduces."""
+        mean_daily = float(self.daily[class_name].mean())
+        if mean_daily == 0:
+            return 0.0
+        return float(self.cumulative_lines[class_name][-1]) / mean_daily
+
+    def slash24_flatness(self, class_name: str) -> float:
+        """Relative growth of the /24 curve over its second week — a
+        stabilised curve stays near 0."""
+        series = self.cumulative_slash24[class_name]
+        midpoint = len(series) // 2
+        if series[midpoint] == 0:
+            return 0.0
+        return float(series[-1] - series[midpoint]) / float(
+            series[midpoint]
+        )
+
+
+def run(context: ExperimentContext) -> Fig13Result:
+    wild = context.wild
+    return Fig13Result(
+        cumulative_lines=wild.cumulative_lines,
+        cumulative_slash24=wild.cumulative_slash24,
+        daily={
+            name: wild.daily_counts[name]
+            for name in wild.cumulative_lines
+        },
+    )
+
+
+def render(result: Fig13Result) -> str:
+    lines = [
+        "Figure 13: cumulative subscriber lines (upper) and /24s "
+        "(lower) with daily IoT activity"
+    ]
+    for name, series in result.cumulative_lines.items():
+        lines.append(
+            render_series(f"lines {name}", list(enumerate(series)))
+        )
+    for name, series in result.cumulative_slash24.items():
+        lines.append(
+            render_series(f"/24s {name}", list(enumerate(series)))
+        )
+    rows = []
+    for name in result.cumulative_lines:
+        rows.append(
+            (
+                name,
+                f"{result.line_inflation(name):.2f}x",
+                f"{result.slash24_flatness(name):.1%}",
+            )
+        )
+    lines.append(
+        render_table(
+            (
+                "class",
+                "cumulative-line inflation",
+                "/24 growth in week 2",
+            ),
+            rows,
+            title=(
+                "churn effects (paper: line counts keep inflating, "
+                "/24 curves stabilise smoothly)"
+            ),
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Figure 15 — unique IPs with detected IoT activity per day at the
+IXP (Alexa Enabled, Samsung IoT, other 32 device types)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.reporting import render_series, render_table
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["Fig15Result", "run", "render"]
+
+
+@dataclass
+class Fig15Result:
+    daily: Dict[str, np.ndarray]
+    spoofed_suppressed: int
+    sampling_interval: int
+
+
+def run(context: ExperimentContext) -> Fig15Result:
+    ixp = context.ixp
+    return Fig15Result(
+        daily=ixp.daily_ip_counts,
+        spoofed_suppressed=ixp.spoofed_suppressed,
+        sampling_interval=ixp.config.sampling_interval,
+    )
+
+
+def render(result: Fig15Result) -> str:
+    lines = [
+        "Figure 15: unique IPs with detected IoT activity per day at "
+        f"the IXP (sampling 1/{result.sampling_interval})"
+    ]
+    for name, series in result.daily.items():
+        lines.append(render_series(name, list(enumerate(series))))
+    rows = []
+    for name, series in result.daily.items():
+        rows.append((name, int(series.mean())))
+    lines.append(
+        render_table(
+            ("group", "mean unique IPs/day"),
+            rows,
+            title=(
+                "paper: ~200k Alexa Enabled, ~90k Samsung, >100k other "
+                "(absolute values scale with the population)"
+            ),
+        )
+    )
+    lines.append(
+        f"spoofed-SYN candidate sources suppressed by the established "
+        f"filter: {result.spoofed_suppressed:,}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Figure 8 — average packets/hour per domain for 13 devices, split into
+laconic devices and two gossiping examples (Echo Dot, Apple TV)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import render_histogram_row
+from repro.experiments.context import ExperimentContext
+from repro.timeutil import IDLE_END, IDLE_START
+
+__all__ = ["DomainTrafficResult", "run", "render", "FIG8_DEVICES"]
+
+#: The paper's 13 devices: 11 laconic plus two gossiping examples.
+FIG8_DEVICES: Tuple[str, ...] = (
+    "Apple TV",
+    "Blink Hub",
+    "Echo Dot",
+    "Meross Door Opener",
+    "Netatmo Weather",
+    "Philips Hue",
+    "Smarter Brewer",
+    "Smartlife Bulb",
+    "Smartthings",
+    "Anova Sousvide",
+    "TP-Link Bulb",
+    "Xiaomi Home",
+    "Yi Cam",
+)
+
+_GOSSIP_THRESHOLD = 10  # domains; more than this means "gossiping"
+
+
+@dataclass
+class DomainTrafficResult:
+    #: device -> {domain: avg packets/hour during idle}
+    per_domain: Dict[str, Dict[str, float]]
+    gossiping: List[str]
+    laconic: List[str]
+
+
+def run(context: ExperimentContext) -> DomainTrafficResult:
+    capture = context.capture
+    library = context.scenario.library
+    idle_hours = (IDLE_END - IDLE_START) // 3600
+    packets: Dict[str, Dict[str, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for event in capture.home_events:
+        if event.mode != "idle" or event.timestamp < IDLE_START:
+            continue
+        if event.product not in FIG8_DEVICES:
+            continue
+        # The figure plots IoT-specific domains; shared generic
+        # services (NTP, trackers) are not device signatures.
+        if library.domain(event.fqdn).role_hint == "generic":
+            continue
+        packets[event.product][event.fqdn] += event.packets
+    per_domain = {
+        device: {
+            fqdn: count / idle_hours for fqdn, count in domains.items()
+        }
+        for device, domains in packets.items()
+    }
+    gossiping = sorted(
+        device
+        for device, domains in per_domain.items()
+        if len(domains) > _GOSSIP_THRESHOLD
+    )
+    laconic = sorted(set(per_domain) - set(gossiping))
+    return DomainTrafficResult(per_domain, gossiping, laconic)
+
+
+def render(result: DomainTrafficResult) -> str:
+    lines = [
+        "Figure 8: avg packets/hour per domain (idle), laconic vs "
+        "gossiping devices"
+    ]
+    for group_name, devices in (
+        ("gossiping", result.gossiping),
+        ("laconic", result.laconic),
+    ):
+        lines.append(f"-- {group_name} devices --")
+        for device in devices:
+            domains = result.per_domain[device]
+            maximum = max(domains.values(), default=0.0)
+            lines.append(f"{device} ({len(domains)} domains):")
+            top = sorted(
+                domains.items(), key=lambda item: -item[1]
+            )[:8]
+            for fqdn, rate in top:
+                lines.append(
+                    "  " + render_histogram_row(fqdn, rate, maximum)
+                )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Section 4.3 rule inventory: detection levels, domain counts per rule,
+platform backends, and manufacturer coverage (the paper's 77%)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import render_table
+from repro.core.levels import validate_distinguishability
+from repro.devices.catalog import (
+    LEVEL_MANUFACTURER,
+    LEVEL_PLATFORM,
+    LEVEL_PRODUCT,
+)
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["RuleInventory", "run", "render"]
+
+
+@dataclass
+class RuleInventory:
+    rows: List[Tuple[str, str, int, int, str]]
+    platform_rules: int
+    manufacturer_rules: int
+    product_rules: int
+    platform_backends: Tuple[str, ...]
+    manufacturer_coverage: float
+    conflicts: int
+    min_domains: int
+    max_domains: int
+
+
+def run(context: ExperimentContext) -> RuleInventory:
+    catalog = context.scenario.catalog
+    rules = context.rules
+
+    def chain_domains(class_name: str) -> int:
+        """Domains monitored for a class including its ancestors (the
+        paper's "1 to 67 domains" counts the whole chain)."""
+        union = set(rules.rule(class_name).domains)
+        for ancestor in rules.ancestors(class_name):
+            union.update(rules.rule(ancestor).domains)
+        return len(union)
+
+    rows = []
+    for rule in sorted(rules, key=lambda item: item.class_name):
+        spec = catalog.detection_class(rule.class_name)
+        rows.append(
+            (
+                spec.label,
+                rule.level,
+                chain_domains(rule.class_name),
+                len(rule.critical),
+                rule.parent or "-",
+            )
+        )
+    by_level = {
+        level: sum(1 for rule in rules if rule.level == level)
+        for level in (
+            LEVEL_PLATFORM, LEVEL_MANUFACTURER, LEVEL_PRODUCT,
+        )
+    }
+    domain_counts = [
+        chain_domains(rule.class_name) for rule in rules
+    ]
+    return RuleInventory(
+        rows=rows,
+        platform_rules=by_level[LEVEL_PLATFORM],
+        manufacturer_rules=by_level[LEVEL_MANUFACTURER],
+        product_rules=by_level[LEVEL_PRODUCT],
+        platform_backends=catalog.platforms(),
+        manufacturer_coverage=catalog.detected_manufacturer_coverage(),
+        conflicts=len(validate_distinguishability(rules)),
+        min_domains=min(domain_counts),
+        max_domains=max(domain_counts),
+    )
+
+
+def render(inventory: RuleInventory) -> str:
+    table = render_table(
+        ("class", "level", "domains", "critical", "parent"),
+        inventory.rows,
+        title="Section 4.3: generated detection rules",
+    )
+    summary = render_table(
+        ("metric", "measured", "paper"),
+        [
+            ("platform-level rules", inventory.platform_rules, "6 (Fig 10)"),
+            (
+                "manufacturer-level rules",
+                inventory.manufacturer_rules,
+                "20",
+            ),
+            ("product-level rules", inventory.product_rules, "11"),
+            (
+                "distinct platform backends",
+                len(inventory.platform_backends),
+                "3 (§4.3.2) / 5 (§9)",
+            ),
+            (
+                "manufacturer coverage",
+                f"{inventory.manufacturer_coverage:.0%}",
+                "77%",
+            ),
+            (
+                "rule domain range",
+                f"{inventory.min_domains}-{inventory.max_domains}",
+                "1-67",
+            ),
+            (
+                "indistinguishable rule pairs",
+                inventory.conflicts,
+                "0 (the paper ensures domain sets differ)",
+            ),
+        ],
+        title="rule inventory summary",
+    )
+    return f"{table}\n{summary}"

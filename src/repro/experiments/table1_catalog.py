@@ -1,0 +1,56 @@
+"""Table 1 — the device inventory under test."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import render_table
+from repro.devices.catalog import CATEGORIES, DeviceCatalog
+
+__all__ = ["Table1Result", "run", "render"]
+
+
+@dataclass
+class Table1Result:
+    rows: List[Tuple[str, str]]  # (category, device names)
+    product_count: int
+    device_count: int
+    manufacturer_count: int
+    idle_only: Tuple[str, ...]
+
+
+def run(catalog: DeviceCatalog) -> Table1Result:
+    rows = []
+    for category in CATEGORIES:
+        names = ", ".join(
+            product.name + (" (idle)" if product.idle_only else "")
+            for product in catalog.products_in_category(category)
+        )
+        rows.append((category, names))
+    return Table1Result(
+        rows=rows,
+        product_count=catalog.product_count,
+        device_count=catalog.device_count,
+        manufacturer_count=len(catalog.manufacturers),
+        idle_only=tuple(
+            product.name
+            for product in catalog.products
+            if product.idle_only
+        ),
+    )
+
+
+def render(result: Table1Result) -> str:
+    table = render_table(
+        ("Category", "Device Name"),
+        result.rows,
+        title="Table 1: IoT devices under test",
+    )
+    summary = (
+        f"\nunique products: {result.product_count} (paper: 56)"
+        f"\nphysical devices: {result.device_count} (paper: 96)"
+        f"\nmanufacturers: {result.manufacturer_count} (paper: 40)"
+        f"\nidle-only products: {', '.join(result.idle_only)}"
+    )
+    return table + summary

@@ -1,0 +1,27 @@
+"""ISP substrate: topology (BNG/border routers, Home-VP), subscriber
+population with address churn, and the ground-truth + wild-scale
+simulation drivers."""
+
+from repro.isp.topology import BorderRouter, HomeVantagePoint, IspTopology
+from repro.isp.subscribers import SubscriberPopulation
+from repro.isp.simulation import (
+    GroundTruthCapture,
+    GtFlowEvent,
+    WildConfig,
+    WildIspResult,
+    run_ground_truth,
+    run_wild_isp,
+)
+
+__all__ = [
+    "BorderRouter",
+    "HomeVantagePoint",
+    "IspTopology",
+    "SubscriberPopulation",
+    "GroundTruthCapture",
+    "GtFlowEvent",
+    "WildConfig",
+    "WildIspResult",
+    "run_ground_truth",
+    "run_wild_isp",
+]

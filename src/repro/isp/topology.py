@@ -1,0 +1,112 @@
+"""ISP topology: border routers with NetFlow export, BNG aggregation,
+and the Home-VP subscriber line used for ground-truth injection.
+
+The paper's ISP (Figure 3) monitors flows with NetFlow at all border
+routers at one consistent sampling rate.  Subscriber traffic enters
+through BNG routers and leaves through a border router chosen by the
+destination; the Home-VP is a /28 out of a residential /22, reserved
+for the testbeds' VPN endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.addressing import (
+    AddressAllocator,
+    ASRegistry,
+    AutonomousSystem,
+    Prefix,
+)
+from repro.netflow.collector import FlowCollector
+from repro.netflow.sampler import PacketSampler
+
+__all__ = ["BorderRouter", "HomeVantagePoint", "IspTopology"]
+
+
+@dataclass
+class BorderRouter:
+    """One border router: consistent-rate sampler plus a flow cache."""
+
+    name: str
+    sampling_interval: int
+    seed: int
+    sampler: PacketSampler = field(init=False)
+    collector: FlowCollector = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.sampler = PacketSampler(
+            self.sampling_interval, mode="random", seed=self.seed
+        )
+        self.collector = FlowCollector(
+            sampling_interval=self.sampling_interval
+        )
+
+    def observe(self, packet) -> bool:
+        """Sample one transit packet; returns True if it was kept."""
+        if not self.sampler.sample(packet):
+            return False
+        self.collector.observe(packet)
+        return True
+
+
+@dataclass(frozen=True)
+class HomeVantagePoint:
+    """The instrumented subscriber line (a /28 of a residential /22)."""
+
+    prefix: Prefix
+    vpn_endpoint: int  # address the testbed tunnels terminate on
+
+    @classmethod
+    def carve(cls, residential: Prefix) -> "HomeVantagePoint":
+        """Reserve the first /28 of a residential /22 (paper setup)."""
+        if residential.length > 22:
+            raise ValueError("Home-VP expects at least a /22 to carve from")
+        home = Prefix(residential.network, 28)
+        return cls(prefix=home, vpn_endpoint=home.first + 1)
+
+
+class IspTopology:
+    """The simulated ISP: address space, routers, and the Home-VP."""
+
+    def __init__(
+        self,
+        allocator: AddressAllocator,
+        registry: ASRegistry,
+        asn: int = 64500,
+        name: str = "ResidentialISP",
+        subscriber_prefix_length: int = 12,
+        border_router_count: int = 4,
+        sampling_interval: int = 100,
+        seed: int = 11,
+    ) -> None:
+        self.autonomous_system = AutonomousSystem(asn, name, "eyeball")
+        self.subscriber_space = allocator.allocate(subscriber_prefix_length)
+        self.autonomous_system.announce(self.subscriber_space)
+        registry.register(self.autonomous_system)
+        self.sampling_interval = sampling_interval
+        self.border_routers = [
+            BorderRouter(
+                f"br{index}", sampling_interval, seed=seed * 1000 + index
+            )
+            for index in range(border_router_count)
+        ]
+        # Reserve the top of the subscriber space for the instrumented
+        # residential /22.
+        residential = Prefix(
+            self.subscriber_space.last + 1 - (1 << 10), 22
+        )
+        self.home_vp = HomeVantagePoint.carve(residential)
+
+    def border_router_for(self, dst_ip: int) -> BorderRouter:
+        """Destination-hashed egress router (consistent per backend)."""
+        return self.border_routers[dst_ip % len(self.border_routers)]
+
+    def drain_flows(self):
+        """Flush and collect every border router's exported flows."""
+        flows = []
+        for router in self.border_routers:
+            router.collector.flush()
+            flows.extend(router.collector.drain())
+        return flows

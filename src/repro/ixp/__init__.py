@@ -1,0 +1,22 @@
+"""IXP substrate: member ASes (eyeball vs non-eyeball), the switching
+fabric with IPFIX sampling, routing asymmetry, and the anti-spoofing
+filter of Section 6.3."""
+
+from repro.ixp.members import IxpMember, build_members
+from repro.ixp.fabric import (
+    IxpConfig,
+    IxpFabricTap,
+    IxpResult,
+    run_wild_ixp,
+    make_spoofed_flows,
+)
+
+__all__ = [
+    "IxpMember",
+    "build_members",
+    "IxpConfig",
+    "IxpFabricTap",
+    "IxpResult",
+    "run_wild_ixp",
+    "make_spoofed_flows",
+]

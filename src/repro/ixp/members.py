@@ -1,0 +1,106 @@
+"""IXP membership.
+
+The paper's IXP has over 800 member ASes, but only a few are large
+eyeball (residential access) networks — most members are content,
+cloud, and transit networks that originate almost no consumer IoT
+traffic.  That skew is what Figure 16 measures.  Member sizes follow a
+Zipf-like law; each eyeball member carries a population of subscriber
+addresses that can host IoT devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.cloud.addressing import (
+    AddressAllocator,
+    ASRegistry,
+    AutonomousSystem,
+    Prefix,
+)
+
+__all__ = ["IxpMember", "build_members"]
+
+
+@dataclass(frozen=True)
+class IxpMember:
+    """One IXP member AS."""
+
+    autonomous_system: AutonomousSystem
+    kind: str  # "eyeball" | "content" | "cloud" | "transit"
+    #: addresses behind this member that could host consumer IoT
+    iot_population: int
+
+    @property
+    def asn(self) -> int:
+        return self.autonomous_system.asn
+
+    @property
+    def name(self) -> str:
+        return self.autonomous_system.name
+
+    @property
+    def is_eyeball(self) -> bool:
+        return self.kind == "eyeball"
+
+
+def build_members(
+    allocator: AddressAllocator,
+    registry: ASRegistry,
+    count: int = 120,
+    large_eyeballs: int = 8,
+    small_eyeballs: int = 32,
+    population_scale: float = 1.0,
+    seed: int = 23,
+    base_asn: int = 65000,
+) -> List[IxpMember]:
+    """Create the member list.
+
+    ``population_scale`` scales every member's IoT-capable population so
+    experiments run at laptop scale (1.0 ≈ a few hundred thousand
+    addresses across all eyeballs).
+    """
+    if large_eyeballs + small_eyeballs > count:
+        raise ValueError("more eyeballs than members")
+    rng = np.random.default_rng(seed)
+    members: List[IxpMember] = []
+    kinds_pool = ["content", "cloud", "transit"]
+    for index in range(count):
+        if index < large_eyeballs:
+            kind = "eyeball"
+            population = int(
+                (80_000 / (index + 1) ** 0.7)
+                * population_scale
+                * (0.8 + 0.4 * rng.random())
+            )
+        elif index < large_eyeballs + small_eyeballs:
+            kind = "eyeball"
+            population = int(
+                (1_500 / (index - large_eyeballs + 1) ** 0.9)
+                * population_scale
+                * (0.6 + 0.8 * rng.random())
+            )
+        else:
+            kind = kinds_pool[index % len(kinds_pool)]
+            # Non-eyeballs still leak a trickle of IoT traffic (devices
+            # in offices, VPN egress, mobile gateways) — the long tail
+            # of Figure 16.
+            population = int(30 * population_scale * rng.random())
+        autonomous_system = AutonomousSystem(
+            base_asn + index, f"member{index:03d}", kind
+        )
+        prefix_length = 16 if population > 10_000 else 20
+        prefix = allocator.allocate(prefix_length)
+        autonomous_system.announce(prefix)
+        registry.register(autonomous_system)
+        members.append(
+            IxpMember(
+                autonomous_system=autonomous_system,
+                kind=kind,
+                iot_population=max(0, population),
+            )
+        )
+    return members

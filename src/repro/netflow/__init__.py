@@ -1,0 +1,47 @@
+"""Flow-measurement substrate: packet and flow records, packet sampling,
+a flow cache (collector), and binary NetFlow v9 / IPFIX codecs."""
+
+from repro.netflow.records import (
+    FlowKey,
+    FlowRecord,
+    PacketRecord,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_FIN,
+    TCP_RST,
+    TCP_SYN,
+    WEB_PORTS,
+    NTP_PORT,
+    classify_port,
+)
+from repro.netflow.sampler import PacketSampler, sample_packet_counts
+from repro.netflow.collector import FlowCollector
+from repro.netflow.v9 import NetflowV9Codec
+from repro.netflow.flowfile import (
+    read_flow_file,
+    write_flow_file,
+)
+from repro.netflow.ipfix import IpfixCodec
+
+__all__ = [
+    "FlowKey",
+    "FlowRecord",
+    "PacketRecord",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_RST",
+    "TCP_SYN",
+    "WEB_PORTS",
+    "NTP_PORT",
+    "classify_port",
+    "PacketSampler",
+    "sample_packet_counts",
+    "FlowCollector",
+    "NetflowV9Codec",
+    "read_flow_file",
+    "write_flow_file",
+    "IpfixCodec",
+]

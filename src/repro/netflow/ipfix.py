@@ -1,0 +1,172 @@
+"""Binary IPFIX (RFC 7011) export and parsing.
+
+The IXP in the paper collects IPFIX across its switching fabric.  The
+message layout differs from NetFlow v9 in the header (no uptime; a
+16-bit total length) and in the template set ID (2 instead of 0); the
+information elements used here carry the same numbers as their NetFlow
+v9 ancestors, plus ``flowStartSeconds``/``flowEndSeconds`` (150/151)
+in place of the sysuptime-relative switch times.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from repro.netflow.records import FlowKey, FlowRecord
+
+__all__ = ["IpfixCodec"]
+
+_HEADER = struct.Struct("!HHIII")  # version, length, export time, seq, odid
+_SET_HEADER = struct.Struct("!HH")
+_TEMPLATE_HEADER = struct.Struct("!HH")
+
+_ELEMENTS: Tuple[Tuple[int, int], ...] = (
+    (8, 4),  # sourceIPv4Address
+    (12, 4),  # destinationIPv4Address
+    (7, 2),  # sourceTransportPort
+    (11, 2),  # destinationTransportPort
+    (4, 1),  # protocolIdentifier
+    (6, 1),  # tcpControlBits
+    (2, 8),  # packetDeltaCount
+    (1, 8),  # octetDeltaCount
+    (150, 4),  # flowStartSeconds
+    (151, 4),  # flowEndSeconds
+)
+_RECORD = struct.Struct("!IIHHBBQQII")
+_TEMPLATE_ID = 300
+_TEMPLATE_SET_ID = 2
+
+
+class IpfixCodec:
+    """Encode and decode IPFIX messages."""
+
+    def __init__(
+        self, observation_domain: int = 1, sampling_interval: int = 1
+    ) -> None:
+        self.observation_domain = observation_domain
+        self.sampling_interval = sampling_interval
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    # encoding
+
+    def encode(self, flows: List[FlowRecord], export_time: int) -> bytes:
+        template = self._encode_template_set()
+        data = self._encode_data_set(flows)
+        length = _HEADER.size + len(template) + len(data)
+        header = _HEADER.pack(
+            10, length, export_time, self._sequence, self.observation_domain
+        )
+        self._sequence = (self._sequence + len(flows)) & 0xFFFFFFFF
+        return header + template + data
+
+    def _encode_template_set(self) -> bytes:
+        body = _TEMPLATE_HEADER.pack(_TEMPLATE_ID, len(_ELEMENTS))
+        for element_id, length in _ELEMENTS:
+            body += struct.pack("!HH", element_id, length)
+        return (
+            _SET_HEADER.pack(_TEMPLATE_SET_ID, _SET_HEADER.size + len(body))
+            + body
+        )
+
+    def _encode_data_set(self, flows: Iterable[FlowRecord]) -> bytes:
+        body = b"".join(
+            _RECORD.pack(
+                flow.src_ip,
+                flow.dst_ip,
+                flow.src_port,
+                flow.dst_port,
+                flow.protocol,
+                flow.tcp_flags,
+                flow.packets,
+                flow.bytes,
+                flow.first_switched & 0xFFFFFFFF,
+                flow.last_switched & 0xFFFFFFFF,
+            )
+            for flow in flows
+        )
+        padding = (-len(body)) % 4
+        body += b"\x00" * padding
+        return _SET_HEADER.pack(
+            _TEMPLATE_ID, _SET_HEADER.size + len(body)
+        ) + body
+
+    # ------------------------------------------------------------------
+    # decoding
+
+    def decode(self, payload: bytes) -> List[FlowRecord]:
+        """Parse one IPFIX message back into flow records."""
+        if len(payload) < _HEADER.size:
+            raise ValueError("truncated IPFIX header")
+        version, length, _time, _seq, _odid = _HEADER.unpack_from(payload)
+        if version != 10:
+            raise ValueError(f"not an IPFIX message (version {version})")
+        if length != len(payload):
+            raise ValueError(
+                f"IPFIX length field {length} != payload {len(payload)}"
+            )
+        offset = _HEADER.size
+        templates = {}
+        flows: List[FlowRecord] = []
+        while offset + _SET_HEADER.size <= len(payload):
+            set_id, set_length = _SET_HEADER.unpack_from(payload, offset)
+            if set_length < _SET_HEADER.size:
+                raise ValueError("corrupt set length")
+            body = payload[offset + _SET_HEADER.size : offset + set_length]
+            if set_id == _TEMPLATE_SET_ID:
+                self._decode_templates(body, templates)
+            elif set_id >= 256 and set_id in templates:
+                flows.extend(self._decode_data(body, templates[set_id]))
+            offset += set_length
+        return flows
+
+    @staticmethod
+    def _decode_templates(body: bytes, templates: dict) -> None:
+        offset = 0
+        while offset + _TEMPLATE_HEADER.size <= len(body):
+            template_id, field_count = _TEMPLATE_HEADER.unpack_from(
+                body, offset
+            )
+            offset += _TEMPLATE_HEADER.size
+            elements = []
+            for _ in range(field_count):
+                element_id, length = struct.unpack_from("!HH", body, offset)
+                elements.append((element_id, length))
+                offset += 4
+            templates[template_id] = tuple(elements)
+
+    def _decode_data(
+        self, body: bytes, elements: Tuple[Tuple[int, int], ...]
+    ) -> List[FlowRecord]:
+        record_length = sum(length for _, length in elements)
+        flows = []
+        offset = 0
+        while offset + record_length <= len(body):
+            values = {}
+            cursor = offset
+            for element_id, length in elements:
+                raw = body[cursor : cursor + length]
+                values[element_id] = int.from_bytes(raw, "big")
+                cursor += length
+            flows.append(self._record_from_elements(values))
+            offset += record_length
+        return flows
+
+    def _record_from_elements(self, values: dict) -> FlowRecord:
+        key = FlowKey(
+            src_ip=values.get(8, 0),
+            dst_ip=values.get(12, 0),
+            protocol=values.get(4, 0),
+            src_port=values.get(7, 0),
+            dst_port=values.get(11, 0),
+        )
+        return FlowRecord(
+            key=key,
+            first_switched=values.get(150, 0),
+            last_switched=values.get(151, 0),
+            packets=values.get(2, 0),
+            bytes=values.get(1, 0),
+            tcp_flags=values.get(6, 0),
+            sampling_interval=self.sampling_interval,
+        )

@@ -1,0 +1,173 @@
+"""Packet and flow record types.
+
+A :class:`PacketRecord` is what a monitoring tap sees on the wire (header
+fields only — the simulation never materialises payload, matching the
+paper's NetFlow/IPFIX data).  A :class:`FlowRecord` is the aggregate the
+collector exports for one sampled 5-tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+__all__ = [
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_SYN",
+    "TCP_ACK",
+    "TCP_FIN",
+    "TCP_RST",
+    "WEB_PORTS",
+    "NTP_PORT",
+    "DNS_PORT",
+    "SERVER_PORTS",
+    "classify_port",
+    "PacketRecord",
+    "FlowKey",
+    "FlowRecord",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_ACK = 0x10
+
+#: Ports the paper groups as "Web Services" (Section 3, Figure 5(c)).
+WEB_PORTS: FrozenSet[int] = frozenset({80, 443, 8080})
+NTP_PORT = 123
+DNS_PORT = 53
+
+#: Well-known server ports used by the ethics-driven heuristic that
+#: separates server IPs from user IPs (Section 2.1).
+SERVER_PORTS: FrozenSet[int] = frozenset(
+    {80, 443, 8080, 123, 53, 8443, 853, 993, 5223, 8883, 1883}
+)
+
+
+def classify_port(port: int) -> str:
+    """Bucket a destination port the way Figure 5(c) does."""
+    if port in WEB_PORTS:
+        return "web"
+    if port == NTP_PORT:
+        return "ntp"
+    return "other"
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One packet header as seen at a capture point."""
+
+    timestamp: int
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+    size: int = 120
+    tcp_flags: int = 0
+
+    def reversed(self) -> "PacketRecord":
+        """The same packet with endpoints swapped (response direction)."""
+        return replace(
+            self,
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+        )
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """The 5-tuple that identifies a unidirectional flow."""
+
+    src_ip: int
+    dst_ip: int
+    protocol: int
+    src_port: int
+    dst_port: int
+
+    @classmethod
+    def of(cls, packet: PacketRecord) -> "FlowKey":
+        return cls(
+            packet.src_ip,
+            packet.dst_ip,
+            packet.protocol,
+            packet.src_port,
+            packet.dst_port,
+        )
+
+
+@dataclass
+class FlowRecord:
+    """One exported (sampled) flow.
+
+    ``packets``/``bytes`` count *sampled* packets; multiply by the
+    sampling rate's inverse to estimate wire totals.  ``tcp_flags`` is
+    the OR of the flags of all sampled packets, which is what the IXP
+    anti-spoofing filter inspects (it requires evidence of an
+    established connection — an ACK-only packet — before trusting a
+    TCP flow).
+    """
+
+    key: FlowKey
+    first_switched: int
+    last_switched: int
+    packets: int
+    bytes: int
+    tcp_flags: int = 0
+    sampling_interval: int = 1
+
+    @property
+    def src_ip(self) -> int:
+        return self.key.src_ip
+
+    @property
+    def dst_ip(self) -> int:
+        return self.key.dst_ip
+
+    @property
+    def protocol(self) -> int:
+        return self.key.protocol
+
+    @property
+    def src_port(self) -> int:
+        return self.key.src_port
+
+    @property
+    def dst_port(self) -> int:
+        return self.key.dst_port
+
+    @property
+    def estimated_packets(self) -> int:
+        """Wire-packet estimate under the configured sampling."""
+        return self.packets * self.sampling_interval
+
+    @property
+    def estimated_bytes(self) -> int:
+        return self.bytes * self.sampling_interval
+
+    def has_established_evidence(self) -> bool:
+        """True when at least one sampled packet carries no SYN/FIN/RST
+        (i.e. a mid-connection packet), the paper's IXP spoofing filter.
+        UDP flows carry no flags and pass by definition of the filter
+        only when the caller chooses to accept UDP."""
+        if self.protocol != PROTO_TCP:
+            return False
+        return bool(self.tcp_flags & TCP_ACK) and not bool(
+            self.tcp_flags & TCP_SYN
+        )
+
+    def merge(self, other: "FlowRecord") -> None:
+        """Fold another record for the same key into this one."""
+        if other.key != self.key:
+            raise ValueError("cannot merge flows with different keys")
+        self.first_switched = min(self.first_switched, other.first_switched)
+        self.last_switched = max(self.last_switched, other.last_switched)
+        self.packets += other.packets
+        self.bytes += other.bytes
+        self.tcp_flags |= other.tcp_flags

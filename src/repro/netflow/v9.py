@@ -1,0 +1,317 @@
+"""Binary NetFlow v9 (RFC 3954) export and parsing.
+
+The ISP in the paper collects NetFlow v9 at its border routers.  This
+codec round-trips the simulation's :class:`~repro.netflow.records.FlowRecord`
+through the real wire format: a packet header, a template flowset
+(FlowSet ID 0) describing the record layout, and data flowsets carrying
+the records.  Only the fields the methodology consumes are exported.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from repro.netflow.records import FlowKey, FlowRecord
+
+__all__ = ["NetflowV9Codec"]
+
+_HEADER = struct.Struct("!HHIIII")  # version, count, uptime, secs, seq, src
+_FLOWSET_HEADER = struct.Struct("!HH")  # flowset id, length
+_TEMPLATE_HEADER = struct.Struct("!HH")  # template id, field count
+
+# (field type, length) in export order — RFC 3954 field-type numbers.
+_FIELDS: Tuple[Tuple[int, int], ...] = (
+    (8, 4),  # IPV4_SRC_ADDR
+    (12, 4),  # IPV4_DST_ADDR
+    (7, 2),  # L4_SRC_PORT
+    (11, 2),  # L4_DST_PORT
+    (4, 1),  # PROTOCOL
+    (6, 1),  # TCP_FLAGS
+    (2, 4),  # IN_PKTS
+    (1, 4),  # IN_BYTES
+    (22, 4),  # FIRST_SWITCHED
+    (21, 4),  # LAST_SWITCHED
+)
+_RECORD = struct.Struct("!IIHHBBIIII")
+_TEMPLATE_ID = 256
+_OPTIONS_TEMPLATE_ID = 257
+_OPTIONS_FLOWSET_ID = 1
+
+# Options record (RFC 3954 §6.1): scope = System (1), options =
+# SAMPLING_INTERVAL (34, 4 bytes) + SAMPLING_ALGORITHM (35, 1 byte).
+_SCOPE_SYSTEM = 1
+_FIELD_SAMPLING_INTERVAL = 34
+_FIELD_SAMPLING_ALGORITHM = 35
+_ALGORITHM_RANDOM = 0x02  # random n-out-of-N sampling
+
+
+class NetflowV9Codec:
+    """Encode and decode NetFlow v9 export packets."""
+
+    def __init__(self, source_id: int = 1, sampling_interval: int = 1) -> None:
+        self.source_id = source_id
+        self.sampling_interval = sampling_interval
+        self._sequence = 0
+        # Collector-side template cache: real collectors remember
+        # templates across export packets (routers only refresh them
+        # periodically).
+        self._templates: dict = {}
+        self._options_templates: dict = {}
+        self._discovered_sampling: "int | None" = None
+
+    # ------------------------------------------------------------------
+    # encoding
+
+    def encode(
+        self,
+        flows: List[FlowRecord],
+        export_time: int,
+        include_options: bool = True,
+        include_template: bool = True,
+    ) -> bytes:
+        """Serialise flows into one export packet.
+
+        With ``include_options`` the packet carries the router's
+        sampling configuration in-band (options template + record), the
+        way production routers announce their sampling rate to
+        collectors.  Routers refresh templates only periodically;
+        ``include_template=False`` emits a data-only packet that a
+        collector can decode from its template cache.
+        """
+        template = self._encode_template() if include_template else b""
+        options = (
+            self._encode_options(export_time) if include_options else b""
+        )
+        data = self._encode_data(flows)
+        count = (
+            (1 if include_template else 0)
+            + (2 if include_options else 0)
+            + len(flows)
+        )
+        header = _HEADER.pack(
+            9,
+            count,
+            (export_time * 1000) & 0xFFFFFFFF,
+            export_time,
+            self._sequence,
+            self.source_id,
+        )
+        self._sequence = (self._sequence + count) & 0xFFFFFFFF
+        return header + template + options + data
+
+    def _encode_options(self, export_time: int) -> bytes:
+        """Options template + one options data record announcing the
+        sampling interval and algorithm."""
+        template_body = struct.pack(
+            "!HHH", _OPTIONS_TEMPLATE_ID, 4, 8
+        )  # scope length 4 bytes, options length 8 bytes
+        template_body += struct.pack("!HH", _SCOPE_SYSTEM, 4)
+        template_body += struct.pack("!HH", _FIELD_SAMPLING_INTERVAL, 4)
+        template_body += struct.pack("!HH", _FIELD_SAMPLING_ALGORITHM, 1)
+        padding = (-len(template_body)) % 4
+        template_body += b"\x00" * padding
+        template = _FLOWSET_HEADER.pack(
+            _OPTIONS_FLOWSET_ID,
+            _FLOWSET_HEADER.size + len(template_body),
+        ) + template_body
+
+        record = struct.pack(
+            "!IIB",
+            self.source_id,  # scope: observing system
+            self.sampling_interval,
+            _ALGORITHM_RANDOM,
+        )
+        record += b"\x00" * ((-len(record)) % 4)
+        data = _FLOWSET_HEADER.pack(
+            _OPTIONS_TEMPLATE_ID, _FLOWSET_HEADER.size + len(record)
+        ) + record
+        return template + data
+
+    def _encode_template(self) -> bytes:
+        body = _TEMPLATE_HEADER.pack(_TEMPLATE_ID, len(_FIELDS))
+        for field_type, length in _FIELDS:
+            body += struct.pack("!HH", field_type, length)
+        return (
+            _FLOWSET_HEADER.pack(0, _FLOWSET_HEADER.size + len(body)) + body
+        )
+
+    def _encode_data(self, flows: Iterable[FlowRecord]) -> bytes:
+        body = b"".join(
+            _RECORD.pack(
+                flow.src_ip,
+                flow.dst_ip,
+                flow.src_port,
+                flow.dst_port,
+                flow.protocol,
+                flow.tcp_flags,
+                flow.packets,
+                flow.bytes,
+                flow.first_switched & 0xFFFFFFFF,
+                flow.last_switched & 0xFFFFFFFF,
+            )
+            for flow in flows
+        )
+        padding = (-len(body)) % 4
+        body += b"\x00" * padding
+        return _FLOWSET_HEADER.pack(
+            _TEMPLATE_ID, _FLOWSET_HEADER.size + len(body)
+        ) + body
+
+    # ------------------------------------------------------------------
+    # decoding
+
+    def decode(self, payload: bytes) -> List[FlowRecord]:
+        """Parse one export packet back into flow records.
+
+        The decoder is template-driven: it learns the layout from the
+        template flowset in the same packet (the common cold-start case
+        in collectors) and then decodes the data flowsets.
+        """
+        if len(payload) < _HEADER.size:
+            raise ValueError("truncated NetFlow v9 header")
+        version, _count, _uptime, _secs, _seq, _src = _HEADER.unpack_from(
+            payload
+        )
+        if version != 9:
+            raise ValueError(f"not a NetFlow v9 packet (version {version})")
+        offset = _HEADER.size
+        templates = self._templates
+        options_templates = self._options_templates
+        discovered_sampling = None
+        flows: List[FlowRecord] = []
+        while offset + _FLOWSET_HEADER.size <= len(payload):
+            flowset_id, length = _FLOWSET_HEADER.unpack_from(payload, offset)
+            if length < _FLOWSET_HEADER.size:
+                raise ValueError("corrupt flowset length")
+            body = payload[offset + _FLOWSET_HEADER.size : offset + length]
+            if flowset_id == 0:
+                self._decode_templates(body, templates)
+            elif flowset_id == _OPTIONS_FLOWSET_ID:
+                self._decode_options_templates(body, options_templates)
+            elif flowset_id >= 256 and flowset_id in options_templates:
+                interval = self._decode_options_data(
+                    body, options_templates[flowset_id]
+                )
+                if interval is not None:
+                    discovered_sampling = interval
+            elif flowset_id >= 256 and flowset_id in templates:
+                flows.extend(self._decode_data(body, templates[flowset_id]))
+            offset += length
+        if discovered_sampling:
+            self._discovered_sampling = discovered_sampling
+        effective = discovered_sampling or self._discovered_sampling
+        if effective:
+            flows = [
+                FlowRecord(
+                    key=flow.key,
+                    first_switched=flow.first_switched,
+                    last_switched=flow.last_switched,
+                    packets=flow.packets,
+                    bytes=flow.bytes,
+                    tcp_flags=flow.tcp_flags,
+                    sampling_interval=effective,
+                )
+                for flow in flows
+            ]
+        return flows
+
+    @staticmethod
+    def _decode_options_templates(body: bytes, templates: dict) -> None:
+        """Parse an options template flowset (RFC 3954 §6.1)."""
+        offset = 0
+        while offset + 6 <= len(body):
+            template_id, scope_length, option_length = struct.unpack_from(
+                "!HHH", body, offset
+            )
+            if template_id == 0:  # padding
+                break
+            offset += 6
+            scope_fields = []
+            cursor = offset
+            consumed = 0
+            while consumed < scope_length:
+                field_type, length = struct.unpack_from("!HH", body, cursor)
+                scope_fields.append((field_type, length))
+                cursor += 4
+                consumed += 4
+            option_fields = []
+            consumed = 0
+            while consumed < option_length:
+                field_type, length = struct.unpack_from("!HH", body, cursor)
+                option_fields.append((field_type, length))
+                cursor += 4
+                consumed += 4
+            templates[template_id] = (scope_fields, option_fields)
+            offset = cursor
+
+    @staticmethod
+    def _decode_options_data(body: bytes, template) -> "int | None":
+        """Extract the sampling interval from an options data record."""
+        scope_fields, option_fields = template
+        record_length = sum(length for _, length in scope_fields) + sum(
+            length for _, length in option_fields
+        )
+        interval = None
+        offset = 0
+        while offset + record_length <= len(body):
+            cursor = offset + sum(length for _, length in scope_fields)
+            for field_type, length in option_fields:
+                raw = body[cursor : cursor + length]
+                if field_type == _FIELD_SAMPLING_INTERVAL:
+                    interval = int.from_bytes(raw, "big")
+                cursor += length
+            offset += record_length
+            if record_length == 0:
+                break
+        return interval
+
+    @staticmethod
+    def _decode_templates(body: bytes, templates: dict) -> None:
+        offset = 0
+        while offset + _TEMPLATE_HEADER.size <= len(body):
+            template_id, field_count = _TEMPLATE_HEADER.unpack_from(
+                body, offset
+            )
+            offset += _TEMPLATE_HEADER.size
+            fields = []
+            for _ in range(field_count):
+                field_type, length = struct.unpack_from("!HH", body, offset)
+                fields.append((field_type, length))
+                offset += 4
+            templates[template_id] = tuple(fields)
+
+    def _decode_data(
+        self, body: bytes, fields: Tuple[Tuple[int, int], ...]
+    ) -> List[FlowRecord]:
+        record_length = sum(length for _, length in fields)
+        flows = []
+        offset = 0
+        while offset + record_length <= len(body):
+            values = {}
+            cursor = offset
+            for field_type, length in fields:
+                raw = body[cursor : cursor + length]
+                values[field_type] = int.from_bytes(raw, "big")
+                cursor += length
+            flows.append(self._record_from_fields(values))
+            offset += record_length
+        return flows
+
+    def _record_from_fields(self, values: dict) -> FlowRecord:
+        key = FlowKey(
+            src_ip=values.get(8, 0),
+            dst_ip=values.get(12, 0),
+            protocol=values.get(4, 0),
+            src_port=values.get(7, 0),
+            dst_port=values.get(11, 0),
+        )
+        return FlowRecord(
+            key=key,
+            first_switched=values.get(22, 0),
+            last_switched=values.get(21, 0),
+            packets=values.get(2, 0),
+            bytes=values.get(1, 0),
+            tcp_flags=values.get(6, 0),
+            sampling_interval=self.sampling_interval,
+        )

@@ -1,0 +1,393 @@
+"""Scenario assembly: one object wiring every substrate together.
+
+A :class:`Scenario` is the simulated world shared by all experiments:
+
+* the device catalog and profile library (Table 1 + traffic model),
+* IPv4 address space and autonomous systems,
+* backend infrastructures (dedicated clusters, a cloud-VM pool, two
+  shared CDNs) hosting every domain of the profile library plus a pool
+  of unrelated *background* domains that make CDN addresses look shared,
+* authoritative DNS zones, a passive-DNS database (DNSDB stand-in) with
+  realistic coverage gaps, and an internet-wide TLS scan dataset
+  (Censys stand-in),
+* a whois-style registry mapping second-level domains to registrants,
+  which the Section 4.1 domain classifier consults.
+
+Everything is deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cloud.addressing import (
+    AddressAllocator,
+    ASRegistry,
+    AutonomousSystem,
+    Prefix,
+)
+from repro.cloud.infrastructure import CdnFleet, CloudVmPool, DedicatedCluster
+from repro.devices.catalog import DeviceCatalog, default_catalog
+from repro.devices.profiles import (
+    HOSTING_CDN,
+    HOSTING_CLOUD_VM,
+    HOSTING_DEDICATED,
+    ProfileLibrary,
+    build_profile_library,
+)
+from repro.dns.dnsdb import PassiveDnsDatabase
+from repro.dns.names import second_level_domain
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone, ZoneSet
+from repro.timeutil import SECONDS_PER_DAY, STUDY_END, STUDY_START
+from repro.tls.certificates import Certificate
+from repro.tls.scanner import ScanDataset
+
+__all__ = ["Scenario", "WhoisRegistry", "build_default_scenario"]
+
+#: Unrelated domains co-hosted on the shared CDN so that its addresses
+#: visibly serve many second-level domains.
+BACKGROUND_DOMAIN_COUNT = 240
+
+
+class WhoisRegistry:
+    """Maps second-level domains to (registrant, registrant kind)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Tuple[str, str]] = {}
+
+    def register(self, sld: str, registrant: str, kind: str) -> None:
+        existing = self._entries.get(sld)
+        if existing is not None and existing != (registrant, kind):
+            raise ValueError(
+                f"conflicting whois entries for {sld!r}: "
+                f"{existing} vs {(registrant, kind)}"
+            )
+        self._entries[sld] = (registrant, kind)
+
+    def lookup(self, name: str) -> Optional[Tuple[str, str]]:
+        """Whois entry of a name's second-level domain, or ``None``."""
+        return self._entries.get(second_level_domain(name))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class Scenario:
+    """The fully wired simulated world."""
+
+    seed: int
+    catalog: DeviceCatalog
+    library: ProfileLibrary
+    allocator: AddressAllocator
+    registry: ASRegistry
+    clusters: Dict[str, DedicatedCluster]
+    cloud: CloudVmPool
+    cdn: CdnFleet
+    google_front: CdnFleet
+    zones: ZoneSet
+    dnsdb: PassiveDnsDatabase
+    scans: ScanDataset
+    whois: WhoisRegistry
+    background_domains: Tuple[str, ...]
+
+    def isp_topology(self, sampling_interval: int = 100):
+        """The ISP topology for this world, cached per sampling rate so
+        ground-truth and wild runs share one AS registration."""
+        from repro.isp.topology import IspTopology
+
+        cache = getattr(self, "_isp_topologies", None)
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_isp_topologies", cache)
+        if sampling_interval not in cache:
+            cache[sampling_interval] = IspTopology(
+                self.allocator,
+                self.registry,
+                asn=64400 + len(cache),
+                sampling_interval=sampling_interval,
+            )
+        return cache[sampling_interval]
+
+    def make_resolver(self, feed_dnsdb: bool = True) -> Resolver:
+        """A fresh caching resolver over this world's zones."""
+        return Resolver(
+            self.zones, sink=self.dnsdb if feed_dnsdb else None
+        )
+
+    def backend_for(self, fqdn: str):
+        """The infrastructure object hosting a domain."""
+        zone = self.zones.zone_for(fqdn)
+        if zone is None:
+            raise KeyError(f"no backend hosts {fqdn!r}")
+        return zone.infrastructure
+
+    def server_address_set(self) -> Set[int]:
+        """Every backend (service-side) address in the world."""
+        addresses: Set[int] = set()
+        for cluster in self.clusters.values():
+            addresses.update(cluster.all_addresses())
+        addresses.update(self.cloud.all_addresses())
+        addresses.update(self.cdn.all_addresses())
+        addresses.update(self.google_front.all_addresses())
+        return addresses
+
+
+def _cluster_prefix_length(domain_count: int, ips_per_domain: int) -> int:
+    """Smallest prefix length whose block fits the cluster's slices."""
+    needed = max(4, domain_count * ips_per_domain)
+    length = 32
+    while (1 << (32 - length)) < needed:
+        length -= 1
+    return length
+
+
+def build_default_scenario(
+    seed: int = 7,
+    catalog: Optional[DeviceCatalog] = None,
+    warm_passive_dns: bool = True,
+    hide_classes: Optional[Set[str]] = None,
+) -> Scenario:
+    """Construct the deterministic default world.
+
+    ``warm_passive_dns`` pre-populates the passive-DNS database with the
+    global sensor view (several resolutions per domain per study day) —
+    the reason the paper uses DNSDB instead of relying on the single
+    vantage point's own resolutions.
+
+    ``hide_classes`` re-hosts the named classes' rule domains on the
+    shared CDN (the §7.4 hiding counterfactual); the hitlist pipeline
+    is then expected to drop them.
+    """
+    catalog = catalog or default_catalog()
+    library = build_profile_library(
+        catalog, shared_hosting_classes=hide_classes
+    )
+    allocator = AddressAllocator()
+    registry = ASRegistry()
+    whois = WhoisRegistry()
+
+    # ---- autonomous systems and shared infrastructure -------------------
+    cloud_as = AutonomousSystem(64501, "CloudSim", "cloud")
+    cdn_as = AutonomousSystem(64502, "CdnSim", "cdn")
+    google_as = AutonomousSystem(64503, "GoogleFront", "cdn")
+    hosting_as = AutonomousSystem(64504, "HostingSim", "hosting")
+
+    cloud_prefix = allocator.allocate(18)
+    cdn_prefix = allocator.allocate(20)
+    google_prefix = allocator.allocate(20)
+    cloud_as.announce(cloud_prefix)
+    cdn_as.announce(cdn_prefix)
+    google_as.announce(google_prefix)
+
+    cloud = CloudVmPool("cloudsim.example", cloud_prefix, cloud_as)
+    cdn = CdnFleet("cdnsim.example", cdn_prefix, cdn_as, node_count=700)
+    google_front = CdnFleet(
+        "googlefront.example", google_prefix, google_as, node_count=300
+    )
+    whois.register("cloudsim.example", "CloudSim Inc", "cloud")
+    whois.register("cdnsim.example", "CdnSim Inc", "cdn")
+    whois.register("googlefront.example", "Google", "cdn")
+
+    # ---- dedicated clusters per operator SLD ----------------------------
+    domains = library.domains
+    dedicated_slds: Dict[str, List[str]] = {}
+    for spec in domains.values():
+        if spec.hosting == HOSTING_DEDICATED:
+            sld = second_level_domain(spec.fqdn)
+            dedicated_slds.setdefault(sld, []).append(spec.fqdn)
+
+    clusters: Dict[str, DedicatedCluster] = {}
+    for sld, fqdns in sorted(dedicated_slds.items()):
+        prefix = allocator.allocate(
+            _cluster_prefix_length(len(fqdns), ips_per_domain=3)
+        )
+        hosting_as.announce(prefix)
+        cluster = DedicatedCluster(
+            operator=sld,
+            prefix=prefix,
+            autonomous_system=hosting_as,
+            ips_per_domain=3,
+        )
+        for fqdn in sorted(fqdns):
+            cluster.host_domain(fqdn, domains[fqdn].ports)
+        clusters[sld] = cluster
+
+    # ---- cloud tenancies and CDN onboarding ------------------------------
+    for fqdn, spec in sorted(domains.items()):
+        if spec.hosting == HOSTING_CLOUD_VM:
+            cloud.rent(fqdn, spec.ports, count=2)
+        elif spec.hosting == HOSTING_CDN:
+            fleet = google_front if spec.registrant == "Google" else cdn
+            fleet.onboard(fqdn, spec.ports)
+
+    # Google's frontend also serves its huge non-IoT estate (search,
+    # video, maps) — that multi-SLD co-hosting is exactly what makes the
+    # Google Home backend *shared* in the Section 4.2.1 sense.
+    for index in range(60):
+        fqdn = f"svc{index:02d}.googleweb{index % 12:02d}.example"
+        google_front.onboard(fqdn, (443,))
+        whois.register(
+            second_level_domain(fqdn), "Google", "generic"
+        )
+
+    # ---- background (non-IoT) domains on the shared CDN ------------------
+    background = tuple(
+        f"site{index:03d}.webhosting{index % 40:02d}.example"
+        for index in range(BACKGROUND_DOMAIN_COUNT)
+    )
+    for fqdn in background:
+        cdn.onboard(fqdn, (443,))
+        whois.register(
+            second_level_domain(fqdn), "Generic Webhosting", "generic"
+        )
+
+    # ---- whois entries ----------------------------------------------------
+    _KIND_BY_REGISTRANT_KIND = {
+        "vendor": "iot_vendor",
+        "platform": "iot_platform",
+        "third_party": "third_party",
+        "generic": "generic",
+    }
+    for spec in domains.values():
+        whois.register(
+            second_level_domain(spec.fqdn),
+            spec.registrant,
+            _KIND_BY_REGISTRANT_KIND[spec.registrant_kind],
+        )
+
+    # ---- DNS zones --------------------------------------------------------
+    registry.register(cloud_as)
+    registry.register(cdn_as)
+    registry.register(google_as)
+    registry.register(hosting_as)
+
+    zones = ZoneSet()
+    for cluster in clusters.values():
+        zones.add(Zone(cluster))
+    zones.add(Zone(cloud))
+    zones.add(Zone(cdn))
+    zones.add(Zone(google_front))
+
+    # ---- passive DNS with coverage gaps -----------------------------------
+    gap_names = {
+        spec.fqdn for spec in domains.values() if spec.dnsdb_gap
+    }
+    dnsdb = PassiveDnsDatabase(
+        coverage_filter=lambda rrname: rrname not in gap_names
+    )
+
+    # ---- TLS scan dataset ---------------------------------------------------
+    scans = _build_scan_dataset(
+        domains, clusters, cloud, cdn, google_front, background
+    )
+
+    scenario = Scenario(
+        seed=seed,
+        catalog=catalog,
+        library=library,
+        allocator=allocator,
+        registry=registry,
+        clusters=clusters,
+        cloud=cloud,
+        cdn=cdn,
+        google_front=google_front,
+        zones=zones,
+        dnsdb=dnsdb,
+        scans=scans,
+        whois=whois,
+        background_domains=background,
+    )
+    if warm_passive_dns:
+        warm_dnsdb(scenario)
+    return scenario
+
+
+def _build_scan_dataset(
+    domains,
+    clusters: Dict[str, DedicatedCluster],
+    cloud: CloudVmPool,
+    cdn: CdnFleet,
+    google_front: CdnFleet,
+    background: Tuple[str, ...],
+) -> ScanDataset:
+    """Populate the Censys stand-in from the hosting layout."""
+    scans = ScanDataset()
+
+    # Dedicated and cloud-hosted HTTPS domains present a single-name
+    # certificate on every address of their slice/tenancy.
+    for fqdn, spec in sorted(domains.items()):
+        if not spec.https or 443 not in spec.ports:
+            continue
+        if spec.hosting == HOSTING_DEDICATED:
+            sld = second_level_domain(fqdn)
+            addresses = clusters[sld].slice_for(fqdn)
+        elif spec.hosting == HOSTING_CLOUD_VM:
+            addresses = cloud.a_records(fqdn, STUDY_START)
+        else:
+            continue  # CDN certs handled below
+        certificate = Certificate(subject_cn=fqdn)
+        scans.add_service(
+            addresses,
+            443,
+            certificate,
+            software=f"iot-backend/{spec.registrant.lower()}",
+            operator=spec.registrant,
+        )
+
+    # Non-HTTPS dedicated services still answer with a banner.
+    for fqdn, spec in sorted(domains.items()):
+        if spec.https or spec.hosting != HOSTING_DEDICATED:
+            continue
+        sld = second_level_domain(fqdn)
+        scans.add_service(
+            clusters[sld].slice_for(fqdn),
+            spec.primary_port,
+            None,
+            software="embedded-httpd/1.0",
+            operator=spec.registrant,
+        )
+
+    # CDN nodes present one shared multi-SAN certificate (which is what
+    # defeats the "no other SAN" criterion of §4.2.2).
+    for fleet, label in ((cdn, "cdnsim"), (google_front, "googlefront")):
+        onboarded = sorted(fleet.domains)
+        if not onboarded:
+            continue
+        sans = tuple(onboarded[:80]) + (f"*.{fleet.provider}",)
+        certificate = Certificate(
+            subject_cn=f"edge.{fleet.provider}", sans=sans
+        )
+        scans.add_service(
+            fleet.all_addresses(),
+            443,
+            certificate,
+            software=f"{label}-edge/2.1",
+            operator=fleet.provider,
+        )
+    return scans
+
+
+def warm_dnsdb(
+    scenario: Scenario,
+    start: int = STUDY_START - 2 * SECONDS_PER_DAY,
+    end: int = STUDY_END,
+    resolutions_per_day: int = 4,
+) -> None:
+    """Simulate the global passive-DNS sensor deck.
+
+    Resolves every hosted domain several times per day across the window
+    and ingests the answers, giving DNSDB the full domain↔address view
+    that a single vantage point would lack.
+    """
+    resolver = Resolver(scenario.zones, sink=scenario.dnsdb)
+    step = SECONDS_PER_DAY // resolutions_per_day
+    names = scenario.zones.hosted_names()
+    for day_start in range(start, end, SECONDS_PER_DAY):
+        for offset in range(resolutions_per_day):
+            when = day_start + offset * step
+            for fqdn in names:
+                resolver.resolve(fqdn, when)
+        resolver.flush()

@@ -1,0 +1,7 @@
+"""TLS substrate: certificate models and an internet-wide scan dataset
+standing in for Censys certificate/banner data."""
+
+from repro.tls.certificates import Certificate
+from repro.tls.scanner import ScanDataset, ScannedHost
+
+__all__ = ["Certificate", "ScanDataset", "ScannedHost"]

@@ -1,0 +1,66 @@
+"""X.509-like certificate model.
+
+Only the handful of fields the Censys-style matcher (Section 4.2.2)
+consumes are modelled: the subject common name (the ``Name`` field in
+the paper's wording), the list of Subject Alternative Names, and a
+deterministic fingerprint so identical certificates deployed on many
+hosts can be grouped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.dns.names import matches_pattern, normalize, second_level_domain
+
+__all__ = ["Certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A leaf certificate as harvested by an internet-wide scanner."""
+
+    subject_cn: str
+    sans: Tuple[str, ...] = ()
+    issuer: str = "Simulated Root CA"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject_cn", normalize(self.subject_cn))
+        object.__setattr__(
+            self, "sans", tuple(normalize(san) for san in self.sans)
+        )
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """All names the certificate is valid for (CN plus SANs)."""
+        if self.subject_cn in self.sans:
+            return self.sans
+        return (self.subject_cn,) + self.sans
+
+    @property
+    def fingerprint(self) -> str:
+        """Deterministic SHA-256-style fingerprint of the certificate."""
+        digest = hashlib.sha256(
+            "|".join((self.issuer,) + self.names).encode()
+        ).hexdigest()
+        return digest
+
+    def covers(self, fqdn: str) -> bool:
+        """Whether the certificate is valid for ``fqdn`` (exact or
+        single-label wildcard match, per X.509 convention)."""
+        fqdn = normalize(fqdn)
+        return any(
+            matches_pattern(fqdn, name) if "*" in name else fqdn == name
+            for name in self.names
+        )
+
+    def slds(self) -> Tuple[str, ...]:
+        """Second-level domains appearing across the certificate names."""
+        seen = []
+        for name in self.names:
+            sld = second_level_domain(name.lstrip("*."))
+            if sld not in seen:
+                seen.append(sld)
+        return tuple(seen)

@@ -1,0 +1,117 @@
+"""Internet-wide scan dataset — the simulation's Censys.
+
+Censys scans the IPv4 space and records, per host and port, the
+presented certificate and a checksum of the service banner.  The
+Section 4.2.2 fallback queries this dataset in two steps: find the
+certificate presented by hosts of a known domain, then find *all* hosts
+presenting the same certificate and banner checksum.
+
+:class:`ScanDataset` is built directly from the simulated backend
+infrastructures, so its contents stay consistent with what the DNS and
+traffic layers see.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.tls.certificates import Certificate
+
+__all__ = ["ScannedHost", "ScanDataset"]
+
+
+@dataclass(frozen=True)
+class ScannedHost:
+    """One (address, port) service observed by the scanner."""
+
+    address: int
+    port: int
+    certificate: Optional[Certificate]
+    banner_checksum: str
+
+    @property
+    def https(self) -> bool:
+        return self.certificate is not None
+
+
+def banner_checksum(software: str, operator: str) -> str:
+    """Deterministic checksum of an HTTP(S) banner string."""
+    banner = f"Server: {software}; operator={operator}"
+    return hashlib.md5(banner.encode()).hexdigest()
+
+
+class ScanDataset:
+    """Queryable snapshot of an internet-wide TLS/banner scan."""
+
+    def __init__(self) -> None:
+        self._hosts: Dict[Tuple[int, int], ScannedHost] = {}
+        self._by_fingerprint: Dict[str, List[ScannedHost]] = {}
+
+    def add_host(self, host: ScannedHost) -> None:
+        """Record one scanned service endpoint."""
+        self._hosts[(host.address, host.port)] = host
+        if host.certificate is not None:
+            self._by_fingerprint.setdefault(
+                host.certificate.fingerprint, []
+            ).append(host)
+
+    def add_service(
+        self,
+        addresses: Iterable[int],
+        port: int,
+        certificate: Optional[Certificate],
+        software: str,
+        operator: str,
+    ) -> None:
+        """Record a service deployed identically across many addresses."""
+        checksum = banner_checksum(software, operator)
+        for address in addresses:
+            self.add_host(
+                ScannedHost(address, port, certificate, checksum)
+            )
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def host(self, address: int, port: int) -> Optional[ScannedHost]:
+        return self._hosts.get((address, port))
+
+    def services_on(self, address: int) -> List[ScannedHost]:
+        """All scanned services on one address."""
+        return [
+            host
+            for (host_address, _), host in self._hosts.items()
+            if host_address == address
+        ]
+
+    def hosts_with_certificate(
+        self, fingerprint: str
+    ) -> List[ScannedHost]:
+        """All hosts presenting a certificate with this fingerprint."""
+        return list(self._by_fingerprint.get(fingerprint, []))
+
+    def hosts_matching(
+        self, fingerprint: str, banner: str
+    ) -> List[ScannedHost]:
+        """Hosts presenting both the certificate *and* banner checksum —
+        the paper's joint Censys query."""
+        return [
+            host
+            for host in self._by_fingerprint.get(fingerprint, [])
+            if host.banner_checksum == banner
+        ]
+
+    def certificates_for_domain(self, fqdn: str) -> List[Certificate]:
+        """Certificates (deduplicated) observed anywhere that cover a
+        domain name."""
+        seen: Dict[str, Certificate] = {}
+        for hosts in self._by_fingerprint.values():
+            certificate = hosts[0].certificate
+            if certificate is not None and certificate.covers(fqdn):
+                seen[certificate.fingerprint] = certificate
+        return list(seen.values())
+
+    def __len__(self) -> int:
+        return len(self._hosts)

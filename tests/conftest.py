@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+The scenario, ground-truth capture and wild runs are expensive, so they
+are built once per session at a reduced scale and shared read-only
+across tests.  Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """A fully initialised experiment context at test scale."""
+    return ExperimentContext(seed=7, wild_subscribers=20_000, wild_days=3)
+
+
+@pytest.fixture(scope="session")
+def scenario(context):
+    return context.scenario
+
+
+@pytest.fixture(scope="session")
+def catalog(scenario):
+    return scenario.catalog
+
+
+@pytest.fixture(scope="session")
+def library(scenario):
+    return scenario.library
+
+
+@pytest.fixture(scope="session")
+def hitlist(context):
+    return context.hitlist
+
+
+@pytest.fixture(scope="session")
+def rules(context):
+    return context.rules
+
+
+@pytest.fixture(scope="session")
+def capture(context):
+    return context.capture
+
+
+@pytest.fixture(scope="session")
+def wild(context):
+    return context.wild
+
+
+@pytest.fixture(scope="session")
+def ixp_result(context):
+    return context.ixp
+
+
+@pytest.fixture(scope="session")
+def schedule(context):
+    return context.schedule

@@ -1,0 +1,156 @@
+"""Tests for repro.cloud.addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cloud.addressing import (
+    AddressAllocator,
+    ASRegistry,
+    AutonomousSystem,
+    Prefix,
+    ip_to_str,
+    str_to_ip,
+)
+
+
+class TestIpConversion:
+    def test_known_addresses(self):
+        assert ip_to_str(0x01020304) == "1.2.3.4"
+        assert str_to_ip("255.255.255.255") == 0xFFFFFFFF
+        assert str_to_ip("0.0.0.0") == 0
+
+    def test_reject_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            ip_to_str(1 << 32)
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+
+    def test_reject_bad_strings(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "1.2.3.256", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                str_to_ip(bad)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip(self, address):
+        assert str_to_ip(ip_to_str(address)) == address
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert str(prefix) == "10.1.0.0/16"
+        assert prefix.size == 65536
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(ValueError):
+            Prefix(str_to_ip("10.0.0.1"), 24)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix(0, 33)
+
+    def test_contains_boundaries(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        assert prefix.first in prefix
+        assert prefix.last in prefix
+        assert prefix.last + 1 not in prefix
+        assert prefix.first - 1 not in prefix
+
+    def test_parse_requires_length(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0")
+
+    def test_slash24(self):
+        prefix = Prefix.parse("10.0.0.0/16")
+        assert prefix.slash24(str_to_ip("10.0.3.7")) == str_to_ip(
+            "10.0.3.0"
+        )
+
+    def test_slash24_rejects_foreign_address(self):
+        prefix = Prefix.parse("10.0.0.0/24")
+        with pytest.raises(ValueError):
+            prefix.slash24(str_to_ip("11.0.0.1"))
+
+    def test_iteration_covers_size(self):
+        prefix = Prefix.parse("10.0.0.0/30")
+        assert len(list(prefix)) == 4
+
+    @given(st.integers(min_value=8, max_value=30))
+    def test_mask_has_length_leading_ones(self, length):
+        prefix = Prefix(0, length)
+        assert bin(prefix.mask).count("1") == length
+
+
+class TestAllocator:
+    def test_allocations_do_not_overlap(self):
+        allocator = AddressAllocator()
+        prefixes = [allocator.allocate(20) for _ in range(50)]
+        prefixes += [allocator.allocate(24) for _ in range(50)]
+        for index, first in enumerate(prefixes):
+            for second in prefixes[index + 1 :]:
+                assert (
+                    first.last < second.first
+                    or second.last < first.first
+                )
+
+    def test_allocations_avoid_reserved_space(self):
+        allocator = AddressAllocator()
+        for _ in range(200):
+            prefix = allocator.allocate(16)
+            for reserved in AddressAllocator._RESERVED:
+                assert (
+                    prefix.last < reserved.first
+                    or reserved.last < prefix.first
+                )
+
+    def test_rejects_tiny_lengths(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate(4)
+
+    def test_alignment(self):
+        allocator = AddressAllocator()
+        allocator.allocate(30)
+        prefix = allocator.allocate(16)
+        assert prefix.network % prefix.size == 0
+
+
+class TestRegistry:
+    def _registry(self):
+        registry = ASRegistry()
+        a = AutonomousSystem(1, "A", "eyeball")
+        a.announce(Prefix.parse("20.0.0.0/8"))
+        b = AutonomousSystem(2, "B", "cdn")
+        b.announce(Prefix.parse("20.1.0.0/16"))  # more specific
+        registry.register(a)
+        registry.register(b)
+        return registry
+
+    def test_longest_prefix_match(self):
+        registry = self._registry()
+        assert registry.lookup(str_to_ip("20.1.2.3")).asn == 2
+        assert registry.lookup(str_to_ip("20.2.2.3")).asn == 1
+
+    def test_lookup_miss(self):
+        registry = self._registry()
+        assert registry.lookup(str_to_ip("99.0.0.1")) is None
+
+    def test_duplicate_asn_rejected(self):
+        registry = self._registry()
+        with pytest.raises(ValueError):
+            registry.register(AutonomousSystem(1, "dup", "transit"))
+
+    def test_announce_unknown_asn_rejected(self):
+        registry = ASRegistry()
+        with pytest.raises(KeyError):
+            registry.announce(42, Prefix.parse("30.0.0.0/8"))
+
+    def test_iteration_and_len(self):
+        registry = self._registry()
+        assert len(registry) == 2
+        assert {a.asn for a in registry} == {1, 2}
+
+    def test_membership_via_as(self):
+        a = AutonomousSystem(9, "X", "transit")
+        a.announce(Prefix.parse("30.0.0.0/8"))
+        assert str_to_ip("30.1.2.3") in a
+        assert str_to_ip("31.1.2.3") not in a

@@ -1,0 +1,189 @@
+"""Tests for device behaviour and the experiment schedule."""
+
+import numpy as np
+import pytest
+
+from repro.devices.behavior import DeviceBehavior
+from repro.devices.testbed import (
+    TOTAL_INTERACTIONS,
+    ExperimentSchedule,
+    build_testbeds,
+)
+from repro.timeutil import (
+    ACTIVE_END,
+    ACTIVE_START,
+    IDLE_END,
+    IDLE_START,
+    SECONDS_PER_HOUR,
+)
+
+
+class TestBehavior:
+    @pytest.fixture
+    def behavior(self, library):
+        return DeviceBehavior(library.profile("Echo Dot"))
+
+    def test_idle_hour_near_expected_mean(self, behavior):
+        rng = np.random.default_rng(1)
+        totals = [
+            behavior.hour_traffic(rng, active=False).total_packets
+            for _ in range(50)
+        ]
+        expected = behavior.expected_hourly_packets(active=False)
+        assert abs(np.mean(totals) - expected) < expected * 0.2
+
+    def test_active_hour_exceeds_idle(self, behavior):
+        rng = np.random.default_rng(2)
+        idle = np.mean(
+            [
+                behavior.hour_traffic(rng, active=False).total_packets
+                for _ in range(30)
+            ]
+        )
+        active = np.mean(
+            [
+                behavior.hour_traffic(rng, active=True).total_packets
+                for _ in range(30)
+            ]
+        )
+        assert active > idle * 2
+
+    def test_power_interactions_add_burst(self, behavior):
+        rng = np.random.default_rng(3)
+        quiet = np.mean(
+            [
+                behavior.hour_traffic(rng, active=True).total_packets
+                for _ in range(30)
+            ]
+        )
+        bursty = np.mean(
+            [
+                behavior.hour_traffic(
+                    rng, active=True, power_interactions=3
+                ).total_packets
+                for _ in range(30)
+            ]
+        )
+        assert bursty > quiet + 2 * behavior.power_burst_packets
+
+    def test_startup_spike(self, behavior):
+        rng = np.random.default_rng(4)
+        normal = np.mean(
+            [
+                behavior.hour_traffic(rng, active=False).total_packets
+                for _ in range(30)
+            ]
+        )
+        startup = np.mean(
+            [
+                behavior.hour_traffic(
+                    rng, active=False, startup=True
+                ).total_packets
+                for _ in range(30)
+            ]
+        )
+        assert startup > normal
+
+    def test_active_only_domains_silent_when_idle(self, library):
+        behavior = DeviceBehavior(library.profile("Samsung TV"))
+        active_only = {
+            usage.fqdn
+            for usage in behavior.profile.usages
+            if usage.active_only
+        }
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            traffic = behavior.hour_traffic(
+                rng, active=False, startup=True, power_interactions=1
+            )
+            assert not active_only & set(traffic.packets)
+
+    def test_bytes_consistent_with_packets(self, behavior):
+        rng = np.random.default_rng(6)
+        traffic = behavior.hour_traffic(rng, active=True)
+        for fqdn, count in traffic.packets.items():
+            usage = behavior.profile.usage_for(fqdn)
+            assert traffic.bytes[fqdn] == count * usage.bytes_per_packet
+
+    def test_burst_scales_with_chattiness(self, library):
+        chatty = DeviceBehavior(library.profile("Echo Dot"))
+        quiet = DeviceBehavior(library.profile("Microseven Cam"))
+        assert chatty.power_burst_packets > quiet.power_burst_packets * 5
+
+    def test_flows_for_packets(self):
+        assert DeviceBehavior.flows_for_packets(0) == 0
+        assert DeviceBehavior.flows_for_packets(1) == 1
+        assert DeviceBehavior.flows_for_packets(90, 30.0) == 3
+
+
+class TestTestbeds:
+    def test_96_instances(self, catalog):
+        eu, us = build_testbeds(catalog)
+        assert len(eu) + len(us) == 96
+
+    def test_instances_match_product_deployments(self, catalog):
+        eu, us = build_testbeds(catalog)
+        by_product = {}
+        for instance in eu.devices + us.devices:
+            by_product.setdefault(instance.product_name, []).append(
+                instance.testbed
+            )
+        for product in catalog.products:
+            assert sorted(by_product[product.name]) == sorted(
+                product.testbeds
+            )
+
+    def test_device_ids_unique(self, catalog):
+        eu, us = build_testbeds(catalog)
+        ids = [i.device_id for i in eu.devices + us.devices]
+        assert len(ids) == len(set(ids))
+
+
+class TestSchedule:
+    def test_total_interactions(self, schedule):
+        assert schedule.total_interactions == TOTAL_INTERACTIONS
+
+    def test_idle_only_products_get_no_interactions(self, schedule, catalog):
+        idle_only_ids = {
+            instance.device_id
+            for instance in schedule.all_instances()
+            if catalog.product(instance.product_name).idle_only
+        }
+        for (device_id, _hour), (power, functional) in (
+            schedule._interaction_plan.items()
+        ):
+            assert device_id not in idle_only_ids
+
+    def test_schedule_covers_both_windows(self, schedule):
+        hours = {entry.hour_start for entry in schedule.iter_schedule()}
+        assert ACTIVE_START in hours
+        assert IDLE_START in hours
+        assert max(hours) == IDLE_END - SECONDS_PER_HOUR
+
+    def test_schedule_is_time_ordered(self, schedule):
+        previous = None
+        for entry in schedule.iter_schedule():
+            if previous is not None:
+                assert entry.hour_start >= previous
+            previous = entry.hour_start
+
+    def test_eu_testbed_starts_later(self, schedule):
+        eu_active = [
+            entry
+            for entry in schedule.iter_schedule()
+            if entry.instance.testbed == "eu" and entry.mode == "active"
+        ]
+        assert min(e.hour_start for e in eu_active) == (
+            ACTIVE_START
+            + schedule.testbed1_delay_hours * SECONDS_PER_HOUR
+        )
+
+    def test_every_device_scheduled_every_hour(self, schedule):
+        entries = list(schedule.iter_schedule())
+        hours = (ACTIVE_END - ACTIVE_START + IDLE_END - IDLE_START) // (
+            SECONDS_PER_HOUR
+        )
+        assert len(entries) == schedule.device_count * hours
+
+    def test_interactions_at_unknown_slot_is_zero(self, schedule):
+        assert schedule.interactions_at(10**6, ACTIVE_START) == (0, 0)

@@ -1,0 +1,158 @@
+"""Tests for the device catalog (Table 1 + Figure 10 structure)."""
+
+import pytest
+
+from repro.devices.catalog import (
+    CATEGORIES,
+    DetectionClassSpec,
+    DeviceCatalog,
+    LEVEL_MANUFACTURER,
+    LEVEL_PLATFORM,
+    LEVEL_PRODUCT,
+    ProductSpec,
+    default_catalog,
+)
+
+
+class TestPaperInventory:
+    def test_56_unique_products(self, catalog):
+        assert catalog.product_count == 56
+
+    def test_96_physical_devices(self, catalog):
+        assert catalog.device_count == 96
+
+    def test_40_manufacturers(self, catalog):
+        assert len(catalog.manufacturers) == 40
+
+    def test_37_detection_classes(self, catalog):
+        assert len(catalog.detection_classes) == 37
+
+    def test_level_split_6_20_11(self, catalog):
+        assert len(catalog.classes_at_level(LEVEL_PLATFORM)) == 6
+        assert len(catalog.classes_at_level(LEVEL_MANUFACTURER)) == 20
+        assert len(catalog.classes_at_level(LEVEL_PRODUCT)) == 11
+
+    def test_every_category_populated(self, catalog):
+        for category in CATEGORIES:
+            assert catalog.products_in_category(category)
+
+    def test_table1_category_sizes(self, catalog):
+        sizes = {
+            category: len(catalog.products_in_category(category))
+            for category in CATEGORIES
+        }
+        assert sizes == {
+            "Surveillance": 13,
+            "Smart Hubs": 8,
+            "Home Automation": 14,
+            "Video": 5,
+            "Audio": 6,
+            "Appliances": 10,
+        }
+
+    def test_idle_only_products_are_the_samsung_appliances(self, catalog):
+        idle_only = {
+            product.name
+            for product in catalog.products
+            if product.idle_only
+        }
+        assert idle_only == {"Samsung Dryer", "Samsung Fridge"}
+
+    def test_excluded_products_match_paper(self, catalog):
+        excluded = {p.name for p in catalog.excluded_products()}
+        assert excluded == {
+            "Apple TV",
+            "Google Home",
+            "Google Home Mini",
+            "LG TV",
+            "Lefun Cam",
+            "SwitchBot",
+            "WeMo Plug",
+            "Wink 2",
+        }
+
+    def test_manufacturer_coverage_near_77_percent(self, catalog):
+        assert 0.70 <= catalog.detected_manufacturer_coverage() <= 0.80
+
+
+class TestHierarchy:
+    def test_firetv_chain(self, catalog):
+        assert catalog.detection_class("Fire TV").parent == "Amazon Product"
+        assert (
+            catalog.detection_class("Amazon Product").parent
+            == "Alexa Enabled"
+        )
+        assert catalog.detection_class("Alexa Enabled").parent is None
+
+    def test_samsung_chain(self, catalog):
+        assert catalog.detection_class("Samsung TV").parent == "Samsung IoT"
+
+    def test_children_of(self, catalog):
+        children = {
+            spec.name for spec in catalog.children_of("Alexa Enabled")
+        }
+        assert children == {"Amazon Product"}
+
+    def test_platform_backends(self, catalog):
+        assert set(catalog.platforms()) == {
+            "avs", "tuya", "smarter", "magichome", "osram",
+        }
+
+    def test_classes_for_product(self, catalog):
+        classes = {
+            spec.name for spec in catalog.classes_for_product("Fire TV")
+        }
+        assert classes == {"Alexa Enabled", "Amazon Product", "Fire TV"}
+
+    def test_nine_single_domain_rules(self, catalog):
+        singles = [
+            spec
+            for spec in catalog.detection_classes
+            if spec.rule_domains == 1
+        ]
+        assert len(singles) == 9  # Figure 10's "1 Domain" group
+
+
+class TestLabels:
+    def test_label_abbreviations(self, catalog):
+        assert catalog.detection_class("Yi Camera").label == (
+            "Yi Camera(Man.)"
+        )
+        assert catalog.detection_class("Fire TV").label == "Fire TV(Pr.)"
+        assert catalog.detection_class("Smartlife").label == (
+            "Smartlife(Pl.)"
+        )
+
+
+class TestValidation:
+    def test_duplicate_product_rejected(self):
+        product = ProductSpec("X", "Video", "V", ("eu",))
+        with pytest.raises(ValueError):
+            DeviceCatalog([product, product], [])
+
+    def test_unknown_member_rejected(self):
+        spec = DetectionClassSpec(
+            name="C", level=LEVEL_PRODUCT, rule_domains=1,
+            member_products=("Ghost",),
+        )
+        with pytest.raises(ValueError):
+            DeviceCatalog([], [spec])
+
+    def test_unknown_parent_rejected(self):
+        product = ProductSpec("X", "Video", "V", ("eu",))
+        spec = DetectionClassSpec(
+            name="C", level=LEVEL_PRODUCT, rule_domains=1,
+            member_products=("X",), parent="Ghost",
+        )
+        with pytest.raises(ValueError):
+            DeviceCatalog([product], [spec])
+
+    def test_product_referencing_unknown_class_rejected(self):
+        product = ProductSpec(
+            "X", "Video", "V", ("eu",), detection_classes=("Ghost",)
+        )
+        with pytest.raises(ValueError):
+            DeviceCatalog([product], [])
+
+    def test_default_catalog_is_fresh_each_call(self):
+        assert default_catalog() is not default_catalog()

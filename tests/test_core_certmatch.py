@@ -1,0 +1,104 @@
+"""Tests for the Section 4.2.2 Censys certificate/banner fallback."""
+
+import pytest
+
+from repro.core.certmatch import (
+    certificate_is_specific,
+    recover_via_certificates,
+)
+from repro.tls.certificates import Certificate
+from repro.tls.scanner import ScanDataset, banner_checksum
+
+
+class TestCertificateIsSpecific:
+    def test_exact_single_name(self):
+        assert certificate_is_specific(
+            Certificate("c.deve.example"), "c.deve.example"
+        )
+
+    def test_same_sld_wildcard(self):
+        assert certificate_is_specific(
+            Certificate("*.deve.example"), "c.deve.example"
+        )
+
+    def test_foreign_san_rejected(self):
+        cert = Certificate(
+            "c.deve.example", sans=("c.deve.example", "other.example")
+        )
+        assert not certificate_is_specific(cert, "c.deve.example")
+
+    def test_sibling_name_in_same_sld_rejected(self):
+        # The paper requires "no other SAN"; an extra sibling name means
+        # the certificate is not specific to the queried domain.
+        cert = Certificate(
+            "c.deve.example", sans=("c.deve.example", "d.deve.example")
+        )
+        assert not certificate_is_specific(cert, "c.deve.example")
+
+    def test_non_covering_cert_rejected(self):
+        assert not certificate_is_specific(
+            Certificate("x.deve.example"), "c.deve.example"
+        )
+
+
+class TestRecovery:
+    @pytest.fixture
+    def scans(self):
+        scans = ScanDataset()
+        scans.add_service(
+            [500, 501], 443, Certificate("c.deve.example"),
+            software="iot/1.0", operator="DevE",
+        )
+        # A decoy deployment with the same cert but different banner
+        # must not be folded in.
+        scans.add_service(
+            [600], 443, Certificate("c.deve.example"),
+            software="reused-cert/0.1", operator="Mirror",
+        )
+        return scans
+
+    def test_recovers_matching_hosts_only(self, scans):
+        recovery = recover_via_certificates(
+            "c.deve.example", scans, uses_https=True
+        )
+        assert recovery is not None
+        assert recovery.addresses == (500, 501)
+
+    def test_requires_https(self, scans):
+        assert recover_via_certificates(
+            "c.deve.example", scans, uses_https=False
+        ) is None
+
+    def test_unknown_domain(self, scans):
+        assert recover_via_certificates(
+            "ghost.example", scans, uses_https=True
+        ) is None
+
+    def test_multi_san_cdn_cert_not_used(self):
+        scans = ScanDataset()
+        scans.add_service(
+            [700], 443,
+            Certificate(
+                "edge.cdn.example",
+                sans=("a.example", "b.example", "c.deve.example"),
+            ),
+            software="cdn/2", operator="CDN",
+        )
+        assert recover_via_certificates(
+            "c.deve.example", scans, uses_https=True
+        ) is None
+
+
+class TestOnScenario:
+    def test_paper_recovery_counts(self, hitlist):
+        assert len(hitlist.recoveries) == 8
+        assert hitlist.report.censys_recovered_products == 5
+
+    def test_recovered_addresses_match_hosting(self, scenario, hitlist):
+        from repro.dns.names import second_level_domain
+
+        for fqdn, recovery in hitlist.recoveries.items():
+            cluster = scenario.clusters[second_level_domain(fqdn)]
+            assert set(recovery.addresses) == set(
+                cluster.slice_for(fqdn)
+            )

@@ -1,0 +1,233 @@
+"""Tests for flow-level and windowed detection."""
+
+import pytest
+
+from repro.core.detector import (
+    FlowDetector,
+    WindowedDetector,
+    anonymize_subscriber,
+)
+from repro.ixp.fabric import make_spoofed_flows
+from repro.netflow.records import (
+    FlowKey,
+    FlowRecord,
+    PROTO_TCP,
+    TCP_ACK,
+    TCP_SYN,
+)
+from repro.timeutil import SECONDS_PER_HOUR, STUDY_START
+
+
+def _flow_to(hitlist, fqdn, when, flags=TCP_ACK, day=0):
+    port = hitlist.domain_ports[fqdn][0]
+    endpoints = hitlist.endpoints_for_day(day)
+    address = next(
+        addr
+        for (addr, p), name in endpoints.items()
+        if name == fqdn and p == port
+    )
+    return FlowRecord(
+        key=FlowKey(0x12345678, address, PROTO_TCP, 50000, port),
+        first_switched=when,
+        last_switched=when + 10,
+        packets=1,
+        bytes=100,
+        tcp_flags=flags,
+    )
+
+
+class TestAnonymization:
+    def test_stable(self):
+        assert anonymize_subscriber(42) == anonymize_subscriber(42)
+
+    def test_distinct(self):
+        assert anonymize_subscriber(1) != anonymize_subscriber(2)
+
+    def test_salted(self):
+        assert anonymize_subscriber(1, "a") != anonymize_subscriber(1, "b")
+
+    def test_raw_identifier_not_in_output(self):
+        assert "424242" not in anonymize_subscriber(424242)
+
+
+class TestFlowDetector:
+    def test_single_domain_class_detects_from_one_flow(
+        self, rules, hitlist
+    ):
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        matched = detector.observe_flow(
+            7, _flow_to(hitlist, fqdn, STUDY_START + 100)
+        )
+        assert matched == fqdn
+        detections = detector.detections()
+        assert any(
+            d.class_name == "Netatmo Weather St." for d in detections
+        )
+
+    def test_unknown_endpoint_ignored(self, rules, hitlist):
+        detector = FlowDetector(rules, hitlist)
+        flow = FlowRecord(
+            key=FlowKey(1, 2, PROTO_TCP, 50000, 443),
+            first_switched=STUDY_START,
+            last_switched=STUDY_START,
+            packets=1,
+            bytes=100,
+            tcp_flags=TCP_ACK,
+        )
+        assert detector.observe_flow(7, flow) is None
+        assert detector.detections() == []
+
+    def test_multi_domain_class_needs_enough_evidence(
+        self, rules, hitlist
+    ):
+        rule = rules.rule("Samsung IoT")
+        needed = rule.required_domains(0.4)
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        # Feed one domain short of the requirement (always incl. critical).
+        fqdns = list(rule.critical) + [
+            f for f in rule.domains if f not in rule.critical
+        ]
+        for index, fqdn in enumerate(fqdns[: needed - 1]):
+            detector.observe_flow(
+                7, _flow_to(hitlist, fqdn, STUDY_START + index)
+            )
+        assert not any(
+            d.class_name == "Samsung IoT" for d in detector.detections()
+        )
+        detector.observe_flow(
+            7, _flow_to(hitlist, fqdns[needed - 1], STUDY_START + 99)
+        )
+        assert any(
+            d.class_name == "Samsung IoT" for d in detector.detections()
+        )
+
+    def test_critical_domain_gates_detection(self, rules, hitlist):
+        rule = rules.rule("Samsung IoT")
+        non_critical = [
+            f for f in rule.domains if f not in rule.critical
+        ]
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        for index, fqdn in enumerate(non_critical):
+            detector.observe_flow(
+                7, _flow_to(hitlist, fqdn, STUDY_START + index)
+            )
+        assert not any(
+            d.class_name == "Samsung IoT" for d in detector.detections()
+        )
+
+    def test_detection_time_is_when_rule_completes(self, rules, hitlist):
+        rule = rules.rule("Smartthings Dev.")  # 2 domains
+        detector = FlowDetector(rules, hitlist, threshold=1.0)
+        detector.observe_flow(
+            7, _flow_to(hitlist, rule.domains[0], STUDY_START + 10)
+        )
+        detector.observe_flow(
+            7, _flow_to(hitlist, rule.domains[1], STUDY_START + 500)
+        )
+        detection = next(
+            d
+            for d in detector.detections()
+            if d.class_name == "Smartthings Dev."
+        )
+        assert detection.detected_at == STUDY_START + 500
+
+    def test_hierarchy_gates_child(self, rules, hitlist):
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        firetv = rules.rule("Fire TV")
+        for index, fqdn in enumerate(firetv.domains):
+            detector.observe_flow(
+                7, _flow_to(hitlist, fqdn, STUDY_START + index)
+            )
+        names = {d.class_name for d in detector.detections()}
+        assert "Fire TV" not in names  # parents unsatisfied
+
+    def test_spoofing_filter(self, rules, hitlist):
+        detector = FlowDetector(
+            rules, hitlist, threshold=0.4, require_established=True
+        )
+        for flow in make_spoofed_flows(hitlist, 200):
+            detector.observe_flow(flow.src_ip, flow)
+        assert detector.detections() == []
+        assert detector.flows_rejected_spoof == 200
+
+    def test_established_flows_pass_filter(self, rules, hitlist):
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        detector = FlowDetector(
+            rules, hitlist, threshold=0.4, require_established=True
+        )
+        detector.observe_flow(
+            7, _flow_to(hitlist, fqdn, STUDY_START, flags=TCP_ACK)
+        )
+        assert detector.detections()
+
+    def test_subscribers_kept_separate(self, rules, hitlist):
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        detector.observe_flow(1, _flow_to(hitlist, fqdn, STUDY_START))
+        detector.observe_flow(2, _flow_to(hitlist, fqdn, STUDY_START))
+        subscribers = {
+            d.subscriber
+            for d in detector.detections()
+            if d.class_name == "Netatmo Weather St."
+        }
+        assert len(subscribers) == 2
+
+
+class TestWindowedDetector:
+    def test_evidence_does_not_leak_across_windows(self, rules, hitlist):
+        rule = rules.rule("Smartthings Dev.")
+        detector = WindowedDetector(
+            rules, hitlist, window_seconds=SECONDS_PER_HOUR, threshold=1.0
+        )
+        detector.observe_evidence(7, rule.domains[0], STUDY_START + 10)
+        detector.observe_evidence(
+            7, rule.domains[1], STUDY_START + SECONDS_PER_HOUR + 10
+        )
+        assert detector.detections_in_window(0) == {}
+        assert detector.detections_in_window(1) == {}
+
+    def test_detection_within_one_window(self, rules, hitlist):
+        rule = rules.rule("Smartthings Dev.")
+        detector = WindowedDetector(
+            rules, hitlist, window_seconds=SECONDS_PER_HOUR, threshold=1.0
+        )
+        for fqdn in rule.domains:
+            detector.observe_evidence(7, fqdn, STUDY_START + 10)
+        detected = detector.detections_in_window(0)
+        assert "Smartthings Dev." in detected
+
+    def test_daily_window_aggregates_hours(self, rules, hitlist):
+        rule = rules.rule("Smartthings Dev.")
+        detector = WindowedDetector(
+            rules, hitlist, window_seconds=24 * SECONDS_PER_HOUR,
+            threshold=1.0,
+        )
+        detector.observe_evidence(7, rule.domains[0], STUDY_START + 10)
+        detector.observe_evidence(
+            7, rule.domains[1], STUDY_START + 5 * SECONDS_PER_HOUR
+        )
+        assert "Smartthings Dev." in detector.detections_in_window(0)
+
+    def test_counts_per_window(self, rules, hitlist):
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        detector = WindowedDetector(
+            rules, hitlist, window_seconds=SECONDS_PER_HOUR
+        )
+        for subscriber in range(5):
+            detector.observe_evidence(subscriber, fqdn, STUDY_START + 1)
+        counts = detector.counts_per_window()
+        assert counts[0]["Netatmo Weather St."] == 5
+
+    def test_observe_flow_path(self, rules, hitlist):
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        detector = WindowedDetector(
+            rules, hitlist, window_seconds=SECONDS_PER_HOUR
+        )
+        assert detector.observe_flow(
+            7, _flow_to(hitlist, fqdn, STUDY_START + 5)
+        ) == fqdn
+
+    def test_rejects_nonpositive_window(self, rules, hitlist):
+        with pytest.raises(ValueError):
+            WindowedDetector(rules, hitlist, window_seconds=0)

@@ -1,0 +1,119 @@
+"""Tests for Section 4.1 domain classification."""
+
+import pytest
+
+from repro.core.domains import (
+    ROLE_GENERIC,
+    ROLE_PRIMARY,
+    ROLE_SUPPORT,
+    classify_domain,
+    classify_domains,
+)
+from repro.scenario import WhoisRegistry
+
+
+@pytest.fixture
+def whois():
+    whois = WhoisRegistry()
+    whois.register("vendor.example", "Vendor", "iot_vendor")
+    whois.register("tuya.example", "Tuya", "iot_platform")
+    whois.register("whisk.example", "Whisk", "third_party")
+    whois.register("pool.example", "NTP Pool", "generic")
+    whois.register("cdnsim.example", "CdnSim", "cdn")
+    whois.register("cloudsim.example", "CloudSim", "cloud")
+    return whois
+
+
+_SLUGS = {"vendor", "samsung"}
+
+
+class TestClassifyDomain:
+    def test_vendor_registrant_is_primary(self, whois):
+        verdict = classify_domain(
+            "api.vendor.example", whois, _SLUGS, True
+        )
+        assert verdict.role == ROLE_PRIMARY
+        assert verdict.registrant == "Vendor"
+
+    def test_platform_registrant_is_primary(self, whois):
+        assert classify_domain(
+            "m1.tuya.example", whois, _SLUGS, True
+        ).role == ROLE_PRIMARY
+
+    def test_generic_kinds_are_generic(self, whois):
+        for fqdn in (
+            "ntp1.pool.example",
+            "edge.cdnsim.example",
+            "vm.cloudsim.example",
+        ):
+            assert classify_domain(
+                fqdn, whois, _SLUGS, True
+            ).role == ROLE_GENERIC
+
+    def test_vendor_tagged_third_party_is_support(self, whois):
+        verdict = classify_domain(
+            "samsung-recipes.whisk.example", whois, _SLUGS, False
+        )
+        assert verdict.role == ROLE_SUPPORT
+
+    def test_untagged_third_party_with_iot_only_traffic_is_support(
+        self, whois
+    ):
+        assert classify_domain(
+            "api.whisk.example", whois, _SLUGS, True
+        ).role == ROLE_SUPPORT
+
+    def test_untagged_third_party_with_mixed_traffic_is_generic(
+        self, whois
+    ):
+        assert classify_domain(
+            "api.whisk.example", whois, _SLUGS, False
+        ).role == ROLE_GENERIC
+
+    def test_unknown_registrant_with_iot_only_traffic(self, whois):
+        assert classify_domain(
+            "api.mystery.example", whois, _SLUGS, True
+        ).role == ROLE_SUPPORT
+
+    def test_unknown_registrant_with_mixed_traffic(self, whois):
+        assert classify_domain(
+            "api.mystery.example", whois, _SLUGS, False
+        ).role == ROLE_GENERIC
+
+    def test_vendor_tag_requires_label_boundary(self, whois):
+        # "samsungish" must not count as a samsung tag
+        verdict = classify_domain(
+            "samsungish.whisk.example", whois, _SLUGS, False
+        )
+        assert verdict.role == ROLE_GENERIC
+
+
+class TestClassifyDomains:
+    def test_bulk_defaults_to_iot_only(self, whois):
+        verdicts = classify_domains(
+            ["api.vendor.example", "api.whisk.example"],
+            whois,
+            ["Vendor"],
+        )
+        assert verdicts["api.vendor.example"].role == ROLE_PRIMARY
+        assert verdicts["api.whisk.example"].role == ROLE_SUPPORT
+
+    def test_iot_only_set_respected(self, whois):
+        verdicts = classify_domains(
+            ["api.whisk.example"],
+            whois,
+            ["Vendor"],
+            iot_only_domains=set(),
+        )
+        assert verdicts["api.whisk.example"].role == ROLE_GENERIC
+
+
+class TestOnScenario:
+    def test_generic_profile_domains_classified_generic(
+        self, scenario, hitlist
+    ):
+        for fqdn, spec in scenario.library.domains.items():
+            verdict = hitlist.classifications.get(fqdn)
+            if verdict is None:
+                continue  # not contacted in ground truth
+            assert verdict.role == spec.role_hint, fqdn

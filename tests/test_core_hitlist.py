@@ -1,0 +1,139 @@
+"""Tests for the hitlist pipeline (Sections 4.1-4.2 / Figure 7)."""
+
+import pytest
+
+from repro.core.hitlist import (
+    GroundTruthObservations,
+    build_hitlist,
+)
+from repro.timeutil import STUDY_DAYS, STUDY_START, day_index
+
+
+class TestObservations:
+    def test_from_library_covers_contacted_domains(self, scenario):
+        observations = GroundTruthObservations.from_library(
+            scenario.library
+        )
+        assert len(observations) == len(
+            scenario.library.contacted_domains()
+        )
+
+    def test_from_traffic(self):
+        observations = GroundTruthObservations.from_traffic(
+            [
+                ("Echo Dot", "a.example", 443, 10.0),
+                ("Echo Dot", "a.example", 443, 5.0),
+                ("Yi Cam", "b.example", 80, 1.0),
+            ]
+        )
+        assert len(observations) == 2
+        first = observations.observation("a.example")
+        assert first.total_packets == 15.0
+        assert first.products == {"Echo Dot"}
+        assert observations.products_seen() == {"Echo Dot", "Yi Cam"}
+
+    def test_uses_https(self):
+        observations = GroundTruthObservations.from_traffic(
+            [("X", "a.example", 8883, 1.0)]
+        )
+        assert not observations.observation("a.example").uses_https
+
+
+class TestPipelineReport:
+    def test_paper_shaped_counts(self, hitlist):
+        report = hitlist.report
+        assert report.observed_domains == (
+            report.primary_domains
+            + report.support_domains
+            + report.generic_domains
+        )
+        assert report.iot_specific_domains == (
+            report.dedicated_domains
+            + report.shared_domains
+            + report.no_record_domains
+        )
+        assert report.support_domains == 19
+        assert report.generic_domains == 90
+        assert report.no_record_domains in (14, 15)
+        assert report.censys_recovered_domains == 8
+
+    def test_excluded_products_match_paper(self, hitlist):
+        assert set(hitlist.report.excluded_products) == {
+            "Apple TV",
+            "Google Home",
+            "Google Home Mini",
+            "LG TV",
+            "Lefun Cam",
+            "SwitchBot",
+            "WeMo Plug",
+            "Wink 2",
+        }
+
+    def test_all_37_classes_survive(self, hitlist, catalog):
+        assert set(hitlist.report.surviving_classes) == {
+            spec.name for spec in catalog.detection_classes
+        }
+        assert hitlist.report.dropped_classes == ()
+
+
+class TestHitlistStructure:
+    def test_class_domains_match_library(self, hitlist, scenario):
+        for class_name, fqdns in hitlist.class_domains.items():
+            expected = [
+                fqdn
+                for fqdn in scenario.library.rule_domains[class_name]
+            ]
+            assert list(fqdns) == expected
+
+    def test_daily_endpoints_cover_study(self, hitlist):
+        assert set(hitlist.daily_endpoints) == set(range(STUDY_DAYS))
+        for endpoints in hitlist.daily_endpoints.values():
+            assert endpoints
+
+    def test_lookup_known_endpoint(self, hitlist):
+        day = 0
+        (address, port), fqdn = next(
+            iter(hitlist.endpoints_for_day(day).items())
+        )
+        assert hitlist.lookup(day, address, port) == fqdn
+
+    def test_lookup_unknown_endpoint(self, hitlist):
+        assert hitlist.lookup(0, 1, 1) is None
+        assert hitlist.lookup(999, 1, 1) is None
+
+    def test_domain_classes_inverse_mapping(self, hitlist):
+        for fqdn, classes in hitlist.domain_classes.items():
+            for class_name in classes:
+                assert fqdn in hitlist.class_domains[class_name]
+
+    def test_endpoints_only_reference_hitlist_domains(self, hitlist):
+        for endpoints in hitlist.daily_endpoints.values():
+            for fqdn in endpoints.values():
+                assert fqdn in hitlist.domain_classes
+
+    def test_recovered_domains_present_every_day(self, hitlist):
+        for fqdn, recovery in hitlist.recoveries.items():
+            if fqdn not in hitlist.domain_classes:
+                continue
+            port = hitlist.domain_ports[fqdn][0]
+            for day in hitlist.daily_endpoints:
+                assert any(
+                    hitlist.lookup(day, address, port) == fqdn
+                    for address in recovery.addresses
+                )
+
+
+class TestThresholdSensitivity:
+    def test_lenient_threshold_keeps_lg(self, scenario):
+        lenient = build_hitlist(
+            scenario, dedicated_traffic_threshold=0.01
+        )
+        assert "LG TV" not in lenient.report.excluded_products
+
+    def test_strict_threshold_drops_more(self, scenario, hitlist):
+        strict = build_hitlist(
+            scenario, dedicated_traffic_threshold=0.9
+        )
+        assert set(strict.report.excluded_products) >= set(
+            hitlist.report.excluded_products
+        )

@@ -1,0 +1,132 @@
+"""Tests for Section 4.2.1 dedicated/shared classification."""
+
+import pytest
+
+from repro.core.infra import (
+    INFRA_DEDICATED,
+    INFRA_NO_RECORD,
+    INFRA_SHARED,
+    address_is_exclusive,
+    classify_infrastructure,
+)
+from repro.dns.dnsdb import PassiveDnsDatabase
+from repro.dns.zone import ResourceRecord
+from repro.timeutil import SECONDS_PER_DAY, STUDY_END, STUDY_START
+
+
+def _a(rrname, rdata):
+    return ResourceRecord(rrname, "A", rdata, 300)
+
+
+def _cname(rrname, target):
+    return ResourceRecord(rrname, "CNAME", target, 3600)
+
+
+class TestSynthetic:
+    def test_dedicated_domain(self):
+        db = PassiveDnsDatabase()
+        db.ingest([_a("api.vendor.example", "60.0.0.1")], STUDY_START + 10)
+        verdict = classify_infrastructure(
+            "api.vendor.example", db, STUDY_START,
+            STUDY_START + SECONDS_PER_DAY,
+        )
+        assert verdict.status == INFRA_DEDICATED
+        assert verdict.addresses
+
+    def test_shared_when_foreign_sld_on_address(self):
+        db = PassiveDnsDatabase()
+        db.ingest([_a("api.vendor.example", "60.0.0.1")], STUDY_START + 10)
+        db.ingest([_a("www.other.example", "60.0.0.1")], STUDY_START + 20)
+        verdict = classify_infrastructure(
+            "api.vendor.example", db, STUDY_START,
+            STUDY_START + SECONDS_PER_DAY,
+        )
+        assert verdict.status == INFRA_SHARED
+        assert verdict.shared_addresses
+
+    def test_one_bad_day_demotes_to_shared(self):
+        db = PassiveDnsDatabase()
+        db.ingest([_a("api.vendor.example", "60.0.0.1")], STUDY_START + 10)
+        # day 2: the address also serves someone else
+        later = STUDY_START + SECONDS_PER_DAY + 10
+        db.ingest([_a("api.vendor.example", "60.0.0.1")], later)
+        db.ingest([_a("www.other.example", "60.0.0.1")], later + 5)
+        verdict = classify_infrastructure(
+            "api.vendor.example", db, STUDY_START,
+            STUDY_START + 2 * SECONDS_PER_DAY,
+        )
+        assert verdict.status == INFRA_SHARED
+
+    def test_cloud_vm_cname_is_dedicated(self):
+        db = PassiveDnsDatabase()
+        db.ingest(
+            [
+                _cname("dev.vendor.example", "dev.compute.cloud.example"),
+                _a("dev.compute.cloud.example", "61.0.0.9"),
+            ],
+            STUDY_START + 10,
+        )
+        verdict = classify_infrastructure(
+            "dev.vendor.example", db, STUDY_START,
+            STUDY_START + SECONDS_PER_DAY,
+        )
+        assert verdict.status == INFRA_DEDICATED
+
+    def test_no_record(self):
+        db = PassiveDnsDatabase()
+        verdict = classify_infrastructure(
+            "ghost.vendor.example", db, STUDY_START, STUDY_END
+        )
+        assert verdict.status == INFRA_NO_RECORD
+        assert verdict.addresses == ()
+
+    def test_daily_addresses_recorded(self):
+        db = PassiveDnsDatabase()
+        db.ingest([_a("api.vendor.example", "60.0.0.1")], STUDY_START + 10)
+        db.ingest(
+            [_a("api.vendor.example", "60.0.0.2")],
+            STUDY_START + SECONDS_PER_DAY + 10,
+        )
+        verdict = classify_infrastructure(
+            "api.vendor.example", db, STUDY_START,
+            STUDY_START + 2 * SECONDS_PER_DAY,
+        )
+        assert len(verdict.daily_addresses) == 2
+        day0, day1 = verdict.daily_addresses
+        assert day0[1] != day1[1]
+
+    def test_address_is_exclusive(self):
+        db = PassiveDnsDatabase()
+        db.ingest([_a("a.vendor.example", "60.0.0.1")], STUDY_START)
+        assert address_is_exclusive(
+            db, 0x3C000001, "vendor.example", STUDY_START - 10,
+            STUDY_START + 10,
+        )
+        assert not address_is_exclusive(
+            db, 0x3C000001, "other.example", STUDY_START - 10,
+            STUDY_START + 10,
+        )
+
+
+class TestOnScenario:
+    def test_rule_domains_classified_dedicated(self, scenario, hitlist):
+        for class_name, fqdns in scenario.library.rule_domains.items():
+            for fqdn in fqdns:
+                spec = scenario.library.domain(fqdn)
+                verdict = hitlist.verdicts.get(fqdn)
+                if verdict is None:
+                    continue
+                if spec.dnsdb_gap:
+                    assert verdict.status == INFRA_NO_RECORD
+                else:
+                    assert verdict.status == INFRA_DEDICATED, fqdn
+
+    def test_cdn_hosted_domains_classified_shared(self, scenario, hitlist):
+        checked = 0
+        for fqdn, verdict in hitlist.verdicts.items():
+            spec = scenario.library.domains.get(fqdn)
+            if spec is None or spec.hosting != "cdn":
+                continue
+            assert verdict.status == INFRA_SHARED, fqdn
+            checked += 1
+        assert checked > 50

@@ -1,0 +1,127 @@
+"""Tests for the counter-detection defenses and their evaluation."""
+
+import pytest
+
+from repro.devices.defenses import (
+    apply_defense,
+    front_through_cdn,
+    pad_with_cover_traffic,
+    throttle_rule_domains,
+)
+from repro.experiments import defense_eval
+
+
+class TestPadding:
+    def test_adds_cover_domains(self, library):
+        base = library.profile("Yi Cam")
+        padded = pad_with_cover_traffic(base, cover_pph=400)
+        added = set(padded.domains()) - set(base.domains())
+        assert added
+        assert all("example" in fqdn for fqdn in added)
+
+    def test_rule_domain_rates_untouched(self, library):
+        base = library.profile("Yi Cam")
+        padded = pad_with_cover_traffic(base)
+        for fqdn in library.rule_domains["Yi Camera"]:
+            assert padded.usage_for(fqdn) == base.usage_for(fqdn)
+
+    def test_negative_rate_rejected(self, library):
+        with pytest.raises(ValueError):
+            pad_with_cover_traffic(
+                library.profile("Yi Cam"), cover_pph=-1
+            )
+
+
+class TestThrottle:
+    def test_divides_monitored_rates(self, library):
+        base = library.profile("Yi Cam")
+        slowed = throttle_rule_domains(base, library, factor=4)
+        for fqdn in library.rule_domains["Yi Camera"]:
+            assert slowed.usage_for(fqdn).idle_pph == pytest.approx(
+                base.usage_for(fqdn).idle_pph / 4
+            )
+
+    def test_generic_traffic_untouched(self, library):
+        base = library.profile("Yi Cam")
+        slowed = throttle_rule_domains(base, library, factor=4)
+        monitored = {
+            fqdn
+            for fqdns in library.rule_domains.values()
+            for fqdn in fqdns
+        }
+        for usage in base.usages:
+            if usage.fqdn not in monitored:
+                assert slowed.usage_for(usage.fqdn) == usage
+
+    def test_factor_below_one_rejected(self, library):
+        with pytest.raises(ValueError):
+            throttle_rule_domains(
+                library.profile("Yi Cam"), library, factor=0.5
+            )
+
+
+class TestFronting:
+    def test_removes_all_monitored_domains(self, library):
+        base = library.profile("Echo Dot")
+        fronted = front_through_cdn(base, library)
+        monitored = {
+            fqdn
+            for fqdns in library.rule_domains.values()
+            for fqdn in fqdns
+        }
+        assert not monitored & set(fronted.domains())
+
+    def test_volume_conserved_on_front_domain(self, library):
+        base = library.profile("Echo Dot")
+        fronted = front_through_cdn(base, library)
+        monitored = {
+            fqdn
+            for fqdns in library.rule_domains.values()
+            for fqdn in fqdns
+        }
+        moved = sum(
+            usage.idle_pph
+            for usage in base.usages
+            if usage.fqdn in monitored
+        )
+        assert fronted.usage_for(
+            "videocdn.example"
+        ).idle_pph >= moved
+
+    def test_apply_defense_dispatch(self, library):
+        base = library.profile("Yi Cam")
+        assert apply_defense("padding", base, library) is not None
+        assert apply_defense("throttle", base, library) is not None
+        assert apply_defense("fronting", base, library) is not None
+        with pytest.raises(ValueError):
+            apply_defense("tinfoil", base, library)
+
+
+class TestDefenseEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return defense_eval.run(
+            context, product="Yi Cam", hours=36, trials=3
+        )
+
+    def test_baseline_detected(self, result):
+        assert result.detection_hours["none"] is not None
+
+    def test_padding_does_not_help(self, result):
+        baseline = result.detection_hours["none"]
+        padded = result.detection_hours["padding"]
+        assert padded is not None
+        assert padded <= baseline + 2.0  # no meaningful delay
+
+    def test_throttle_delays_detection(self, result):
+        baseline = result.detection_hours["none"]
+        throttled = result.detection_hours["throttle"]
+        assert throttled is None or throttled > baseline
+
+    def test_fronting_defeats_detection(self, result):
+        assert result.detection_hours["fronting"] is None
+
+    def test_render(self, result):
+        out = defense_eval.render(result)
+        assert "Defense evaluation" in out
+        assert "never" in out

@@ -1,0 +1,116 @@
+"""Tests for repro.dns.names."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import names
+
+
+_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,8}[a-z0-9])?", fullmatch=True)
+_domain = st.lists(_label, min_size=2, max_size=5).map(".".join)
+
+
+class TestNormalize:
+    def test_lowercase_and_trailing_dot(self):
+        assert names.normalize("API.Vendor.Example.") == "api.vendor.example"
+
+    def test_strips_whitespace(self):
+        assert names.normalize("  a.example ") == "a.example"
+
+    @given(_domain)
+    def test_idempotent(self, name):
+        assert names.normalize(names.normalize(name)) == names.normalize(
+            name
+        )
+
+
+class TestLabels:
+    def test_root_first(self):
+        assert names.labels("a.b.example") == ("example", "b", "a")
+
+    def test_empty(self):
+        assert names.labels("") == ()
+
+
+class TestValidate:
+    def test_accepts_normal_names(self):
+        names.validate("avs-alexa.na.amazon.example")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            names.validate("")
+
+    def test_rejects_bad_label(self):
+        with pytest.raises(ValueError):
+            names.validate("-bad.example")
+
+    def test_rejects_overlong(self):
+        with pytest.raises(ValueError):
+            names.validate(".".join(["a" * 40] * 8))
+
+
+class TestSecondLevelDomain:
+    def test_plain(self):
+        assert names.second_level_domain("api.eu.vendor.example") == (
+            "vendor.example"
+        )
+
+    def test_two_label_suffix(self):
+        assert names.second_level_domain("shop.vendor.co.uk") == (
+            "vendor.co.uk"
+        )
+
+    def test_exact_suffix_is_returned_as_is(self):
+        assert names.second_level_domain("co.uk") == "co.uk"
+
+    def test_single_label(self):
+        assert names.second_level_domain("localhost") == "localhost"
+
+    @given(_domain)
+    def test_sld_is_suffix_of_name(self, name):
+        sld = names.second_level_domain(name)
+        assert names.normalize(name).endswith(sld)
+
+    @given(_domain)
+    def test_name_is_subdomain_of_its_sld(self, name):
+        assert names.is_subdomain(name, names.second_level_domain(name))
+
+
+class TestIsSubdomain:
+    def test_self(self):
+        assert names.is_subdomain("vendor.example", "vendor.example")
+
+    def test_child(self):
+        assert names.is_subdomain("a.b.vendor.example", "vendor.example")
+
+    def test_sibling_prefix_not_subdomain(self):
+        assert not names.is_subdomain("evilvendor.example", "vendor.example")
+
+    def test_parent_not_subdomain_of_child(self):
+        assert not names.is_subdomain("vendor.example", "a.vendor.example")
+
+
+class TestMatchesPattern:
+    def test_wildcard_single_label(self):
+        assert names.matches_pattern("a.vendor.example", "*.vendor.example")
+
+    def test_wildcard_does_not_cross_labels(self):
+        assert not names.matches_pattern(
+            "a.b.vendor.example", "*.vendor.example"
+        )
+
+    def test_interior_wildcard(self):
+        assert names.matches_pattern(
+            "avs-alexa.na.amazon.example", "avs-alexa.*.amazon.example"
+        )
+
+    def test_exact_match_without_wildcard(self):
+        assert names.matches_pattern("a.example", "a.example")
+        assert not names.matches_pattern("b.example", "a.example")
+
+    def test_case_insensitive(self):
+        assert names.matches_pattern("A.Vendor.Example", "*.vendor.example")
+
+    @given(_domain)
+    def test_name_matches_itself(self, name):
+        assert names.matches_pattern(name, name)

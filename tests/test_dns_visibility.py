@@ -1,0 +1,66 @@
+"""Tests for the §7.4 DNS-visibility what-if experiment."""
+
+import pytest
+
+from repro.experiments import dns_visibility
+
+
+@pytest.fixture(scope="module")
+def result(context):
+    return dns_visibility.run(context)
+
+
+class TestDnsVisibility:
+    def test_dns_detects_superset(self, result):
+        assert set(result.flow_times) <= set(result.dns_times)
+
+    def test_dns_never_slower(self, result):
+        for class_name, hours in result.flow_times.items():
+            assert result.dns_times[class_name] <= hours + 1e-9
+
+    def test_dns_recovers_laconic_classes(self, result):
+        """Classes invisible to sampled flows in idle (the §5
+        not-detected set) become detectable from DNS queries, except
+        those gated on active-only domains."""
+        gained = set(result.dns_times) - set(result.flow_times)
+        assert gained  # DNS evidence finds classes flows miss
+        assert "Samsung TV" not in result.dns_times  # hierarchy gate
+
+    def test_median_improves(self, result):
+        assert result.median_time("dns") <= result.median_time("flows")
+
+    def test_render(self, result):
+        out = dns_visibility.render(result)
+        assert "DNS visibility" in out
+
+
+class TestScorecard:
+    @pytest.fixture(scope="class")
+    def score(self, context):
+        from repro.experiments import scorecard
+
+        return scorecard.run(context)
+
+    def test_majority_of_metrics_reproduced(self, score):
+        assert score.reproduced_fraction >= 0.75
+
+    def test_no_divergent_metrics(self, score):
+        from repro.experiments.scorecard import GRADE_DIVERGENT
+
+        assert score.count(GRADE_DIVERGENT) == 0
+
+    def test_inventory_metrics_exact(self, score):
+        exact = [
+            entry
+            for entry in score.entries
+            if entry.section == "Table 1"
+        ]
+        assert len(exact) == 3
+        assert all(entry.grade == "REPRODUCED" for entry in exact)
+
+    def test_render(self, score):
+        from repro.experiments import scorecard
+
+        out = scorecard.render(score)
+        assert "Reproduction scorecard" in out
+        assert "REPRODUCED" in out

@@ -1,0 +1,145 @@
+"""Tests for repro.dns.zone and repro.dns.resolver."""
+
+import pytest
+
+from repro.cloud.addressing import AutonomousSystem, Prefix, str_to_ip
+from repro.cloud.infrastructure import CdnFleet, DedicatedCluster
+from repro.dns.resolver import Resolver
+from repro.dns.zone import Zone, ZoneSet
+
+
+@pytest.fixture
+def zones():
+    cluster = DedicatedCluster(
+        operator="vendor.example",
+        prefix=Prefix.parse("60.0.0.0/24"),
+        autonomous_system=AutonomousSystem(64990, "h", "hosting"),
+    )
+    cluster.host_domain("api.vendor.example", (443,))
+    cdn = CdnFleet(
+        provider="cdn.example",
+        prefix=Prefix.parse("61.0.0.0/24"),
+        autonomous_system=AutonomousSystem(64991, "c", "cdn"),
+        node_count=16,
+    )
+    cdn.onboard("assets.vendor.example", (443,))
+    zones = ZoneSet()
+    zones.add(Zone(cluster))
+    zones.add(Zone(cdn))
+    return zones
+
+
+class TestZoneSet:
+    def test_contains_hosted_names(self, zones):
+        assert "api.vendor.example" in zones
+        assert "assets.vendor.example" in zones
+        assert "ghost.example" not in zones
+
+    def test_len(self, zones):
+        assert len(zones) == 2
+
+    def test_nxdomain_is_empty_answer(self, zones):
+        assert zones.answers("ghost.example", 0) == []
+
+    def test_dedicated_answer_shape(self, zones):
+        records = zones.answers("api.vendor.example", 0)
+        assert all(record.rrtype == "A" for record in records)
+        assert all(
+            record.rrname == "api.vendor.example" for record in records
+        )
+
+    def test_cdn_answer_has_cname_then_a(self, zones):
+        records = zones.answers("assets.vendor.example", 0)
+        assert records[0].rrtype == "CNAME"
+        assert records[0].rrname == "assets.vendor.example"
+        assert all(record.rrtype == "A" for record in records[1:])
+        assert all(
+            record.rrname == records[0].rdata for record in records[1:]
+        )
+
+    def test_duplicate_hosting_rejected(self, zones):
+        cluster = DedicatedCluster(
+            operator="vendor.example",
+            prefix=Prefix.parse("62.0.0.0/24"),
+            autonomous_system=AutonomousSystem(64992, "h2", "hosting"),
+        )
+        cluster.host_domain("api.vendor.example", (443,))
+        with pytest.raises(ValueError):
+            zones.add(Zone(cluster))
+
+    def test_ports_for(self, zones):
+        assert tuple(zones.ports_for("api.vendor.example")) == (443,)
+        with pytest.raises(KeyError):
+            zones.ports_for("ghost.example")
+
+
+class _Sink:
+    def __init__(self):
+        self.batches = []
+
+    def ingest(self, records, when):
+        self.batches.append((tuple(records), when))
+
+
+class TestResolver:
+    def test_resolves_addresses(self, zones):
+        resolver = Resolver(zones)
+        resolution = resolver.resolve("api.vendor.example", 1000)
+        assert resolution.addresses
+        assert not resolution.nxdomain
+
+    def test_cache_hit_within_ttl(self, zones):
+        resolver = Resolver(zones)
+        first = resolver.resolve("api.vendor.example", 1000)
+        second = resolver.resolve("api.vendor.example", 1100)
+        assert second.from_cache
+        assert second.addresses == first.addresses
+        assert resolver.cache_hits == 1
+
+    def test_cache_expiry_after_ttl(self, zones):
+        resolver = Resolver(zones)
+        first = resolver.resolve("api.vendor.example", 1000)
+        ttl = min(record.ttl for record in first.records)
+        second = resolver.resolve("api.vendor.example", 1000 + ttl + 1)
+        assert not second.from_cache
+
+    def test_negative_caching(self, zones):
+        resolver = Resolver(zones)
+        resolver.resolve("ghost.example", 0)
+        second = resolver.resolve("ghost.example", 10)
+        assert second.from_cache
+        assert second.nxdomain
+
+    def test_sink_receives_only_positive_answers(self, zones):
+        sink = _Sink()
+        resolver = Resolver(zones, sink=sink)
+        resolver.resolve("ghost.example", 0)
+        resolver.resolve("api.vendor.example", 0)
+        assert len(sink.batches) == 1
+
+    def test_sink_not_fed_from_cache(self, zones):
+        sink = _Sink()
+        resolver = Resolver(zones, sink=sink)
+        resolver.resolve("api.vendor.example", 0)
+        resolver.resolve("api.vendor.example", 1)
+        assert len(sink.batches) == 1
+
+    def test_flush_clears_cache(self, zones):
+        resolver = Resolver(zones)
+        resolver.resolve("api.vendor.example", 0)
+        resolver.flush()
+        assert not resolver.resolve("api.vendor.example", 1).from_cache
+
+    def test_hit_rate(self, zones):
+        resolver = Resolver(zones)
+        assert resolver.hit_rate == 0.0
+        resolver.resolve("api.vendor.example", 0)
+        resolver.resolve("api.vendor.example", 1)
+        assert resolver.hit_rate == 0.5
+
+    def test_cname_targets_exposed(self, zones):
+        resolver = Resolver(zones)
+        resolution = resolver.resolve("assets.vendor.example", 0)
+        assert resolution.cname_targets == (
+            "assets.vendor.example.edge.cdn.example",
+        )

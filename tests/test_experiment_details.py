@@ -1,0 +1,107 @@
+"""Fine-grained tests for experiment-module internals."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig13_churn,
+    fig14_heatmap,
+    fig17_alexa_activity,
+    table1_catalog,
+)
+from repro.experiments.fig14_heatmap import OTHER_32
+
+
+class TestTable1Details:
+    def test_idle_only_annotated_in_render(self, catalog):
+        result = table1_catalog.run(catalog)
+        rendered = table1_catalog.render(result)
+        assert "Samsung Dryer (idle)" in rendered
+        assert "Samsung Fridge (idle)" in rendered
+
+    def test_category_rows_complete(self, catalog):
+        result = table1_catalog.run(catalog)
+        assert len(result.rows) == 6
+        joined = " ".join(names for _, names in result.rows)
+        for product in catalog.products:
+            assert product.name in joined
+
+
+class TestFig13Math:
+    def test_line_inflation_zero_daily(self):
+        result = fig13_churn.Fig13Result(
+            cumulative_lines={"X": np.array([0, 0])},
+            cumulative_slash24={"X": np.array([0, 0])},
+            daily={"X": np.array([0, 0])},
+        )
+        assert result.line_inflation("X") == 0.0
+        assert result.slash24_flatness("X") == 0.0
+
+    def test_inflation_formula(self):
+        result = fig13_churn.Fig13Result(
+            cumulative_lines={"X": np.array([100, 120, 140, 150])},
+            cumulative_slash24={"X": np.array([10, 20, 20, 22])},
+            daily={"X": np.array([100, 100, 100, 100])},
+        )
+        assert result.line_inflation("X") == pytest.approx(1.5)
+        # midpoint (index 2) -> end growth: (22 - 20) / 20
+        assert result.slash24_flatness("X") == pytest.approx(0.1)
+
+
+class TestFig14Ordering:
+    def test_other_32_orders_by_band(self, context):
+        from repro.devices.catalog import POPULARITY_BANDS
+
+        order = OTHER_32(context)
+        catalog = context.scenario.catalog
+        ranks = [
+            POPULARITY_BANDS.index(
+                catalog.detection_class(name).popularity_band
+            )
+            for name in order
+        ]
+        assert ranks == sorted(ranks)
+
+    def test_hierarchy_classes_excluded(self, context):
+        order = OTHER_32(context)
+        for name in (
+            "Alexa Enabled", "Amazon Product", "Fire TV",
+            "Samsung IoT", "Samsung TV",
+        ):
+            assert name not in order
+
+
+class TestFig17Selection:
+    def test_unknown_product_rejected(self, context):
+        with pytest.raises(ValueError):
+            fig17_alexa_activity.run(context, product="Nonexistent")
+
+    def test_other_alexa_product_works(self, context):
+        result = fig17_alexa_activity.run(context, product="Echo Spot")
+        assert result.device == "Echo Spot"
+        assert result.home_per_hour
+
+
+class TestFig7Trace:
+    def test_branches_unique_and_complete(self, context):
+        from repro.experiments import fig7_pipeline_trace
+
+        result = fig7_pipeline_trace.run(context)
+        branches = [row.branch for row in result.rows]
+        assert len(branches) == len(set(branches)) == 6
+
+    def test_hitlist_membership_matches_branch(self, context):
+        from repro.experiments import fig7_pipeline_trace
+
+        result = fig7_pipeline_trace.run(context)
+        for row in result.rows:
+            expected = "dropped" not in row.branch
+            assert row.in_hitlist == expected, row.branch
+
+    def test_render(self, context):
+        from repro.experiments import fig7_pipeline_trace
+
+        out = fig7_pipeline_trace.render(
+            fig7_pipeline_trace.run(context)
+        )
+        assert "decision trace" in out

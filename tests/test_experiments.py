@@ -1,0 +1,292 @@
+"""End-to-end tests: every paper artefact's experiment runs and shows
+the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    false_positives,
+    fig5_visibility,
+    fig6_heavy_hitters,
+    fig8_domain_traffic,
+    fig9_ecdf,
+    fig10_crosscheck,
+    fig11_isp_wild,
+    fig12_drilldown,
+    fig13_churn,
+    fig14_heatmap,
+    fig15_ixp,
+    fig16_ixp_asn,
+    fig17_alexa_activity,
+    fig18_usage,
+    pipeline_counts,
+    rule_inventory,
+    table1_catalog,
+)
+
+
+class TestTable1:
+    def test_counts(self, catalog):
+        result = table1_catalog.run(catalog)
+        assert result.product_count == 56
+        assert result.device_count == 96
+        assert result.manufacturer_count == 40
+        assert "Table 1" in table1_catalog.render(result)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig5_visibility.run(context)
+
+    def test_home_ip_range_matches_paper(self, result):
+        counts = list(result.home_ips_per_hour.values())
+        assert 400 <= min(counts)
+        assert max(counts) <= 1600  # paper: 500-1,300
+
+    def test_ip_visibility_is_partial(self, result):
+        assert 0.08 <= result.ip_visibility_idle <= 0.35
+        assert result.ip_visibility_active < 0.6
+
+    def test_device_visibility_near_two_thirds(self, result):
+        assert 0.5 <= result.device_visibility_idle <= 0.85
+
+    def test_whole_period_exceeds_hourly(self, result):
+        assert (
+            result.whole_period_ip_visibility_idle
+            > result.ip_visibility_idle
+        )
+
+    def test_domains_fewer_than_ips(self, result):
+        for hour, ips in result.home_ips_per_hour.items():
+            assert result.home_domains_per_hour[hour] <= ips
+
+    def test_cumulative_series_monotone(self, result):
+        for points in result.cumulative_by_port.values():
+            values = [count for _, count in points]
+            assert values == sorted(values)
+
+    def test_web_dominates_cumulative(self, result):
+        web = result.cumulative_by_port[("Home-VP", "web")][-1][1]
+        ntp = result.cumulative_by_port[("Home-VP", "ntp")][-1][1]
+        assert web > ntp
+
+    def test_render(self, result):
+        assert "Figure 5" in fig5_visibility.render(result)
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig6_heavy_hitters.run(context)
+
+    def test_top10_highly_visible(self, result):
+        assert result.mean_active[0.1] > 0.6
+        assert result.mean_idle[0.1] > 0.55
+
+    def test_visibility_decreases_with_fraction(self, result):
+        assert (
+            result.mean_active[0.1]
+            >= result.mean_active[0.2]
+            >= result.mean_active[0.3]
+        )
+
+    def test_render(self, result):
+        assert "Figure 6" in fig6_heavy_hitters.render(result)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig8_domain_traffic.run(context)
+
+    def test_gossiping_devices_identified(self, result):
+        assert "Echo Dot" in result.gossiping
+        assert "Apple TV" in result.gossiping
+
+    def test_laconic_devices_have_small_domain_sets(self, result):
+        for device in result.laconic:
+            assert len(result.per_domain[device]) <= 10
+
+    def test_render(self, result):
+        assert "laconic" in fig8_domain_traffic.render(result)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig9_ecdf.run(context)
+
+    def test_active_rates_exceed_idle(self, result):
+        assert result.active.median > result.idle.median
+
+    def test_active_tail_heavy(self, result):
+        assert result.active.quantile(0.99) > 500
+
+    def test_render(self, result):
+        assert "ECDF" in fig9_ecdf.render(result)
+
+
+class TestPipelineAndRules:
+    def test_pipeline_render(self, context):
+        out = pipeline_counts.render(pipeline_counts.run(context))
+        assert "hitlist pipeline" in out
+
+    def test_rule_inventory_shape(self, context):
+        inventory = rule_inventory.run(context)
+        assert inventory.platform_rules == 6
+        assert inventory.manufacturer_rules == 20
+        assert inventory.product_rules == 11
+        assert inventory.min_domains == 1
+        assert inventory.max_domains == 67
+        assert inventory.conflicts == 0
+        assert "detection rules" in rule_inventory.render(inventory)
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig10_crosscheck.run(
+            context, thresholds=(0.1, 0.4, 0.7, 1.0)
+        )
+
+    def test_active_faster_than_idle_at_04(self, result):
+        active = fig10_crosscheck.detection_rates(result, "active", 0.4)
+        idle = fig10_crosscheck.detection_rates(result, "idle", 0.4)
+        assert active[1] >= idle[1]
+        assert active[72] >= idle[72]
+
+    def test_active_rates_near_paper(self, result):
+        rates = fig10_crosscheck.detection_rates(result, "active", 0.4)
+        assert rates[1] >= 0.6  # paper: 72%
+        assert rates[24] >= 0.9  # paper: 93%
+        assert rates[72] >= 0.9  # paper: 96%
+
+    def test_idle_leaves_some_classes_undetected(self, result):
+        idle = result.times["idle"][0.4]
+        undetected = 37 - len(idle)
+        assert 3 <= undetected <= 8  # paper: 6
+
+    def test_samsung_tv_not_detected_idle(self, result):
+        assert "Samsung TV" not in result.times["idle"][0.4]
+
+    def test_higher_threshold_never_faster(self, result):
+        for mode in ("active", "idle"):
+            low = result.times[mode][0.1]
+            high = result.times[mode][1.0]
+            for class_name, hours in high.items():
+                assert hours >= low[class_name] - 1e-9
+
+    def test_higher_threshold_detects_fewer(self, result):
+        for mode in ("active", "idle"):
+            assert len(result.times[mode][1.0]) <= len(
+                result.times[mode][0.1]
+            )
+
+    def test_render(self, result):
+        assert "time-to-detect" in fig10_crosscheck.render(result)
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self, context):
+        return fig11_isp_wild.run(context)
+
+    def test_alexa_penetration(self, result):
+        assert 0.11 <= result.alexa_daily_penetration <= 0.16
+
+    def test_any_penetration(self, result):
+        assert 0.15 <= result.any_daily_penetration <= 0.30
+
+    def test_ratios(self, result):
+        assert 1.2 <= result.alexa_daily_to_hourly <= 3.5
+        assert result.samsung_daily_to_hourly > (
+            result.alexa_daily_to_hourly
+        )
+
+    def test_diurnal_shape(self, result):
+        profile = result.alexa_hour_of_day
+        assert profile[18:21].mean() > profile[2:5].mean()
+
+    def test_render(self, result):
+        assert "Figure 11" in fig11_isp_wild.render(result)
+
+
+class TestFig12:
+    def test_hierarchy_fractions(self, context):
+        result = fig12_drilldown.run(context)
+        assert 0 < result.fraction("Fire TV", "Amazon Product") < 1
+        assert 0 < result.fraction("Amazon Product", "Alexa Enabled") < 1
+        assert 0 < result.fraction("Samsung TV", "Samsung IoT") < 1
+        assert "drill-down" in fig12_drilldown.render(result)
+
+
+class TestFig13:
+    def test_churn_effects(self, context):
+        result = fig13_churn.run(context)
+        for name in result.cumulative_lines:
+            assert result.line_inflation(name) >= 1.0
+        assert "Figure 13" in fig13_churn.render(result)
+
+
+class TestFig14:
+    def test_heatmap_rows(self, context):
+        result = fig14_heatmap.run(context)
+        assert len(result.order) == 32
+        popular = result.rows["Philips Dev."].mean()
+        unpopular = result.rows["Microseven Cam."].mean()
+        assert popular > unpopular
+        assert "Figure 14" in fig14_heatmap.render(result)
+
+    def test_counts_stable_across_days(self, context):
+        result = fig14_heatmap.run(context)
+        series = result.rows["Philips Dev."]
+        assert series.std() <= max(2.0, series.mean() * 0.2)
+
+
+class TestFig15And16:
+    def test_ixp_counts(self, context):
+        result = fig15_ixp.run(context)
+        alexa = result.daily["Alexa Enabled"].mean()
+        samsung = result.daily["Samsung IoT"].mean()
+        assert alexa > samsung > 0
+        assert "Figure 15" in fig15_ixp.render(result)
+
+    def test_asn_skew(self, context):
+        result = fig16_ixp_asn.run(context)
+        assert result.skew("Alexa Enabled") > 50
+        assert "Figure 16" in fig16_ixp_asn.render(result)
+
+
+class TestFig17:
+    def test_activity_separation(self, context):
+        result = fig17_alexa_activity.run(context)
+        assert result.home_active_peak > result.home_idle_peak
+        assert result.isp_active_peak >= 10
+        assert "Figure 17" in fig17_alexa_activity.render(result)
+
+
+class TestFig18:
+    def test_usage_shares(self, context):
+        result = fig18_usage.run(context)
+        assert result.peak_active > 0
+        assert result.peak_active_share < 0.1
+        assert (
+            result.active_hourly.mean()
+            < result.hourly_detected.mean()
+        )
+        assert "Figure 18" in fig18_usage.render(result)
+
+
+class TestFalsePositives:
+    def test_no_false_positives(self, context):
+        result = false_positives.run(context)
+        assert result.false_positives == set()
+        assert result.missed == set()
+        assert "crosscheck" in false_positives.render(result)
+
+    def test_other_subset(self, context):
+        result = false_positives.run(
+            context, subset=("Samsung TV", "Philips Hue")
+        )
+        assert result.false_positives == set()

@@ -1,0 +1,163 @@
+"""Tests for CSV export and the command-line interface."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis import export
+from repro.cli import EXPERIMENTS, main
+from repro.experiments import fig10_crosscheck
+
+
+class TestCsvHelpers:
+    def test_csv_text_roundtrip(self):
+        text = export.csv_text(("a", "b"), [(1, 2), (3, 4)])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_series_csv(self):
+        text = export.series_csv({"x": [1, 2], "y": [3, 4]})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["bucket", "x", "y"]
+        assert rows[1] == ["0", "1", "3"]
+
+    def test_series_csv_length_mismatch(self):
+        with pytest.raises(ValueError):
+            export.series_csv({"x": [1], "y": [1, 2]})
+
+    def test_series_csv_empty(self):
+        with pytest.raises(ValueError):
+            export.series_csv({})
+
+
+class TestResultExports:
+    def test_wild_daily_csv(self, wild):
+        text = export.wild_daily_csv(wild)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "day"
+        assert "any_iot" in rows[0]
+        assert len(rows) == wild.config.days + 1
+
+    def test_wild_hourly_csv(self, wild):
+        text = export.wild_hourly_csv(wild)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert "alexa_active_usage" in rows[0]
+        assert len(rows) == wild.config.hours + 1
+
+    def test_crosscheck_csv(self, context):
+        result = fig10_crosscheck.run(context, thresholds=(0.4,))
+        text = export.crosscheck_csv(result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == [
+            "mode", "threshold", "class", "hours_to_detect",
+        ]
+        modes = {row[0] for row in rows[1:]}
+        assert modes == {"active", "idle"}
+
+    def test_ixp_daily_csv(self, ixp_result):
+        text = export.ixp_daily_csv(ixp_result)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows) == ixp_result.config.days + 1
+
+
+class TestCli:
+    _SCALE = ["--subscribers", "20000", "--days", "3"]
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for identifier in EXPERIMENTS:
+            assert identifier in out
+
+    def test_pipeline(self, capsys):
+        assert main(self._SCALE + ["pipeline"]) == 0
+        assert "hitlist pipeline" in capsys.readouterr().out
+
+    def test_experiment_to_stdout(self, capsys):
+        assert main(self._SCALE + ["experiment", "table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_experiment_to_file(self, tmp_path, capsys):
+        target = tmp_path / "rules.txt"
+        assert (
+            main(self._SCALE + ["experiment", "rules", "-o", str(target)])
+            == 0
+        )
+        assert "detection rules" in target.read_text()
+
+    def test_export_to_file(self, tmp_path):
+        target = tmp_path / "daily.csv"
+        assert (
+            main(
+                self._SCALE
+                + ["export", "wild-daily", "-o", str(target)]
+            )
+            == 0
+        )
+        rows = list(csv.reader(io.StringIO(target.read_text())))
+        assert rows[0][0] == "day"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_registry_covers_all_artefacts(self):
+        expected = {
+            "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig18", "pipeline", "rules", "false-positives",
+            "dns-visibility", "scorecard", "defenses",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCliOperationalLoop:
+    _SCALE = ["--subscribers", "20000", "--days", "3"]
+
+    def test_artifacts_then_detect(self, tmp_path, capsys, context):
+        from repro.netflow.flowfile import write_flow_file
+
+        # 1. export artifacts
+        artefact_dir = tmp_path / "artifacts"
+        assert (
+            main(self._SCALE + ["artifacts", str(artefact_dir)]) == 0
+        )
+        assert (artefact_dir / "hitlist.json").exists()
+        assert (artefact_dir / "rules.json").exists()
+        capsys.readouterr()
+        # 2. dump sampled flows
+        flow_path = tmp_path / "flows.csv"
+        write_flow_file(
+            flow_path,
+            list(context.capture.isp_flow_records())[:4000],
+            sampling_interval=100,
+        )
+        # 3. detect offline from the exported artifacts
+        assert (
+            main(
+                self._SCALE
+                + [
+                    "detect", str(flow_path),
+                    "--artifacts", str(artefact_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "matched=" in out
+        assert len(out.strip().splitlines()) > 1  # some detections
+
+    def test_detect_without_artifacts_uses_context(
+        self, tmp_path, capsys, context
+    ):
+        from repro.netflow.flowfile import write_flow_file
+
+        flow_path = tmp_path / "flows.csv"
+        write_flow_file(
+            flow_path,
+            list(context.capture.isp_flow_records())[:1000],
+            sampling_interval=100,
+        )
+        assert main(self._SCALE + ["detect", str(flow_path)]) == 0
+        assert "flows=1000" in capsys.readouterr().out

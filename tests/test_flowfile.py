@@ -1,0 +1,116 @@
+"""Tests for the text flow-file format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netflow.flowfile import (
+    format_flow,
+    parse_flow_line,
+    read_flow_file,
+    write_flow_file,
+)
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+
+
+def _flow(index=0, packets=2):
+    return FlowRecord(
+        key=FlowKey(
+            src_ip=0x0A000001 + index,
+            dst_ip=0x0B000001,
+            protocol=PROTO_TCP,
+            src_port=40000 + index,
+            dst_port=443,
+        ),
+        first_switched=1_573_776_000 + index,
+        last_switched=1_573_776_060 + index,
+        packets=packets,
+        bytes=packets * 100,
+        tcp_flags=TCP_ACK,
+    )
+
+
+class TestLineFormat:
+    def test_roundtrip_one_line(self):
+        flow = _flow()
+        parsed = parse_flow_line(format_flow(flow))
+        assert parsed.key == flow.key
+        assert parsed.packets == flow.packets
+        assert parsed.bytes == flow.bytes
+        assert parsed.tcp_flags == flow.tcp_flags
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_flow_line("1,2,3")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        src=st.integers(0, 0xFFFFFFFF),
+        dst=st.integers(0, 0xFFFFFFFF),
+        proto=st.integers(0, 255),
+        packets=st.integers(0, 10**9),
+        flags=st.integers(0, 255),
+    )
+    def test_property_roundtrip(self, src, dst, proto, packets, flags):
+        flow = FlowRecord(
+            key=FlowKey(src, dst, proto, 1, 2),
+            first_switched=0,
+            last_switched=1,
+            packets=packets,
+            bytes=packets,
+            tcp_flags=flags,
+        )
+        parsed = parse_flow_line(format_flow(flow))
+        assert parsed.key == flow.key
+        assert parsed.packets == packets
+        assert parsed.tcp_flags == flags
+
+
+class TestFileRoundtrip:
+    def test_path_roundtrip(self, tmp_path):
+        flows = [_flow(i) for i in range(25)]
+        path = tmp_path / "flows.csv"
+        count = write_flow_file(path, flows, sampling_interval=100)
+        assert count == 25
+        loaded = list(read_flow_file(path))
+        assert [f.key for f in loaded] == [f.key for f in flows]
+        assert all(f.sampling_interval == 100 for f in loaded)
+
+    def test_stream_roundtrip(self):
+        buffer = io.StringIO()
+        write_flow_file(buffer, [_flow()], sampling_interval=7)
+        buffer.seek(0)
+        loaded = list(read_flow_file(buffer))
+        assert len(loaded) == 1
+        assert loaded[0].estimated_packets == 2 * 7
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_flow_file(path, [])
+        assert list(read_flow_file(path)) == []
+
+    def test_comments_and_blank_lines_skipped(self):
+        buffer = io.StringIO(
+            "# random comment\n\n" + format_flow(_flow()) + "\n"
+        )
+        assert len(list(read_flow_file(buffer))) == 1
+
+    def test_detection_from_flow_file(self, tmp_path, context):
+        """Offline workflow: dump sampled GT flows, read them back,
+        detect."""
+        from repro.core.detector import FlowDetector
+
+        capture = context.capture
+        flows = list(capture.isp_flow_records())[:5000]
+        path = tmp_path / "capture.csv"
+        write_flow_file(
+            path, flows, sampling_interval=capture.sampling_interval
+        )
+        detector = FlowDetector(
+            context.rules, context.hitlist, threshold=0.4
+        )
+        for flow in read_flow_file(path):
+            detector.observe_flow(flow.src_ip, flow)
+        assert detector.flows_matched > 0
+        assert detector.detections()

@@ -1,0 +1,87 @@
+"""Additional tests for ground-truth event/record plumbing."""
+
+import pytest
+
+from repro.netflow.records import PROTO_TCP, PROTO_UDP, TCP_ACK
+from repro.timeutil import STUDY_START
+
+
+class TestGtFlowEvent:
+    @pytest.fixture(scope="class")
+    def event(self, capture):
+        return capture.isp_events[0]
+
+    def test_to_flow_record_copies_fields(self, event):
+        record = event.to_flow_record(src_ip=42, sampling_interval=100)
+        assert record.src_ip == 42
+        assert record.dst_ip == event.dst_ip
+        assert record.dst_port == event.dst_port
+        assert record.protocol == event.protocol
+        assert record.packets == event.packets
+        assert record.bytes == event.bytes
+        assert record.first_switched == event.timestamp
+        assert record.sampling_interval == 100
+
+    def test_tcp_records_carry_established_evidence(self, capture):
+        for event in capture.isp_events[:200]:
+            record = event.to_flow_record(1, 100)
+            if event.protocol == PROTO_TCP:
+                assert record.tcp_flags == TCP_ACK
+            else:
+                assert record.tcp_flags == 0
+
+    def test_src_ports_deterministic_per_device(self, event):
+        first = event.to_flow_record(1, 100)
+        second = event.to_flow_record(1, 100)
+        assert first.src_port == second.src_port
+        assert 40000 <= first.src_port < 60000
+
+    def test_events_in_mode(self, capture):
+        active = capture.events_in_mode(capture.home_events, "active")
+        idle = capture.events_in_mode(capture.home_events, "idle")
+        assert len(active) + len(idle) == len(capture.home_events)
+        assert all(event.mode == "active" for event in active)
+
+
+class TestCaptureContents:
+    def test_udp_traffic_exists(self, capture):
+        """NTP and MQTT-style services put non-web traffic on the wire."""
+        protocols = {event.protocol for event in capture.home_events}
+        assert PROTO_UDP in protocols
+        assert PROTO_TCP in protocols
+
+    def test_ntp_port_traffic_exists(self, capture):
+        ports = {event.dst_port for event in capture.home_events}
+        assert 123 in ports
+        assert 443 in ports
+
+    def test_idle_only_products_never_active(self, capture, catalog):
+        idle_only = {
+            product.name
+            for product in catalog.products
+            if product.idle_only
+        }
+        for event in capture.home_events:
+            if event.product in idle_only:
+                assert event.mode == "idle"
+
+    def test_bytes_scale_with_packets(self, capture):
+        for event in capture.home_events[:2000]:
+            assert event.bytes >= event.packets  # >=1 byte per packet
+
+    def test_home_vantage_sees_startup_spike(self, capture):
+        """The idle window opens with the device power-on burst."""
+        from repro.timeutil import IDLE_START, SECONDS_PER_HOUR
+
+        def packets_in_hour(hour_start):
+            return sum(
+                event.packets
+                for event in capture.home_events
+                if hour_start <= event.timestamp < (
+                    hour_start + SECONDS_PER_HOUR
+                )
+            )
+
+        first = packets_in_hour(IDLE_START)
+        second = packets_in_hour(IDLE_START + SECONDS_PER_HOUR)
+        assert first > second

@@ -1,0 +1,93 @@
+"""Tests for the §7.4 hiding counterfactual: moving a service onto
+shared infrastructure defeats the methodology."""
+
+import pytest
+
+from repro.core.hitlist import build_hitlist
+from repro.core.rules import generate_rules
+from repro.devices.profiles import HOSTING_CDN, build_profile_library
+from repro.scenario import build_default_scenario
+
+
+@pytest.fixture(scope="module")
+def hidden_world():
+    scenario = build_default_scenario(
+        seed=7, hide_classes={"Philips Dev.", "Yi Camera"}
+    )
+    hitlist = build_hitlist(scenario)
+    return scenario, hitlist
+
+
+class TestProfileLevel:
+    def test_rule_domains_rehosted_on_cdn(self):
+        library = build_profile_library(
+            shared_hosting_classes={"Yi Camera"}
+        )
+        for fqdn in library.rule_domains["Yi Camera"]:
+            assert library.domain(fqdn).hosting == HOSTING_CDN
+
+    def test_other_classes_untouched(self):
+        library = build_profile_library(
+            shared_hosting_classes={"Yi Camera"}
+        )
+        for fqdn in library.rule_domains["Philips Dev."]:
+            assert library.domain(fqdn).hosting != HOSTING_CDN
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            build_profile_library(shared_hosting_classes={"Ghost"})
+
+
+class TestPipelineLevel:
+    def test_hidden_classes_dropped(self, hidden_world):
+        _scenario, hitlist = hidden_world
+        assert set(hitlist.report.dropped_classes) == {
+            "Philips Dev.", "Yi Camera",
+        }
+
+    def test_hidden_products_excluded(self, hidden_world):
+        _scenario, hitlist = hidden_world
+        assert {"Philips Hue", "Philips Bulb", "Yi Cam"} <= set(
+            hitlist.report.excluded_products
+        )
+
+    def test_remaining_classes_survive(self, hidden_world):
+        _scenario, hitlist = hidden_world
+        assert len(hitlist.class_domains) == 35
+
+    def test_rules_exclude_hidden_classes(self, hidden_world):
+        scenario, hitlist = hidden_world
+        rules = generate_rules(scenario.catalog, hitlist)
+        assert "Philips Dev." not in rules
+        assert "Yi Camera" not in rules
+        assert "Alexa Enabled" in rules
+
+    def test_hidden_domains_never_dedicated(self, hidden_world):
+        scenario, hitlist = hidden_world
+        for fqdn in scenario.library.rule_domains["Yi Camera"]:
+            verdict = hitlist.verdicts.get(fqdn)
+            if verdict is not None:
+                # Either visibly shared or (for the DNSDB-gap domains)
+                # unrecoverable: the CDN's multi-SAN certificate defeats
+                # the Censys fallback too.
+                assert verdict.status in ("shared", "no_record")
+                assert fqdn not in hitlist.recoveries
+
+
+class TestHiddenWild:
+    def test_hidden_class_absent_from_wild_results(self, hidden_world):
+        """End to end: after hiding, the wild study cannot count the
+        class at all (no rule exists to evaluate)."""
+        from repro.core.rules import generate_rules
+        from repro.isp.simulation import WildConfig, run_wild_isp
+
+        scenario, hitlist = hidden_world
+        rules = generate_rules(scenario.catalog, hitlist)
+        result = run_wild_isp(
+            scenario, rules, hitlist,
+            WildConfig(subscribers=5_000, days=2, seed=4),
+        )
+        assert "Philips Dev." not in result.daily_counts
+        assert "Yi Camera" not in result.daily_counts
+        # Unhidden classes still detected.
+        assert result.daily_counts["Alexa Enabled"].mean() > 0

@@ -1,0 +1,189 @@
+"""Tests for repro.cloud.infrastructure."""
+
+import pytest
+
+from repro.cloud.addressing import AutonomousSystem, Prefix
+from repro.cloud.infrastructure import (
+    CdnFleet,
+    CloudVmPool,
+    DedicatedCluster,
+    InfrastructureKind,
+)
+
+
+def _as(asn=64999, kind="hosting"):
+    return AutonomousSystem(asn, f"as{asn}", kind)
+
+
+@pytest.fixture
+def cluster():
+    cluster = DedicatedCluster(
+        operator="vendor.example",
+        prefix=Prefix.parse("50.0.0.0/24"),
+        autonomous_system=_as(),
+    )
+    cluster.host_domain("a.vendor.example", (443,))
+    cluster.host_domain("b.vendor.example", (8883,))
+    return cluster
+
+
+class TestDedicatedCluster:
+    def test_kind(self, cluster):
+        assert cluster.kind == InfrastructureKind.DEDICATED
+
+    def test_slices_are_disjoint(self, cluster):
+        a = set(cluster.slice_for("a.vendor.example"))
+        b = set(cluster.slice_for("b.vendor.example"))
+        assert not a & b
+
+    def test_rejects_foreign_sld(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.host_domain("a.other.example", (443,))
+
+    def test_answers_stay_inside_slice(self, cluster):
+        slice_ = set(cluster.slice_for("a.vendor.example"))
+        for when in range(0, 86400 * 3, 3600):
+            assert set(cluster.a_records("a.vendor.example", when)) <= (
+                slice_
+            )
+
+    def test_answers_rotate(self, cluster):
+        seen = set()
+        for when in range(0, 86400 * 2, 3600):
+            seen.update(cluster.a_records("a.vendor.example", when))
+        assert seen == set(cluster.slice_for("a.vendor.example"))
+
+    def test_unknown_domain_raises(self, cluster):
+        with pytest.raises(KeyError):
+            cluster.a_records("nope.vendor.example", 0)
+
+    def test_no_cname_chain(self, cluster):
+        assert cluster.cname_chain("a.vendor.example") == []
+
+    def test_rehosting_is_idempotent(self, cluster):
+        before = cluster.slice_for("a.vendor.example")
+        cluster.host_domain("a.vendor.example", (443,))
+        assert cluster.slice_for("a.vendor.example") == before
+
+    def test_prefix_exhaustion(self):
+        cluster = DedicatedCluster(
+            operator="tiny.example",
+            prefix=Prefix.parse("50.1.0.0/30"),
+            autonomous_system=_as(),
+            ips_per_domain=3,
+        )
+        cluster.host_domain("a.tiny.example", (443,))
+        with pytest.raises(RuntimeError):
+            cluster.host_domain("b.tiny.example", (443,))
+
+    def test_ports_for(self, cluster):
+        assert cluster.ports_for("b.vendor.example") == (8883,)
+
+    def test_all_addresses(self, cluster):
+        assert len(cluster.all_addresses()) == 2 * cluster.ips_per_domain
+
+
+@pytest.fixture
+def cloud():
+    return CloudVmPool(
+        provider="cloudsim.example",
+        prefix=Prefix.parse("51.0.0.0/24"),
+        autonomous_system=_as(64998, "cloud"),
+    )
+
+
+class TestCloudVmPool:
+    def test_exclusive_tenancy(self, cloud):
+        a = cloud.rent("a.example", (443,), count=2)
+        b = cloud.rent("b.example", (443,), count=1)
+        assert not set(a) & set(b)
+
+    def test_double_rent_rejected(self, cloud):
+        cloud.rent("a.example", (443,))
+        with pytest.raises(ValueError):
+            cloud.rent("a.example", (443,))
+
+    def test_cname_chain_points_to_provider(self, cloud):
+        cloud.rent("dev.vendor.example", (443,))
+        chain = cloud.cname_chain("dev.vendor.example")
+        assert chain == [
+            "dev-vendor-example.compute.cloudsim.example"
+        ]
+
+    def test_answers_are_stable(self, cloud):
+        addresses = cloud.rent("a.example", (443,), count=2)
+        assert cloud.a_records("a.example", 0) == addresses
+        assert cloud.a_records("a.example", 10**9) == addresses
+
+    def test_unknown_tenant_raises(self, cloud):
+        with pytest.raises(KeyError):
+            cloud.a_records("ghost.example", 0)
+
+    def test_exhaustion(self):
+        pool = CloudVmPool(
+            provider="small.example",
+            prefix=Prefix.parse("51.1.0.0/30"),
+            autonomous_system=_as(64997, "cloud"),
+        )
+        pool.rent("a.example", (443,), count=4)
+        with pytest.raises(RuntimeError):
+            pool.rent("b.example", (443,))
+
+
+@pytest.fixture
+def cdn():
+    fleet = CdnFleet(
+        provider="cdnsim.example",
+        prefix=Prefix.parse("52.0.0.0/24"),
+        autonomous_system=_as(64996, "cdn"),
+        node_count=32,
+    )
+    for name in ("a.example", "b.example", "c.example"):
+        fleet.onboard(name, (443,))
+    return fleet
+
+
+class TestCdnFleet:
+    def test_answers_are_nodes(self, cdn):
+        nodes = set(cdn.nodes)
+        for when in range(0, 86400, 1800):
+            assert set(cdn.a_records("a.example", when)) <= nodes
+
+    def test_rotation_changes_answers(self, cdn):
+        first = cdn.a_records("a.example", 0)
+        later = {
+            tuple(cdn.a_records("a.example", when))
+            for when in range(0, 86400, 1800)
+        }
+        assert len(later) > 1
+        assert tuple(first) in later
+
+    def test_different_domains_get_different_nodes(self, cdn):
+        a = set(cdn.a_records("a.example", 0))
+        b = set(cdn.a_records("b.example", 0))
+        # rotation makes eventual overlap certain, but a single answer
+        # should usually differ
+        assert a != b or len(cdn.nodes) < 4
+
+    def test_unknown_domain_raises(self, cdn):
+        with pytest.raises(KeyError):
+            cdn.a_records("nope.example", 0)
+
+    def test_node_count_bounded_by_prefix(self):
+        with pytest.raises(ValueError):
+            CdnFleet(
+                provider="x.example",
+                prefix=Prefix.parse("52.1.0.0/30"),
+                autonomous_system=_as(64995, "cdn"),
+                node_count=10,
+            )
+
+    def test_cname_chain_uses_edge_name(self, cdn):
+        assert cdn.cname_chain("a.example") == [
+            "a.example.edge.cdnsim.example"
+        ]
+
+    def test_domains_on_node(self, cdn):
+        assert set(cdn.domains_on_node(cdn.nodes[0])) == {
+            "a.example", "b.example", "c.example",
+        }

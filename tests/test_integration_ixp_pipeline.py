@@ -1,0 +1,114 @@
+"""End-to-end IXP integration: device packets → member-port tap
+(asymmetry + 1/N sampling) → binary IPFIX export → parse → detection
+with the anti-spoofing filter."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.addressing import AddressAllocator, ASRegistry
+from repro.core.detector import FlowDetector
+from repro.devices.behavior import DeviceBehavior
+from repro.ixp.fabric import IxpFabricTap, make_spoofed_flows
+from repro.ixp.members import build_members
+from repro.netflow.ipfix import IpfixCodec
+from repro.netflow.records import PacketRecord, TCP_ACK, TCP_SYN
+from repro.timeutil import SECONDS_PER_HOUR, STUDY_START
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(scenario, rules, hitlist):
+    """Drive 36 hours of one Fire TV's traffic through the full IXP
+    chain and return (detector, tap, parsed_flow_count)."""
+    allocator = AddressAllocator(start=0x7A000000)
+    registry = ASRegistry()
+    member = build_members(
+        allocator, registry, count=2, large_eyeballs=1,
+        small_eyeballs=0, base_asn=64900,
+    )[0]
+    # Modest sampling so the test stays fast yet evidence accumulates.
+    tap = IxpFabricTap(
+        member, sampling_interval=20, routing_visibility=0.7, seed=6
+    )
+    behavior = DeviceBehavior(scenario.library.profile("Fire TV"))
+    resolver = scenario.make_resolver(feed_dnsdb=False)
+    rng = np.random.default_rng(8)
+    host_ip = 0x7A000123
+
+    for hour in range(36):
+        when = STUDY_START + hour * SECONDS_PER_HOUR
+        traffic = behavior.hour_traffic(rng, active=True,
+                                        functional_interactions=1)
+        for fqdn, packet_count in traffic.packets.items():
+            spec = scenario.library.domain(fqdn)
+            resolution = resolver.resolve(fqdn, when)
+            if not resolution.addresses:
+                continue
+            dst = resolution.addresses[0]
+            for index in range(packet_count):
+                tap.observe(
+                    PacketRecord(
+                        timestamp=when
+                        + (index * SECONDS_PER_HOUR)
+                        // max(1, packet_count),
+                        src_ip=host_ip,
+                        dst_ip=dst,
+                        protocol=spec.protocol,
+                        src_port=50_000,
+                        dst_port=spec.primary_port,
+                        tcp_flags=TCP_ACK,
+                    )
+                )
+    flows = tap.export()
+
+    # Real bytes across the "fabric management plane".
+    codec = IpfixCodec(observation_domain=9, sampling_interval=20)
+    packets = [
+        codec.encode(flows[offset : offset + 30], STUDY_START)
+        for offset in range(0, len(flows), 30)
+    ]
+    collector = IpfixCodec(sampling_interval=20)
+    parsed = [
+        flow for packet in packets for flow in collector.decode(packet)
+    ]
+
+    detector = FlowDetector(
+        rules, hitlist, threshold=0.4, require_established=True
+    )
+    for flow in parsed:
+        detector.observe_flow(flow.src_ip, flow)
+    for spoofed in make_spoofed_flows(hitlist, 300, seed=4):
+        detector.observe_flow(spoofed.src_ip, spoofed)
+    return detector, tap, len(parsed)
+
+
+class TestIxpEndToEnd:
+    def test_flows_survive_export_roundtrip(self, pipeline_result):
+        _detector, tap, parsed_count = pipeline_result
+        assert parsed_count > 0
+        assert parsed_count == len(tap._routed_flows) or parsed_count > 0
+
+    def test_asymmetry_dropped_some_traffic(self, pipeline_result):
+        _detector, tap, _count = pipeline_result
+        assert tap.packets_bypassed > 0
+
+    def test_device_hierarchy_detected(self, pipeline_result):
+        from repro.core.detector import anonymize_subscriber
+
+        detector, _tap, _count = pipeline_result
+        host = anonymize_subscriber(0x7A000123)
+        detected = {
+            d.class_name
+            for d in detector.detections()
+            if d.subscriber == host
+        }
+        assert {"Alexa Enabled", "Amazon Product", "Fire TV"} <= detected
+
+    def test_spoofed_sources_rejected(self, pipeline_result):
+        detector, _tap, _count = pipeline_result
+        assert detector.flows_rejected_spoof == 300
+        from repro.core.detector import anonymize_subscriber
+
+        host = anonymize_subscriber(0x7A000123)
+        assert all(
+            d.subscriber == host for d in detector.detections()
+        )

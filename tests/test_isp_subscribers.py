@@ -1,0 +1,159 @@
+"""Tests for the subscriber population and the ISP topology."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.addressing import AddressAllocator, ASRegistry, Prefix
+from repro.isp.subscribers import (
+    SubscriberPopulation,
+    derive_product_penetration,
+)
+from repro.isp.topology import HomeVantagePoint, IspTopology
+
+
+@pytest.fixture
+def population():
+    return SubscriberPopulation(
+        count=2048,
+        prefix=Prefix.parse("70.0.0.0/18"),
+        churn_probability=0.2,
+        seed=5,
+    )
+
+
+class TestAddresses:
+    def test_addresses_in_prefix(self, population):
+        addresses = population.addresses_for_day(0)
+        assert (addresses >= population.prefix.first).all()
+        assert (addresses <= population.prefix.last).all()
+
+    def test_day0_is_collision_free(self, population):
+        addresses = population.addresses_for_day(0)
+        assert len(np.unique(addresses)) == population.count
+
+    def test_churn_changes_some_addresses(self, population):
+        day0 = population.addresses_for_day(0)
+        day1 = population.addresses_for_day(1)
+        changed = (day0 != day1).mean()
+        assert 0.05 < changed < 0.4  # ~churn probability
+
+    def test_non_churned_addresses_stable(self, population):
+        day0 = population.addresses_for_day(0)
+        day1 = population.addresses_for_day(1)
+        assert (day0 == day1).mean() > 0.5
+
+    def test_churn_stays_in_region(self, population):
+        day0 = population.addresses_for_day(0)
+        day5 = population.addresses_for_day(5)
+        region0 = (day0 - population.prefix.first) // 512
+        region5 = (day5 - population.prefix.first) // 512
+        assert (region0 == region5).all()
+
+    def test_materialisation_is_deterministic(self, population):
+        later = population.addresses_for_day(3).copy()
+        again = population.addresses_for_day(3)
+        assert (later == again).all()
+
+    def test_slash24(self, population):
+        addresses = population.addresses_for_day(0)
+        slash24 = population.slash24_of(addresses)
+        assert ((addresses >> 8) == slash24).all()
+
+    def test_address_of_scalar(self, population):
+        assert population.address_of(5, 0) == int(
+            population.addresses_for_day(0)[5]
+        )
+
+    def test_prefix_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SubscriberPopulation(10_000, Prefix.parse("71.0.0.0/24"))
+
+    def test_zero_subscribers_rejected(self):
+        with pytest.raises(ValueError):
+            SubscriberPopulation(0, Prefix.parse("71.0.0.0/24"))
+
+
+class TestOwnership:
+    def test_sizes_match_penetration(self, population, catalog):
+        ownership = population.assign_ownership(
+            catalog, {"Echo Dot": 0.25, "Yi Cam": 0.01}
+        )
+        assert ownership.product_owners["Echo Dot"].size == 512
+        assert ownership.product_owners["Yi Cam"].size == 20
+
+    def test_no_duplicates_within_product(self, population, catalog):
+        ownership = population.assign_ownership(
+            catalog, {"Echo Dot": 0.5}
+        )
+        owners = ownership.product_owners["Echo Dot"]
+        assert len(np.unique(owners)) == owners.size
+
+    def test_rejects_bad_penetration(self, population, catalog):
+        with pytest.raises(ValueError):
+            population.assign_ownership(catalog, {"Echo Dot": 1.5})
+
+    def test_owners_of_class_unions_members(self, population, catalog):
+        ownership = population.assign_ownership(
+            catalog, {"Echo Dot": 0.1, "Fire TV": 0.1}
+        )
+        owners = ownership.owners_of_class(catalog, "Alexa Enabled")
+        assert set(owners) == (
+            set(ownership.product_owners["Echo Dot"])
+            | set(ownership.product_owners["Fire TV"])
+        )
+
+    def test_derive_product_penetration_consistency(self, catalog):
+        penetration = derive_product_penetration(catalog)
+        alexa_members = catalog.detection_class(
+            "Alexa Enabled"
+        ).member_products
+        total = sum(penetration[name] for name in alexa_members)
+        assert total == pytest.approx(
+            catalog.detection_class("Alexa Enabled").penetration
+        )
+        assert penetration["Fire TV"] == pytest.approx(0.021)
+
+    def test_every_detectable_product_has_penetration(self, catalog):
+        penetration = derive_product_penetration(catalog)
+        for spec in catalog.detection_classes:
+            for member in spec.member_products:
+                assert penetration.get(member, 0.0) > 0.0
+
+
+class TestTopology:
+    def test_home_vp_carved_from_subscriber_space(self):
+        allocator = AddressAllocator()
+        registry = ASRegistry()
+        topology = IspTopology(allocator, registry, asn=64321)
+        assert topology.home_vp.prefix.length == 28
+        assert topology.home_vp.vpn_endpoint in topology.subscriber_space
+
+    def test_home_vp_requires_at_least_slash22(self):
+        with pytest.raises(ValueError):
+            HomeVantagePoint.carve(Prefix.parse("80.0.0.0/24"))
+
+    def test_border_router_hashing_is_stable(self):
+        allocator = AddressAllocator()
+        registry = ASRegistry()
+        topology = IspTopology(allocator, registry, asn=64322)
+        router = topology.border_router_for(12345)
+        assert topology.border_router_for(12345) is router
+
+    def test_router_sampling_and_collection(self):
+        from repro.netflow.records import PacketRecord, PROTO_TCP
+
+        allocator = AddressAllocator()
+        registry = ASRegistry()
+        topology = IspTopology(
+            allocator, registry, asn=64323, sampling_interval=2
+        )
+        router = topology.border_routers[0]
+        kept = sum(
+            router.observe(
+                PacketRecord(ts, 1, 2, PROTO_TCP, 1000, 443)
+            )
+            for ts in range(1000)
+        )
+        assert 350 < kept < 650
+        flows = topology.drain_flows()
+        assert sum(flow.packets for flow in flows) == kept

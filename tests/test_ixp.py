@@ -1,0 +1,133 @@
+"""Tests for the IXP substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.addressing import AddressAllocator, ASRegistry
+from repro.ixp.fabric import IxpConfig, make_spoofed_flows, run_wild_ixp
+from repro.ixp.members import build_members
+
+
+@pytest.fixture(scope="module")
+def members():
+    allocator = AddressAllocator(start=0x60000000)
+    registry = ASRegistry()
+    return build_members(allocator, registry, count=60, large_eyeballs=5,
+                         small_eyeballs=15, seed=3, base_asn=64600)
+
+
+class TestMembers:
+    def test_count(self, members):
+        assert len(members) == 60
+
+    def test_eyeball_split(self, members):
+        eyeballs = [m for m in members if m.is_eyeball]
+        assert len(eyeballs) == 20
+
+    def test_large_eyeballs_dominate_population(self, members):
+        eyeballs = sorted(
+            (m for m in members if m.is_eyeball),
+            key=lambda m: -m.iot_population,
+        )
+        top = sum(m.iot_population for m in eyeballs[:5])
+        total = sum(m.iot_population for m in members)
+        assert top / total > 0.7
+
+    def test_non_eyeballs_small(self, members):
+        for member in members:
+            if not member.is_eyeball:
+                assert member.iot_population < 100
+
+    def test_asns_unique(self, members):
+        asns = [m.asn for m in members]
+        assert len(set(asns)) == len(asns)
+
+    def test_too_many_eyeballs_rejected(self):
+        allocator = AddressAllocator(start=0x70000000)
+        registry = ASRegistry()
+        with pytest.raises(ValueError):
+            build_members(
+                allocator, registry, count=5, large_eyeballs=4,
+                small_eyeballs=4, base_asn=64700,
+            )
+
+
+class TestFabric:
+    def test_daily_counts_positive_for_alexa(self, ixp_result):
+        assert ixp_result.daily_ip_counts["Alexa Enabled"].min() > 0
+
+    def test_groups_present(self, ixp_result):
+        assert set(ixp_result.daily_ip_counts) == {
+            "Alexa Enabled",
+            "Samsung IoT",
+            "Other 32 IoT Device types",
+        }
+
+    def test_counts_stable_across_days(self, ixp_result):
+        series = ixp_result.daily_ip_counts["Alexa Enabled"]
+        assert series.std() < series.mean() * 0.2
+
+    def test_member_shares_sum_to_100(self, ixp_result):
+        shares = ixp_result.member_share_ecdf("Alexa Enabled")
+        assert sum(shares) == pytest.approx(100.0)
+
+    def test_distribution_skewed_to_eyeballs(self, ixp_result):
+        shares = ixp_result.member_share_ecdf("Alexa Enabled")
+        assert shares  # non-empty
+        assert sum(shares[-5:]) > 50  # top 5 members majority
+
+    def test_spoofed_traffic_suppressed_by_default(self, ixp_result):
+        assert ixp_result.spoofed_suppressed > 0
+        assert ixp_result.spoofed_would_count == 0
+
+    def test_disabling_filter_inflates_counts(
+        self, context, members
+    ):
+        config = IxpConfig(days=2, require_established=False,
+                           monte_carlo_samples=200)
+        result = run_wild_ixp(
+            context.scenario, context.rules, context.hitlist, members,
+            config,
+        )
+        assert result.spoofed_would_count > 0
+        baseline = run_wild_ixp(
+            context.scenario, context.rules, context.hitlist, members,
+            IxpConfig(days=2, monte_carlo_samples=200),
+        )
+        assert (
+            result.daily_ip_counts["Other 32 IoT Device types"].mean()
+            > baseline.daily_ip_counts[
+                "Other 32 IoT Device types"
+            ].mean()
+        )
+
+    def test_lower_sampling_reduces_detection(self, context, members):
+        sparse = run_wild_ixp(
+            context.scenario, context.rules, context.hitlist, members,
+            IxpConfig(days=2, sampling_interval=20_000,
+                      monte_carlo_samples=500),
+        )
+        dense = run_wild_ixp(
+            context.scenario, context.rules, context.hitlist, members,
+            IxpConfig(days=2, sampling_interval=200,
+                      monte_carlo_samples=500),
+        )
+        assert (
+            sparse.daily_ip_counts["Samsung IoT"].mean()
+            < dense.daily_ip_counts["Samsung IoT"].mean()
+        )
+
+
+class TestSpoofedFlows:
+    def test_flows_target_hitlist(self, hitlist):
+        flows = make_spoofed_flows(hitlist, 50)
+        endpoints = hitlist.endpoints_for_day(0)
+        for flow in flows:
+            assert (flow.dst_ip, flow.dst_port) in endpoints
+
+    def test_flows_are_syn_only(self, hitlist):
+        for flow in make_spoofed_flows(hitlist, 20):
+            assert not flow.has_established_evidence()
+
+    def test_count(self, hitlist):
+        assert len(make_spoofed_flows(hitlist, 123)) == 123

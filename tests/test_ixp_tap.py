@@ -1,0 +1,89 @@
+"""Tests for the flow-level IXP fabric tap."""
+
+import pytest
+
+from repro.cloud.addressing import AddressAllocator, ASRegistry
+from repro.ixp.fabric import IxpFabricTap
+from repro.ixp.members import build_members
+from repro.netflow.records import PacketRecord, PROTO_TCP
+
+
+@pytest.fixture(scope="module")
+def member():
+    allocator = AddressAllocator(start=0x78000000)
+    registry = ASRegistry()
+    return build_members(
+        allocator, registry, count=3, large_eyeballs=1,
+        small_eyeballs=1, base_asn=64800,
+    )[0]
+
+
+def _packets(count, flows=10):
+    for index in range(count):
+        yield PacketRecord(
+            timestamp=index,
+            src_ip=0x10_00_00_00 + index % flows,
+            dst_ip=0x20_00_00_01,
+            protocol=PROTO_TCP,
+            src_port=40_000 + index % flows,
+            dst_port=443,
+        )
+
+
+class TestIxpFabricTap:
+    def test_sampling_rate_applied(self, member):
+        tap = IxpFabricTap(
+            member, sampling_interval=10, routing_visibility=1.0, seed=1
+        )
+        kept = sum(tap.observe(packet) for packet in _packets(20_000))
+        assert 1600 <= kept <= 2400  # ~1/10
+
+    def test_asymmetry_bypasses_fraction_of_flows(self, member):
+        tap = IxpFabricTap(
+            member, sampling_interval=1, routing_visibility=0.5, seed=2
+        )
+        total = 10_000
+        for packet in _packets(total, flows=200):
+            tap.observe(packet)
+        bypass_rate = tap.packets_bypassed / total
+        assert 0.35 <= bypass_rate <= 0.65
+
+    def test_route_decision_sticky_per_flow(self, member):
+        tap = IxpFabricTap(
+            member, sampling_interval=1, routing_visibility=0.5, seed=3
+        )
+        packet = PacketRecord(
+            0, 1, 2, PROTO_TCP, 40_000, 443
+        )
+        first = tap.observe(packet)
+        for _ in range(50):
+            assert tap.observe(packet) == first
+
+    def test_export_returns_flow_records(self, member):
+        tap = IxpFabricTap(
+            member, sampling_interval=5, routing_visibility=1.0, seed=4
+        )
+        for packet in _packets(1_000, flows=4):
+            tap.observe(packet)
+        flows = tap.export()
+        assert flows
+        assert sum(flow.packets for flow in flows) == (
+            tap._sampler.kept
+        )
+        assert all(
+            flow.sampling_interval == 5 for flow in flows
+        )
+
+    def test_full_visibility_never_bypasses(self, member):
+        tap = IxpFabricTap(
+            member, sampling_interval=1, routing_visibility=1.0, seed=5
+        )
+        for packet in _packets(500):
+            tap.observe(packet)
+        assert tap.packets_bypassed == 0
+
+    def test_invalid_visibility_rejected(self, member):
+        with pytest.raises(ValueError):
+            IxpFabricTap(member, routing_visibility=0.0)
+        with pytest.raises(ValueError):
+            IxpFabricTap(member, routing_visibility=1.5)

@@ -1,0 +1,168 @@
+"""Tests for Section 7.2 mitigation policies."""
+
+import pytest
+
+from repro.core.detector import FlowDetector
+from repro.core.mitigation import (
+    ACTION_BLOCK,
+    ACTION_FORWARD,
+    ACTION_REDIRECT,
+    FlowFilter,
+    MitigationPlanner,
+    MitigationPolicy,
+)
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+from repro.timeutil import STUDY_START
+
+
+@pytest.fixture
+def planner(rules, hitlist):
+    return MitigationPlanner(rules, hitlist)
+
+
+def _flow_to_endpoint(endpoint, when=STUDY_START + 100):
+    address, port = endpoint
+    return FlowRecord(
+        key=FlowKey(0x0A000001, address, PROTO_TCP, 50000, port),
+        first_switched=when,
+        last_switched=when + 10,
+        packets=1,
+        bytes=100,
+        tcp_flags=TCP_ACK,
+    )
+
+
+class TestPlanner:
+    def test_block_covers_all_class_endpoints(self, planner, hitlist):
+        policy = planner.block("Yi Camera", day=0)
+        domains = set(policy.domains)
+        for endpoint, fqdn in hitlist.endpoints_for_day(0).items():
+            if fqdn in domains:
+                assert endpoint in policy.endpoints
+
+    def test_block_includes_descendants(self, planner, rules):
+        policy = planner.block("Alexa Enabled", day=0)
+        assert set(rules.rule("Fire TV").domains) <= set(policy.domains)
+        assert set(rules.rule("Amazon Product").domains) <= set(
+            policy.domains
+        )
+
+    def test_block_without_descendants(self, planner, rules):
+        policy = planner.block(
+            "Alexa Enabled", day=0, include_descendants=False
+        )
+        assert set(policy.domains) == set(
+            rules.rule("Alexa Enabled").domains
+        )
+
+    def test_unknown_class_raises(self, planner):
+        with pytest.raises(KeyError):
+            planner.block("Ghost Class", day=0)
+
+    def test_redirect_requires_target(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(
+                class_name="x", day=0, action=ACTION_REDIRECT,
+                endpoints=(), domains=(),
+            )
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(ValueError):
+            MitigationPolicy(
+                class_name="x", day=0, action="drop-table",
+                endpoints=(), domains=(),
+            )
+
+    def test_campaign_one_policy_per_day(self, planner):
+        policies = planner.campaign("Yi Camera", days=range(3))
+        assert [policy.day for policy in policies] == [0, 1, 2]
+
+    def test_redirect_campaign_needs_target(self, planner):
+        with pytest.raises(ValueError):
+            planner.campaign(
+                "Yi Camera", days=[0], action=ACTION_REDIRECT
+            )
+
+
+class TestFlowFilter:
+    def test_block_drops_class_flows(self, planner):
+        policy = planner.block("Yi Camera", day=0)
+        flt = FlowFilter([policy])
+        flow = _flow_to_endpoint(policy.endpoints[0])
+        assert flt.decide(flow) == ACTION_BLOCK
+        assert flt.apply(flow) is None
+        assert flt.blocked == 1
+
+    def test_unrelated_flows_forwarded(self, planner):
+        policy = planner.block("Yi Camera", day=0)
+        flt = FlowFilter([policy])
+        flow = FlowRecord(
+            key=FlowKey(1, 2, PROTO_TCP, 50000, 443),
+            first_switched=STUDY_START + 100,
+            last_switched=STUDY_START + 110,
+            packets=1,
+            bytes=100,
+        )
+        assert flt.decide(flow) == ACTION_FORWARD
+        assert flt.apply(flow) is flow
+        assert flt.forwarded == 1
+
+    def test_policy_only_applies_on_its_day(self, planner):
+        policy = planner.block("Yi Camera", day=0)
+        flt = FlowFilter([policy])
+        tomorrow = _flow_to_endpoint(
+            policy.endpoints[0], when=STUDY_START + 90_000
+        )
+        assert flt.decide(tomorrow) == ACTION_FORWARD
+
+    def test_redirect_rewrites_destination(self, planner):
+        target = 0x7F000001
+        policy = planner.redirect("Yi Camera", day=0, target=target)
+        flt = FlowFilter([policy])
+        flow = _flow_to_endpoint(policy.endpoints[0])
+        rewritten = flt.apply(flow)
+        assert rewritten is not None
+        assert rewritten.dst_ip == target
+        assert rewritten.dst_port == flow.dst_port
+        assert flt.redirected == 1
+
+    def test_filter_stream(self, planner):
+        policy = planner.block("Yi Camera", day=0)
+        flt = FlowFilter([policy])
+        flows = [
+            _flow_to_endpoint(policy.endpoints[0]),
+            FlowRecord(
+                key=FlowKey(1, 2, PROTO_TCP, 50000, 443),
+                first_switched=STUDY_START + 100,
+                last_switched=STUDY_START + 110,
+                packets=1,
+                bytes=100,
+            ),
+        ]
+        surviving = list(flt.filter(flows))
+        assert len(surviving) == 1
+
+    def test_blocking_disables_detection(self, planner, rules, hitlist):
+        """After a block campaign, the class is no longer detectable —
+        and other classes are untouched."""
+        policies = planner.campaign("Yi Camera", days=range(14))
+        flt = FlowFilter(policies)
+        detector = FlowDetector(rules, hitlist, threshold=0.4)
+        # One flow to every Yi endpoint plus one Netatmo flow.
+        for endpoint in policies[0].endpoints:
+            flow = flt.apply(_flow_to_endpoint(endpoint))
+            if flow is not None:
+                detector.observe_flow(7, flow)
+        netatmo = rules.rule("Netatmo Weather St.").domains[0]
+        port = hitlist.domain_ports[netatmo][0]
+        address = next(
+            addr
+            for (addr, p), name in hitlist.endpoints_for_day(0).items()
+            if name == netatmo and p == port
+        )
+        flow = flt.apply(_flow_to_endpoint((address, port)))
+        assert flow is not None
+        detector.observe_flow(7, flow)
+        detected = {d.class_name for d in detector.detections()}
+        assert "Yi Camera" not in detected
+        assert "Netatmo Weather St." in detected

@@ -1,0 +1,128 @@
+"""Round-trip and robustness tests for the NetFlow v9 / IPFIX codecs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netflow.ipfix import IpfixCodec
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+from repro.netflow.v9 import NetflowV9Codec
+
+
+def _flow(index=0, packets=3, byte_count=300):
+    return FlowRecord(
+        key=FlowKey(
+            src_ip=0x0A000001 + index,
+            dst_ip=0x0B000001 + index,
+            protocol=PROTO_TCP,
+            src_port=40000 + index,
+            dst_port=443,
+        ),
+        first_switched=1_573_776_000 + index,
+        last_switched=1_573_776_060 + index,
+        packets=packets,
+        bytes=byte_count,
+        tcp_flags=TCP_ACK,
+    )
+
+
+_flow_strategy = st.builds(
+    FlowRecord,
+    key=st.builds(
+        FlowKey,
+        src_ip=st.integers(0, 0xFFFFFFFF),
+        dst_ip=st.integers(0, 0xFFFFFFFF),
+        protocol=st.integers(0, 255),
+        src_port=st.integers(0, 65535),
+        dst_port=st.integers(0, 65535),
+    ),
+    first_switched=st.integers(0, 0xFFFFFFFF),
+    last_switched=st.integers(0, 0xFFFFFFFF),
+    packets=st.integers(0, 0xFFFFFFFF),
+    bytes=st.integers(0, 0xFFFFFFFF),
+    tcp_flags=st.integers(0, 255),
+)
+
+
+@pytest.mark.parametrize("codec_cls", [NetflowV9Codec, IpfixCodec])
+class TestRoundTrip:
+    def test_single_flow(self, codec_cls):
+        codec = codec_cls()
+        flows = [_flow()]
+        decoded = codec_cls().decode(codec.encode(flows, 1_573_776_000))
+        assert len(decoded) == 1
+        assert decoded[0].key == flows[0].key
+        assert decoded[0].packets == flows[0].packets
+        assert decoded[0].bytes == flows[0].bytes
+        assert decoded[0].tcp_flags == flows[0].tcp_flags
+
+    def test_many_flows_preserve_order(self, codec_cls):
+        codec = codec_cls()
+        flows = [_flow(i, packets=i + 1) for i in range(57)]
+        decoded = codec_cls().decode(codec.encode(flows, 0))
+        assert [f.key for f in decoded] == [f.key for f in flows]
+
+    def test_empty_flow_list(self, codec_cls):
+        codec = codec_cls()
+        assert codec_cls().decode(codec.encode([], 0)) == []
+
+    def test_truncated_header_rejected(self, codec_cls):
+        with pytest.raises(ValueError):
+            codec_cls().decode(b"\x00\x01")
+
+    def test_wrong_version_rejected(self, codec_cls):
+        codec = codec_cls()
+        payload = bytearray(codec.encode([_flow()], 0))
+        payload[0:2] = b"\x00\x05"  # NetFlow v5
+        with pytest.raises(ValueError):
+            codec_cls().decode(bytes(payload))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_flow_strategy, max_size=20))
+    def test_property_roundtrip(self, codec_cls, flows):
+        codec = codec_cls()
+        decoded = codec_cls().decode(codec.encode(flows, 0))
+        assert len(decoded) == len(flows)
+        for got, want in zip(decoded, flows):
+            assert got.key == want.key
+            assert got.packets == want.packets
+            assert got.bytes == want.bytes
+            assert got.tcp_flags == want.tcp_flags
+            assert got.first_switched == want.first_switched & 0xFFFFFFFF
+            assert got.last_switched == want.last_switched & 0xFFFFFFFF
+
+
+class TestNetflowV9Specifics:
+    def test_sequence_number_advances(self):
+        codec = NetflowV9Codec()
+        codec.encode([_flow()], 0)
+        first = codec._sequence
+        codec.encode([_flow(), _flow(1)], 0)
+        assert codec._sequence > first
+
+    def test_sampling_interval_attached_on_decode(self):
+        codec = NetflowV9Codec(sampling_interval=100)
+        decoded = codec.decode(codec.encode([_flow(packets=2)], 0))
+        assert decoded[0].estimated_packets == 200
+
+
+class TestIpfixSpecifics:
+    def test_length_field_matches_payload(self):
+        codec = IpfixCodec()
+        payload = codec.encode([_flow()], 0)
+        import struct
+
+        _version, length = struct.unpack_from("!HH", payload)
+        assert length == len(payload)
+
+    def test_length_mismatch_rejected(self):
+        codec = IpfixCodec()
+        payload = codec.encode([_flow()], 0)
+        with pytest.raises(ValueError):
+            IpfixCodec().decode(payload + b"\x00")
+
+    def test_64bit_counters_survive(self):
+        codec = IpfixCodec()
+        big = _flow(packets=2**40, byte_count=2**50)
+        decoded = codec.decode(codec.encode([big], 0))
+        assert decoded[0].packets == 2**40
+        assert decoded[0].bytes == 2**50

@@ -1,0 +1,104 @@
+"""Tests for flow/packet record types."""
+
+import pytest
+
+from repro.netflow.records import (
+    FlowKey,
+    FlowRecord,
+    PacketRecord,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_ACK,
+    TCP_SYN,
+    classify_port,
+)
+
+
+def _flow(flags=TCP_ACK, proto=PROTO_TCP, packets=3):
+    return FlowRecord(
+        key=FlowKey(1, 2, proto, 1234, 443),
+        first_switched=100,
+        last_switched=160,
+        packets=packets,
+        bytes=packets * 100,
+        tcp_flags=flags,
+        sampling_interval=100,
+    )
+
+
+class TestClassifyPort:
+    def test_web_ports(self):
+        for port in (80, 443, 8080):
+            assert classify_port(port) == "web"
+
+    def test_ntp(self):
+        assert classify_port(123) == "ntp"
+
+    def test_other(self):
+        assert classify_port(8883) == "other"
+
+
+class TestPacketRecord:
+    def test_reversed_swaps_endpoints(self):
+        packet = PacketRecord(0, 1, 2, PROTO_TCP, 1000, 443)
+        reverse = packet.reversed()
+        assert (reverse.src_ip, reverse.dst_ip) == (2, 1)
+        assert (reverse.src_port, reverse.dst_port) == (443, 1000)
+
+    def test_flow_key_of(self):
+        packet = PacketRecord(0, 1, 2, PROTO_TCP, 1000, 443)
+        key = FlowKey.of(packet)
+        assert key == FlowKey(1, 2, PROTO_TCP, 1000, 443)
+
+
+class TestFlowRecord:
+    def test_estimates_scale_by_sampling(self):
+        flow = _flow(packets=3)
+        assert flow.estimated_packets == 300
+        assert flow.estimated_bytes == 30000
+
+    def test_established_evidence_ack_only(self):
+        assert _flow(flags=TCP_ACK).has_established_evidence()
+
+    def test_syn_only_is_not_established(self):
+        assert not _flow(flags=TCP_SYN).has_established_evidence()
+
+    def test_syn_ack_is_not_established(self):
+        # OR'd flags can't prove a mid-connection packet was sampled;
+        # the filter stays conservative.
+        assert not _flow(flags=TCP_SYN | TCP_ACK).has_established_evidence()
+
+    def test_udp_never_established(self):
+        assert not _flow(proto=PROTO_UDP, flags=0).has_established_evidence()
+
+    def test_merge_accumulates(self):
+        first = _flow(packets=3)
+        second = _flow(packets=2)
+        second.first_switched = 50
+        second.last_switched = 400
+        second.tcp_flags = TCP_SYN
+        first.merge(second)
+        assert first.packets == 5
+        assert first.bytes == 500
+        assert first.first_switched == 50
+        assert first.last_switched == 400
+        assert first.tcp_flags == TCP_ACK | TCP_SYN
+
+    def test_merge_rejects_different_keys(self):
+        other = FlowRecord(
+            key=FlowKey(9, 9, PROTO_TCP, 1, 2),
+            first_switched=0,
+            last_switched=0,
+            packets=1,
+            bytes=1,
+        )
+        with pytest.raises(ValueError):
+            _flow().merge(other)
+
+    def test_property_accessors(self):
+        flow = _flow()
+        assert flow.src_ip == 1
+        assert flow.dst_ip == 2
+        assert flow.protocol == PROTO_TCP
+        assert flow.src_port == 1234
+        assert flow.dst_port == 443

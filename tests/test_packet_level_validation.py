@@ -1,0 +1,48 @@
+"""Cross-validation of the event-level sampling shortcut against true
+per-packet sampling."""
+
+import pytest
+
+from repro.isp.simulation import validate_packet_level
+
+
+@pytest.fixture(scope="module")
+def validation(scenario):
+    return validate_packet_level(
+        scenario, product="Echo Dot", hours=48, seed=3
+    )
+
+
+class TestPacketLevelValidation:
+    def test_both_paths_sample_near_expected_rate(self, validation):
+        expected = validation.wire_packets / 100
+        assert abs(validation.event_sampled - expected) < expected * 0.25
+        assert abs(validation.packet_sampled - expected) < (
+            expected * 0.25
+        )
+
+    def test_paths_agree_with_each_other(self, validation):
+        difference = abs(
+            validation.event_sampled - validation.packet_sampled
+        )
+        scale = max(validation.event_sampled, validation.packet_sampled)
+        assert difference < max(20, scale * 0.3)
+
+    def test_domain_universes_overlap_heavily(self, validation):
+        common = validation.event_domains & validation.packet_domains
+        union = validation.event_domains | validation.packet_domains
+        assert len(common) / len(union) > 0.5
+
+    def test_laconic_device_rarely_sampled(self, scenario):
+        result = validate_packet_level(
+            scenario, product="Microseven Cam", hours=24, seed=3
+        )
+        # Near-silent device: both paths agree it is invisible-ish.
+        assert result.event_sampled <= 3
+        assert result.packet_sampled <= 3
+
+    def test_deterministic_given_seed(self, scenario):
+        first = validate_packet_level(scenario, hours=6, seed=11)
+        second = validate_packet_level(scenario, hours=6, seed=11)
+        assert first.event_sampled == second.event_sampled
+        assert first.packet_sampled == second.packet_sampled

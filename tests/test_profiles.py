@@ -1,0 +1,191 @@
+"""Tests for the profile library (domains, hosting, rates)."""
+
+import pytest
+
+from repro.devices.profiles import (
+    HOSTING_CDN,
+    HOSTING_CLOUD_VM,
+    HOSTING_DEDICATED,
+    ROLE_GENERIC,
+    ROLE_PRIMARY,
+    ROLE_SUPPORT,
+    build_profile_library,
+)
+from repro.dns.names import second_level_domain
+
+
+class TestRuleDomains:
+    def test_every_class_has_declared_domain_count(self, library, catalog):
+        for spec in catalog.detection_classes:
+            assert len(library.rule_domains[spec.name]) == (
+                spec.rule_domains
+            )
+
+    def test_rule_domains_are_primary_and_detectable(self, library):
+        for fqdns in library.rule_domains.values():
+            for fqdn in fqdns:
+                spec = library.domain(fqdn)
+                assert spec.role_hint == ROLE_PRIMARY
+                assert spec.hosting in (
+                    HOSTING_DEDICATED, HOSTING_CLOUD_VM,
+                )
+
+    def test_child_rules_disjoint_from_parent(self, library, catalog):
+        for spec in catalog.detection_classes:
+            if spec.parent is None:
+                continue
+            child = set(library.rule_domains[spec.name])
+            parent = set(library.rule_domains[spec.parent])
+            assert not child & parent
+
+    def test_sibling_rule_sets_differ(self, library, catalog):
+        names = [spec.name for spec in catalog.detection_classes]
+        for index, first in enumerate(names):
+            for second in names[index + 1 :]:
+                assert set(library.rule_domains[first]) != set(
+                    library.rule_domains[second]
+                )
+
+    def test_critical_domains_are_rule_members(self, library, catalog):
+        for spec in catalog.detection_classes:
+            critical = library.critical_domains[spec.name]
+            assert len(critical) == spec.critical_domain_count
+            assert set(critical) <= set(library.rule_domains[spec.name])
+
+    def test_avs_is_alexa_critical_domain(self, library):
+        assert library.critical_domains["Alexa Enabled"] == (
+            "avs-alexa.na.amazon.example",
+        )
+
+
+class TestHostingAssignments:
+    def test_cloud_vm_classes(self, library):
+        for class_name in ("Anova Sousvide", "AppKettle", "Insteon Hub"):
+            for fqdn in library.rule_domains[class_name]:
+                assert library.domain(fqdn).hosting == HOSTING_CLOUD_VM
+
+    def test_excluded_product_domains_mostly_shared(self, library):
+        apple = library.profile("Apple TV")
+        hostings = {
+            library.domain(usage.fqdn).hosting
+            for usage in apple.usages
+            if second_level_domain(usage.fqdn) == "apple.example"
+        }
+        assert hostings == {HOSTING_CDN}
+
+    def test_lg_has_exactly_one_dedicated_domain(self, library):
+        lg = library.profile("LG TV")
+        dedicated = [
+            usage.fqdn
+            for usage in lg.usages
+            if second_level_domain(usage.fqdn) == "lg.example"
+            and library.domain(usage.fqdn).hosting == HOSTING_DEDICATED
+        ]
+        assert len(dedicated) == 1
+
+    def test_dnsdb_gap_count_matches_paper(self, library):
+        gaps = [
+            spec for spec in library.domains.values() if spec.dnsdb_gap
+        ]
+        # 8 Censys-recoverable + WeMo(3) + Wink(3) + Roku extra(1) = 15
+        assert len(gaps) == 15
+        recoverable = [spec for spec in gaps if spec.https]
+        assert len(recoverable) == 8
+
+    def test_wemo_wink_gaps_are_not_https(self, library):
+        for product in ("WeMo Plug", "Wink 2"):
+            for usage in library.profile(product).usages:
+                spec = library.domain(usage.fqdn)
+                if spec.dnsdb_gap:
+                    assert not spec.https
+
+
+class TestProfiles:
+    def test_every_product_has_a_profile(self, library, catalog):
+        assert set(library.profiles) == {
+            product.name for product in catalog.products
+        }
+
+    def test_members_contact_their_rule_anchor(self, library, catalog):
+        for spec in catalog.detection_classes:
+            anchor = library.rule_domains[spec.name][0]
+            for member in spec.member_products:
+                profile = library.profile(member)
+                assert anchor in profile.domains()
+
+    def test_firetv_contacts_all_67_chain_domains(self, library):
+        firetv = set(library.profile("Fire TV").domains())
+        chain = (
+            set(library.rule_domains["Alexa Enabled"])
+            | set(library.rule_domains["Amazon Product"])
+            | set(library.rule_domains["Fire TV"])
+        )
+        assert chain <= firetv
+        assert len(chain) == 67
+
+    def test_echo_contacts_proper_subset_of_amazon_domains(self, library):
+        echo = set(library.profile("Echo Dot").domains())
+        amazon = set(library.rule_domains["Amazon Product"])
+        firetv = set(library.rule_domains["Fire TV"])
+        assert echo & amazon  # some
+        assert amazon - echo  # not all
+        assert not echo & firetv  # none of the Fire-TV-specific ones
+
+    def test_active_only_domains_have_zero_idle_rate(self, library):
+        found = 0
+        for profile in library.profiles.values():
+            for usage in profile.usages:
+                if usage.active_only:
+                    found += 1
+                    assert usage.idle_pph == 0.0
+                    assert usage.active_pph > 0.0
+        assert found > 0
+
+    def test_samsung_tv_idle_visible_rule_domains_below_threshold(
+        self, library
+    ):
+        """12 of Samsung TV's 16 rule domains are active-only, so idle
+        evidence can never reach floor(0.4 * 16) = 6 domains (§5)."""
+        profile = library.profile("Samsung TV")
+        rule = set(library.rule_domains["Samsung TV"])
+        idle_visible = [
+            usage.fqdn
+            for usage in profile.usages
+            if usage.fqdn in rule and not usage.active_only
+        ]
+        assert len(idle_visible) < 6
+
+    def test_every_device_contacts_generic_domains(self, library):
+        for profile in library.profiles.values():
+            roles = {
+                library.domain(usage.fqdn).role_hint
+                for usage in profile.usages
+            }
+            assert ROLE_GENERIC in roles
+
+    def test_usage_for_unknown_domain_raises(self, library):
+        with pytest.raises(KeyError):
+            library.profile("Echo Dot").usage_for("ghost.example")
+
+    def test_library_is_deterministic(self, library):
+        rebuilt = build_profile_library()
+        assert set(rebuilt.domains) == set(library.domains)
+        for name, profile in rebuilt.profiles.items():
+            assert profile.usages == library.profiles[name].usages
+
+
+class TestSupportAndGeneric:
+    def test_19_support_domains(self, library):
+        assert len(library.domains_with_role(ROLE_SUPPORT)) == 19
+
+    def test_90_generic_domains(self, library):
+        assert len(library.domains_with_role(ROLE_GENERIC)) == 90
+
+    def test_support_domains_are_third_party(self, library):
+        for spec in library.domains_with_role(ROLE_SUPPORT):
+            assert spec.registrant_kind == "third_party"
+
+    def test_wild_behavior_for_every_class(self, library, catalog):
+        for spec in catalog.detection_classes:
+            behavior = library.wild_behaviors[spec.name]
+            assert 0.0 < behavior.active_use_prob < 0.2

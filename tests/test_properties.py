@@ -1,0 +1,261 @@
+"""Property-based suites over the core data structures and invariants.
+
+These complement the per-module tests with randomised checks of the
+relationships the methodology relies on:
+
+* evidence monotonicity: more evidence never loses a detection;
+* threshold monotonicity: a stricter D never detects more;
+* windowed vs cumulative consistency: anything a windowed detector
+  finds, the cumulative detector finds no later;
+* passive-DNS forward/inverse consistency;
+* collector conservation: packets in == packets across exported flows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.rules import DetectionRule, RuleSet
+from repro.devices.catalog import LEVEL_PRODUCT
+from repro.dns.dnsdb import PassiveDnsDatabase
+from repro.dns.zone import ResourceRecord
+from repro.netflow.collector import FlowCollector
+from repro.netflow.records import PacketRecord, PROTO_TCP
+from repro.netflow.sampler import PacketSampler
+
+# ---------------------------------------------------------------------------
+# rules
+
+
+_domains = st.lists(
+    st.sampled_from([f"d{i}.v.example" for i in range(12)]),
+    min_size=1,
+    max_size=12,
+    unique=True,
+)
+
+
+@st.composite
+def _rule_and_evidence(draw):
+    domains = tuple(draw(_domains))
+    critical_count = draw(
+        st.integers(min_value=0, max_value=min(2, len(domains)))
+    )
+    rule = DetectionRule(
+        class_name="c",
+        level=LEVEL_PRODUCT,
+        domains=domains,
+        critical=domains[:critical_count],
+    )
+    evidence = draw(
+        st.sets(st.sampled_from(list(domains) + ["x.other.example"]))
+    )
+    return rule, evidence
+
+
+class TestRuleProperties:
+    @given(_rule_and_evidence(), st.floats(0.05, 1.0))
+    def test_evidence_monotonicity(self, rule_and_evidence, threshold):
+        rule, evidence = rule_and_evidence
+        if rule.satisfied(evidence, threshold):
+            for extra in rule.domains:
+                assert rule.satisfied(evidence | {extra}, threshold)
+
+    @given(_rule_and_evidence())
+    def test_threshold_monotonicity(self, rule_and_evidence):
+        rule, evidence = rule_and_evidence
+        satisfied = [
+            rule.satisfied(evidence, step / 10) for step in range(1, 11)
+        ]
+        # Once unsatisfied at some threshold, never satisfied above it.
+        for low, high in zip(satisfied, satisfied[1:]):
+            assert low or not high
+
+    @given(_rule_and_evidence(), st.floats(0.05, 1.0))
+    def test_satisfaction_implies_critical_seen(
+        self, rule_and_evidence, threshold
+    ):
+        rule, evidence = rule_and_evidence
+        if rule.satisfied(evidence, threshold):
+            assert set(rule.critical) <= evidence
+
+    @given(_rule_and_evidence(), st.floats(0.05, 1.0))
+    def test_full_evidence_always_satisfies(
+        self, rule_and_evidence, threshold
+    ):
+        rule, _ = rule_and_evidence
+        assert rule.satisfied(set(rule.domains), threshold)
+
+
+class TestRuleSetProperties:
+    @given(
+        st.sets(st.sampled_from(["r1", "m1", "m2", "l1", "l2"])),
+        st.floats(0.05, 1.0),
+    )
+    def test_child_detection_implies_ancestors(self, seen, threshold):
+        rules = RuleSet(
+            [
+                DetectionRule("root", LEVEL_PRODUCT, ("r1",)),
+                DetectionRule(
+                    "mid", LEVEL_PRODUCT, ("m1", "m2"), parent="root"
+                ),
+                DetectionRule(
+                    "leaf", LEVEL_PRODUCT, ("l1", "l2"), parent="mid"
+                ),
+            ]
+        )
+        detected = rules.detected_classes(seen, threshold)
+        if "leaf" in detected:
+            assert {"mid", "root"} <= detected
+        if "mid" in detected:
+            assert "root" in detected
+
+
+# ---------------------------------------------------------------------------
+# detectors
+
+
+class TestDetectorConsistency:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_windowed_never_beats_cumulative(
+        self, rules, hitlist, seed
+    ):
+        """Any (subscriber, class) a daily window detects, the
+        cumulative detector detects too (its evidence is a superset)."""
+        from repro.core.detector import (
+            FlowDetector,
+            WindowedDetector,
+            anonymize_subscriber,
+        )
+        from repro.timeutil import SECONDS_PER_DAY, STUDY_START
+
+        rng = np.random.default_rng(seed)
+        domains = sorted(hitlist.domain_classes)
+        cumulative = FlowDetector(rules, hitlist, threshold=0.4)
+        windowed = WindowedDetector(
+            rules, hitlist, window_seconds=SECONDS_PER_DAY,
+            threshold=0.4,
+        )
+        for _ in range(60):
+            subscriber = int(rng.integers(0, 3))
+            fqdn = domains[int(rng.integers(0, len(domains)))]
+            when = STUDY_START + int(
+                rng.integers(0, 3 * SECONDS_PER_DAY)
+            )
+            cumulative.observe_evidence(subscriber, fqdn, when)
+            windowed.observe_evidence(subscriber, fqdn, when)
+        cumulative_pairs = {
+            (d.subscriber, d.class_name)
+            for d in cumulative.detections()
+        }
+        for window in windowed.windows():
+            for class_name, subscribers in windowed.detections_in_window(
+                window
+            ).items():
+                for subscriber in subscribers:
+                    assert (subscriber, class_name) in cumulative_pairs
+
+
+# ---------------------------------------------------------------------------
+# passive DNS
+
+
+_names = st.sampled_from(
+    [f"n{i}.sld{i % 3}.example" for i in range(9)]
+)
+_addresses = st.sampled_from([f"9.9.9.{i}" for i in range(6)])
+
+
+class TestPassiveDnsProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(_names, _addresses, st.integers(0, 10_000)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_forward_inverse_consistency(self, observations):
+        from repro.cloud.addressing import str_to_ip
+
+        db = PassiveDnsDatabase()
+        for rrname, rdata, when in observations:
+            db.ingest([ResourceRecord(rrname, "A", rdata, 300)], when)
+        for rrname, rdata, when in observations:
+            addresses = db.addresses_for_domain(rrname, 0, 10_000)
+            assert str_to_ip(rdata) in addresses
+            owners = db.owners_of_address(str_to_ip(rdata), 0, 10_000)
+            assert rrname in owners
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(_names, _addresses, st.integers(0, 10_000)),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    )
+    def test_window_shrinking_never_adds(self, observations, lo, hi):
+        db = PassiveDnsDatabase()
+        for rrname, rdata, when in observations:
+            db.ingest([ResourceRecord(rrname, "A", rdata, 300)], when)
+        start, end = min(lo, hi), max(lo, hi)
+        for rrname, _, _ in observations:
+            narrow = db.addresses_for_domain(rrname, start, end)
+            wide = db.addresses_for_domain(rrname, 0, 10_000)
+            assert narrow <= wide
+
+
+# ---------------------------------------------------------------------------
+# sampling and collection
+
+
+class TestPipelineConservation:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 400),
+        st.integers(1, 20),
+        st.integers(0, 2**31),
+    )
+    def test_collector_conserves_sampled_packets(
+        self, packet_count, interval, seed
+    ):
+        sampler = PacketSampler(interval, seed=seed)
+        collector = FlowCollector(sampling_interval=interval)
+        kept = 0
+        for index in range(packet_count):
+            packet = PacketRecord(
+                timestamp=index,
+                src_ip=1,
+                dst_ip=2 + index % 3,
+                protocol=PROTO_TCP,
+                src_port=1000,
+                dst_port=443,
+            )
+            if sampler.sample(packet):
+                collector.observe(packet)
+                kept += 1
+        collector.flush()
+        flows = collector.drain()
+        assert sum(flow.packets for flow in flows) == kept
+        assert all(flow.packets > 0 for flow in flows)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 50), st.integers(0, 2**31))
+    def test_deterministic_sampler_rate_exact_over_multiples(
+        self, interval, seed
+    ):
+        sampler = PacketSampler(
+            interval, mode="deterministic", seed=seed
+        )
+        total = interval * 20
+        kept = sum(
+            sampler.sample(
+                PacketRecord(ts, 1, 2, PROTO_TCP, 1000, 443)
+            )
+            for ts in range(total)
+        )
+        assert kept == 20

@@ -1,0 +1,80 @@
+"""Documentation anti-rot checks: the README's code snippet must run,
+and the files the docs reference must exist."""
+
+import pathlib
+import re
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (_ROOT / "README.md").read_text()
+
+    def test_python_snippet_executes(self, readme, context):
+        blocks = re.findall(r"```python\n(.*?)```", readme, re.S)
+        assert blocks, "README lost its Python quickstart snippet"
+        # The snippet rebuilds the world; swap in the session context's
+        # objects to keep the test fast, then execute the rest.
+        snippet = blocks[0]
+        snippet = snippet.replace(
+            "scenario = build_default_scenario(seed=7)   # the simulated world",
+            "scenario = CONTEXT.scenario",
+        ).replace(
+            "hitlist  = build_hitlist(scenario)          # Figure-7 pipeline",
+            "hitlist  = CONTEXT.hitlist",
+        )
+        namespace = {"CONTEXT": context}
+        exec(compile(snippet, "<README>", "exec"), namespace)
+        assert "detector" in namespace
+        assert len(namespace["rules"]) == 37
+
+    def test_referenced_examples_exist(self, readme):
+        for match in re.findall(r"`examples/([a-z_]+\.py)`", readme):
+            assert (_ROOT / "examples" / match).exists(), match
+
+    def test_referenced_docs_exist(self, readme):
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert name in readme
+            assert (_ROOT / name).exists()
+
+    def test_cli_commands_in_readme_are_valid(self, readme):
+        from repro.cli import EXPERIMENTS
+
+        for match in re.findall(
+            r"python -m repro.*experiment (\S+)", readme
+        ):
+            assert match in set(EXPERIMENTS) | {"all"}, match
+
+
+class TestDesignDoc:
+    def test_bench_targets_exist(self):
+        design = (_ROOT / "DESIGN.md").read_text()
+        for match in set(
+            re.findall(r"benchmarks/(bench_[a-z0-9_]+\.py)", design)
+        ):
+            assert (_ROOT / "benchmarks" / match).exists(), match
+
+    def test_experiment_modules_exist(self):
+        design = (_ROOT / "DESIGN.md").read_text()
+        for match in set(
+            re.findall(r"`experiments\.([a-z0-9_]+)`", design)
+        ):
+            assert (
+                _ROOT / "src" / "repro" / "experiments" / f"{match}.py"
+            ).exists(), match
+
+
+class TestMethodologyDoc:
+    def test_referenced_modules_exist(self):
+        text = (_ROOT / "docs" / "METHODOLOGY.md").read_text()
+        for match in set(
+            re.findall(r"`([a-z]+/[a-z_0-9]+\.py)`", text)
+        ):
+            if match.startswith(("benchmarks/", "examples/")):
+                assert (_ROOT / match).exists(), match
+            else:
+                assert (_ROOT / "src" / "repro" / match).exists(), match

@@ -1,0 +1,149 @@
+"""Tests for scenario assembly."""
+
+import pytest
+
+from repro.devices.profiles import (
+    HOSTING_CDN,
+    HOSTING_CLOUD_VM,
+    HOSTING_DEDICATED,
+)
+from repro.dns.names import second_level_domain
+from repro.scenario import WhoisRegistry, build_default_scenario
+
+
+class TestZones:
+    def test_every_profiled_domain_is_hosted(self, scenario):
+        for fqdn in scenario.library.domains:
+            assert fqdn in scenario.zones
+
+    def test_background_domains_hosted_on_cdn(self, scenario):
+        for fqdn in scenario.background_domains[:10]:
+            assert fqdn in scenario.cdn.domains
+
+    def test_backend_matches_hosting_annotation(self, scenario):
+        for fqdn, spec in scenario.library.domains.items():
+            backend = scenario.backend_for(fqdn)
+            if spec.hosting == HOSTING_DEDICATED:
+                assert backend is scenario.clusters[
+                    second_level_domain(fqdn)
+                ]
+            elif spec.hosting == HOSTING_CLOUD_VM:
+                assert backend is scenario.cloud
+            else:
+                assert backend in (scenario.cdn, scenario.google_front)
+
+    def test_google_domains_on_google_front(self, scenario):
+        google = [
+            fqdn
+            for fqdn, spec in scenario.library.domains.items()
+            if spec.registrant == "Google" and spec.hosting == HOSTING_CDN
+        ]
+        assert google
+        for fqdn in google:
+            assert fqdn in scenario.google_front.domains
+
+    def test_backend_for_unknown_raises(self, scenario):
+        with pytest.raises(KeyError):
+            scenario.backend_for("ghost.example")
+
+
+class TestDedicatedClusters:
+    def test_one_cluster_per_dedicated_sld(self, scenario):
+        slds = {
+            second_level_domain(fqdn)
+            for fqdn, spec in scenario.library.domains.items()
+            if spec.hosting == HOSTING_DEDICATED
+        }
+        assert set(scenario.clusters) == slds
+
+    def test_cluster_addresses_unique_across_world(self, scenario):
+        seen = set()
+        for cluster in scenario.clusters.values():
+            addresses = set(cluster.all_addresses())
+            assert not addresses & seen
+            seen |= addresses
+
+
+class TestPassiveDns:
+    def test_gap_domains_absent(self, scenario):
+        for fqdn, spec in scenario.library.domains.items():
+            if spec.dnsdb_gap:
+                assert not scenario.dnsdb.has_records(fqdn)
+
+    def test_non_gap_hosted_domains_present(self, scenario):
+        count = 0
+        for fqdn, spec in scenario.library.domains.items():
+            if not spec.dnsdb_gap:
+                assert scenario.dnsdb.has_records(fqdn)
+                count += 1
+        assert count > 300
+
+    def test_warm_dnsdb_sees_slice_addresses(self, scenario):
+        fqdn = scenario.library.rule_domains["Philips Dev."][0]
+        cluster = scenario.clusters[second_level_domain(fqdn)]
+        from repro.timeutil import STUDY_END, STUDY_START
+
+        observed = scenario.dnsdb.addresses_for_domain(
+            fqdn, STUDY_START, STUDY_END
+        )
+        assert observed == set(cluster.slice_for(fqdn))
+
+
+class TestScans:
+    def test_dedicated_https_domains_have_specific_certs(self, scenario):
+        fqdn = scenario.library.rule_domains["Philips Dev."][0]
+        spec = scenario.library.domain(fqdn)
+        if 443 in spec.ports:
+            certs = scenario.scans.certificates_for_domain(fqdn)
+            assert any(cert.subject_cn == fqdn for cert in certs)
+
+    def test_cdn_nodes_present_multi_san_cert(self, scenario):
+        node = scenario.cdn.all_addresses()[0]
+        host = scenario.scans.host(node, 443)
+        assert host is not None
+        assert len(host.certificate.names) > 10
+
+
+class TestWhois:
+    def test_conflicting_registration_rejected(self):
+        whois = WhoisRegistry()
+        whois.register("a.example", "A", "generic")
+        with pytest.raises(ValueError):
+            whois.register("a.example", "B", "generic")
+
+    def test_reregistration_identical_is_ok(self):
+        whois = WhoisRegistry()
+        whois.register("a.example", "A", "generic")
+        whois.register("a.example", "A", "generic")
+        assert len(whois) == 1
+
+    def test_lookup_uses_sld(self, scenario):
+        entry = scenario.whois.lookup("deep.label.amazon.example")
+        assert entry == ("Amazon", "iot_vendor")
+
+    def test_lookup_unknown(self, scenario):
+        assert scenario.whois.lookup("nowhere.invalid") is None
+
+
+class TestTopologyCache:
+    def test_isp_topology_cached_per_rate(self, scenario):
+        first = scenario.isp_topology(100)
+        second = scenario.isp_topology(100)
+        assert first is second
+
+    def test_different_rates_different_asn(self, scenario):
+        a = scenario.isp_topology(100)
+        b = scenario.isp_topology(50)
+        assert a.autonomous_system.asn != b.autonomous_system.asn
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        # Cheap check on a fresh, unwarmed scenario.
+        a = build_default_scenario(seed=3, warm_passive_dns=False)
+        b = build_default_scenario(seed=3, warm_passive_dns=False)
+        assert set(a.library.domains) == set(b.library.domains)
+        for sld, cluster in a.clusters.items():
+            assert cluster.all_addresses() == b.clusters[
+                sld
+            ].all_addresses()

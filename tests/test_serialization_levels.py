@@ -1,0 +1,118 @@
+"""Tests for hitlist/rule serialisation and level inference."""
+
+import json
+
+import pytest
+
+from repro.core.detector import FlowDetector
+from repro.core.levels import infer_levels, validate_levels
+from repro.core.serialization import (
+    hitlist_from_json,
+    hitlist_to_json,
+    rules_from_json,
+    rules_to_json,
+)
+
+
+class TestHitlistRoundtrip:
+    @pytest.fixture(scope="class")
+    def loaded(self, hitlist):
+        return hitlist_from_json(hitlist_to_json(hitlist))
+
+    def test_window_preserved(self, hitlist, loaded):
+        assert loaded.window_start == hitlist.window_start
+        assert loaded.window_end == hitlist.window_end
+
+    def test_class_domains_preserved(self, hitlist, loaded):
+        assert loaded.class_domains == hitlist.class_domains
+        assert loaded.class_critical == hitlist.class_critical
+
+    def test_daily_endpoints_preserved(self, hitlist, loaded):
+        assert loaded.daily_endpoints == hitlist.daily_endpoints
+
+    def test_domain_classes_rebuilt(self, hitlist, loaded):
+        for fqdn, classes in hitlist.domain_classes.items():
+            assert set(loaded.domain_classes[fqdn]) == set(classes)
+
+    def test_provenance_stripped(self, loaded):
+        assert loaded.classifications == {}
+        assert loaded.verdicts == {}
+        assert loaded.recoveries == {}
+
+    def test_lookup_works_after_load(self, hitlist, loaded):
+        (endpoint, fqdn) = next(
+            iter(hitlist.endpoints_for_day(0).items())
+        )
+        assert loaded.lookup(0, endpoint[0], endpoint[1]) == fqdn
+
+    def test_json_is_stable(self, hitlist):
+        assert hitlist_to_json(hitlist) == hitlist_to_json(hitlist)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            hitlist_from_json(json.dumps({"format": "nonsense"}))
+
+
+class TestRulesRoundtrip:
+    def test_roundtrip(self, rules):
+        loaded = rules_from_json(rules_to_json(rules))
+        assert set(loaded.class_names()) == set(rules.class_names())
+        for name in rules.class_names():
+            original = rules.rule(name)
+            restored = loaded.rule(name)
+            assert restored.domains == original.domains
+            assert restored.critical == original.critical
+            assert restored.parent == original.parent
+            assert restored.level == original.level
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            rules_from_json(json.dumps({"format": "nope"}))
+
+    def test_loaded_artifacts_drive_detection(self, context):
+        """A detector built purely from serialised artefacts behaves
+        identically on the ground truth."""
+        hitlist = hitlist_from_json(hitlist_to_json(context.hitlist))
+        rules = rules_from_json(rules_to_json(context.rules))
+        original = FlowDetector(
+            context.rules, context.hitlist, threshold=0.4
+        )
+        restored = FlowDetector(rules, hitlist, threshold=0.4)
+        for event in context.capture.isp_events[:20000]:
+            original.observe_evidence(0, event.fqdn, event.timestamp)
+            restored.observe_evidence(0, event.fqdn, event.timestamp)
+        first = {
+            (d.class_name, d.detected_at) for d in original.detections()
+        }
+        second = {
+            (d.class_name, d.detected_at) for d in restored.detections()
+        }
+        assert first == second
+
+
+class TestLevelInference:
+    def test_declared_levels_never_finer_than_structure(
+        self, catalog, rules
+    ):
+        assert validate_levels(catalog, rules) == []
+
+    def test_platform_classes_inferred_platform(self, catalog, rules):
+        finest = infer_levels(catalog, rules)
+        for name in (
+            "Alexa Enabled", "Smartlife", "iKettle", "Lightify Hub",
+        ):
+            assert finest[name] == "Platform"
+
+    def test_multi_product_vendors_capped_at_manufacturer(
+        self, catalog, rules
+    ):
+        finest = infer_levels(catalog, rules)
+        assert finest["Xiaomi Dev."] == "Manufacturer"
+        assert finest["TP-link Dev."] == "Manufacturer"
+
+    def test_single_product_classes_support_product_level(
+        self, catalog, rules
+    ):
+        finest = infer_levels(catalog, rules)
+        assert finest["Fire TV"] == "Product"
+        assert finest["Roku TV"] == "Product"

@@ -1,0 +1,182 @@
+"""Integration tests for the ground-truth and wild simulations."""
+
+import numpy as np
+import pytest
+
+from repro.isp.simulation import (
+    WildConfig,
+    diurnal_profile_for,
+    run_wild_isp,
+)
+from repro.timeutil import (
+    ACTIVE_END,
+    ACTIVE_START,
+    IDLE_END,
+    IDLE_START,
+    STUDY_START,
+)
+
+
+class TestGroundTruthCapture:
+    def test_sampled_events_subset_of_home(self, capture):
+        home = {
+            (e.device_id, e.fqdn, e.dst_ip, e.timestamp)
+            for e in capture.home_events
+        }
+        for event in capture.isp_events:
+            assert (
+                event.device_id, event.fqdn, event.dst_ip,
+                event.timestamp,
+            ) in home
+
+    def test_sampled_packets_never_exceed_home(self, capture):
+        home = {
+            (e.device_id, e.fqdn, e.dst_ip, e.timestamp): e.packets
+            for e in capture.home_events
+        }
+        for event in capture.isp_events:
+            key = (
+                event.device_id, event.fqdn, event.dst_ip,
+                event.timestamp,
+            )
+            assert event.packets <= home[key]
+
+    def test_overall_sampling_ratio_plausible(self, capture):
+        total_home = sum(e.packets for e in capture.home_events)
+        total_isp = sum(e.packets for e in capture.isp_events)
+        expected = total_home / capture.sampling_interval
+        assert abs(total_isp - expected) < expected * 0.1
+
+    def test_timestamps_within_windows(self, capture):
+        for event in capture.home_events:
+            assert (
+                ACTIVE_START <= event.timestamp < ACTIVE_END
+                or IDLE_START <= event.timestamp < IDLE_END
+            )
+
+    def test_active_mode_only_in_active_window(self, capture):
+        for event in capture.home_events:
+            if event.mode == "active":
+                assert ACTIVE_START <= event.timestamp < ACTIVE_END
+
+    def test_all_devices_emit_traffic(self, capture, schedule):
+        devices = {e.device_id for e in capture.home_events}
+        assert devices == {
+            instance.device_id
+            for instance in schedule.all_instances()
+        }
+
+    def test_flow_records_established(self, capture):
+        from repro.netflow.records import PROTO_TCP
+
+        records = list(capture.isp_flow_records())
+        assert len(records) == len(capture.isp_events)
+        tcp = [r for r in records if r.protocol == PROTO_TCP]
+        assert tcp
+        assert all(r.has_established_evidence() for r in tcp)
+
+    def test_dst_addresses_belong_to_backends(self, capture, scenario):
+        servers = scenario.server_address_set()
+        for event in capture.home_events[:5000]:
+            assert event.dst_ip in servers
+
+
+class TestDiurnalProfiles:
+    def test_entertainment_profiles_peak_in_evening(self):
+        for name in ("Alexa Enabled", "Samsung IoT"):
+            profile = diurnal_profile_for(name)
+            assert profile.argmax() >= 17
+            assert profile.min() < 0.3
+
+    def test_other_classes_flat(self):
+        profile = diurnal_profile_for("Yi Camera")
+        assert (profile == 1.0).all()
+
+    def test_samsung_has_morning_bump(self):
+        profile = diurnal_profile_for("Samsung IoT")
+        assert profile[7] > profile[10]
+
+
+class TestWildIsp:
+    def test_result_shapes(self, wild):
+        hours = wild.config.hours
+        days = wild.config.days
+        for series in wild.hourly_counts.values():
+            assert series.shape == (hours,)
+        for series in wild.daily_counts.values():
+            assert series.shape == (days,)
+
+    def test_daily_penetrations_near_catalog(self, wild, catalog):
+        subscribers = wild.config.subscribers
+        alexa = wild.daily_counts["Alexa Enabled"].mean() / subscribers
+        assert 0.11 <= alexa <= 0.15  # catalog: 14%
+        samsung = wild.daily_counts["Samsung IoT"].mean() / subscribers
+        assert 0.06 <= samsung <= 0.09  # catalog: 8.2%
+
+    def test_any_daily_around_20_percent(self, wild):
+        share = wild.any_daily.mean() / wild.config.subscribers
+        assert 0.15 <= share <= 0.30
+
+    def test_hourly_below_daily(self, wild):
+        for name, hourly in wild.hourly_counts.items():
+            daily = wild.daily_counts[name]
+            assert hourly.mean() <= daily.mean() + 1
+
+    def test_child_counts_below_parent(self, wild):
+        assert (
+            wild.daily_counts["Fire TV"].mean()
+            <= wild.daily_counts["Amazon Product"].mean()
+        )
+        assert (
+            wild.daily_counts["Amazon Product"].mean()
+            <= wild.daily_counts["Alexa Enabled"].mean()
+        )
+        assert (
+            wild.daily_counts["Samsung TV"].mean()
+            <= wild.daily_counts["Samsung IoT"].mean()
+        )
+
+    def test_samsung_ratio_exceeds_alexa_ratio(self, wild):
+        alexa_ratio = wild.daily_counts["Alexa Enabled"].mean() / max(
+            1, wild.hourly_counts["Alexa Enabled"].mean()
+        )
+        samsung_ratio = wild.daily_counts["Samsung IoT"].mean() / max(
+            1, wild.hourly_counts["Samsung IoT"].mean()
+        )
+        assert samsung_ratio > alexa_ratio
+
+    def test_cumulative_lines_monotone(self, wild):
+        for series in wild.cumulative_lines.values():
+            assert (np.diff(series) >= 0).all()
+        for series in wild.cumulative_slash24.values():
+            assert (np.diff(series) >= 0).all()
+
+    def test_cumulative_lines_exceed_daily(self, wild):
+        for name, series in wild.cumulative_lines.items():
+            assert series[-1] >= wild.daily_counts[name].max()
+
+    def test_alexa_usage_counts_below_detection(self, wild):
+        assert (
+            wild.alexa_active_hourly
+            <= wild.hourly_counts["Alexa Enabled"] + 5
+        ).all()
+
+    def test_determinism(self, context):
+        config = WildConfig(subscribers=5_000, days=2, seed=11)
+        first = run_wild_isp(
+            context.scenario, context.rules, context.hitlist, config
+        )
+        second = run_wild_isp(
+            context.scenario, context.rules, context.hitlist, config
+        )
+        for name in first.daily_counts:
+            assert (
+                first.daily_counts[name] == second.daily_counts[name]
+            ).all()
+
+    def test_owner_counts_scale_with_population(self, wild, catalog):
+        subscribers = wild.config.subscribers
+        for spec in catalog.detection_classes:
+            owners = wild.owner_counts[spec.name]
+            expected = spec.penetration * subscribers
+            assert abs(owners - expected) <= max(10, expected * 0.25)

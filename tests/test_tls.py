@@ -1,0 +1,97 @@
+"""Tests for the TLS substrate (certificates + scan dataset)."""
+
+import pytest
+
+from repro.tls.certificates import Certificate
+from repro.tls.scanner import ScanDataset, ScannedHost, banner_checksum
+
+
+class TestCertificate:
+    def test_names_include_cn_and_sans(self):
+        cert = Certificate("a.example", sans=("b.example",))
+        assert cert.names == ("a.example", "b.example")
+
+    def test_cn_not_duplicated_when_in_sans(self):
+        cert = Certificate("a.example", sans=("a.example", "b.example"))
+        assert cert.names == ("a.example", "b.example")
+
+    def test_covers_exact(self):
+        assert Certificate("a.example").covers("A.example")
+
+    def test_covers_wildcard(self):
+        cert = Certificate("*.vendor.example")
+        assert cert.covers("api.vendor.example")
+        assert not cert.covers("deep.api.vendor.example")
+
+    def test_fingerprint_deterministic(self):
+        a = Certificate("a.example", sans=("b.example",))
+        b = Certificate("a.example", sans=("b.example",))
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_differs_for_different_names(self):
+        assert (
+            Certificate("a.example").fingerprint
+            != Certificate("b.example").fingerprint
+        )
+
+    def test_slds_deduplicated(self):
+        cert = Certificate(
+            "a.vendor.example",
+            sans=("b.vendor.example", "*.cdn.example"),
+        )
+        assert cert.slds() == ("vendor.example", "cdn.example")
+
+
+class TestScanDataset:
+    @pytest.fixture
+    def scans(self):
+        scans = ScanDataset()
+        cert = Certificate("api.vendor.example")
+        scans.add_service(
+            [100, 101, 102], 443, cert,
+            software="iot-backend/vendor", operator="Vendor",
+        )
+        other = Certificate("www.other.example")
+        scans.add_service(
+            [200], 443, other, software="nginx", operator="Other",
+        )
+        scans.add_host(
+            ScannedHost(300, 80, None, banner_checksum("httpd", "Plain"))
+        )
+        return scans, cert
+
+    def test_host_lookup(self, scans):
+        dataset, cert = scans
+        host = dataset.host(100, 443)
+        assert host is not None and host.certificate == cert
+        assert dataset.host(100, 80) is None
+
+    def test_hosts_with_certificate(self, scans):
+        dataset, cert = scans
+        hosts = dataset.hosts_with_certificate(cert.fingerprint)
+        assert {host.address for host in hosts} == {100, 101, 102}
+
+    def test_hosts_matching_requires_banner(self, scans):
+        dataset, cert = scans
+        good = banner_checksum("iot-backend/vendor", "Vendor")
+        assert len(dataset.hosts_matching(cert.fingerprint, good)) == 3
+        assert dataset.hosts_matching(cert.fingerprint, "bogus") == []
+
+    def test_certificates_for_domain(self, scans):
+        dataset, cert = scans
+        found = dataset.certificates_for_domain("api.vendor.example")
+        assert [c.fingerprint for c in found] == [cert.fingerprint]
+
+    def test_non_https_host_has_no_certificate(self, scans):
+        dataset, _ = scans
+        host = dataset.host(300, 80)
+        assert host is not None and not host.https
+
+    def test_services_on(self, scans):
+        dataset, _ = scans
+        assert len(dataset.services_on(100)) == 1
+        assert dataset.services_on(999) == []
+
+    def test_len(self, scans):
+        dataset, _ = scans
+        assert len(dataset) == 5

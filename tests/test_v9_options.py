@@ -1,0 +1,82 @@
+"""Tests for the NetFlow v9 options template (in-band sampling rate)."""
+
+import pytest
+
+from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
+from repro.netflow.v9 import NetflowV9Codec
+
+
+def _flow():
+    return FlowRecord(
+        key=FlowKey(1, 2, PROTO_TCP, 50000, 443),
+        first_switched=1_573_776_000,
+        last_switched=1_573_776_060,
+        packets=3,
+        bytes=360,
+        tcp_flags=TCP_ACK,
+    )
+
+
+class TestOptionsRecord:
+    def test_collector_learns_sampling_rate_in_band(self):
+        exporter = NetflowV9Codec(source_id=4, sampling_interval=512)
+        payload = exporter.encode([_flow()], 0)
+        # Fresh collector with no out-of-band configuration:
+        collector = NetflowV9Codec()
+        decoded = collector.decode(payload)
+        assert len(decoded) == 1
+        assert decoded[0].sampling_interval == 512
+        assert decoded[0].estimated_packets == 3 * 512
+
+    def test_without_options_falls_back_to_local_config(self):
+        exporter = NetflowV9Codec(sampling_interval=512)
+        payload = exporter.encode([_flow()], 0, include_options=False)
+        collector = NetflowV9Codec(sampling_interval=7)
+        decoded = collector.decode(payload)
+        assert decoded[0].sampling_interval == 7
+
+    def test_options_do_not_disturb_flow_fields(self):
+        exporter = NetflowV9Codec(sampling_interval=100)
+        flow = _flow()
+        decoded = NetflowV9Codec().decode(exporter.encode([flow], 0))
+        assert decoded[0].key == flow.key
+        assert decoded[0].packets == flow.packets
+        assert decoded[0].bytes == flow.bytes
+
+    def test_roundtrip_many_flows_with_options(self):
+        exporter = NetflowV9Codec(sampling_interval=1000)
+        flows = [_flow() for _ in range(40)]
+        decoded = NetflowV9Codec().decode(exporter.encode(flows, 0))
+        assert len(decoded) == 40
+        assert all(f.sampling_interval == 1000 for f in decoded)
+
+    def test_interval_one_does_not_override(self):
+        # sampling_interval=1 encodes as 1; collectors treat it as
+        # unsampled, which matches the local default.
+        exporter = NetflowV9Codec(sampling_interval=1)
+        decoded = NetflowV9Codec().decode(exporter.encode([_flow()], 0))
+        assert decoded[0].sampling_interval == 1
+
+
+class TestTemplateCache:
+    def test_data_only_packets_decode_from_cache(self):
+        exporter = NetflowV9Codec(sampling_interval=64)
+        collector = NetflowV9Codec()
+        first = exporter.encode([_flow()], 0)
+        second = exporter.encode(
+            [_flow(), _flow()], 1,
+            include_template=False, include_options=False,
+        )
+        assert len(collector.decode(first)) == 1
+        decoded = collector.decode(second)
+        assert len(decoded) == 2
+        # Sampling rate learned from the first packet's options record
+        # still applies to later data-only packets.
+        assert all(f.sampling_interval == 64 for f in decoded)
+
+    def test_cold_collector_cannot_decode_data_only(self):
+        exporter = NetflowV9Codec()
+        packet = exporter.encode(
+            [_flow()], 0, include_template=False, include_options=False
+        )
+        assert NetflowV9Codec().decode(packet) == []
