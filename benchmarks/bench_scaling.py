@@ -5,7 +5,14 @@ default runs at 100k.  This bench runs the wild ISP study at three
 population scales and asserts the detected *penetrations* are
 scale-invariant (so the default-scale results extrapolate), while
 absolute counts grow linearly.
+
+``bench_engine_speedup`` additionally races the serial path against the
+sharded engine (:mod:`repro.engine`) at the default 100k scale and
+writes the engine's metrics document as ``BENCH_scaling.json``.
 """
+
+import json
+import time
 
 from repro.analysis.reporting import render_table
 from repro.isp.simulation import WildConfig, run_wild_isp
@@ -62,3 +69,64 @@ def bench_scaling(benchmark, context, write_artefact):
     # Linear growth: doubling the population ~doubles the counts.
     assert 1.8 <= counts[1] / counts[0] <= 2.2
     assert 1.8 <= counts[2] / counts[1] <= 2.2
+
+
+def bench_engine_speedup(benchmark, context, write_artefact):
+    """Serial path vs sharded engine at the default 100k scale.
+
+    Writes the engine metrics document to ``BENCH_scaling.json`` at the
+    repo root so performance trajectories can be tracked across
+    revisions.
+    """
+    import pathlib
+
+    config = dict(subscribers=100_000, days=14, seed=7)
+    started = time.perf_counter()
+    serial = run_wild_isp(
+        context.scenario,
+        context.rules,
+        context.hitlist,
+        WildConfig(**config, workers=1),
+    )
+    serial_seconds = time.perf_counter() - started
+
+    def _engine():
+        return run_wild_isp(
+            context.scenario,
+            context.rules,
+            context.hitlist,
+            WildConfig(**config, workers=0),
+        )
+
+    engine = benchmark.pedantic(_engine, rounds=1, iterations=1)
+    metrics = dict(engine.metrics)
+    metrics["serial_seconds"] = serial_seconds
+    path = (
+        pathlib.Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+    )
+    path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+
+    write_artefact(
+        "engine_speedup",
+        render_table(
+            ("path", "wall seconds", "flows/sec"),
+            (
+                (
+                    "serial",
+                    f"{serial_seconds:.2f}",
+                    "-",
+                ),
+                (
+                    "engine",
+                    f"{metrics['stages']['total_seconds']:.2f}",
+                    f"{metrics['throughput']['flows_per_second']:,.0f}",
+                ),
+            ),
+            title="Wild-ISP engine vs serial path (100k lines, 14 days)",
+        ),
+    )
+    # Detected series must agree between paths (statistical equivalence).
+    for name in serial.daily_counts:
+        s = serial.daily_counts[name].mean()
+        e = engine.daily_counts[name].mean()
+        assert abs(s - e) <= max(5.0, 0.05 * max(s, e)), name

@@ -85,3 +85,22 @@ def bench_detector_throughput(benchmark, context):
 
     detector = benchmark(feed)
     assert detector.flows_matched == 5000
+
+
+def bench_engine_shard_throughput(benchmark, context):
+    """Evidence draws/second through one engine shard worker."""
+    from repro.isp.simulation import WildConfig
+    from repro.engine.runner import run_wild_isp_sharded
+
+    def run():
+        return run_wild_isp_sharded(
+            context.scenario,
+            context.rules,
+            context.hitlist,
+            WildConfig(
+                subscribers=25_000, days=2, seed=5, workers=1
+            ),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.metrics["throughput"]["flows_per_second"] > 0

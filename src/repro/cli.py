@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro experiment fig11 --subscribers 50000 --days 7
+    python -m repro --workers 4 --metrics-out metrics.json experiment fig11
     python -m repro experiment all -o results/
     python -m repro pipeline
     python -m repro export wild-daily -o daily.csv
@@ -102,6 +103,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=14,
         help="wild-run study days (default 14)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "wild-run worker processes: 1 = serial path (default), "
+            "0 = one per CPU, N>1 = sharded engine with N workers"
+        ),
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=8192,
+        help="owners per engine shard (default 8192)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "write the engine metrics JSON of the wild run here "
+            "(requires --workers != 1)"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list available experiments")
@@ -193,7 +218,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         wild_subscribers=args.subscribers,
         wild_days=args.days,
+        wild_workers=args.workers,
+        wild_shard_size=args.shard_size,
     )
+    if args.metrics_out is not None:
+        import json
+
+        metrics = context.wild.metrics
+        if metrics is None:
+            print(
+                "--metrics-out needs the sharded engine "
+                "(pass --workers 0 or a value > 1)",
+                file=sys.stderr,
+            )
+            return 2
+        args.metrics_out.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.metrics_out}", file=sys.stderr)
 
     if args.command == "pipeline":
         print(pipeline_counts.render(pipeline_counts.run(context)))

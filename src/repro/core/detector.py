@@ -43,6 +43,27 @@ def anonymize_subscriber(identifier: int, salt: str = "haystack") -> str:
     return digest
 
 
+class _AnonymizerCache:
+    """Memoised :func:`anonymize_subscriber` keyed by raw identifier.
+
+    Both detectors hash every observed flow's subscriber id; on the
+    wild-ISP flow volumes that made blake2b a per-flow hot spot.  The
+    cache is bounded by the subscriber population, never the flow count.
+    """
+
+    def __init__(self, salt: str = "haystack") -> None:
+        self._salt = salt
+        self._digests: Dict[int, str] = {}
+
+    def __call__(self, identifier: int) -> str:
+        """The cached digest for ``identifier`` (computed on first use)."""
+        digest = self._digests.get(identifier)
+        if digest is None:
+            digest = anonymize_subscriber(identifier, self._salt)
+            self._digests[identifier] = digest
+        return digest
+
+
 @dataclass(frozen=True)
 class Detection:
     """A claimed detection of one class at one subscriber."""
@@ -93,6 +114,7 @@ class FlowDetector:
         self.threshold = threshold
         self.require_established = require_established
         self._store = _EvidenceStore()
+        self._anonymize = _AnonymizerCache()
         self.flows_seen = 0
         self.flows_matched = 0
         self.flows_rejected_spoof = 0
@@ -118,14 +140,14 @@ class FlowDetector:
         if fqdn is None:
             return None
         self.flows_matched += 1
-        self._store.add(anonymize_subscriber(subscriber), fqdn, when)
+        self._store.add(self._anonymize(subscriber), fqdn, when)
         return fqdn
 
     def observe_evidence(
         self, subscriber: int, fqdn: str, when: int
     ) -> None:
         """Directly record domain evidence (pre-attributed flows)."""
-        self._store.add(anonymize_subscriber(subscriber), fqdn, when)
+        self._store.add(self._anonymize(subscriber), fqdn, when)
 
     def detections(
         self, threshold: Optional[float] = None
@@ -213,16 +235,29 @@ class WindowedDetector:
         self.require_established = require_established
         #: window index -> subscriber -> set of seen domains
         self._windows: Dict[int, Dict[str, Set[str]]] = {}
+        self._anonymize = _AnonymizerCache()
+        self.flows_seen = 0
+        self.flows_matched = 0
+        self.flows_rejected_spoof = 0
 
     def window_of(self, when: int) -> int:
+        """Window index containing epoch second ``when``."""
         return (when - self.origin) // self.window_seconds
 
     def observe_flow(self, subscriber: int, flow: FlowRecord) -> Optional[str]:
+        """Fold one exported flow into its aggregation window.
+
+        Returns the matched hitlist domain, if any, and keeps the same
+        ``flows_seen``/``flows_matched``/``flows_rejected_spoof``
+        counters as :class:`FlowDetector`.
+        """
+        self.flows_seen += 1
         if (
             self.require_established
             and flow.protocol == PROTO_TCP
             and not flow.has_established_evidence()
         ):
+            self.flows_rejected_spoof += 1
             return None
         when = flow.first_switched
         fqdn = self.hitlist.lookup(
@@ -230,14 +265,16 @@ class WindowedDetector:
         )
         if fqdn is None:
             return None
+        self.flows_matched += 1
         self.observe_evidence(subscriber, fqdn, when)
         return fqdn
 
     def observe_evidence(
         self, subscriber: int, fqdn: str, when: int
     ) -> None:
+        """Directly record domain evidence (pre-attributed flows)."""
         window = self._windows.setdefault(self.window_of(when), {})
-        window.setdefault(anonymize_subscriber(subscriber), set()).add(fqdn)
+        window.setdefault(self._anonymize(subscriber), set()).add(fqdn)
 
     def detections_in_window(
         self, window_index: int, threshold: Optional[float] = None

@@ -1,0 +1,130 @@
+"""Engine metrics: stage timings, shard memory, throughput.
+
+The engine emits one :class:`EngineMetrics` per run so performance can
+be tracked as a ``BENCH_*.json`` trajectory.  Schema (version
+``repro.engine.metrics/1``)::
+
+    {
+      "schema": "repro.engine.metrics/1",
+      "config": {"subscribers": …, "days": …, "seed": …,
+                 "sampling_interval": …, "workers": …, "shard_size": …},
+      "stages": {"plan_seconds": …, "simulate_seconds": …,
+                 "aggregate_seconds": …, "total_seconds": …},
+      "shards": {"count": …, "peak_rss_bytes_max": …,
+                 "peak_rss_bytes_mean": …},
+      "throughput": {"draws": …, "flows_per_second": …},
+      "cohorts": {"<product>": {"owners": …, "universe": …,
+                  "shards": …}}
+    }
+
+``flows_per_second`` counts simulated per-(owner, hour, domain)
+evidence draws — the engine's equivalent of raw flow records folded
+through the detector — divided by the simulate-stage wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ShardMetrics", "EngineMetrics", "METRICS_SCHEMA"]
+
+#: Version tag carried in every metrics document.
+METRICS_SCHEMA = "repro.engine.metrics/1"
+
+
+@dataclass
+class ShardMetrics:
+    """Timing/memory/throughput record of one simulated shard."""
+
+    product: str
+    owners: int
+    universe: int
+    wall_seconds: float
+    draws: int
+    peak_rss_bytes: int
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregated metrics of one sharded wild-ISP run."""
+
+    subscribers: int
+    days: int
+    seed: int
+    sampling_interval: int
+    workers: int
+    shard_size: int
+    plan_seconds: float = 0.0
+    simulate_seconds: float = 0.0
+    aggregate_seconds: float = 0.0
+    shards: List[ShardMetrics] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time across all engine stages."""
+        return (
+            self.plan_seconds + self.simulate_seconds + self.aggregate_seconds
+        )
+
+    @property
+    def total_draws(self) -> int:
+        """Simulated evidence draws across all shards."""
+        return sum(shard.draws for shard in self.shards)
+
+    @property
+    def flows_per_second(self) -> float:
+        """Evidence draws folded per simulate-stage wall second."""
+        if self.simulate_seconds <= 0:
+            return 0.0
+        return self.total_draws / self.simulate_seconds
+
+    def cohort_sizes(self) -> Dict[str, Dict[str, int]]:
+        """Per-product owner/universe/shard-count summary."""
+        cohorts: Dict[str, Dict[str, int]] = {}
+        for shard in self.shards:
+            entry = cohorts.setdefault(
+                shard.product,
+                {"owners": 0, "universe": shard.universe, "shards": 0},
+            )
+            entry["owners"] += shard.owners
+            entry["shards"] += 1
+        return cohorts
+
+    def to_dict(self) -> Dict[str, object]:
+        """Render the documented JSON-serialisable schema."""
+        rss = [shard.peak_rss_bytes for shard in self.shards]
+        return {
+            "schema": METRICS_SCHEMA,
+            "config": {
+                "subscribers": self.subscribers,
+                "days": self.days,
+                "seed": self.seed,
+                "sampling_interval": self.sampling_interval,
+                "workers": self.workers,
+                "shard_size": self.shard_size,
+            },
+            "stages": {
+                "plan_seconds": self.plan_seconds,
+                "simulate_seconds": self.simulate_seconds,
+                "aggregate_seconds": self.aggregate_seconds,
+                "total_seconds": self.total_seconds,
+            },
+            "shards": {
+                "count": len(self.shards),
+                "peak_rss_bytes_max": max(rss) if rss else 0,
+                "peak_rss_bytes_mean": (
+                    int(sum(rss) / len(rss)) if rss else 0
+                ),
+            },
+            "throughput": {
+                "draws": self.total_draws,
+                "flows_per_second": self.flows_per_second,
+            },
+            "cohorts": self.cohort_sizes(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise :meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,268 @@
+"""Cohort compilation and shard planning.
+
+A :class:`CohortPlan` is the fully numeric, picklable distillation of
+one product cohort: everything the shard worker needs to simulate
+sampled-domain evidence and evaluate detection rules, with no reference
+to the (unpicklable, heavyweight) :class:`~repro.scenario.Scenario`.
+Compiling plans in the parent process keeps per-task IPC payloads down
+to a few kilobytes of small arrays.
+
+Two compactions happen here:
+
+* the *domain universe* of a cohort is restricted to domains the
+  product actually contacts (``idle_pph > 0`` or ``active_pph > 0``);
+  zero-rate rule domains can never produce evidence, so dropping them
+  from the Bernoulli draws changes nothing while shrinking the hot
+  ``(owners, hours, domains)`` sampling tensor;
+* rules whose satisfiable evidence (non-zero-rate domains, critical
+  domains included) cannot reach the required count are marked
+  unsatisfiable and skipped entirely by the worker.
+
+Per-day hitlist validity is compiled into ``day_available``: a domain
+with no (address, port) endpoint on the hitlist for a study day cannot
+be matched by the detector that day, so its evidence probability is
+zeroed for that day (see ``_domain_day_availability``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.hitlist import Hitlist
+from repro.core.rules import RuleSet
+
+__all__ = [
+    "CohortPlan",
+    "RulePlan",
+    "build_cohort_plan",
+    "domain_day_availability",
+    "plan_shards",
+]
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """One detection rule compiled against a cohort's compact universe.
+
+    ``indices``/``critical`` index into the cohort's compact domain
+    universe.  ``needed`` is precomputed from the rule's *full* domain
+    count (zero-rate domains still count towards ``N`` in
+    ``max(1, floor(D * N))``).  ``satisfiable`` is ``False`` when the
+    compact universe cannot possibly meet the requirement — the worker
+    then skips the rule and reports it all-False.
+    """
+
+    class_name: str
+    indices: np.ndarray
+    critical: np.ndarray
+    needed: int
+    ancestors: Tuple[str, ...]
+    satisfiable: bool
+
+
+@dataclass(frozen=True)
+class CohortPlan:
+    """Numeric simulation plan for one product cohort.
+
+    Owners are *global* subscriber indices; probabilities are per-domain
+    sampled-evidence probabilities for one hour (idle vs active), over
+    the compact universe.  ``day_available`` masks domains per study day
+    according to the hitlist; ``alexa`` carries the summed usage-signal
+    rates when the product is Alexa-enabled.
+    """
+
+    product: str
+    owners: np.ndarray
+    p_idle: np.ndarray  # (U,) float32
+    p_active: np.ndarray  # (U,) float32
+    day_available: np.ndarray  # (days, U) bool
+    q_by_hour: np.ndarray  # (24,) float64
+    rules: Tuple[RulePlan, ...]
+    #: (lam_idle, lam_active) of the Alexa usage signal, already scaled
+    #: by the sampling interval; ``None`` for non-Alexa products.
+    alexa: Optional[Tuple[float, float]]
+
+    @property
+    def universe_size(self) -> int:
+        """Number of domains in the compact sampling universe."""
+        return int(self.p_idle.size)
+
+
+def _relevant_rule_names(
+    product_classes: Sequence[str], rules: RuleSet
+) -> List[str]:
+    names: List[str] = []
+    for class_name in product_classes:
+        if class_name not in rules:
+            continue
+        for candidate in [class_name] + rules.ancestors(class_name):
+            if candidate not in names:
+                names.append(candidate)
+    return names
+
+
+def domain_day_availability(
+    hitlist: Hitlist, domains: Sequence[str], days: int
+) -> np.ndarray:
+    """Per-(day, domain) hitlist availability matrix.
+
+    A domain is *available* on a study day when the daily hitlist lists
+    at least one (address, port) endpoint for it — only then can the
+    detector attribute a sampled flow to it.  Days outside the hitlist
+    window (no endpoint map at all) fall back to all-available, so
+    longer-than-hitlist simulations keep their historical behaviour.
+    """
+    available = np.ones((days, len(domains)), dtype=bool)
+    for day in range(days):
+        endpoints = hitlist.endpoints_for_day(day)
+        if not endpoints:
+            continue  # outside the hitlist window: assume available
+        present = set(endpoints.values())
+        for column, fqdn in enumerate(domains):
+            available[day, column] = fqdn in present
+    return available
+
+
+def build_cohort_plan(
+    product_name: str,
+    owners: np.ndarray,
+    scenario,
+    rules: RuleSet,
+    hitlist: Hitlist,
+    days: int,
+    sampling_interval: int,
+    threshold: float,
+) -> Optional[CohortPlan]:
+    """Compile one product cohort into a :class:`CohortPlan`.
+
+    Returns ``None`` when the cohort is empty or no rule monitors any
+    of the product's detection classes (mirroring the serial path's
+    skip conditions).
+    """
+    from repro.isp.simulation import diurnal_profile_for
+    from repro.timeutil import STUDY_START, hour_of_day
+
+    catalog = scenario.catalog
+    library = scenario.library
+    product = catalog.product(product_name)
+    relevant_names = _relevant_rule_names(product.detection_classes, rules)
+    if not relevant_names or owners.size == 0:
+        return None
+    # int32 halves the owner-id pickle volume on the result path.
+    owners = np.ascontiguousarray(owners, dtype=np.int32)
+    relevant = [rules.rule(name) for name in relevant_names]
+    profile = library.profile(product_name)
+    usage_by_fqdn = {usage.fqdn: usage for usage in profile.usages}
+
+    full_universe: List[str] = []
+    for rule in relevant:
+        for fqdn in rule.domains:
+            if fqdn not in full_universe:
+                full_universe.append(fqdn)
+
+    def _rate(fqdn: str, active: bool) -> float:
+        usage = usage_by_fqdn.get(fqdn)
+        if usage is None:
+            return 0.0
+        return usage.active_pph if active else usage.idle_pph
+
+    # Compact universe: only domains the product can actually contact.
+    compact = [
+        fqdn
+        for fqdn in full_universe
+        if _rate(fqdn, False) > 0.0 or _rate(fqdn, True) > 0.0
+    ]
+    index_of = {fqdn: column for column, fqdn in enumerate(compact)}
+    scale = 1.0 / sampling_interval
+    lam_idle = np.array([_rate(fqdn, False) for fqdn in compact])
+    lam_active = np.array([_rate(fqdn, True) for fqdn in compact])
+    p_idle = (1.0 - np.exp(-lam_idle * scale)).astype(np.float32)
+    p_active = (1.0 - np.exp(-lam_active * scale)).astype(np.float32)
+
+    day_available = domain_day_availability(hitlist, compact, days)
+
+    relevant_set = set(relevant_names)
+    rule_plans: List[RulePlan] = []
+    for rule in relevant:
+        indices = np.array(
+            [index_of[fqdn] for fqdn in rule.domains if fqdn in index_of],
+            dtype=np.int64,
+        )
+        critical = np.array(
+            [index_of[fqdn] for fqdn in rule.critical if fqdn in index_of],
+            dtype=np.int64,
+        )
+        needed = rule.required_domains(threshold)
+        satisfiable = indices.size >= needed and len(critical) == len(
+            rule.critical
+        )
+        rule_plans.append(
+            RulePlan(
+                class_name=rule.class_name,
+                indices=indices,
+                critical=critical,
+                needed=needed,
+                ancestors=tuple(
+                    ancestor
+                    for ancestor in rules.ancestors(rule.class_name)
+                    if ancestor in relevant_set
+                ),
+                satisfiable=satisfiable,
+            )
+        )
+
+    leaf_class = product.detection_classes[-1]
+    behavior = library.wild_behaviors[leaf_class]
+    profile_curve = diurnal_profile_for(leaf_class)
+    base_hour = hour_of_day(STUDY_START)
+    q_by_hour = np.array(
+        [
+            min(
+                1.0,
+                behavior.active_use_prob
+                * profile_curve[(base_hour + h) % 24],
+            )
+            for h in range(24)
+        ]
+    )
+
+    alexa: Optional[Tuple[float, float]] = None
+    if "Alexa Enabled" in product.detection_classes and "Alexa Enabled" in rules:
+        alexa_domains = [
+            fqdn
+            for fqdn in rules.rule("Alexa Enabled").domains
+            if fqdn in index_of
+        ]
+        alexa = (
+            float(sum(_rate(fqdn, False) for fqdn in alexa_domains) * scale),
+            float(sum(_rate(fqdn, True) for fqdn in alexa_domains) * scale),
+        )
+
+    return CohortPlan(
+        product=product_name,
+        owners=owners,
+        p_idle=p_idle,
+        p_active=p_active,
+        day_available=day_available,
+        q_by_hour=q_by_hour,
+        rules=tuple(rule_plans),
+        alexa=alexa,
+    )
+
+
+def plan_shards(owner_count: int, shard_size: int) -> List[Tuple[int, int]]:
+    """Partition a cohort of ``owner_count`` owners into contiguous
+    ``[start, stop)`` shards of at most ``shard_size`` owners.
+
+    Every owner lands in exactly one shard; the partition depends only
+    on the cohort size and ``shard_size`` — never on worker count.
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be positive: {shard_size}")
+    return [
+        (start, min(start + shard_size, owner_count))
+        for start in range(0, owner_count, shard_size)
+    ]

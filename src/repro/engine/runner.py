@@ -1,0 +1,227 @@
+"""Sharded wild-ISP orchestration.
+
+:func:`run_wild_isp_sharded` is the multiprocess counterpart of
+:func:`repro.isp.simulation.run_wild_isp`: same inputs, same
+:class:`~repro.isp.simulation.WildIspResult` output, but the per-cohort
+simulation is compiled into :class:`~repro.engine.plan.CohortPlan`
+tasks, fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
+and folded back deterministically.
+
+Determinism: the shard plan (cohort order, shard boundaries, per-shard
+:class:`numpy.random.SeedSequence` streams) depends only on
+``(seed, shard_size)``.  Shard results are aggregated in task order, so
+any worker count — including the inline ``workers == 1`` execution that
+skips the pool entirely — produces bit-identical series.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.metrics import EngineMetrics
+from repro.engine.plan import build_cohort_plan, plan_shards
+from repro.engine.worker import (
+    DEFAULT_BLOCK_BYTES,
+    ShardResult,
+    ShardTask,
+    simulate_shard,
+)
+
+__all__ = ["resolve_workers", "run_wild_isp_sharded"]
+
+#: Rows unpacked per step when rebuilding the "other classes" hourly
+#: series from bit-packed shard rows (bounds aggregation memory).
+_UNPACK_CHUNK = 65_536
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Map a configured worker count to an effective one.
+
+    ``None`` or ``0`` selects ``os.cpu_count()`` (the engine default);
+    explicit positive values are used as-is.
+    """
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def run_wild_isp_sharded(
+    scenario,
+    rules,
+    hitlist,
+    config=None,
+    population=None,
+    ownership=None,
+    topology=None,
+    block_bytes: int = DEFAULT_BLOCK_BYTES,
+):
+    """Run the Section 6 in-the-wild ISP study on the sharded engine.
+
+    Accepts the same arguments as
+    :func:`repro.isp.simulation.run_wild_isp`; worker count and shard
+    size come from ``config.workers`` / ``config.shard_size``.  The
+    returned :class:`~repro.isp.simulation.WildIspResult` additionally
+    carries the engine's metrics document in ``result.metrics``.
+    """
+    from repro.isp.simulation import (
+        WildConfig,
+        WildIspResult,
+        aggregate_daily_detections,
+        cumulative_churn_series,
+    )
+    from repro.isp.subscribers import (
+        SubscriberPopulation,
+        derive_product_penetration,
+    )
+
+    config = config or WildConfig()
+    workers = resolve_workers(config.workers)
+    topology = topology or scenario.isp_topology(config.sampling_interval)
+    population = population or SubscriberPopulation(
+        config.subscribers,
+        topology.subscriber_space,
+        churn_probability=config.churn_probability,
+        seed=config.seed,
+    )
+    if ownership is None:
+        penetration = derive_product_penetration(scenario.catalog)
+        ownership = population.assign_ownership(
+            scenario.catalog, penetration
+        )
+
+    metrics = EngineMetrics(
+        subscribers=config.subscribers,
+        days=config.days,
+        seed=config.seed,
+        sampling_interval=config.sampling_interval,
+        workers=workers,
+        shard_size=config.shard_size,
+    )
+
+    # ---- stage 1: compile cohorts into shard tasks ----------------------
+    stage_start = time.perf_counter()
+    plans = []
+    for product_name in sorted(ownership.product_owners):
+        plan = build_cohort_plan(
+            product_name,
+            ownership.product_owners[product_name],
+            scenario,
+            rules,
+            hitlist,
+            days=config.days,
+            sampling_interval=config.sampling_interval,
+            threshold=config.threshold,
+        )
+        if plan is not None:
+            plans.append(plan)
+
+    root = np.random.SeedSequence(config.seed)
+    cohort_sequences = root.spawn(len(plans))
+    tasks: List[ShardTask] = []
+    for plan, sequence in zip(plans, cohort_sequences):
+        shards = plan_shards(plan.owners.size, config.shard_size)
+        shard_sequences = sequence.spawn(len(shards))
+        for (start, stop), shard_sequence in zip(shards, shard_sequences):
+            tasks.append(
+                ShardTask(
+                    index=len(tasks),
+                    plan=plan,
+                    start=start,
+                    stop=stop,
+                    seed=shard_sequence,
+                    days=config.days,
+                    usage_packet_threshold=config.usage_packet_threshold,
+                    block_bytes=block_bytes,
+                )
+            )
+    metrics.plan_seconds = time.perf_counter() - stage_start
+
+    # ---- stage 2: simulate shards ---------------------------------------
+    stage_start = time.perf_counter()
+    if workers == 1 or len(tasks) <= 1:
+        results = [simulate_shard(task) for task in tasks]
+    else:
+        pool_size = min(workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=pool_size) as executor:
+            results = list(
+                executor.map(
+                    simulate_shard,
+                    tasks,
+                    chunksize=max(1, len(tasks) // (pool_size * 4)),
+                )
+            )
+    metrics.simulate_seconds = time.perf_counter() - stage_start
+
+    # ---- stage 3: deterministic fold (task order) ------------------------
+    stage_start = time.perf_counter()
+    hours = config.hours
+    class_names = list(rules.class_names())
+    hourly_counts = {
+        name: np.zeros(hours, dtype=np.int64) for name in class_names
+    }
+    daily_detected: Dict[str, List[List[np.ndarray]]] = {
+        name: [[] for _ in range(config.days)] for name in class_names
+    }
+    other_packed: Dict[int, np.ndarray] = {}
+    alexa_active_hourly = np.zeros(hours, dtype=np.int64)
+
+    for result in sorted(results, key=lambda item: item.index):
+        metrics.shards.append(result.metrics)
+        for class_name, counts in result.hourly_counts.items():
+            hourly_counts[class_name] += counts
+        for class_name, per_day in result.daily_owners.items():
+            for day, detected in enumerate(per_day):
+                if detected.size:
+                    daily_detected[class_name][day].append(detected)
+        if result.alexa_hourly is not None:
+            alexa_active_hourly += result.alexa_hourly
+        for row, owner in enumerate(result.other_owners):
+            existing = other_packed.get(int(owner))
+            if existing is None:
+                other_packed[int(owner)] = result.other_bits[row].copy()
+            else:
+                existing |= result.other_bits[row]
+
+    daily_counts, other_daily, any_daily = aggregate_daily_detections(
+        daily_detected, class_names, config.days
+    )
+
+    other_hourly = np.zeros(hours, dtype=np.int64)
+    if other_packed:
+        packed = np.stack(list(other_packed.values()))
+        for first in range(0, packed.shape[0], _UNPACK_CHUNK):
+            bits = np.unpackbits(
+                packed[first : first + _UNPACK_CHUNK], axis=1, count=hours
+            )
+            other_hourly += bits.sum(axis=0, dtype=np.int64)
+
+    cumulative_lines, cumulative_slash24 = cumulative_churn_series(
+        daily_detected, daily_counts, population, config.days
+    )
+
+    owner_counts = {
+        class_name: int(
+            ownership.owners_of_class(scenario.catalog, class_name).size
+        )
+        for class_name in class_names
+    }
+    metrics.aggregate_seconds = time.perf_counter() - stage_start
+
+    return WildIspResult(
+        config=config,
+        hourly_counts=hourly_counts,
+        daily_counts=daily_counts,
+        other_hourly=other_hourly,
+        other_daily=other_daily,
+        any_daily=any_daily,
+        cumulative_lines=cumulative_lines,
+        cumulative_slash24=cumulative_slash24,
+        alexa_active_hourly=alexa_active_hourly,
+        owner_counts=owner_counts,
+        metrics=metrics.to_dict(),
+    )

@@ -35,6 +35,11 @@ class ExperimentContext:
     seed: int = 7
     wild_subscribers: int = 100_000
     wild_days: int = 14
+    #: wild-run worker processes (1 = historical serial path; other
+    #: values route through :mod:`repro.engine`, 0 = one per CPU)
+    wild_workers: int = 1
+    #: owners per engine shard when ``wild_workers != 1``
+    wild_shard_size: int = 8192
     scenario: Scenario = field(init=False)
     schedule: ExperimentSchedule = field(init=False)
     hitlist: Hitlist = field(init=False)
@@ -75,6 +80,8 @@ class ExperimentContext:
                 WildConfig(
                     subscribers=self.wild_subscribers,
                     days=self.wild_days,
+                    workers=self.wild_workers,
+                    shard_size=self.wild_shard_size,
                 ),
             )
         return self._wild
@@ -96,20 +103,24 @@ class ExperimentContext:
         return self._ixp
 
 
-_CONTEXTS: Dict[Tuple[int, int, int], ExperimentContext] = {}
+_CONTEXTS: Dict[Tuple[int, int, int, int, int], ExperimentContext] = {}
 
 
 def get_context(
     seed: int = 7,
     wild_subscribers: int = 100_000,
     wild_days: int = 14,
+    wild_workers: int = 1,
+    wild_shard_size: int = 8192,
 ) -> ExperimentContext:
-    """Memoised context per (seed, subscribers, days)."""
-    key = (seed, wild_subscribers, wild_days)
+    """Memoised context per (seed, subscribers, days, workers, shard)."""
+    key = (seed, wild_subscribers, wild_days, wild_workers, wild_shard_size)
     if key not in _CONTEXTS:
         _CONTEXTS[key] = ExperimentContext(
             seed=seed,
             wild_subscribers=wild_subscribers,
             wild_days=wild_days,
+            wild_workers=wild_workers,
+            wild_shard_size=wild_shard_size,
         )
     return _CONTEXTS[key]

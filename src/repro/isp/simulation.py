@@ -12,19 +12,23 @@ Two entry points:
   per-cohort simulation of sampled-domain evidence, windowed rule
   evaluation per hour and per day, address churn for the cumulative
   views, and the Section 7.1 usage signal.  Produces the series behind
-  Figures 11, 12, 13, 14 and 18.
+  Figures 11, 12, 13, 14 and 18.  With ``WildConfig.workers != 1`` the
+  run is delegated to the sharded multiprocess engine
+  (:mod:`repro.engine`); the default serial path stays bit-exact with
+  the historical implementation.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.hitlist import Hitlist
 from repro.core.rules import DetectionRule, RuleSet
+from repro.engine.plan import domain_day_availability
 from repro.devices.behavior import DeviceBehavior
 from repro.devices.testbed import ExperimentSchedule
 from repro.isp.subscribers import (
@@ -55,6 +59,8 @@ __all__ = [
     "WildIspResult",
     "run_wild_isp",
     "diurnal_profile_for",
+    "aggregate_daily_detections",
+    "cumulative_churn_series",
 ]
 
 
@@ -181,6 +187,9 @@ def run_ground_truth(
             startup=entry.startup,
         )
         for fqdn, packet_count in traffic.packets.items():
+            if packet_count <= 0:
+                # the per-address byte split divides by packet_count
+                continue
             spec = library.domain(fqdn)
             moment = entry.hour_start + int(rng.integers(0, 3000))
             resolution = resolver.resolve(fqdn, moment)
@@ -252,7 +261,14 @@ def _split_packets(
 
 @dataclass
 class WildConfig:
-    """Parameters of the in-the-wild ISP simulation."""
+    """Parameters of the in-the-wild ISP simulation.
+
+    ``workers`` selects the execution path: ``1`` (the default) runs
+    the historical serial implementation, which stays bit-exact across
+    releases; any other value routes through the sharded multiprocess
+    engine (:mod:`repro.engine`), where ``0`` means "one worker per
+    CPU" and ``shard_size`` caps the owners simulated per shard task.
+    """
 
     subscribers: int = 100_000
     sampling_interval: int = 100
@@ -261,6 +277,8 @@ class WildConfig:
     seed: int = 42
     churn_probability: float = 0.03
     usage_packet_threshold: int = 10
+    workers: int = 1
+    shard_size: int = 8192
 
     @property
     def hours(self) -> int:
@@ -289,6 +307,10 @@ class WildIspResult:
     alexa_active_hourly: np.ndarray
     #: owners per class (ground truth of the simulation)
     owner_counts: Dict[str, int]
+    #: engine metrics document (``repro.engine.metrics/1`` schema) when
+    #: the run went through the sharded engine; ``None`` on the serial
+    #: path
+    metrics: Optional[Dict[str, object]] = None
 
     def penetration(self, class_name: str, day: int = -1) -> float:
         """Detected daily penetration of a class."""
@@ -328,7 +350,17 @@ def _simulate_cohort(
     rng: np.random.Generator,
 ) -> Optional[_CohortOutput]:
     """Exact per-owner simulation of sampled evidence for one product
-    cohort, evaluated hour-by-hour and day-by-day."""
+    cohort, evaluated hour-by-hour and day-by-day.
+
+    Evidence is gated by the hitlist's per-day validity: a rule domain
+    with no (address, port) endpoint on the daily hitlist cannot be
+    matched by the detector that day, so its evidence probability is
+    zeroed for that day (days beyond the hitlist window keep all
+    domains available).  In the default world every surviving rule
+    domain is listed every day, so the gate leaves the historical
+    output bit-exact while making address-churn gaps observable in
+    counterfactual scenarios.
+    """
     catalog = scenario.catalog
     library = scenario.library
     product = catalog.product(product_name)
@@ -359,6 +391,9 @@ def _simulate_cohort(
     scale = 1.0 / config.sampling_interval
     p_idle = 1.0 - np.exp(-lam_idle * scale)
     p_active = 1.0 - np.exp(-lam_active * scale)
+    availability = domain_day_availability(
+        hitlist, universe, config.days
+    )
 
     # Usage behaviour comes from the most specific class of the product.
     leaf_class = product.detection_classes[-1]
@@ -412,10 +447,16 @@ def _simulate_cohort(
     }
 
     for day in range(config.days):
+        available = availability[day]
+        if available.all():
+            p_active_day, p_idle_day = p_active, p_idle
+        else:
+            p_active_day = np.where(available, p_active, 0.0)
+            p_idle_day = np.where(available, p_idle, 0.0)
         active = rng.random((n, 24)) < q_by_hour[None, :]
         probabilities = np.where(
-            active[:, :, None], p_active[None, None, :],
-            p_idle[None, None, :],
+            active[:, :, None], p_active_day[None, None, :],
+            p_idle_day[None, None, :],
         )
         seen = rng.random((n, 24, len(universe))) < probabilities
         day_seen = seen.any(axis=1)
@@ -466,6 +507,88 @@ _HIERARCHY_CLASSES = (
 )
 
 
+def aggregate_daily_detections(
+    daily_detected: Dict[str, List[List[np.ndarray]]],
+    class_names: Sequence[str],
+    days: int,
+) -> Tuple[Dict[str, np.ndarray], np.ndarray, np.ndarray]:
+    """Fold per-day detected-owner arrays into the daily series.
+
+    ``daily_detected`` maps class name -> day -> list of detected
+    owner-index arrays (one per cohort or shard; owners may repeat
+    across lists and are deduplicated here).  Returns
+    ``(daily_counts, other_daily, any_daily)`` — the unique-line counts
+    per class, for the non-hierarchy ("other 32") classes combined, and
+    for any IoT class at all.  Shared by the serial path and the
+    sharded engine so both aggregate identically.
+    """
+    daily_counts: Dict[str, np.ndarray] = {}
+    for class_name in class_names:
+        series = np.zeros(days, dtype=np.int64)
+        for day in range(days):
+            arrays = daily_detected[class_name][day]
+            if arrays:
+                series[day] = np.unique(np.concatenate(arrays)).size
+        daily_counts[class_name] = series
+
+    other_daily = np.zeros(days, dtype=np.int64)
+    any_daily = np.zeros(days, dtype=np.int64)
+    for day in range(days):
+        other_arrays = []
+        any_arrays = []
+        for class_name in class_names:
+            arrays = daily_detected[class_name][day]
+            if not arrays:
+                continue
+            any_arrays.extend(arrays)
+            if class_name not in _HIERARCHY_CLASSES:
+                other_arrays.extend(arrays)
+        if other_arrays:
+            other_daily[day] = np.unique(
+                np.concatenate(other_arrays)
+            ).size
+        if any_arrays:
+            any_daily[day] = np.unique(np.concatenate(any_arrays)).size
+    return daily_counts, other_daily, any_daily
+
+
+def cumulative_churn_series(
+    daily_detected: Dict[str, List[List[np.ndarray]]],
+    daily_counts: Dict[str, np.ndarray],
+    population: SubscriberPopulation,
+    days: int,
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Cumulative unique lines and /24s per hierarchy class (Fig. 13).
+
+    Address churn makes cumulative per-line counts inflate over weeks
+    while /24 aggregation stabilises; both views are derived from the
+    per-day detected owners and the population's per-day addresses.
+    """
+    cumulative_lines: Dict[str, np.ndarray] = {}
+    cumulative_slash24: Dict[str, np.ndarray] = {}
+    for class_name in _HIERARCHY_CLASSES:
+        if class_name not in daily_counts:
+            continue
+        seen_lines = np.empty(0, dtype=np.int64)
+        seen_slash24 = np.empty(0, dtype=np.int64)
+        lines_series = np.zeros(days, dtype=np.int64)
+        slash24_series = np.zeros(days, dtype=np.int64)
+        for day in range(days):
+            arrays = daily_detected[class_name][day]
+            if arrays:
+                owners = np.unique(np.concatenate(arrays))
+                addresses = population.addresses_for_day(day)[owners]
+                seen_lines = np.union1d(seen_lines, addresses)
+                seen_slash24 = np.union1d(
+                    seen_slash24, population.slash24_of(addresses)
+                )
+            lines_series[day] = seen_lines.size
+            slash24_series[day] = seen_slash24.size
+        cumulative_lines[class_name] = lines_series
+        cumulative_slash24[class_name] = slash24_series
+    return cumulative_lines, cumulative_slash24
+
+
 def run_wild_isp(
     scenario: Scenario,
     rules: RuleSet,
@@ -475,8 +598,28 @@ def run_wild_isp(
     ownership: Optional[OwnershipAssignment] = None,
     topology: Optional[IspTopology] = None,
 ) -> WildIspResult:
-    """Run the Section 6 in-the-wild detection study on the ISP."""
+    """Run the Section 6 in-the-wild detection study on the ISP.
+
+    ``config.workers == 1`` (the default) runs the serial per-cohort
+    path below, bit-exact with the historical implementation for a
+    given seed.  Any other worker count routes through the sharded
+    multiprocess engine (:func:`repro.engine.run_wild_isp_sharded`),
+    which produces statistically equivalent series and attaches its
+    metrics document to ``result.metrics``.
+    """
     config = config or WildConfig()
+    if config.workers != 1:
+        from repro.engine.runner import run_wild_isp_sharded
+
+        return run_wild_isp_sharded(
+            scenario,
+            rules,
+            hitlist,
+            config=config,
+            population=population,
+            ownership=ownership,
+            topology=topology,
+        )
     topology = topology or scenario.isp_topology(
         config.sampling_interval
     )
@@ -540,62 +683,19 @@ def run_wild_isp(
                     existing |= other_matrix[row]
 
     # ---- aggregate counts ---------------------------------------------------
-    daily_counts = {}
-    for class_name in class_names:
-        series = np.zeros(config.days, dtype=np.int64)
-        for day in range(config.days):
-            arrays = daily_detected[class_name][day]
-            if arrays:
-                series[day] = np.unique(np.concatenate(arrays)).size
-        daily_counts[class_name] = series
+    daily_counts, other_daily, any_daily = aggregate_daily_detections(
+        daily_detected, class_names, config.days
+    )
 
     other_hourly = np.zeros(hours, dtype=np.int64)
     if other_hourly_sets:
         stacked = np.stack(list(other_hourly_sets.values()))
         other_hourly = stacked.sum(axis=0).astype(np.int64)
 
-    other_daily = np.zeros(config.days, dtype=np.int64)
-    any_daily = np.zeros(config.days, dtype=np.int64)
-    for day in range(config.days):
-        other_arrays = []
-        any_arrays = []
-        for class_name in class_names:
-            arrays = daily_detected[class_name][day]
-            if not arrays:
-                continue
-            any_arrays.extend(arrays)
-            if class_name not in _HIERARCHY_CLASSES:
-                other_arrays.extend(arrays)
-        if other_arrays:
-            other_daily[day] = np.unique(
-                np.concatenate(other_arrays)
-            ).size
-        if any_arrays:
-            any_daily[day] = np.unique(np.concatenate(any_arrays)).size
-
     # ---- cumulative unique lines and /24s (Figure 13) ----------------------
-    cumulative_lines: Dict[str, np.ndarray] = {}
-    cumulative_slash24: Dict[str, np.ndarray] = {}
-    for class_name in _HIERARCHY_CLASSES:
-        if class_name not in daily_counts:
-            continue
-        seen_lines: Set[int] = set()
-        seen_slash24: Set[int] = set()
-        lines_series = np.zeros(config.days, dtype=np.int64)
-        slash24_series = np.zeros(config.days, dtype=np.int64)
-        for day in range(config.days):
-            arrays = daily_detected[class_name][day]
-            if arrays:
-                owners = np.unique(np.concatenate(arrays))
-                addresses = population.addresses_for_day(day)[owners]
-                seen_lines.update(int(a) for a in addresses)
-                seen_slash24.update(
-                    int(a) for a in population.slash24_of(addresses)
-                )
-            lines_series[day] = len(seen_lines)
-            slash24_series[day] = len(seen_slash24)
-        cumulative_lines[class_name] = lines_series
-        cumulative_slash24[class_name] = slash24_series
+    cumulative_lines, cumulative_slash24 = cumulative_churn_series(
+        daily_detected, daily_counts, population, config.days
+    )
 
     owner_counts = {
         class_name: int(

@@ -76,6 +76,9 @@ class SubscriberPopulation:
             )
         self._day_slots: List[np.ndarray] = []
         self._rng = np.random.default_rng(seed)
+        self._regions = (
+            np.arange(count, dtype=np.int64) // _REGION_SIZE
+        )
 
     # ------------------------------------------------------------------
     # address assignment with churn
@@ -102,14 +105,14 @@ class SubscriberPopulation:
         ``day``.  Collisions within a region are possible after churn
         (carrier-grade sharing) and harmless for the analyses."""
         slots = self._slots_for_day(day)
-        regions = np.arange(self.count, dtype=np.int64) // _REGION_SIZE
         return (
             self.prefix.first
-            + regions * _ADDRESSES_PER_REGION
+            + self._regions * _ADDRESSES_PER_REGION
             + slots
         )
 
     def address_of(self, subscriber: int, day: int) -> int:
+        """External address of one subscriber on study day ``day``."""
         return int(self.addresses_for_day(day)[subscriber])
 
     @staticmethod

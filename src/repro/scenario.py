@@ -103,10 +103,14 @@ class Scenario:
             cache = {}
             object.__setattr__(self, "_isp_topologies", cache)
         if sampling_interval not in cache:
+            # Derive the ASN from the sampling interval itself so the
+            # assignment never depends on request order; the 32-bit
+            # private band keeps it clear of the 16-bit ASNs used by
+            # cloud/CDN/IXP fixtures.
             cache[sampling_interval] = IspTopology(
                 self.allocator,
                 self.registry,
-                asn=64400 + len(cache),
+                asn=4_200_000_000 + sampling_interval,
                 sampling_interval=sampling_interval,
             )
         return cache[sampling_interval]
