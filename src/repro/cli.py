@@ -8,6 +8,10 @@ Usage::
     python -m repro experiment all -o results/
     python -m repro pipeline
     python -m repro export wild-daily -o daily.csv
+    python -m repro stream run flows.csv --artifacts artifacts/ \
+        --checkpoint-dir ckpts/ --checkpoint-every 50000
+    python -m repro stream run flows.csv --artifacts artifacts/ \
+        --checkpoint-dir ckpts/ --checkpoint-every 50000 --resume
 
 Experiments run against the shared
 :class:`~repro.experiments.context.ExperimentContext`; the first
@@ -188,6 +192,81 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.4,
         help="detection threshold D (default 0.4)",
     )
+
+    stream = commands.add_parser(
+        "stream",
+        help=(
+            "incremental online detection (bounded memory, "
+            "checkpoint/resume); see repro.stream"
+        ),
+    )
+    stream_commands = stream.add_subparsers(
+        dest="stream_command", required=True
+    )
+    stream_run = stream_commands.add_parser(
+        "run",
+        help=(
+            "stream a flow file through the online detector, "
+            "emitting detection events as chains complete"
+        ),
+    )
+    stream_run.add_argument(
+        "flows", type=pathlib.Path, help="flow file (haystack-flows CSV)"
+    )
+    stream_run.add_argument(
+        "--artifacts", type=pathlib.Path, default=None,
+        help=(
+            "directory with hitlist.json/rules.json (default: derive "
+            "them from the simulated world)"
+        ),
+    )
+    stream_run.add_argument(
+        "--threshold", type=float, default=0.4,
+        help="detection threshold D (default 0.4)",
+    )
+    stream_run.add_argument(
+        "--require-established", action="store_true",
+        help="drop TCP flows without an established handshake (spoof "
+        "filter)",
+    )
+    stream_run.add_argument(
+        "--max-subscribers", type=int, default=1 << 16,
+        help="state-table bound: tracked subscriber lines "
+        "(default 65536)",
+    )
+    stream_run.add_argument(
+        "--ttl-seconds", type=int, default=None,
+        help="evict subscribers idle longer than this (event time; "
+        "default: no TTL)",
+    )
+    stream_run.add_argument(
+        "--checkpoint-dir", type=pathlib.Path, default=None,
+        help="directory for crash-safe checkpoints",
+    )
+    stream_run.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint every N records (0 = only at end of stream, "
+        "and only when --checkpoint-dir is set)",
+    )
+    stream_run.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest usable checkpoint in "
+        "--checkpoint-dir",
+    )
+    stream_run.add_argument(
+        "--events-out", type=pathlib.Path, default=None,
+        help="append detection events to this JSONL log (default: "
+        "print to stdout)",
+    )
+    stream_run.add_argument(
+        "--stream-metrics-out", type=pathlib.Path, default=None,
+        help="write the repro.engine.metrics/1 stream document here",
+    )
+    stream_run.add_argument(
+        "--max-records", type=int, default=None,
+        help="stop after N records this run (the engine stays "
+        "resumable)",
+    )
     return parser
 
 
@@ -206,6 +285,115 @@ def _run_experiment(
     return render(run(context))
 
 
+def _load_artifacts(directory: pathlib.Path):
+    from repro.core.serialization import (
+        hitlist_from_json,
+        rules_from_json,
+    )
+
+    hitlist = hitlist_from_json(
+        (directory / "hitlist.json").read_text()
+    )
+    rules = rules_from_json((directory / "rules.json").read_text())
+    return hitlist, rules
+
+
+def _run_stream(args) -> int:
+    """``repro stream run``: online detection over a flow file.
+
+    With ``--artifacts`` the simulated world is never built — the
+    streaming path starts in milliseconds, which is the deployment
+    shape (artifacts are produced once by ``repro artifacts``).
+    """
+    import json
+
+    from repro.stream import (
+        CheckpointError,
+        JsonlEventSink,
+        MemoryEventSink,
+        StreamConfig,
+        StreamDetectionEngine,
+    )
+
+    if args.artifacts is not None:
+        hitlist, rules = _load_artifacts(args.artifacts)
+    else:
+        context = get_context(
+            seed=args.seed,
+            wild_subscribers=args.subscribers,
+            wild_days=args.days,
+        )
+        hitlist, rules = context.hitlist, context.rules
+    if args.checkpoint_every and args.checkpoint_dir is None:
+        print(
+            "warning: --checkpoint-every has no effect without "
+            "--checkpoint-dir; running without crash safety",
+            file=sys.stderr,
+        )
+    config = StreamConfig(
+        threshold=args.threshold,
+        require_established=args.require_established,
+        max_subscribers=args.max_subscribers,
+        ttl_seconds=args.ttl_seconds,
+        workers=max(1, args.workers),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=(
+            args.checkpoint_every if args.checkpoint_dir else 0
+        ),
+    )
+    sink = (
+        JsonlEventSink(args.events_out, resume=args.resume)
+        if args.events_out is not None
+        else MemoryEventSink()
+    )
+    try:
+        if args.resume:
+            if config.checkpoint_dir is None:
+                print(
+                    "error: --resume needs --checkpoint-dir",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                engine = StreamDetectionEngine.resume(
+                    rules, hitlist, config, sink
+                )
+            except CheckpointError as exc:
+                print(f"error: cannot resume: {exc}", file=sys.stderr)
+                return 2
+        else:
+            engine = StreamDetectionEngine(rules, hitlist, config, sink)
+        processed = engine.process_flowfile(
+            args.flows, max_records=args.max_records
+        )
+        if (
+            engine.config.checkpoint_dir is not None
+            and engine.metrics.records_since_checkpoint
+        ):
+            engine.write_checkpoint()
+        metrics = engine.metrics_dict()
+        print(
+            f"# processed={processed} "
+            f"total={engine.records_processed} "
+            f"matched={engine.metrics.flows_matched} "
+            f"events={engine.metrics.events_emitted}",
+            file=sys.stderr,
+        )
+        if isinstance(sink, MemoryEventSink):
+            for event in sink.events:
+                print(event.to_line())
+        else:
+            sink.flush(sync=True)
+    finally:
+        sink.close()
+    if args.stream_metrics_out is not None:
+        args.stream_metrics_out.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.stream_metrics_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -213,6 +401,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for identifier in sorted(EXPERIMENTS):
             print(identifier)
         return 0
+
+    if args.command == "stream":
+        return _run_stream(args)
 
     context = get_context(
         seed=args.seed,

@@ -30,6 +30,7 @@ from repro.timeutil import STUDY_START, day_index
 __all__ = [
     "anonymize_subscriber",
     "Detection",
+    "SubscriberProgress",
     "FlowDetector",
     "WindowedDetector",
 ]
@@ -72,6 +73,109 @@ class Detection:
     class_name: str
     detected_at: int  # epoch seconds when the rule chain first held
     matched_domains: Tuple[str, ...]
+
+
+class SubscriberProgress:
+    """Incremental per-subscriber rule evaluation.
+
+    The shared evaluation core of the batch :class:`FlowDetector` and
+    the streaming :mod:`repro.stream` path: evidence is fed one
+    observation at a time; each call reports the (class, detected_at)
+    pairs that observation completes, where ``detected_at`` is the
+    instant the class's own rule *and* every ancestor's rule first
+    held — the Section 5 time-to-detection semantics.
+
+    Fed evidence in non-decreasing time order, the emitted events are
+    exactly the batch detector's :meth:`FlowDetector.detections` for the
+    same subscriber.  Out-of-order arrivals are tolerated: an earlier
+    first-seen time is folded into the evidence (min-merge, matching the
+    batch store), but satisfaction times already recorded are not
+    revised — the streaming path trades retroactive corrections for
+    bounded state.
+    """
+
+    __slots__ = ("first_seen", "satisfied_at", "emitted")
+
+    def __init__(self) -> None:
+        #: fqdn -> earliest observation timestamp
+        self.first_seen: Dict[str, int] = {}
+        #: class name -> timestamp its own rule first held
+        self.satisfied_at: Dict[str, int] = {}
+        #: classes whose full ancestor chain has been reported
+        self.emitted: Set[str] = set()
+
+    def observe(
+        self, rules: RuleSet, threshold: float, fqdn: str, when: int
+    ) -> List[Tuple[str, int]]:
+        """Fold one evidence observation; return newly detected classes.
+
+        Returns ``[(class_name, detected_at), ...]`` for every class
+        whose rule chain is completed by this observation (possibly via
+        an ancestor satisfied only now).
+        """
+        previous = self.first_seen.get(fqdn)
+        if previous is not None:
+            if when < previous:  # out-of-order arrival: min-merge
+                self.first_seen[fqdn] = when
+            return []  # evidence *set* unchanged, nothing new to check
+        self.first_seen[fqdn] = when
+        seen = self.first_seen.keys()
+        changed = False
+        for rule in rules:
+            if rule.class_name in self.satisfied_at:
+                continue
+            if fqdn not in rule.domains:
+                continue
+            if rule.satisfied(seen, threshold):
+                self.satisfied_at[rule.class_name] = when
+                changed = True
+        if not changed:
+            return []
+        return self._completed_chains(rules)
+
+    def _completed_chains(self, rules: RuleSet) -> List[Tuple[str, int]]:
+        """Classes whose own rule and every ancestor's now hold."""
+        events: List[Tuple[str, int]] = []
+        for class_name, own_time in self.satisfied_at.items():
+            if class_name in self.emitted:
+                continue
+            detected_at = own_time
+            complete = True
+            for ancestor in rules.ancestors(class_name):
+                ancestor_time = self.satisfied_at.get(ancestor)
+                if ancestor_time is None:
+                    complete = False
+                    break
+                if ancestor_time > detected_at:
+                    detected_at = ancestor_time
+            if complete:
+                self.emitted.add(class_name)
+                events.append((class_name, detected_at))
+        return events
+
+    # -- checkpoint support -------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot (see :mod:`repro.stream`)."""
+        return {
+            "first_seen": dict(self.first_seen),
+            "satisfied_at": dict(self.satisfied_at),
+            "emitted": sorted(self.emitted),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SubscriberProgress":
+        progress = cls()
+        progress.first_seen = {
+            str(fqdn): int(when)
+            for fqdn, when in state["first_seen"].items()  # type: ignore[union-attr]
+        }
+        progress.satisfied_at = {
+            str(name): int(when)
+            for name, when in state["satisfied_at"].items()  # type: ignore[union-attr]
+        }
+        progress.emitted = set(state["emitted"])  # type: ignore[arg-type]
+        return progress
 
 
 class _EvidenceStore:
@@ -174,37 +278,24 @@ class FlowDetector:
         threshold: float,
     ) -> List[Detection]:
         ordered = sorted(evidence.items(), key=lambda item: item[1])
-        seen: Set[str] = set()
-        own_satisfied_at: Dict[str, int] = {}
+        progress = SubscriberProgress()
+        emitted: List[Tuple[str, int]] = []
         for fqdn, when in ordered:
-            seen.add(fqdn)
-            for rule in self.rules:
-                if rule.class_name in own_satisfied_at:
-                    continue
-                if fqdn not in rule.domains:
-                    continue
-                if rule.satisfied(seen, threshold):
-                    own_satisfied_at[rule.class_name] = when
-        detections = []
-        for class_name, own_time in own_satisfied_at.items():
-            ancestor_times = [
-                own_satisfied_at.get(ancestor)
-                for ancestor in self.rules.ancestors(class_name)
-            ]
-            if any(time is None for time in ancestor_times):
-                continue
-            detected_at = max([own_time] + [t for t in ancestor_times])
-            detections.append(
-                Detection(
-                    subscriber=subscriber,
-                    class_name=class_name,
-                    detected_at=detected_at,
-                    matched_domains=self.rules.rule(
-                        class_name
-                    ).matched_domains(seen),
-                )
+            emitted.extend(
+                progress.observe(self.rules, threshold, fqdn, when)
             )
-        return detections
+        seen = set(evidence)
+        return [
+            Detection(
+                subscriber=subscriber,
+                class_name=class_name,
+                detected_at=detected_at,
+                matched_domains=self.rules.rule(
+                    class_name
+                ).matched_domains(seen),
+            )
+            for class_name, detected_at in emitted
+        ]
 
 
 class WindowedDetector:

@@ -28,7 +28,12 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-__all__ = ["ShardMetrics", "EngineMetrics", "METRICS_SCHEMA"]
+__all__ = [
+    "ShardMetrics",
+    "EngineMetrics",
+    "StreamMetrics",
+    "METRICS_SCHEMA",
+]
 
 #: Version tag carried in every metrics document.
 METRICS_SCHEMA = "repro.engine.metrics/1"
@@ -123,6 +128,102 @@ class EngineMetrics:
                 "flows_per_second": self.flows_per_second,
             },
             "cohorts": self.cohort_sizes(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialise :meth:`to_dict` as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+@dataclass
+class StreamMetrics:
+    """Metrics of one :mod:`repro.stream` run (same schema family).
+
+    The document carries the ``repro.engine.metrics/1`` version tag
+    with a ``"mode": "stream"`` discriminator, so the same tooling
+    tracks batch-engine and stream trajectories.  Beyond the shared
+    stage/throughput sections it reports the stream-specific health
+    signals: ingest lag (records since the last checkpoint, replay
+    buffer high watermark), state-table evictions, and checkpoint
+    timings.
+    """
+
+    workers: int = 1
+    max_subscribers: int = 0
+    ttl_seconds: Optional[int] = None
+    checkpoint_every: int = 0
+    threshold: float = 0.4
+    records_processed: int = 0
+    flows_matched: int = 0
+    flows_rejected_spoof: int = 0
+    events_emitted: int = 0
+    subscribers_tracked: int = 0
+    evicted_lru: int = 0
+    evicted_ttl: int = 0
+    checkpoints_written: int = 0
+    checkpoint_seconds: float = 0.0
+    process_seconds: float = 0.0
+    records_since_checkpoint: int = 0
+    source_high_watermark: int = 0
+    #: event-time high watermark (largest record timestamp seen)
+    watermark: int = 0
+
+    @property
+    def records_per_second(self) -> float:
+        """Records folded per wall second of processing."""
+        if self.process_seconds <= 0:
+            return 0.0
+        return self.records_processed / self.process_seconds
+
+    @property
+    def checkpoint_overhead(self) -> float:
+        """Fraction of total wall time spent writing checkpoints."""
+        total = self.process_seconds + self.checkpoint_seconds
+        if total <= 0:
+            return 0.0
+        return self.checkpoint_seconds / total
+
+    def to_dict(self) -> Dict[str, object]:
+        """Render the documented JSON-serialisable schema."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "mode": "stream",
+            "config": {
+                "workers": self.workers,
+                "max_subscribers": self.max_subscribers,
+                "ttl_seconds": self.ttl_seconds,
+                "checkpoint_every": self.checkpoint_every,
+                "threshold": self.threshold,
+            },
+            "stages": {
+                "process_seconds": self.process_seconds,
+                "checkpoint_seconds": self.checkpoint_seconds,
+                "total_seconds": (
+                    self.process_seconds + self.checkpoint_seconds
+                ),
+            },
+            "state": {
+                "subscribers_tracked": self.subscribers_tracked,
+                "evicted_lru": self.evicted_lru,
+                "evicted_ttl": self.evicted_ttl,
+            },
+            "lag": {
+                "records_since_checkpoint": self.records_since_checkpoint,
+                "source_high_watermark": self.source_high_watermark,
+                "event_time_watermark": self.watermark,
+            },
+            "checkpoints": {
+                "written": self.checkpoints_written,
+                "seconds": self.checkpoint_seconds,
+                "overhead": self.checkpoint_overhead,
+            },
+            "throughput": {
+                "records": self.records_processed,
+                "matched": self.flows_matched,
+                "rejected_spoof": self.flows_rejected_spoof,
+                "events": self.events_emitted,
+                "records_per_second": self.records_per_second,
+            },
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

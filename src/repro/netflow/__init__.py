@@ -23,6 +23,7 @@ from repro.netflow.flowfile import (
     write_flow_file,
 )
 from repro.netflow.ipfix import IpfixCodec
+from repro.netflow.replay import FlowReplaySource, iter_flow_tuples
 
 __all__ = [
     "FlowKey",
@@ -44,4 +45,6 @@ __all__ = [
     "read_flow_file",
     "write_flow_file",
     "IpfixCodec",
+    "FlowReplaySource",
+    "iter_flow_tuples",
 ]

@@ -1,0 +1,57 @@
+"""Streaming online detection (:mod:`repro.stream`).
+
+The batch pipeline (:mod:`repro.engine`, ``repro detect``) answers
+"what was detectable in this pre-materialised block of flows".  An ISP
+deployment is continuous: NetFlow v9 / IPFIX records arrive as an
+unending stream per subscriber line, and detections must be emitted
+the moment a rule's domain-evidence threshold ``D`` is crossed — the
+Section 5 time-to-detection, served online.
+
+This package provides that ingest path:
+
+* :class:`~repro.stream.state.EvidenceStateTable` — fixed-size,
+  LRU/TTL-evicted per-subscriber evidence state (bounded memory no
+  matter how many lines the stream touches);
+* :class:`~repro.stream.events.DetectionEvent` and the event sinks —
+  the at-most-once detection feed downstream consumers read;
+* :class:`~repro.stream.checkpoint` — crash-safe checkpoints (atomic
+  replace, version header, payload digest) so a killed process resumes
+  from the last checkpoint with bit-identical downstream detections;
+* :class:`~repro.stream.processor.StreamDetectionEngine` — the engine
+  tying them together, sharing its rule-evaluation core
+  (:class:`repro.core.detector.SubscriberProgress`) with the batch
+  path, which therefore remains the golden oracle the stream must
+  agree with;
+* :mod:`~repro.stream.faults` — fault-injection helpers (truncated /
+  corrupt / partially-written checkpoints, out-of-order records) used
+  by the robustness test-suite.
+"""
+
+from repro.stream.checkpoint import (
+    CheckpointError,
+    latest_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.stream.events import (
+    DetectionEvent,
+    JsonlEventSink,
+    MemoryEventSink,
+    read_event_log,
+)
+from repro.stream.processor import StreamConfig, StreamDetectionEngine
+from repro.stream.state import EvidenceStateTable
+
+__all__ = [
+    "CheckpointError",
+    "latest_checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+    "DetectionEvent",
+    "JsonlEventSink",
+    "MemoryEventSink",
+    "read_event_log",
+    "StreamConfig",
+    "StreamDetectionEngine",
+    "EvidenceStateTable",
+]

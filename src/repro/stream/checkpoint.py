@@ -1,0 +1,191 @@
+"""Crash-safe stream checkpoints.
+
+A checkpoint is one file::
+
+    repro-stream-ckpt v1 sha256=<hex> length=<bytes>\\n
+    <compact JSON payload>
+
+written atomically: the bytes go to a ``.tmp`` sibling first, are
+fsynced, and only then renamed over the final name (``os.replace`` is
+atomic on POSIX).  A crash therefore leaves either the previous
+checkpoint intact or a ``.tmp`` leftover — never a half-written final
+file.  The header makes the remaining failure modes (truncation on a
+dying disk, a foreign or future file format) detectable: the reader
+verifies magic, version, payload length and SHA-256 digest and falls
+back to the previous checkpoint with a logged warning on any mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import re
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "checkpoint_path",
+    "list_checkpoints",
+    "write_checkpoint",
+    "read_checkpoint",
+    "latest_checkpoint",
+]
+
+logger = logging.getLogger("repro.stream.checkpoint")
+
+CHECKPOINT_MAGIC = "repro-stream-ckpt"
+CHECKPOINT_VERSION = 1
+
+_FILE_RE = re.compile(r"^ckpt-(\d{10})\.json$")
+_HEADER_RE = re.compile(
+    r"^(?P<magic>[\w.-]+) v(?P<version>\d+) "
+    r"sha256=(?P<digest>[0-9a-f]{64}) length=(?P<length>\d+)$"
+)
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file failed validation (corrupt, truncated, …)."""
+
+
+def checkpoint_path(
+    directory: Union[str, pathlib.Path], seq: int
+) -> pathlib.Path:
+    """The final path of checkpoint number ``seq``."""
+    return pathlib.Path(directory) / f"ckpt-{seq:010d}.json"
+
+
+def list_checkpoints(
+    directory: Union[str, pathlib.Path]
+) -> List[Tuple[int, pathlib.Path]]:
+    """``(seq, path)`` of every well-named checkpoint, oldest first."""
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for path in directory.iterdir():
+        match = _FILE_RE.match(path.name)
+        if match:
+            found.append((int(match.group(1)), path))
+    found.sort()
+    return found
+
+
+def write_checkpoint(
+    directory: Union[str, pathlib.Path],
+    seq: int,
+    payload: Dict[str, object],
+    keep: int = 3,
+    fsync: bool = True,
+) -> pathlib.Path:
+    """Atomically persist ``payload`` as checkpoint ``seq``.
+
+    Keeps the newest ``keep`` checkpoints and prunes older ones (the
+    retained history is what corrupt-latest fallback recovers from).
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    header = (
+        f"{CHECKPOINT_MAGIC} v{CHECKPOINT_VERSION} "
+        f"sha256={digest} length={len(body)}\n"
+    ).encode("ascii")
+    final = checkpoint_path(directory, seq)
+    temp = final.with_suffix(final.suffix + ".tmp")
+    with open(temp, "wb") as fh:
+        fh.write(header)
+        fh.write(body)
+        fh.flush()
+        if fsync:
+            os.fsync(fh.fileno())
+    os.replace(temp, final)
+    for _seq, stale in list_checkpoints(directory)[: -keep or None]:
+        if stale != final:
+            stale.unlink(missing_ok=True)
+    return final
+
+
+def read_checkpoint(
+    path: Union[str, pathlib.Path]
+) -> Dict[str, object]:
+    """Parse and validate one checkpoint file.
+
+    Raises :class:`CheckpointError` on any integrity violation.
+    """
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"unreadable: {exc}") from exc
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise CheckpointError("missing header line")
+    try:
+        header = raw[:newline].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise CheckpointError("undecodable header") from exc
+    match = _HEADER_RE.match(header)
+    if not match:
+        raise CheckpointError(f"malformed header {header!r}")
+    if match.group("magic") != CHECKPOINT_MAGIC:
+        raise CheckpointError(f"wrong magic {match.group('magic')!r}")
+    version = int(match.group("version"))
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"unsupported version {version} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    body = raw[newline + 1 :]
+    length = int(match.group("length"))
+    if len(body) != length:
+        raise CheckpointError(
+            f"payload is {len(body)} bytes, header says {length} "
+            "(truncated or padded)"
+        )
+    if hashlib.sha256(body).hexdigest() != match.group("digest"):
+        raise CheckpointError("payload digest mismatch")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(f"payload is not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError("payload is not an object")
+    return payload
+
+
+def latest_checkpoint(
+    directory: Union[str, pathlib.Path]
+) -> Optional[Tuple[int, Dict[str, object]]]:
+    """The newest *valid* checkpoint, or ``None``.
+
+    Invalid files (truncated, corrupt, wrong version) and leftover
+    ``.tmp`` files from an interrupted write are reported with a
+    warning and skipped — the reader falls back to the previous
+    checkpoint rather than crashing.
+    """
+    directory = pathlib.Path(directory)
+    if directory.is_dir():
+        for leftover in sorted(directory.glob("ckpt-*.json.tmp")):
+            logger.warning(
+                "ignoring partially-written checkpoint temp file %s "
+                "(interrupted write)",
+                leftover.name,
+            )
+    for seq, path in reversed(list_checkpoints(directory)):
+        try:
+            return seq, read_checkpoint(path)
+        except CheckpointError as exc:
+            logger.warning(
+                "checkpoint %s unusable (%s); falling back to the "
+                "previous one",
+                path.name,
+                exc,
+            )
+    return None

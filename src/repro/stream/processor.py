@@ -1,0 +1,430 @@
+"""The streaming detection engine.
+
+:class:`StreamDetectionEngine` consumes an ordered flow-record stream
+(a :class:`~repro.netflow.replay.FlowReplaySource`, or the tuple fast
+path over a flow file), folds each record into bounded per-subscriber
+state, and emits a :class:`~repro.stream.events.DetectionEvent` the
+moment a rule's domain-evidence threshold ``D`` — and every ancestor's
+— is crossed.  Rule evaluation is
+:class:`repro.core.detector.SubscriberProgress`, the exact core the
+batch :class:`~repro.core.detector.FlowDetector` replays through, so on
+an in-order replay the stream's events equal the batch detections (the
+golden-oracle property the test-suite enforces).
+
+Crash safety: with checkpointing enabled the engine periodically
+persists its entire mutable state (tables, counters, event-sink
+position) through :mod:`repro.stream.checkpoint`.  Resuming truncates
+the event log to the checkpointed position and re-folds the stream from
+the checkpointed record index, reproducing the uninterrupted run's
+event log byte for byte.
+
+Determinism boundaries worth knowing:
+
+* sharding (``workers``) partitions subscribers by digest, so worker
+  count never changes *which* events are emitted, only how state is
+  split across tables (relevant once tables are small enough to evict);
+* out-of-order records are folded with min-merge first-seen semantics
+  (see :class:`~repro.core.detector.SubscriberProgress`); already
+  emitted events are never retracted;
+* LRU/TTL eviction forgets evidence, so a heavily-bounded table may
+  re-emit a detection for a re-appearing subscriber — the eviction
+  counters in the metrics make this observable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.detector import _AnonymizerCache
+from repro.core.hitlist import Hitlist
+from repro.core.rules import RuleSet
+from repro.engine.metrics import StreamMetrics
+from repro.netflow.records import PROTO_TCP, TCP_ACK, TCP_SYN
+from repro.netflow.replay import FlowReplaySource, FlowTuple, iter_flow_tuples
+from repro.stream.checkpoint import (
+    CheckpointError,
+    latest_checkpoint,
+    write_checkpoint,
+)
+from repro.stream.events import DetectionEvent, MemoryEventSink
+from repro.stream.state import EvidenceStateTable
+from repro.timeutil import SECONDS_PER_DAY, STUDY_START
+
+__all__ = ["StreamConfig", "StreamDetectionEngine"]
+
+#: Version of the engine-state payload inside a checkpoint.
+STATE_VERSION = 1
+
+#: Config fields that determine detection output; a checkpoint's values
+#: are authoritative on resume so a resumed run cannot diverge.
+_IDENTITY_FIELDS = (
+    "threshold",
+    "require_established",
+    "max_subscribers",
+    "ttl_seconds",
+    "workers",
+    "salt",
+)
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning of one streaming run."""
+
+    threshold: float = 0.4
+    require_established: bool = False
+    #: total tracked subscriber lines (split across workers)
+    max_subscribers: int = 1 << 16
+    #: evict lines idle longer than this (event-time seconds); None = off
+    ttl_seconds: Optional[int] = None
+    #: state shards; subscribers are partitioned by digest
+    workers: int = 1
+    salt: str = "haystack"
+    checkpoint_dir: Optional[pathlib.Path] = None
+    #: write a checkpoint every N processed records; 0 disables
+    checkpoint_every: int = 0
+    checkpoint_keep: int = 3
+
+
+class StreamDetectionEngine:
+    """Incremental, bounded-memory online detector."""
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        hitlist: Hitlist,
+        config: Optional[StreamConfig] = None,
+        sink=None,
+    ) -> None:
+        config = config or StreamConfig()
+        if config.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if config.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if config.checkpoint_every and config.checkpoint_dir is None:
+            raise ValueError(
+                "checkpoint_every needs a checkpoint_dir"
+            )
+        self.rules = rules
+        self.hitlist = hitlist
+        self.config = config
+        self.sink = sink if sink is not None else MemoryEventSink()
+        per_worker = max(1, config.max_subscribers // config.workers)
+        self._tables = [
+            EvidenceStateTable(per_worker, config.ttl_seconds)
+            for _ in range(config.workers)
+        ]
+        self._digests = _AnonymizerCache(config.salt)
+        #: raw subscriber id -> (digest, worker shard)
+        self._identities: Dict[int, Tuple[str, int]] = {}
+        self._daily = hitlist.daily_endpoints
+        self._cached_day: Optional[int] = None
+        self._cached_endpoints: Dict[Tuple[int, int], str] = {}
+        self.metrics = StreamMetrics(
+            workers=config.workers,
+            max_subscribers=config.max_subscribers,
+            ttl_seconds=config.ttl_seconds,
+            checkpoint_every=config.checkpoint_every,
+            threshold=config.threshold,
+        )
+
+    # -- construction from a checkpoint -------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        rules: RuleSet,
+        hitlist: Hitlist,
+        config: Optional[StreamConfig] = None,
+        sink=None,
+    ) -> "StreamDetectionEngine":
+        """Rebuild an engine from the newest usable checkpoint.
+
+        Detection-identity fields (threshold, workers, table bounds,
+        salt) are taken from the checkpoint — they must not drift
+        across a resume or the continued run would diverge from the
+        uninterrupted one.  Operational fields (checkpoint cadence,
+        retention, directory) come from ``config``.  The sink is
+        truncated to the checkpointed position so re-folded records
+        re-emit into a log that ends up byte-identical.
+        """
+        config = config or StreamConfig()
+        if config.checkpoint_dir is None:
+            raise ValueError("resume needs config.checkpoint_dir")
+        loaded = latest_checkpoint(config.checkpoint_dir)
+        if loaded is None:
+            raise CheckpointError(
+                f"no usable checkpoint under {config.checkpoint_dir}"
+            )
+        _seq, payload = loaded
+        version = payload.get("state_version")
+        if version != STATE_VERSION:
+            raise CheckpointError(
+                f"engine state version {version!r} unsupported"
+            )
+        saved = payload["config"]
+        config = replace(
+            config,
+            **{name: saved[name] for name in _IDENTITY_FIELDS},
+        )
+        engine = cls(rules, hitlist, config, sink)
+        engine._tables = [
+            EvidenceStateTable.from_state(state)
+            for state in payload["tables"]
+        ]
+        counters = payload["counters"]
+        engine.metrics.records_processed = int(counters["records"])
+        engine.metrics.flows_matched = int(counters["matched"])
+        engine.metrics.flows_rejected_spoof = int(
+            counters["rejected_spoof"]
+        )
+        engine.metrics.events_emitted = int(counters["events"])
+        engine.metrics.checkpoints_written = int(
+            counters["checkpoints_written"]
+        )
+        engine.metrics.watermark = int(payload["watermark"])
+        engine.sink.truncate_to(int(payload["sink_position"]))
+        return engine
+
+    @property
+    def records_processed(self) -> int:
+        """Records folded so far — the resume/skip coordinate."""
+        return self.metrics.records_processed
+
+    # -- ingest -------------------------------------------------------
+
+    def process(
+        self,
+        source: Union[FlowReplaySource, Iterable],
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Fold ``(index, FlowRecord)`` pairs; returns records folded.
+
+        ``max_records`` bounds this call (used by tests to simulate a
+        kill mid-stream); the engine remains resumable afterwards.
+        """
+        observe = self._observe
+        checkpoint_every = self.config.checkpoint_every
+        processed = 0
+        started = time.perf_counter()
+        try:
+            for index, flow in source:
+                events = observe(
+                    index,
+                    flow.first_switched,
+                    flow.src_ip,
+                    flow.dst_ip,
+                    flow.protocol,
+                    flow.dst_port,
+                    flow.tcp_flags,
+                )
+                if events:
+                    self._emit(events)
+                processed += 1
+                if (
+                    checkpoint_every
+                    and self.metrics.records_processed % checkpoint_every
+                    == 0
+                ):
+                    self.write_checkpoint()
+                if max_records is not None and processed >= max_records:
+                    break
+        finally:
+            self.metrics.process_seconds += time.perf_counter() - started
+            watermark = getattr(source, "high_watermark", None)
+            if watermark is not None:
+                self.metrics.source_high_watermark = max(
+                    self.metrics.source_high_watermark, watermark
+                )
+            self._sync_state_metrics()
+        return processed
+
+    def process_tuples(
+        self,
+        tuples: Iterable[FlowTuple],
+        start_index: int = 0,
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Fast-path ingest of pre-parsed flow tuples.
+
+        ``tuples`` yields ``(first, src, dst, proto, dport, flags)``
+        (see :func:`repro.netflow.replay.iter_flow_tuples`); indices
+        are assigned from ``start_index``.
+        """
+        observe = self._observe
+        checkpoint_every = self.config.checkpoint_every
+        index = start_index
+        processed = 0
+        started = time.perf_counter()
+        try:
+            for when, src, dst, proto, dport, flags in tuples:
+                events = observe(index, when, src, dst, proto, dport, flags)
+                if events:
+                    self._emit(events)
+                index += 1
+                processed += 1
+                if (
+                    checkpoint_every
+                    and self.metrics.records_processed % checkpoint_every
+                    == 0
+                ):
+                    self.write_checkpoint()
+                if max_records is not None and processed >= max_records:
+                    break
+        finally:
+            self.metrics.process_seconds += time.perf_counter() - started
+            self._sync_state_metrics()
+        return processed
+
+    def process_flowfile(
+        self,
+        path,
+        fast: bool = True,
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Replay a flow file, continuing from ``records_processed``.
+
+        Records already folded (a fresh engine has none; a resumed one
+        skips the checkpointed prefix) are fast-forwarded over, so
+        calling this repeatedly — across kills and resumes — always
+        continues where the engine left off.
+        """
+        skip = self.records_processed
+        if fast:
+            tuples = iter_flow_tuples(path)
+            for _ in range(skip):
+                if next(tuples, None) is None:
+                    return 0
+            return self.process_tuples(
+                tuples, start_index=skip, max_records=max_records
+            )
+        source = FlowReplaySource.from_flowfile(path)
+        source.skip(skip)
+        source.next_index = skip
+        return self.process(source, max_records=max_records)
+
+    # -- hot path -----------------------------------------------------
+
+    def _observe(
+        self,
+        index: int,
+        when: int,
+        src: int,
+        dst: int,
+        proto: int,
+        dport: int,
+        flags: int,
+    ) -> Optional[List[DetectionEvent]]:
+        """Fold one record; return completed detections (usually None)."""
+        metrics = self.metrics
+        metrics.records_processed += 1
+        metrics.records_since_checkpoint += 1
+        if when > metrics.watermark:
+            metrics.watermark = when
+        if (
+            self.config.require_established
+            and proto == PROTO_TCP
+            and not (flags & TCP_ACK and not flags & TCP_SYN)
+        ):
+            metrics.flows_rejected_spoof += 1
+            return None
+        day = (when - STUDY_START) // SECONDS_PER_DAY
+        if day != self._cached_day:
+            self._cached_day = day
+            self._cached_endpoints = self._daily.get(day, {})
+        fqdn = self._cached_endpoints.get((dst, dport))
+        if fqdn is None:
+            return None
+        metrics.flows_matched += 1
+        identity = self._identities.get(src)
+        if identity is None:
+            digest = self._digests(src)
+            identity = (digest, int(digest, 16) % self.config.workers)
+            self._identities[src] = identity
+        digest, worker = identity
+        progress = self._tables[worker].touch(digest, when)
+        completed = progress.observe(
+            self.rules, self.config.threshold, fqdn, when
+        )
+        if not completed:
+            return None
+        return [
+            DetectionEvent(
+                subscriber=digest,
+                class_name=class_name,
+                detected_at=detected_at,
+                record_index=index,
+                matched_domains=self.rules.rule(
+                    class_name
+                ).matched_domains(progress.first_seen),
+            )
+            for class_name, detected_at in completed
+        ]
+
+    def _emit(self, events: List[DetectionEvent]) -> None:
+        append = self.sink.append
+        for event in events:
+            append(event)
+        self.metrics.events_emitted += len(events)
+
+    # -- checkpointing ------------------------------------------------
+
+    def write_checkpoint(self) -> pathlib.Path:
+        """Persist the full engine state atomically."""
+        if self.config.checkpoint_dir is None:
+            raise ValueError("engine has no checkpoint_dir configured")
+        started = time.perf_counter()
+        self.sink.flush(sync=True)
+        metrics = self.metrics
+        payload: Dict[str, object] = {
+            "state_version": STATE_VERSION,
+            "config": {
+                "threshold": self.config.threshold,
+                "require_established": self.config.require_established,
+                "max_subscribers": self.config.max_subscribers,
+                "ttl_seconds": self.config.ttl_seconds,
+                "workers": self.config.workers,
+                "salt": self.config.salt,
+            },
+            "counters": {
+                "records": metrics.records_processed,
+                "matched": metrics.flows_matched,
+                "rejected_spoof": metrics.flows_rejected_spoof,
+                "events": metrics.events_emitted,
+                "checkpoints_written": metrics.checkpoints_written + 1,
+            },
+            "watermark": metrics.watermark,
+            "sink_position": self.sink.position(),
+            "tables": [table.to_state() for table in self._tables],
+        }
+        path = write_checkpoint(
+            self.config.checkpoint_dir,
+            metrics.records_processed,
+            payload,
+            keep=self.config.checkpoint_keep,
+        )
+        metrics.checkpoints_written += 1
+        metrics.records_since_checkpoint = 0
+        metrics.checkpoint_seconds += time.perf_counter() - started
+        return path
+
+    # -- reporting ----------------------------------------------------
+
+    def _sync_state_metrics(self) -> None:
+        self.metrics.subscribers_tracked = sum(
+            len(table) for table in self._tables
+        )
+        self.metrics.evicted_lru = sum(
+            table.evicted_lru for table in self._tables
+        )
+        self.metrics.evicted_ttl = sum(
+            table.evicted_ttl for table in self._tables
+        )
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """The ``repro.engine.metrics/1`` stream metrics document."""
+        self._sync_state_metrics()
+        return self.metrics.to_dict()

@@ -231,3 +231,118 @@ class TestWindowedDetector:
     def test_rejects_nonpositive_window(self, rules, hitlist):
         with pytest.raises(ValueError):
             WindowedDetector(rules, hitlist, window_seconds=0)
+
+
+class TestObserveFlowCounters:
+    """Regression pins for the observe_flow accounting shared by both
+    detectors: every flow lands in exactly one of seen/rejected buckets
+    and matched counts only hitlist hits that survived the filter."""
+
+    def _unknown_flow(self, when, flags=TCP_ACK, protocol=PROTO_TCP):
+        return FlowRecord(
+            key=FlowKey(0x12345678, 0x0BADF00D, protocol, 50000, 9999),
+            first_switched=when,
+            last_switched=when + 10,
+            packets=1,
+            bytes=100,
+            tcp_flags=flags,
+        )
+
+    def _crafted_sequence(self, rules, hitlist):
+        """(flow, expect_rejected, expect_matched) triples."""
+        fqdn = rules.rule("Netatmo Weather St.").domains[0]
+        t = STUDY_START + 100
+        return [
+            # established TCP to a hitlist endpoint: matched
+            (_flow_to(hitlist, fqdn, t), False, True),
+            # spoofed SYN-only TCP to the same endpoint: rejected
+            (_flow_to(hitlist, fqdn, t + 1, flags=TCP_SYN), True, False),
+            # SYN+ACK still carries the SYN bit: rejected as spoofable
+            (
+                _flow_to(hitlist, fqdn, t + 2, flags=TCP_SYN | TCP_ACK),
+                True,
+                False,
+            ),
+            # established TCP to an unknown endpoint: seen, unmatched
+            (self._unknown_flow(t + 3), False, False),
+            # SYN-only to an unknown endpoint: rejected before lookup
+            (self._unknown_flow(t + 4, flags=TCP_SYN), True, False),
+            # UDP never trips the TCP handshake filter
+            (self._unknown_flow(t + 5, flags=0, protocol=17), False, False),
+            # repeat evidence still counts as a match
+            (_flow_to(hitlist, fqdn, t + 6), False, True),
+        ]
+
+    @pytest.mark.parametrize("detector_kind", ["flow", "windowed"])
+    def test_counters_on_crafted_sequence(
+        self, rules, hitlist, detector_kind
+    ):
+        if detector_kind == "flow":
+            detector = FlowDetector(
+                rules, hitlist, require_established=True
+            )
+        else:
+            detector = WindowedDetector(
+                rules,
+                hitlist,
+                window_seconds=SECONDS_PER_HOUR,
+                require_established=True,
+            )
+        sequence = self._crafted_sequence(rules, hitlist)
+        for flow, _rejected, _matched in sequence:
+            detector.observe_flow(31337, flow)
+        assert detector.flows_seen == len(sequence)
+        assert detector.flows_rejected_spoof == sum(
+            1 for _, rejected, _ in sequence if rejected
+        )
+        assert detector.flows_matched == sum(
+            1 for _, _, matched in sequence if matched
+        )
+        # every flow is either counted as spoof-rejected or eligible;
+        # matches are a subset of the eligible ones
+        assert (
+            detector.flows_matched
+            <= detector.flows_seen - detector.flows_rejected_spoof
+        )
+
+    @pytest.mark.parametrize("detector_kind", ["flow", "windowed"])
+    def test_filter_off_rejects_nothing(
+        self, rules, hitlist, detector_kind
+    ):
+        if detector_kind == "flow":
+            detector = FlowDetector(rules, hitlist)
+        else:
+            detector = WindowedDetector(
+                rules, hitlist, window_seconds=SECONDS_PER_HOUR
+            )
+        for flow, _, _ in self._crafted_sequence(rules, hitlist):
+            detector.observe_flow(31337, flow)
+        assert detector.flows_rejected_spoof == 0
+        # with the filter off, the spoofed flows to hitlist endpoints
+        # count as matches — the exposure the IXP filter exists to cut
+        assert detector.flows_matched == 4
+
+    def test_stream_engine_shares_counter_semantics(
+        self, rules, hitlist
+    ):
+        """The streaming engine's spoof/match accounting must agree
+        with FlowDetector's on the same crafted sequence."""
+        from repro.netflow.replay import FlowReplaySource
+        from repro.stream import StreamConfig, StreamDetectionEngine
+
+        sequence = self._crafted_sequence(rules, hitlist)
+        detector = FlowDetector(rules, hitlist, require_established=True)
+        for flow, _, _ in sequence:
+            detector.observe_flow(flow.src_ip, flow)
+        engine = StreamDetectionEngine(
+            rules, hitlist, StreamConfig(require_established=True)
+        )
+        engine.process(
+            FlowReplaySource.from_flows(f for f, _, _ in sequence)
+        )
+        assert engine.metrics.records_processed == detector.flows_seen
+        assert engine.metrics.flows_matched == detector.flows_matched
+        assert (
+            engine.metrics.flows_rejected_spoof
+            == detector.flows_rejected_spoof
+        )

@@ -1,0 +1,336 @@
+"""Streaming online detection: golden-oracle equivalence, kill/resume
+bit-identity, bounded state, and out-of-order tolerance.
+
+The batch :class:`~repro.core.detector.FlowDetector` is the oracle: on
+an in-order replay of the same flows, the stream engine must emit
+exactly the batch detections — same subscribers, same classes, same
+detection times.  Both paths evaluate rules through
+:class:`~repro.core.detector.SubscriberProgress`, so this holds by
+construction; these tests keep it that way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.detector import FlowDetector
+from repro.netflow.flowfile import read_flow_file, write_flow_file
+from repro.netflow.records import (
+    FlowKey,
+    FlowRecord,
+    PROTO_TCP,
+    TCP_ACK,
+)
+from repro.netflow.replay import FlowReplaySource, iter_flow_tuples
+from repro.stream import (
+    JsonlEventSink,
+    StreamConfig,
+    StreamDetectionEngine,
+    read_event_log,
+)
+from repro.stream.faults import jitter_order
+from repro.stream.state import EvidenceStateTable
+from repro.timeutil import STUDY_START
+
+
+# -- shared replay material -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gt_flows(capture):
+    """Ground-truth ISP flows, one subscriber line per device, in
+    arrival order (the shape a collector hands the stream engine)."""
+    flows = []
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flows.append(event.to_flow_record(src, capture.sampling_interval))
+    flows.sort(key=lambda flow: flow.first_switched)
+    return flows
+
+
+@pytest.fixture(scope="module")
+def gt_flowfile(gt_flows, tmp_path_factory):
+    path = tmp_path_factory.mktemp("stream") / "flows.csv"
+    write_flow_file(path, gt_flows)
+    return path
+
+
+@pytest.fixture(scope="module")
+def batch_oracle(rules, hitlist, gt_flows):
+    """(subscriber, class, detected_at) triples from the batch path."""
+    detector = FlowDetector(rules, hitlist, threshold=0.4)
+    for flow in gt_flows:
+        detector.observe_flow(flow.src_ip, flow)
+    return {
+        (d.subscriber, d.class_name, d.detected_at)
+        for d in detector.detections()
+    }
+
+
+def _event_triples(events):
+    return {
+        (e.subscriber, e.class_name, e.detected_at) for e in events
+    }
+
+
+def _mkflow(src, dst, when, port=443, proto=PROTO_TCP, flags=TCP_ACK):
+    return FlowRecord(
+        key=FlowKey(
+            src_ip=src,
+            dst_ip=dst,
+            protocol=proto,
+            src_port=40000,
+            dst_port=port,
+        ),
+        first_switched=when,
+        last_switched=when + 59,
+        packets=1,
+        bytes=100,
+        tcp_flags=flags,
+    )
+
+
+# -- golden-oracle equivalence ----------------------------------------
+
+
+class TestGoldenOracle:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_stream_equals_batch(
+        self, rules, hitlist, gt_flowfile, batch_oracle, workers
+    ):
+        engine = StreamDetectionEngine(
+            rules, hitlist, StreamConfig(workers=workers)
+        )
+        engine.process_flowfile(gt_flowfile)
+        assert batch_oracle  # the scenario detects devices at all
+        assert _event_triples(engine.sink.events) == batch_oracle
+
+    def test_fast_and_record_paths_agree(
+        self, rules, hitlist, gt_flowfile
+    ):
+        fast = StreamDetectionEngine(rules, hitlist)
+        fast.process_flowfile(gt_flowfile, fast=True)
+        slow = StreamDetectionEngine(rules, hitlist)
+        slow.process_flowfile(gt_flowfile, fast=False)
+        assert [e.to_line() for e in fast.sink.events] == [
+            e.to_line() for e in slow.sink.events
+        ]
+        assert (
+            fast.records_processed
+            == slow.records_processed
+        )
+
+    def test_tuple_iterator_matches_flowfile_reader(self, gt_flowfile):
+        tuples = list(iter_flow_tuples(gt_flowfile))
+        flows = list(read_flow_file(gt_flowfile))
+        assert len(tuples) == len(flows)
+        for tup, flow in zip(tuples, flows):
+            assert tup == (
+                flow.first_switched,
+                flow.src_ip,
+                flow.dst_ip,
+                flow.protocol,
+                flow.dst_port,
+                flow.tcp_flags,
+            )
+
+    def test_out_of_order_tolerance(
+        self, rules, hitlist, gt_flows, batch_oracle
+    ):
+        """Bounded reordering (a collector's export jitter) must not
+        change which subscribers are detected as which classes."""
+        jittered = list(jitter_order(gt_flows, displacement=64, seed=11))
+        assert jittered != gt_flows  # the jitter actually reordered
+        engine = StreamDetectionEngine(rules, hitlist)
+        engine.process(FlowReplaySource.from_flows(jittered))
+        got = {
+            (e.subscriber, e.class_name) for e in engine.sink.events
+        }
+        want = {(s, c) for s, c, _ in batch_oracle}
+        assert got == want
+
+
+# -- kill / resume ----------------------------------------------------
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_kill_resume_bit_identical(
+        self, rules, hitlist, gt_flowfile, tmp_path, workers
+    ):
+        """Kill mid-stream between checkpoints, resume, and the event
+        log ends byte-identical to the uninterrupted run's."""
+
+        def run(tag, kill_after=None):
+            ckpt = tmp_path / f"ckpt-{tag}"
+            log = tmp_path / f"events-{tag}.jsonl"
+            config = StreamConfig(
+                workers=workers,
+                checkpoint_dir=ckpt,
+                checkpoint_every=10_000,
+            )
+            with JsonlEventSink(log) as sink:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink
+                )
+                engine.process_flowfile(
+                    gt_flowfile, max_records=kill_after
+                )
+            if kill_after is not None:
+                with JsonlEventSink(log, resume=True) as sink:
+                    engine = StreamDetectionEngine.resume(
+                        rules, hitlist, config, sink
+                    )
+                    # resumed exactly at the last checkpoint boundary
+                    assert engine.records_processed % 10_000 == 0
+                    assert engine.records_processed <= kill_after
+                    engine.process_flowfile(gt_flowfile)
+            return log
+
+        full = run("full")
+        resumed = run("killed", kill_after=34_567)
+        assert full.read_bytes() == resumed.read_bytes()
+
+    def test_resume_restores_counters_and_config(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        config = StreamConfig(
+            threshold=0.4,
+            checkpoint_dir=tmp_path / "ckpt",
+            checkpoint_every=5_000,
+        )
+        first = StreamDetectionEngine(rules, hitlist, config)
+        first.process_flowfile(gt_flowfile, max_records=12_000)
+        # resume under a *different* requested threshold: the
+        # checkpointed identity config must win, or the continued run
+        # could diverge from the uninterrupted one
+        resumed = StreamDetectionEngine.resume(
+            rules,
+            hitlist,
+            StreamConfig(
+                threshold=0.9,
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every=5_000,
+            ),
+        )
+        assert resumed.config.threshold == 0.4
+        assert resumed.records_processed == 10_000
+        assert (
+            resumed.metrics.flows_matched
+            <= first.metrics.flows_matched
+        )
+
+    def test_events_replayed_not_duplicated(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        config = StreamConfig(
+            checkpoint_dir=tmp_path / "ckpt", checkpoint_every=7_000
+        )
+        log = tmp_path / "events.jsonl"
+        with JsonlEventSink(log) as sink:
+            engine = StreamDetectionEngine(rules, hitlist, config, sink)
+            engine.process_flowfile(gt_flowfile, max_records=20_000)
+        with JsonlEventSink(log, resume=True) as sink:
+            engine = StreamDetectionEngine.resume(
+                rules, hitlist, config, sink
+            )
+            engine.process_flowfile(gt_flowfile)
+        events = read_event_log(log)
+        keys = [(e.subscriber, e.class_name) for e in events]
+        assert len(keys) == len(set(keys))
+
+
+# -- bounded state ----------------------------------------------------
+
+
+class TestBoundedState:
+    def test_lru_eviction_caps_table(self):
+        table = EvidenceStateTable(max_subscribers=10)
+        for n in range(50):
+            table.touch(f"sub-{n}", STUDY_START + n)
+        assert len(table) == 10
+        assert table.evicted_lru == 40
+        # the survivors are the 10 most recently active
+        survivors = {d for d, _, _ in table.to_state()["entries"]}
+        assert survivors == {f"sub-{n}" for n in range(40, 50)}
+
+    def test_ttl_eviction_uses_event_time(self):
+        table = EvidenceStateTable(max_subscribers=100, ttl_seconds=60)
+        table.touch("idle", STUDY_START)
+        table.touch("busy", STUDY_START + 30)
+        table.touch("late", STUDY_START + 120)  # advances the watermark
+        assert len(table) == 1
+        assert table.evicted_ttl == 2
+
+    def test_engine_state_stays_bounded(
+        self, rules, hitlist, gt_flowfile
+    ):
+        engine = StreamDetectionEngine(
+            rules, hitlist, StreamConfig(max_subscribers=32)
+        )
+        engine.process_flowfile(gt_flowfile)
+        metrics = engine.metrics_dict()
+        assert metrics["state"]["subscribers_tracked"] <= 32
+        assert metrics["state"]["evicted_lru"] > 0
+
+    def test_eviction_may_reemit_but_never_loses_classes(
+        self, rules, hitlist, gt_flowfile, batch_oracle
+    ):
+        """With a tight table bound, forgotten-then-reappearing
+        subscribers can re-emit, but every batch detection's
+        (subscriber, class) still appears in the stream output."""
+        engine = StreamDetectionEngine(
+            rules, hitlist, StreamConfig(max_subscribers=64)
+        )
+        engine.process_flowfile(gt_flowfile)
+        got = {
+            (e.subscriber, e.class_name) for e in engine.sink.events
+        }
+        want = {(s, c) for s, c, _ in batch_oracle}
+        assert want <= got
+
+
+# -- backpressure -----------------------------------------------------
+
+
+class TestReplaySource:
+    def test_oversized_batch_rejected(self):
+        flows = [_mkflow(1, 2, STUDY_START)] * 5
+        source = FlowReplaySource([flows], max_pending=3)
+        with pytest.raises(ValueError, match="max_pending"):
+            next(source)
+
+    def test_high_watermark_reported(self):
+        flows = [_mkflow(1, 2, STUDY_START + n) for n in range(7)]
+        source = FlowReplaySource([flows[:4], flows[4:]])
+        assert list(index for index, _ in source) == list(range(7))
+        assert source.high_watermark == 4
+
+    def test_skip_fast_forwards(self, gt_flowfile):
+        source = FlowReplaySource.from_flowfile(gt_flowfile)
+        assert source.skip(100) == 100
+        index, _flow = next(source)
+        assert index == 100
+
+
+# -- smoke (tier-1 wiring) --------------------------------------------
+
+
+@pytest.mark.smoke
+def test_stream_smoke(rules, hitlist, gt_flowfile, tmp_path):
+    """End-to-end: stream a prefix with checkpointing on, resume, and
+    get events plus a well-formed metrics document."""
+    config = StreamConfig(
+        checkpoint_dir=tmp_path / "ckpt", checkpoint_every=2_000
+    )
+    engine = StreamDetectionEngine(rules, hitlist, config)
+    engine.process_flowfile(gt_flowfile, max_records=6_000)
+    resumed = StreamDetectionEngine.resume(rules, hitlist, config)
+    resumed.process_flowfile(gt_flowfile, max_records=6_000)
+    metrics = resumed.metrics_dict()
+    assert metrics["schema"] == "repro.engine.metrics/1"
+    assert metrics["mode"] == "stream"
+    assert metrics["throughput"]["records"] == 12_000
+    assert metrics["throughput"]["records_per_second"] > 0

@@ -1,0 +1,194 @@
+"""Checkpoint robustness under injected faults.
+
+The checkpointer promises: a crash — at any byte — leaves the stream
+engine resumable from the newest *valid* checkpoint, with a logged
+warning for anything damaged, and never a crash at recovery time.
+These tests damage checkpoints the ways real failures do (truncation,
+bit rot, version skew, interrupted writes) and hold it to that.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.stream.checkpoint import (
+    CheckpointError,
+    checkpoint_path,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.stream.faults import (
+    corrupt_payload_byte,
+    corrupt_version_header,
+    truncate_file,
+    write_partial_temp,
+)
+
+
+@pytest.fixture()
+def ckpt_dir(tmp_path):
+    """Three valid checkpoints, seq 100 < 200 < 300."""
+    for seq in (100, 200, 300):
+        write_checkpoint(tmp_path, seq, {"seq": seq}, keep=10)
+    return tmp_path
+
+
+class TestReadCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        payload = {"records": 42, "tables": [{"entries": []}]}
+        path = write_checkpoint(tmp_path, 42, payload)
+        assert read_checkpoint(path) == payload
+
+    def test_truncated_payload_rejected(self, ckpt_dir):
+        path = checkpoint_path(ckpt_dir, 300)
+        truncate_file(path, path.stat().st_size - 3)
+        with pytest.raises(CheckpointError, match="truncated"):
+            read_checkpoint(path)
+
+    def test_truncated_header_rejected(self, ckpt_dir):
+        path = checkpoint_path(ckpt_dir, 300)
+        truncate_file(path, 10)  # mid-header, no newline survives
+        with pytest.raises(CheckpointError, match="header"):
+            read_checkpoint(path)
+
+    def test_wrong_version_rejected(self, ckpt_dir):
+        path = checkpoint_path(ckpt_dir, 300)
+        corrupt_version_header(path)
+        with pytest.raises(CheckpointError, match="version"):
+            read_checkpoint(path)
+
+    def test_flipped_payload_byte_rejected(self, ckpt_dir):
+        path = checkpoint_path(ckpt_dir, 300)
+        corrupt_payload_byte(path)
+        with pytest.raises(CheckpointError, match="digest"):
+            read_checkpoint(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = checkpoint_path(tmp_path, 1)
+        path.write_bytes(b"{\"not\": \"a checkpoint\"}\n")
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+class TestLatestCheckpointFallback:
+    def test_picks_newest_valid(self, ckpt_dir):
+        seq, payload = latest_checkpoint(ckpt_dir)
+        assert (seq, payload["seq"]) == (300, 300)
+
+    @pytest.mark.parametrize(
+        "damage",
+        [
+            lambda path: truncate_file(path, path.stat().st_size - 3),
+            corrupt_version_header,
+            corrupt_payload_byte,
+        ],
+        ids=["truncated", "wrong-version", "bit-rot"],
+    )
+    def test_falls_back_past_damaged_latest(
+        self, ckpt_dir, caplog, damage
+    ):
+        damage(checkpoint_path(ckpt_dir, 300))
+        with caplog.at_level(
+            logging.WARNING, logger="repro.stream.checkpoint"
+        ):
+            seq, payload = latest_checkpoint(ckpt_dir)
+        assert (seq, payload["seq"]) == (200, 200)
+        assert any(
+            "falling back" in record.message
+            for record in caplog.records
+        )
+
+    def test_partial_temp_ignored_with_warning(self, ckpt_dir, caplog):
+        write_partial_temp(ckpt_dir, 400)
+        with caplog.at_level(
+            logging.WARNING, logger="repro.stream.checkpoint"
+        ):
+            seq, _payload = latest_checkpoint(ckpt_dir)
+        assert seq == 300  # the interrupted write never counts
+        assert any(
+            "partially-written" in record.message
+            for record in caplog.records
+        )
+
+    def test_all_damaged_returns_none(self, ckpt_dir, caplog):
+        for seq in (100, 200, 300):
+            corrupt_payload_byte(checkpoint_path(ckpt_dir, seq))
+        with caplog.at_level(
+            logging.WARNING, logger="repro.stream.checkpoint"
+        ):
+            assert latest_checkpoint(ckpt_dir) is None
+        assert len(caplog.records) == 3
+
+    def test_empty_or_missing_directory(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "never-created") is None
+
+
+class TestRetention:
+    def test_keep_prunes_oldest(self, tmp_path):
+        for seq in range(1, 6):
+            write_checkpoint(tmp_path, seq, {"seq": seq}, keep=3)
+        assert [seq for seq, _ in list_checkpoints(tmp_path)] == [
+            3,
+            4,
+            5,
+        ]
+
+    def test_overwrite_same_seq_is_atomic_replace(self, tmp_path):
+        write_checkpoint(tmp_path, 7, {"generation": 1})
+        path = write_checkpoint(tmp_path, 7, {"generation": 2})
+        assert read_checkpoint(path) == {"generation": 2}
+        assert len(list_checkpoints(tmp_path)) == 1
+
+
+class TestEngineRecovery:
+    """End-to-end: a damaged latest checkpoint costs re-processing,
+    never correctness — the resumed run still matches the oracle."""
+
+    def test_resume_from_older_checkpoint_after_damage(
+        self, rules, hitlist, tmp_path, caplog
+    ):
+        from repro.netflow.flowfile import write_flow_file
+        from repro.stream import (
+            JsonlEventSink,
+            StreamConfig,
+            StreamDetectionEngine,
+        )
+        from tests.test_stream import _mkflow
+
+        # a tiny synthetic stream that matches nothing (we only care
+        # about checkpoint mechanics here, not detections)
+        from repro.timeutil import STUDY_START
+
+        flows = [
+            _mkflow(1, 2, STUDY_START + n) for n in range(100)
+        ]
+        path = tmp_path / "flows.csv"
+        write_flow_file(path, flows)
+        config = StreamConfig(
+            checkpoint_dir=tmp_path / "ckpt", checkpoint_every=20
+        )
+        log = tmp_path / "events.jsonl"
+        with JsonlEventSink(log) as sink:
+            engine = StreamDetectionEngine(rules, hitlist, config, sink)
+            engine.process_flowfile(path, max_records=70)
+        # checkpoints at 20, 40, 60 — damage the newest
+        corrupt_payload_byte(checkpoint_path(config.checkpoint_dir, 60))
+        with caplog.at_level(
+            logging.WARNING, logger="repro.stream.checkpoint"
+        ):
+            with JsonlEventSink(log, resume=True) as sink:
+                resumed = StreamDetectionEngine.resume(
+                    rules, hitlist, config, sink
+                )
+                assert resumed.records_processed == 40
+                resumed.process_flowfile(path)
+        assert resumed.records_processed == 100
+        assert any(
+            "falling back" in record.message
+            for record in caplog.records
+        )
