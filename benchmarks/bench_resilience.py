@@ -1,0 +1,175 @@
+"""The price of supervision: supervised pool vs raw pool, zero faults.
+
+The shard supervisor (heartbeats, timeout policing, retry bookkeeping)
+must be effectively free when nothing fails — the acceptance bar is
+<5% wall-time overhead against a bare ``ProcessPoolExecutor`` running
+the identical shard tasks (we assert a looser 10% ceiling to absorb
+machine noise).  A faulted run (one injected crash) is timed alongside
+to record what recovery costs.  Results are merged into
+``BENCH_scaling.json`` under a ``"resilience"`` key.
+"""
+
+import json
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.engine.plan import build_cohort_plan, plan_shards
+from repro.engine.worker import DEFAULT_BLOCK_BYTES, ShardTask, simulate_shard
+from repro.faults import ShardFaultPlan
+from repro.isp.simulation import WildConfig
+from repro.isp.subscribers import (
+    SubscriberPopulation,
+    derive_product_penetration,
+)
+from repro.resilience import ShardSupervisor, SupervisorConfig
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+)
+
+#: Bench scale: big enough that shard runtimes dwarf poll ticks, small
+#: enough to keep the three timed runs quick.
+_CONFIG = WildConfig(
+    subscribers=60_000, days=7, seed=11, workers=4, shard_size=1024
+)
+
+
+def _compile_tasks(context, config):
+    """Replicate the engine's stage-1 planning: identical ShardTasks
+    for both executors."""
+    scenario = context.scenario
+    topology = scenario.isp_topology(config.sampling_interval)
+    population = SubscriberPopulation(
+        config.subscribers,
+        topology.subscriber_space,
+        churn_probability=config.churn_probability,
+        seed=config.seed,
+    )
+    penetration = derive_product_penetration(scenario.catalog)
+    ownership = population.assign_ownership(scenario.catalog, penetration)
+
+    plans = []
+    for product_name in sorted(ownership.product_owners):
+        plan = build_cohort_plan(
+            product_name,
+            ownership.product_owners[product_name],
+            scenario,
+            context.rules,
+            context.hitlist,
+            days=config.days,
+            sampling_interval=config.sampling_interval,
+            threshold=config.threshold,
+        )
+        if plan is not None:
+            plans.append(plan)
+
+    root = np.random.SeedSequence(config.seed)
+    tasks = []
+    for plan, sequence in zip(plans, root.spawn(len(plans))):
+        shards = plan_shards(plan.owners.size, config.shard_size)
+        for (start, stop), shard_sequence in zip(
+            shards, sequence.spawn(len(shards))
+        ):
+            tasks.append(
+                ShardTask(
+                    index=len(tasks),
+                    plan=plan,
+                    start=start,
+                    stop=stop,
+                    seed=shard_sequence,
+                    days=config.days,
+                    usage_packet_threshold=config.usage_packet_threshold,
+                    block_bytes=DEFAULT_BLOCK_BYTES,
+                )
+            )
+    return tasks
+
+
+def _raw_pool(tasks, workers):
+    started = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        results = list(pool.map(simulate_shard, tasks))
+    return time.perf_counter() - started, results
+
+
+def _supervised(tasks, workers, faults=None):
+    supervisor = ShardSupervisor(
+        pool_size=workers, config=SupervisorConfig(max_retries=2)
+    )
+    started = time.perf_counter()
+    results, report = supervisor.run(tasks, faults=faults)
+    return time.perf_counter() - started, results, report
+
+
+def bench_resilience(benchmark, context, write_artefact):
+    workers = _CONFIG.workers
+    tasks = _compile_tasks(context, _CONFIG)
+
+    raw_seconds, raw_results = _raw_pool(tasks, workers)
+    supervised_seconds, supervised_results, report = benchmark.pedantic(
+        _supervised,
+        args=(tasks, workers),
+        rounds=1,
+        iterations=1,
+    )
+    faulted_seconds, faulted_results, faulted_report = _supervised(
+        tasks,
+        workers,
+        faults=ShardFaultPlan.crash_on([0], kind="raise"),
+    )
+
+    overhead = supervised_seconds / raw_seconds - 1.0
+
+    document = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    document["resilience"] = {
+        "shards": len(tasks),
+        "workers": workers,
+        "raw_pool_seconds": raw_seconds,
+        "supervised_seconds": supervised_seconds,
+        "supervision_overhead": overhead,
+        "faulted_seconds": faulted_seconds,
+        "faulted_retries": faulted_report.retries,
+    }
+    BENCH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    write_artefact(
+        "resilience_overhead",
+        render_table(
+            ("executor", "seconds", "notes"),
+            (
+                ("raw pool", f"{raw_seconds:.2f}", "-"),
+                (
+                    "supervised",
+                    f"{supervised_seconds:.2f}",
+                    f"{overhead:+.1%} overhead",
+                ),
+                (
+                    "supervised + crash",
+                    f"{faulted_seconds:.2f}",
+                    f"{faulted_report.retries} retry",
+                ),
+            ),
+            title=(
+                f"Supervision overhead ({len(tasks)} shards, "
+                f"{workers} workers)"
+            ),
+        ),
+    )
+
+    # zero-fault supervision is near-free and changes nothing
+    assert [r.index for r in supervised_results] == [
+        r.index for r in raw_results
+    ]
+    assert [r.index for r in faulted_results] == [
+        r.index for r in raw_results
+    ]
+    assert faulted_report.retries == 1
+    assert overhead < 0.10

@@ -123,6 +123,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="owners per engine shard (default 8192)",
     )
     parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help=(
+            "sharded engine: re-run a failed shard up to N times with "
+            "backoff before dead-lettering it (default 2)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help=(
+            "sharded engine: kill a shard running longer than this "
+            "many wall-clock seconds (default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--quarantine-dir",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "directory for dead-letter records (sharded engine) and "
+            "quarantined malformed flow records (stream run)"
+        ),
+    )
+    parser.add_argument(
         "--metrics-out",
         type=pathlib.Path,
         default=None,
@@ -340,6 +367,7 @@ def _run_stream(args) -> int:
         checkpoint_every=(
             args.checkpoint_every if args.checkpoint_dir else 0
         ),
+        quarantine_dir=args.quarantine_dir,
     )
     sink = (
         JsonlEventSink(args.events_out, resume=args.resume)
@@ -376,7 +404,8 @@ def _run_stream(args) -> int:
             f"# processed={processed} "
             f"total={engine.records_processed} "
             f"matched={engine.metrics.flows_matched} "
-            f"events={engine.metrics.events_emitted}",
+            f"events={engine.metrics.events_emitted} "
+            f"quarantined={engine.metrics.records_quarantined}",
             file=sys.stderr,
         )
         if isinstance(sink, MemoryEventSink):
@@ -411,6 +440,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         wild_days=args.days,
         wild_workers=args.workers,
         wild_shard_size=args.shard_size,
+        wild_max_retries=args.max_retries,
+        wild_shard_timeout=args.shard_timeout,
+        wild_quarantine_dir=(
+            str(args.quarantine_dir)
+            if args.quarantine_dir is not None
+            else None
+        ),
     )
     if args.metrics_out is not None:
         import json

@@ -37,10 +37,12 @@ from repro.core.infra import (
     INFRA_DEDICATED,
     INFRA_NO_RECORD,
     INFRA_SHARED,
+    INFRA_UNKNOWN,
     InfraVerdict,
     classify_infrastructure,
 )
 from repro.dns.names import normalize
+from repro.resilience.retry import LookupUnavailable
 from repro.scenario import Scenario
 from repro.timeutil import (
     SECONDS_PER_DAY,
@@ -158,6 +160,12 @@ class PipelineReport:
     excluded_products: Tuple[str, ...]
     surviving_classes: Tuple[str, ...]
     dropped_classes: Tuple[str, ...]
+    #: domains whose passive-DNS classification was unavailable (outage)
+    unknown_domains: Tuple[str, ...] = ()
+    #: unknown domains kept alive through the certificate fallback
+    degraded_domains: Tuple[str, ...] = ()
+    #: classes whose rules lean on degraded evidence (demoted a level)
+    degraded_classes: Tuple[str, ...] = ()
 
 
 @dataclass
@@ -177,6 +185,9 @@ class Hitlist:
     verdicts: Dict[str, InfraVerdict]
     recoveries: Dict[str, CensysRecovery]
     report: PipelineReport
+    #: classes whose evidence is degraded (rule generation demotes
+    #: their level one step — see repro.core.rules.generate_rules)
+    degraded_classes: Tuple[str, ...] = ()
 
     def endpoints_for_day(self, day: int) -> Dict[Tuple[int, int], str]:
         """The (address, port) → domain map for study-day ``day``."""
@@ -204,12 +215,32 @@ def build_hitlist(
     start: int = STUDY_START,
     end: int = STUDY_END,
     dedicated_traffic_threshold: float = 0.30,
+    dnsdb=None,
+    scans=None,
 ) -> Hitlist:
-    """Run the full Figure-7 pipeline and assemble the daily hitlist."""
+    """Run the full Figure-7 pipeline and assemble the daily hitlist.
+
+    ``dnsdb``/``scans`` override the scenario's backends — pass a
+    :class:`~repro.resilience.lookups.ResilientPassiveDns` /
+    :class:`~repro.resilience.lookups.ResilientScanDataset` adapter to
+    run the pipeline against fallible backends.  The pipeline then
+    degrades instead of dying: a domain whose passive-DNS evidence is
+    unavailable after retries
+    (:class:`~repro.resilience.retry.LookupUnavailable`) is marked
+    :data:`~repro.core.infra.INFRA_UNKNOWN` and routed through the
+    certificate fallback; if that recovers it, the domain survives but
+    every class leaning on it is flagged degraded
+    (:attr:`Hitlist.degraded_classes`) so rule generation demotes its
+    level claim one step instead of emitting over-confident rules.
+    """
     if observations is None:
         observations = GroundTruthObservations.from_library(
             scenario.library
         )
+    if dnsdb is None:
+        dnsdb = scenario.dnsdb
+    if scans is None:
+        scans = scenario.scans
 
     # ---- step 1: domain classification (Section 4.1) --------------------
     classifications = classify_domains(
@@ -224,21 +255,40 @@ def build_hitlist(
     ]
 
     # ---- step 2: dedicated vs shared via passive DNS (Section 4.2.1) ----
-    verdicts: Dict[str, InfraVerdict] = {
-        fqdn: classify_infrastructure(fqdn, scenario.dnsdb, start, end)
-        for fqdn in iot_specific
-    }
+    verdicts: Dict[str, InfraVerdict] = {}
+    for fqdn in iot_specific:
+        try:
+            verdicts[fqdn] = classify_infrastructure(
+                fqdn, dnsdb, start, end
+            )
+        except LookupUnavailable:
+            # Outage, not "no records": the backend could not answer
+            # after retries.  Route through the certificate fallback
+            # and degrade rather than silently claim dedicated.
+            verdicts[fqdn] = InfraVerdict(
+                normalize(fqdn), INFRA_UNKNOWN, ()
+            )
+    unknown_domains = tuple(
+        sorted(
+            fqdn
+            for fqdn, verdict in verdicts.items()
+            if verdict.status == INFRA_UNKNOWN
+        )
+    )
 
     # ---- step 3: Censys fallback for no-record domains (Section 4.2.2) --
     recoveries: Dict[str, CensysRecovery] = {}
     for fqdn, verdict in verdicts.items():
-        if verdict.status != INFRA_NO_RECORD:
+        if verdict.status not in (INFRA_NO_RECORD, INFRA_UNKNOWN):
             continue
-        recovery = recover_via_certificates(
-            fqdn,
-            scenario.scans,
-            uses_https=observations.observation(fqdn).uses_https,
-        )
+        try:
+            recovery = recover_via_certificates(
+                fqdn,
+                scans,
+                uses_https=observations.observation(fqdn).uses_https,
+            )
+        except LookupUnavailable:
+            recovery = None  # both backends down: the domain drops
         if recovery is not None:
             recoveries[fqdn] = recovery
 
@@ -247,6 +297,9 @@ def build_hitlist(
         for fqdn, verdict in verdicts.items()
         if verdict.status == INFRA_DEDICATED or fqdn in recoveries
     }
+    degraded_domains = tuple(
+        sorted(fqdn for fqdn in unknown_domains if fqdn in recoveries)
+    )
 
     # ---- step 4: product exclusion (Section 4.2.3) -----------------------
     excluded_products: List[str] = []
@@ -303,6 +356,15 @@ def build_hitlist(
         for fqdn in fqdns:
             domain_classes.setdefault(fqdn, ())
             domain_classes[fqdn] = domain_classes[fqdn] + (class_name,)
+
+    degraded_set = set(degraded_domains)
+    degraded_classes = tuple(
+        sorted(
+            class_name
+            for class_name, fqdns in class_domains.items()
+            if any(fqdn in degraded_set for fqdn in fqdns)
+        )
+    )
 
     # ---- daily endpoint maps ------------------------------------------------
     domain_ports = {
@@ -372,6 +434,9 @@ def build_hitlist(
         excluded_products=tuple(excluded_products),
         surviving_classes=tuple(class_domains),
         dropped_classes=tuple(dropped_classes),
+        unknown_domains=unknown_domains,
+        degraded_domains=degraded_domains,
+        degraded_classes=degraded_classes,
     )
     return Hitlist(
         window_start=start,
@@ -385,4 +450,5 @@ def build_hitlist(
         verdicts=verdicts,
         recoveries=recoveries,
         report=report,
+        degraded_classes=degraded_classes,
     )

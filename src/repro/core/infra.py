@@ -26,6 +26,7 @@ __all__ = [
     "INFRA_DEDICATED",
     "INFRA_SHARED",
     "INFRA_NO_RECORD",
+    "INFRA_UNKNOWN",
     "InfraVerdict",
     "classify_infrastructure",
     "address_is_exclusive",
@@ -34,6 +35,10 @@ __all__ = [
 INFRA_DEDICATED = "dedicated"
 INFRA_SHARED = "shared"
 INFRA_NO_RECORD = "no_record"
+#: Passive DNS was *unavailable* (outage after retries), as opposed to
+#: answering "never saw it" — the degradation paths treat the two very
+#: differently (see :func:`repro.core.hitlist.build_hitlist`).
+INFRA_UNKNOWN = "unknown"
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ from repro.devices.catalog import DeviceCatalog
 
 __all__ = [
     "LevelConflict",
+    "coarser_level",
     "determine_levels",
     "infer_levels",
     "validate_distinguishability",
@@ -83,6 +84,22 @@ def infer_levels(catalog: DeviceCatalog, rules: RuleSet) -> Dict[str, str]:
 
 #: Granularity order: lower rank = coarser claim.
 _LEVEL_RANK = {"Platform": 0, "Manufacturer": 1, "Product": 2}
+
+_RANK_LEVEL = {rank: level for level, rank in _LEVEL_RANK.items()}
+
+
+def coarser_level(level: str) -> str:
+    """The next-coarser granularity claim (Product → Manufacturer →
+    Platform; Platform is already the coarsest and stays put).
+
+    Used by graceful degradation: a rule whose dedicated-infrastructure
+    evidence could not be verified (passive-DNS outage) must not claim
+    a finer identification than its remaining evidence supports.
+    """
+    rank = _LEVEL_RANK.get(level)
+    if rank is None:
+        raise ValueError(f"unknown level {level!r}")
+    return _RANK_LEVEL[max(0, rank - 1)]
 
 
 def validate_levels(

@@ -135,18 +135,32 @@ def generate_rules(
 ) -> RuleSet:
     """Generate rules for every class that survived the hitlist
     pipeline.  A surviving child whose parent was dropped is attached to
-    its nearest surviving ancestor (or becomes a root)."""
+    its nearest surviving ancestor (or becomes a root).
+
+    Classes flagged degraded by the hitlist (their rule leans on a
+    domain whose dedicated-infrastructure evidence could not be
+    verified during a passive-DNS outage) are demoted one granularity
+    level — Product → Manufacturer → Platform — so the emitted rule
+    never claims a finer identification than its evidence supports.
+    """
+    # Imported lazily: repro.core.levels imports RuleSet from here.
+    from repro.core.levels import coarser_level
+
     surviving = set(hitlist.class_domains)
+    degraded = set(getattr(hitlist, "degraded_classes", ()))
     rules: List[DetectionRule] = []
     for class_name, domains in hitlist.class_domains.items():
         spec = catalog.detection_class(class_name)
         parent = spec.parent
         while parent is not None and parent not in surviving:
             parent = catalog.detection_class(parent).parent
+        level = spec.level
+        if class_name in degraded:
+            level = coarser_level(level)
         rules.append(
             DetectionRule(
                 class_name=class_name,
-                level=spec.level,
+                level=level,
                 domains=domains,
                 critical=hitlist.class_critical.get(class_name, ()),
                 parent=parent,

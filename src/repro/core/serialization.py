@@ -55,6 +55,7 @@ def hitlist_to_json(hitlist: Hitlist) -> str:
             ]
             for day, endpoints in hitlist.daily_endpoints.items()
         },
+        "degraded_classes": list(hitlist.degraded_classes),
     }
     return json.dumps(payload, sort_keys=True)
 
@@ -102,6 +103,7 @@ def hitlist_from_json(text: str) -> Hitlist:
         surviving_classes=tuple(class_domains),
         dropped_classes=(),
     )
+    degraded_classes = tuple(payload.get("degraded_classes", ()))
     return Hitlist(
         window_start=int(payload["window"][0]),
         window_end=int(payload["window"][1]),
@@ -120,6 +122,7 @@ def hitlist_from_json(text: str) -> Hitlist:
         verdicts={},
         recoveries={},
         report=empty_report,
+        degraded_classes=degraded_classes,
     )
 
 

@@ -7,7 +7,11 @@ be tracked as a ``BENCH_*.json`` trajectory.  Schema (version
     {
       "schema": "repro.engine.metrics/1",
       "config": {"subscribers": …, "days": …, "seed": …,
-                 "sampling_interval": …, "workers": …, "shard_size": …},
+                 "sampling_interval": …, "workers": …, "shard_size": …,
+                 "max_retries": …, "shard_timeout": …},
+      "faults": {"retries": …, "timeouts": …, "pool_restarts": …,
+                 "isolated_runs": …, "dead_letters": […],
+                 "missing_cohort_hours": …},
       "stages": {"plan_seconds": …, "simulate_seconds": …,
                  "aggregate_seconds": …, "total_seconds": …},
       "shards": {"count": …, "peak_rss_bytes_max": …,
@@ -61,10 +65,18 @@ class EngineMetrics:
     sampling_interval: int
     workers: int
     shard_size: int
+    max_retries: int = 2
+    shard_timeout: Optional[float] = None
     plan_seconds: float = 0.0
     simulate_seconds: float = 0.0
     aggregate_seconds: float = 0.0
     shards: List[ShardMetrics] = field(default_factory=list)
+    # -- supervision counters (see repro.resilience.supervisor) --------
+    retries: int = 0
+    timeouts: int = 0
+    pool_restarts: int = 0
+    isolated_runs: int = 0
+    dead_letters: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -97,6 +109,25 @@ class EngineMetrics:
             entry["shards"] += 1
         return cohorts
 
+    @property
+    def missing_cohort_hours(self) -> int:
+        """Owner-hours of evidence lost to dead-lettered shards."""
+        return sum(
+            int(letter.get("missing_cohort_hours", 0))
+            for letter in self.dead_letters
+        )
+
+    def record_supervision(self, report) -> None:
+        """Fold a :class:`~repro.resilience.supervisor.SupervisorReport`
+        into the document's fault counters."""
+        self.retries += report.retries
+        self.timeouts += report.timeouts
+        self.pool_restarts += report.pool_restarts
+        self.isolated_runs += report.isolated_runs
+        self.dead_letters.extend(
+            letter.to_dict() for letter in report.dead_letters
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """Render the documented JSON-serialisable schema."""
         rss = [shard.peak_rss_bytes for shard in self.shards]
@@ -109,6 +140,16 @@ class EngineMetrics:
                 "sampling_interval": self.sampling_interval,
                 "workers": self.workers,
                 "shard_size": self.shard_size,
+                "max_retries": self.max_retries,
+                "shard_timeout": self.shard_timeout,
+            },
+            "faults": {
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "pool_restarts": self.pool_restarts,
+                "isolated_runs": self.isolated_runs,
+                "dead_letters": list(self.dead_letters),
+                "missing_cohort_hours": self.missing_cohort_hours,
             },
             "stages": {
                 "plan_seconds": self.plan_seconds,
@@ -167,6 +208,12 @@ class StreamMetrics:
     source_high_watermark: int = 0
     #: event-time high watermark (largest record timestamp seen)
     watermark: int = 0
+    #: checkpoint generation resume() loaded, if any
+    resumed_from_generation: Optional[int] = None
+    #: damaged checkpoint generations skipped while resuming
+    checkpoint_fallbacks: int = 0
+    records_quarantined: int = 0
+    quarantine_reasons: Dict[str, int] = field(default_factory=dict)
 
     @property
     def records_per_second(self) -> float:
@@ -216,6 +263,12 @@ class StreamMetrics:
                 "written": self.checkpoints_written,
                 "seconds": self.checkpoint_seconds,
                 "overhead": self.checkpoint_overhead,
+                "resumed_from_generation": self.resumed_from_generation,
+                "fallbacks": self.checkpoint_fallbacks,
+            },
+            "quarantine": {
+                "total": self.records_quarantined,
+                "by_reason": dict(sorted(self.quarantine_reasons.items())),
             },
             "throughput": {
                 "records": self.records_processed,

@@ -4,8 +4,11 @@
 :func:`repro.isp.simulation.run_wild_isp`: same inputs, same
 :class:`~repro.isp.simulation.WildIspResult` output, but the per-cohort
 simulation is compiled into :class:`~repro.engine.plan.CohortPlan`
-tasks, fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
-and folded back deterministically.
+tasks, fanned out over a supervised process pool
+(:class:`~repro.resilience.supervisor.ShardSupervisor`) and folded back
+deterministically.  The supervisor retries failed shards, kills
+timed-out workers, and dead-letters poison shards instead of aborting;
+its counters land in the ``faults`` section of the metrics document.
 
 Determinism: the shard plan (cohort order, shard boundaries, per-shard
 :class:`numpy.random.SeedSequence` streams) depends only on
@@ -17,8 +20,8 @@ skips the pool entirely — produces bit-identical series.
 from __future__ import annotations
 
 import os
+import pathlib
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -31,6 +34,7 @@ from repro.engine.worker import (
     ShardTask,
     simulate_shard,
 )
+from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
 
 __all__ = ["resolve_workers", "run_wild_isp_sharded"]
 
@@ -39,15 +43,24 @@ __all__ = ["resolve_workers", "run_wild_isp_sharded"]
 _UNPACK_CHUNK = 65_536
 
 
-def resolve_workers(workers: Optional[int]) -> int:
+def resolve_workers(
+    workers: Optional[int], task_count: Optional[int] = None
+) -> int:
     """Map a configured worker count to an effective one.
 
     ``None`` or ``0`` selects ``os.cpu_count()`` (the engine default);
-    explicit positive values are used as-is.
+    explicit negative values clamp to ``1`` rather than silently
+    re-selecting the default.  When ``task_count`` is given the result
+    is additionally capped at it — ``workers=64`` on a 4-shard plan
+    yields 4 processes, not 60 idle ones.
     """
-    if workers is None or workers <= 0:
-        return os.cpu_count() or 1
-    return workers
+    if workers is None or workers == 0:
+        resolved = os.cpu_count() or 1
+    else:
+        resolved = max(1, workers)
+    if task_count is not None:
+        resolved = min(resolved, max(1, task_count))
+    return resolved
 
 
 def run_wild_isp_sharded(
@@ -59,6 +72,7 @@ def run_wild_isp_sharded(
     ownership=None,
     topology=None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
+    faults=None,
 ):
     """Run the Section 6 in-the-wild ISP study on the sharded engine.
 
@@ -67,6 +81,15 @@ def run_wild_isp_sharded(
     size come from ``config.workers`` / ``config.shard_size``.  The
     returned :class:`~repro.isp.simulation.WildIspResult` additionally
     carries the engine's metrics document in ``result.metrics``.
+
+    Shard execution is supervised (see
+    :class:`~repro.resilience.supervisor.ShardSupervisor`): failed
+    shards retry up to ``config.max_retries`` with backoff, shards
+    overrunning ``config.shard_timeout`` are killed, and persistent
+    failures are dead-lettered into the metrics document (and
+    ``config.quarantine_dir``, when set) instead of aborting the run.
+    ``faults`` optionally injects a
+    :class:`repro.faults.ShardFaultPlan` into workers (test harness).
     """
     from repro.isp.simulation import (
         WildConfig,
@@ -80,7 +103,6 @@ def run_wild_isp_sharded(
     )
 
     config = config or WildConfig()
-    workers = resolve_workers(config.workers)
     topology = topology or scenario.isp_topology(config.sampling_interval)
     population = population or SubscriberPopulation(
         config.subscribers,
@@ -93,15 +115,6 @@ def run_wild_isp_sharded(
         ownership = population.assign_ownership(
             scenario.catalog, penetration
         )
-
-    metrics = EngineMetrics(
-        subscribers=config.subscribers,
-        days=config.days,
-        seed=config.seed,
-        sampling_interval=config.sampling_interval,
-        workers=workers,
-        shard_size=config.shard_size,
-    )
 
     # ---- stage 1: compile cohorts into shard tasks ----------------------
     stage_start = time.perf_counter()
@@ -139,22 +152,43 @@ def run_wild_isp_sharded(
                     block_bytes=block_bytes,
                 )
             )
+    workers = resolve_workers(config.workers, task_count=len(tasks))
+    metrics = EngineMetrics(
+        subscribers=config.subscribers,
+        days=config.days,
+        seed=config.seed,
+        sampling_interval=config.sampling_interval,
+        workers=workers,
+        shard_size=config.shard_size,
+        max_retries=config.max_retries,
+        shard_timeout=config.shard_timeout,
+    )
     metrics.plan_seconds = time.perf_counter() - stage_start
 
-    # ---- stage 2: simulate shards ---------------------------------------
+    # ---- stage 2: simulate shards (supervised) ---------------------------
     stage_start = time.perf_counter()
-    if workers == 1 or len(tasks) <= 1:
+    supervised = (
+        faults is not None
+        or config.shard_timeout is not None
+        or (workers > 1 and len(tasks) > 1)
+    )
+    if not supervised:
         results = [simulate_shard(task) for task in tasks]
     else:
-        pool_size = min(workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=pool_size) as executor:
-            results = list(
-                executor.map(
-                    simulate_shard,
-                    tasks,
-                    chunksize=max(1, len(tasks) // (pool_size * 4)),
-                )
-            )
+        supervisor = ShardSupervisor(
+            pool_size=min(workers, max(1, len(tasks))),
+            config=SupervisorConfig(
+                max_retries=config.max_retries,
+                shard_timeout=config.shard_timeout,
+                quarantine_dir=(
+                    pathlib.Path(config.quarantine_dir)
+                    if config.quarantine_dir is not None
+                    else None
+                ),
+            ),
+        )
+        results, report = supervisor.run(tasks, faults=faults)
+        metrics.record_supervision(report)
     metrics.simulate_seconds = time.perf_counter() - stage_start
 
     # ---- stage 3: deterministic fold (task order) ------------------------

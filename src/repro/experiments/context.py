@@ -40,6 +40,10 @@ class ExperimentContext:
     wild_workers: int = 1
     #: owners per engine shard when ``wild_workers != 1``
     wild_shard_size: int = 8192
+    #: shard-supervision knobs (see repro.resilience.supervisor)
+    wild_max_retries: int = 2
+    wild_shard_timeout: Optional[float] = None
+    wild_quarantine_dir: Optional[str] = None
     scenario: Scenario = field(init=False)
     schedule: ExperimentSchedule = field(init=False)
     hitlist: Hitlist = field(init=False)
@@ -82,6 +86,9 @@ class ExperimentContext:
                     days=self.wild_days,
                     workers=self.wild_workers,
                     shard_size=self.wild_shard_size,
+                    max_retries=self.wild_max_retries,
+                    shard_timeout=self.wild_shard_timeout,
+                    quarantine_dir=self.wild_quarantine_dir,
                 ),
             )
         return self._wild
@@ -103,7 +110,7 @@ class ExperimentContext:
         return self._ixp
 
 
-_CONTEXTS: Dict[Tuple[int, int, int, int, int], ExperimentContext] = {}
+_CONTEXTS: Dict[Tuple, ExperimentContext] = {}
 
 
 def get_context(
@@ -112,9 +119,21 @@ def get_context(
     wild_days: int = 14,
     wild_workers: int = 1,
     wild_shard_size: int = 8192,
+    wild_max_retries: int = 2,
+    wild_shard_timeout: Optional[float] = None,
+    wild_quarantine_dir: Optional[str] = None,
 ) -> ExperimentContext:
-    """Memoised context per (seed, subscribers, days, workers, shard)."""
-    key = (seed, wild_subscribers, wild_days, wild_workers, wild_shard_size)
+    """Memoised context per (seed, scale, engine/supervision config)."""
+    key = (
+        seed,
+        wild_subscribers,
+        wild_days,
+        wild_workers,
+        wild_shard_size,
+        wild_max_retries,
+        wild_shard_timeout,
+        wild_quarantine_dir,
+    )
     if key not in _CONTEXTS:
         _CONTEXTS[key] = ExperimentContext(
             seed=seed,
@@ -122,5 +141,8 @@ def get_context(
             wild_days=wild_days,
             wild_workers=wild_workers,
             wild_shard_size=wild_shard_size,
+            wild_max_retries=wild_max_retries,
+            wild_shard_timeout=wild_shard_timeout,
+            wild_quarantine_dir=wild_quarantine_dir,
         )
     return _CONTEXTS[key]

@@ -1,0 +1,47 @@
+"""Unified fault-injection harness (:mod:`repro.faults`).
+
+One place for every way the test suite breaks the pipeline on purpose,
+so the fault-matrix tests (``pytest -m faults``) exercise the same
+seams in the same vocabulary:
+
+* :mod:`repro.faults.files` — on-disk damage: truncation, header and
+  payload corruption, half-written temp files, bounded out-of-order
+  delivery (grown out of the former ``repro.stream.faults``, which now
+  re-exports from here);
+* :mod:`repro.faults.injection` — runtime damage: crash-on-nth-shard /
+  slow-worker / hung-worker plans for the supervised shard pool
+  (:class:`ShardFaultPlan`), seeded lookup-error-rate wrappers for the
+  resilient backends (:class:`FlakyProxy`), and record-corruption
+  helpers for flow files.
+
+Everything here is deterministic per seed — a fault matrix that cannot
+be replayed exactly cannot assert bit-identical recovery.
+"""
+
+from repro.faults.files import (
+    corrupt_payload_byte,
+    corrupt_version_header,
+    jitter_order,
+    truncate_file,
+    write_partial_temp,
+)
+from repro.faults.injection import (
+    FlakyProxy,
+    InjectedFault,
+    ShardFault,
+    ShardFaultPlan,
+    corrupt_flow_lines,
+)
+
+__all__ = [
+    "FlakyProxy",
+    "InjectedFault",
+    "ShardFault",
+    "ShardFaultPlan",
+    "corrupt_flow_lines",
+    "corrupt_payload_byte",
+    "corrupt_version_header",
+    "jitter_order",
+    "truncate_file",
+    "write_partial_temp",
+]

@@ -1,0 +1,88 @@
+"""On-disk fault injection: damaged checkpoints and perturbed streams.
+
+These deliberately damage on-disk checkpoints (the failure modes a
+crash or dying disk produces) and perturb record streams (the
+out-of-order delivery a multi-exporter collector produces), so tests
+can assert the subsystem degrades the way it promises to.  They are
+test instrumentation, not production code paths.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from typing import Iterable, Iterator, List, TypeVar, Union
+
+from repro.stream.checkpoint import checkpoint_path
+
+__all__ = [
+    "truncate_file",
+    "corrupt_version_header",
+    "corrupt_payload_byte",
+    "write_partial_temp",
+    "jitter_order",
+]
+
+T = TypeVar("T")
+
+
+def truncate_file(
+    path: Union[str, pathlib.Path], keep_bytes: int
+) -> None:
+    """Cut a file to its first ``keep_bytes`` bytes (disk-full crash)."""
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:keep_bytes])
+
+
+def corrupt_version_header(path: Union[str, pathlib.Path]) -> None:
+    """Rewrite the checkpoint header to claim an unsupported version."""
+    path = pathlib.Path(path)
+    raw = path.read_bytes()
+    newline = raw.find(b"\n")
+    header = raw[:newline].decode("ascii", errors="replace")
+    tokens = header.split(" ")
+    tokens[1] = "v999"
+    path.write_bytes(" ".join(tokens).encode("ascii") + raw[newline:])
+
+
+def corrupt_payload_byte(
+    path: Union[str, pathlib.Path], offset_from_end: int = 2
+) -> None:
+    """Flip one payload byte (bit rot) so the digest check fails."""
+    path = pathlib.Path(path)
+    raw = bytearray(path.read_bytes())
+    raw[-offset_from_end] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+def write_partial_temp(
+    directory: Union[str, pathlib.Path], seq: int
+) -> pathlib.Path:
+    """Leave a half-written ``.tmp`` file behind (interrupted write)."""
+    final = checkpoint_path(directory, seq)
+    temp = final.with_suffix(final.suffix + ".tmp")
+    temp.parent.mkdir(parents=True, exist_ok=True)
+    temp.write_bytes(b"repro-stream-ckpt v1 sha256=deadbeef")
+    return temp
+
+
+def jitter_order(
+    items: Iterable[T], displacement: int, seed: int
+) -> Iterator[T]:
+    """Yield ``items`` slightly out of order (bounded displacement).
+
+    Models multi-exporter interleaving: each element leaves a small
+    shuffle buffer of size ``displacement + 1``, so no element moves
+    more than ``displacement`` positions.  Deterministic per ``seed``.
+    """
+    if displacement < 0:
+        raise ValueError("displacement must be non-negative")
+    rng = random.Random(seed)
+    buffer: List[T] = []
+    for item in items:
+        buffer.append(item)
+        if len(buffer) > displacement:
+            yield buffer.pop(rng.randrange(len(buffer)))
+    while buffer:
+        yield buffer.pop(rng.randrange(len(buffer)))

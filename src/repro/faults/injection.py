@@ -1,0 +1,243 @@
+"""Runtime fault injection: crashing shards, flaky lookups, bad records.
+
+Three injection seams, matching the three resilience mechanisms:
+
+* :class:`ShardFaultPlan` rides inside the
+  :class:`~repro.resilience.supervisor.ShardEnvelope` into worker
+  processes and fires *before* the shard simulates — raising, exiting
+  the process, hanging, or sleeping.  Faults are attempt-scoped
+  (``times=1`` fails the first attempt only), which is what lets the
+  determinism tests assert a retried run is bit-identical to a clean
+  one: the retry runs the untouched shard function.
+* :class:`FlakyProxy` wraps a healthy lookup backend and raises
+  :class:`~repro.resilience.retry.TransientLookupError` at a seeded
+  error rate (or always, for named keys — a targeted outage), for
+  feeding to :class:`~repro.resilience.lookups.ResilientLookup`.
+* :func:`corrupt_flow_lines` damages flow-file records in place so the
+  ingest quarantine has something to catch.
+
+Everything is picklable and deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+
+from repro.resilience.retry import TransientLookupError
+
+__all__ = [
+    "InjectedFault",
+    "ShardFault",
+    "ShardFaultPlan",
+    "FlakyProxy",
+    "corrupt_flow_lines",
+]
+
+FAULT_KINDS = ("raise", "exit", "hang", "slow")
+
+#: How long a "hang" fault sleeps — far past any test's shard timeout,
+#: short enough that a leaked worker cannot outlive the test session.
+_HANG_SECONDS = 60.0
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``raise``-kind shard fault throws inside a worker."""
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One shard's injected failure mode.
+
+    ``kind``:
+      * ``raise`` — throw :class:`InjectedFault` (a clean worker error;
+        the pool survives);
+      * ``exit`` — ``os._exit(3)`` (worker death; breaks the pool);
+      * ``hang`` — sleep far past any shard timeout (triggers the
+        heartbeat kill);
+      * ``slow`` — sleep ``seconds`` then run normally (a straggler,
+        not a failure).
+
+    ``times`` bounds the injection per shard: the fault fires while the
+    attempt number is below it, so ``times=1`` sabotages only the first
+    attempt and the retry succeeds.
+    """
+
+    kind: str = "raise"
+    times: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+
+    def fire(self, index: int, attempt: int) -> None:
+        """Apply the fault inside the worker (no-op once spent)."""
+        if attempt >= self.times:
+            return
+        if self.kind == "raise":
+            raise InjectedFault(
+                f"injected fault on shard {index} attempt {attempt}"
+            )
+        if self.kind == "exit":
+            os._exit(3)
+        if self.kind == "hang":
+            time.sleep(self.seconds or _HANG_SECONDS)
+            return
+        time.sleep(self.seconds)  # slow
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Which shards fail, how, and how many times."""
+
+    faults: Tuple[Tuple[int, ShardFault], ...] = ()
+
+    @classmethod
+    def crash_on(
+        cls,
+        indices: Iterable[int],
+        kind: str = "raise",
+        times: int = 1,
+        seconds: float = 0.0,
+    ) -> "ShardFaultPlan":
+        """Fault the given shard indices (crash-on-nth-shard)."""
+        fault = ShardFault(kind=kind, times=times, seconds=seconds)
+        return cls(tuple((int(i), fault) for i in sorted(set(indices))))
+
+    @classmethod
+    def crash_every_shard(
+        cls, shard_count: int, kind: str = "raise", times: int = 1
+    ) -> "ShardFaultPlan":
+        """Fault every one of ``shard_count`` shards once."""
+        return cls.crash_on(range(shard_count), kind=kind, times=times)
+
+    def fault_for(self, index: int) -> Optional[ShardFault]:
+        for shard_index, fault in self.faults:
+            if shard_index == index:
+                return fault
+        return None
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Worker-side hook: fire this shard's fault if one is planned."""
+        fault = self.fault_for(index)
+        if fault is not None:
+            fault.fire(index, attempt)
+
+
+class FlakyProxy:
+    """A lookup backend that fails at a seeded, deterministic rate.
+
+    Every call to a wrapped method draws from a stream keyed on
+    ``(seed, method, call-number)`` and raises
+    :class:`~repro.resilience.retry.TransientLookupError` with
+    probability ``error_rate``.  ``outage_keys`` marks first arguments
+    (e.g. domain names) whose lookups *always* fail — a targeted
+    backend outage for the rule-degradation tests.
+
+    Wrap the healthy backend, then hand the proxy to the production
+    :class:`~repro.resilience.lookups.ResilientLookup` adapter.
+    """
+
+    def __init__(
+        self,
+        target,
+        error_rate: float = 0.0,
+        seed: int = 0,
+        methods: Optional[Iterable[str]] = None,
+        outage_keys: Iterable[object] = (),
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        self._target = target
+        self._error_rate = error_rate
+        self._seed = seed
+        self._methods: Optional[FrozenSet[str]] = (
+            frozenset(methods) if methods is not None else None
+        )
+        self._outage_keys = frozenset(outage_keys)
+        self._calls: Dict[str, int] = {}
+        self.injected_failures = 0
+
+    def __getattr__(self, name: str):
+        attr = getattr(self._target, name)
+        if not callable(attr) or name.startswith("_"):
+            return attr
+        if self._methods is not None and name not in self._methods:
+            return attr
+
+        def flaky(*args, **kwargs):
+            self._maybe_fail(name, args)
+            return attr(*args, **kwargs)
+
+        flaky.__name__ = name
+        return flaky
+
+    def _maybe_fail(self, name: str, args: tuple) -> None:
+        if args and args[0] in self._outage_keys:
+            self.injected_failures += 1
+            raise TransientLookupError(
+                f"injected outage: {name}({args[0]!r})"
+            )
+        if self._error_rate <= 0.0:
+            return
+        call = self._calls.get(name, 0)
+        self._calls[name] = call + 1
+        # Keyed draw: deterministic per (seed, method, call-number) and
+        # independent of interleaving across methods.
+        key = zlib.crc32(f"{self._seed}:{name}:{call}".encode())
+        if key / 0xFFFFFFFF < self._error_rate:
+            self.injected_failures += 1
+            raise TransientLookupError(
+                f"injected flake: {name} call {call}"
+            )
+
+
+def corrupt_flow_lines(
+    path: Union[str, pathlib.Path],
+    line_indices: Iterable[int],
+    seed: int = 0,
+) -> int:
+    """Damage data lines of a haystack flow file in place.
+
+    ``line_indices`` counts *data* lines (comments and blanks are
+    skipped, matching the reader).  Each targeted line gets one of
+    three deterministic corruptions: field truncation (malformed CSV),
+    an impossible destination port, or a negative timestamp.  Returns
+    how many lines were corrupted.
+    """
+    path = pathlib.Path(path)
+    targets = set(int(i) for i in line_indices)
+    rng = random.Random(seed)
+    out = []
+    data_index = 0
+    corrupted = 0
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            if data_index in targets:
+                parts = line.split(",")
+                mode = rng.randrange(3)
+                if mode == 0:
+                    line = ",".join(parts[:4])  # truncated record
+                elif mode == 1:
+                    parts[6] = "99999"  # impossible dst port
+                    line = ",".join(parts)
+                else:
+                    parts[0] = "-1"  # negative timestamp
+                    line = ",".join(parts)
+                corrupted += 1
+            data_index += 1
+        out.append(line)
+    path.write_text("\n".join(out) + "\n")
+    return corrupted

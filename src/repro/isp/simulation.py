@@ -268,6 +268,12 @@ class WildConfig:
     releases; any other value routes through the sharded multiprocess
     engine (:mod:`repro.engine`), where ``0`` means "one worker per
     CPU" and ``shard_size`` caps the owners simulated per shard task.
+
+    ``max_retries``/``shard_timeout``/``quarantine_dir`` parameterise
+    the engine's shard supervision
+    (:class:`~repro.resilience.supervisor.ShardSupervisor`): retry
+    budget per failed shard, per-shard wall-clock budget in seconds
+    (``None`` disables), and where dead-letter records are persisted.
     """
 
     subscribers: int = 100_000
@@ -279,6 +285,9 @@ class WildConfig:
     usage_packet_threshold: int = 10
     workers: int = 1
     shard_size: int = 8192
+    max_retries: int = 2
+    shard_timeout: Optional[float] = None
+    quarantine_dir: Optional[str] = None
 
     @property
     def hours(self) -> int:

@@ -23,14 +23,25 @@ path's per-record throughput.
 from __future__ import annotations
 
 import pathlib
+import struct
 from collections import deque
-from typing import IO, Deque, Iterable, Iterator, List, Tuple, Union
+from typing import IO, Deque, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.cloud.addressing import str_to_ip
 from repro.netflow.flowfile import FLOW_FILE_COLUMNS, read_flow_file
 from repro.netflow.records import FlowRecord
+from repro.resilience.quarantine import (
+    QuarantineSink,
+    validate_flow_record,
+    validate_flow_tuple,
+)
 
-__all__ = ["FlowReplaySource", "iter_flow_tuples", "FlowTuple"]
+__all__ = [
+    "FlowReplaySource",
+    "ReplayTruncated",
+    "iter_flow_tuples",
+    "FlowTuple",
+]
 
 #: ``(first_switched, src_ip, dst_ip, protocol, dst_port, tcp_flags)``
 FlowTuple = Tuple[int, int, int, int, int, int]
@@ -42,14 +53,33 @@ _FILE_CHUNK = 256
 _PARSE_CACHE_LIMIT = 1 << 20
 
 
+class ReplayTruncated(RuntimeError):
+    """The flow source ended mid-record.
+
+    Raised when the producer dies partway through a record — a flow
+    file truncated by a concurrent writer, or a binary export packet
+    cut short on the wire (which the codecs surface as a bare
+    ``struct.error``).  Sources constructed with a
+    :class:`~repro.resilience.quarantine.QuarantineSink` feed the event
+    there and end the stream cleanly instead of raising.
+    """
+
+
 class FlowReplaySource:
-    """Bounded-buffer iterator of ``(index, FlowRecord)`` pairs."""
+    """Bounded-buffer iterator of ``(index, FlowRecord)`` pairs.
+
+    With a ``quarantine`` sink attached, impossible records are
+    counted/sampled and skipped, and a truncated producer ends the
+    stream after accounting instead of raising
+    :class:`ReplayTruncated`.
+    """
 
     def __init__(
         self,
         batches: Iterable[List[FlowRecord]],
         start_index: int = 0,
         max_pending: int = 8192,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> None:
         if max_pending <= 0:
             raise ValueError("max_pending must be positive")
@@ -57,6 +87,7 @@ class FlowReplaySource:
         self._pending: Deque[FlowRecord] = deque()
         self.next_index = start_index
         self.max_pending = max_pending
+        self.quarantine = quarantine
         #: Largest buffer occupancy seen — the backpressure signal.
         self.high_watermark = 0
 
@@ -68,12 +99,14 @@ class FlowReplaySource:
         flows: Iterable[FlowRecord],
         start_index: int = 0,
         max_pending: int = 8192,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> "FlowReplaySource":
         """Replay an in-memory flow iterable (chunked internally)."""
         return cls(
             _chunked(flows, min(_FILE_CHUNK, max_pending)),
             start_index=start_index,
             max_pending=max_pending,
+            quarantine=quarantine,
         )
 
     @classmethod
@@ -82,12 +115,14 @@ class FlowReplaySource:
         path: Union[str, pathlib.Path, IO[str]],
         start_index: int = 0,
         max_pending: int = 8192,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> "FlowReplaySource":
         """Replay a haystack-flows CSV file."""
         return cls.from_flows(
             read_flow_file(path),
             start_index=start_index,
             max_pending=max_pending,
+            quarantine=quarantine,
         )
 
     @classmethod
@@ -97,6 +132,7 @@ class FlowReplaySource:
         codec,
         start_index: int = 0,
         max_pending: int = 8192,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> "FlowReplaySource":
         """Replay binary NetFlow v9 / IPFIX export packets.
 
@@ -109,6 +145,7 @@ class FlowReplaySource:
             (codec.decode(payload) for payload in payloads),
             start_index=start_index,
             max_pending=max_pending,
+            quarantine=quarantine,
         )
 
     # -- iteration ----------------------------------------------------
@@ -142,7 +179,19 @@ class FlowReplaySource:
     def _fill(self) -> bool:
         """Pull producer batches until a record is buffered."""
         while not self._pending:
-            batch = next(self._batches, None)
+            try:
+                batch = next(self._batches, None)
+            except (struct.error, ValueError) as exc:
+                # The producer died mid-record: a concurrently
+                # truncated flow file (ValueError from the parser) or a
+                # short binary export packet (struct.error from the
+                # codec).
+                if self.quarantine is not None:
+                    self.quarantine.record("truncated_source", str(exc))
+                    return False
+                raise ReplayTruncated(
+                    f"flow source truncated mid-record: {exc}"
+                ) from exc
             if batch is None:
                 return False
             if len(batch) > self.max_pending:
@@ -151,7 +200,15 @@ class FlowReplaySource:
                     f"max_pending={self.max_pending}; split the batch "
                     "or raise the buffer bound"
                 )
-            self._pending.extend(batch)
+            if self.quarantine is None:
+                self._pending.extend(batch)
+            else:
+                for record in batch:
+                    reason = validate_flow_record(record)
+                    if reason is None:
+                        self._pending.append(record)
+                    else:
+                        self.quarantine.record(reason, record)
             if len(self._pending) > self.high_watermark:
                 self.high_watermark = len(self._pending)
         return True
@@ -172,6 +229,7 @@ def _chunked(
 
 def iter_flow_tuples(
     source: Union[str, pathlib.Path, IO[str]],
+    quarantine: Optional[QuarantineSink] = None,
 ) -> Iterator[FlowTuple]:
     """Stream ``(first, src, dst, proto, dport, flags)`` from a flow
     file, parsing only the detection-relevant columns.
@@ -180,6 +238,10 @@ def iter_flow_tuples(
     :func:`~repro.netflow.flowfile.read_flow_file`, minus the fields
     the detector never reads (``last``, ``sport``, ``packets``,
     ``bytes``) and minus per-record object construction.
+
+    With a ``quarantine`` sink attached, malformed lines and impossible
+    tuples are counted/sampled there and skipped; without one they
+    raise ``ValueError`` exactly as before.
     """
     owns = isinstance(source, (str, pathlib.Path))
     stream: IO[str] = (
@@ -199,33 +261,48 @@ def iter_flow_tuples(
                 continue
             parts = line.split(",")
             if len(parts) != expected:
+                if quarantine is not None:
+                    quarantine.record("malformed_line", line)
+                    continue
                 raise ValueError(
                     f"flow line has {len(parts)} fields, expected "
                     f"{expected}: {line!r}"
                 )
-            src = ips.get(parts[2])
-            if src is None:
-                if len(ips) >= _PARSE_CACHE_LIMIT:
-                    ips.clear()
-                src = ips[parts[2]] = str_to_ip(parts[2])
-            dst = ips.get(parts[3])
-            if dst is None:
-                if len(ips) >= _PARSE_CACHE_LIMIT:
-                    ips.clear()
-                dst = ips[parts[3]] = str_to_ip(parts[3])
-            flags = flag_bytes.get(parts[9])
-            if flags is None:
-                if len(flag_bytes) >= _PARSE_CACHE_LIMIT:
-                    flag_bytes.clear()
-                flags = flag_bytes[parts[9]] = int(parts[9], 16)
-            yield (
-                int(parts[0]),  # first
-                src,
-                dst,
-                int(parts[4]),  # proto
-                int(parts[6]),  # dport
-                flags,
-            )
+            try:
+                src = ips.get(parts[2])
+                if src is None:
+                    if len(ips) >= _PARSE_CACHE_LIMIT:
+                        ips.clear()
+                    src = ips[parts[2]] = str_to_ip(parts[2])
+                dst = ips.get(parts[3])
+                if dst is None:
+                    if len(ips) >= _PARSE_CACHE_LIMIT:
+                        ips.clear()
+                    dst = ips[parts[3]] = str_to_ip(parts[3])
+                flags = flag_bytes.get(parts[9])
+                if flags is None:
+                    if len(flag_bytes) >= _PARSE_CACHE_LIMIT:
+                        flag_bytes.clear()
+                    flags = flag_bytes[parts[9]] = int(parts[9], 16)
+                record = (
+                    int(parts[0]),  # first
+                    src,
+                    dst,
+                    int(parts[4]),  # proto
+                    int(parts[6]),  # dport
+                    flags,
+                )
+            except ValueError:
+                if quarantine is not None:
+                    quarantine.record("unparseable_field", line)
+                    continue
+                raise
+            if quarantine is not None:
+                reason = validate_flow_tuple(*record)
+                if reason is not None:
+                    quarantine.record(reason, line)
+                    continue
+            yield record
     finally:
         if owns:
             stream.close()

@@ -1,0 +1,165 @@
+"""Resilient adapters over the external lookup backends.
+
+:class:`~repro.dns.dnsdb.PassiveDnsDatabase` and
+:class:`~repro.tls.scanner.ScanDataset` stand in for DNSDB and the
+Censys snapshot (§4 of the paper) — services that, deployed for real,
+time out and go down.  The pipeline never talks to them directly for
+fallible access; it goes through these adapters, which route every
+query through :func:`~repro.resilience.retry.call_with_retry` under a
+shared :class:`~repro.resilience.retry.CircuitBreaker` and account for
+what happened in :class:`LookupStats`.
+
+The adapters are *injectable*: the fault harness wraps a healthy
+backend in :class:`repro.faults.FlakyProxy` (which raises
+:class:`~repro.resilience.retry.TransientLookupError` at a seeded error
+rate) and hands it to the same adapter the production path uses — so
+the degradation behaviour under test is the behaviour that ships.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.resilience.retry import (
+    BreakerOpen,
+    CircuitBreaker,
+    LookupUnavailable,
+    RetryPolicy,
+    call_with_retry,
+)
+
+__all__ = [
+    "LookupStats",
+    "ResilientLookup",
+    "ResilientPassiveDns",
+    "ResilientScanDataset",
+]
+
+
+@dataclass
+class LookupStats:
+    """What the resilience layer did for one backend during a run."""
+
+    calls: int = 0
+    failures: int = 0
+    retries: int = 0
+    breaker: Optional[CircuitBreaker] = field(default=None, repr=False)
+
+    @property
+    def breaker_opens(self) -> int:
+        return self.breaker.opened_count if self.breaker else 0
+
+    @property
+    def breaker_rejections(self) -> int:
+        return self.breaker.rejected_count if self.breaker else 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "calls": self.calls,
+            "failures": self.failures,
+            "retries": self.retries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_rejections": self.breaker_rejections,
+        }
+
+
+class ResilientLookup:
+    """Generic retry/breaker proxy over a named set of backend methods.
+
+    Methods listed in ``methods`` are wrapped; everything else (cheap
+    attribute access, local state) passes straight through to the
+    backend.  Wrapped calls raise
+    :class:`~repro.resilience.retry.LookupUnavailable` (or its subclass
+    :class:`~repro.resilience.retry.BreakerOpen`) once the resilience
+    budget is spent — callers handle exactly one error type.
+    """
+
+    def __init__(
+        self,
+        backend,
+        methods: Tuple[str, ...],
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.backend = backend
+        self.policy = policy or RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.stats = LookupStats(breaker=self.breaker)
+        self._sleep = sleep
+        self._methods = frozenset(methods)
+
+    def __getattr__(self, name: str):
+        # Only called for names not found on the proxy itself.
+        attr = getattr(self.backend, name)
+        if name not in self._methods:
+            return attr
+
+        def guarded(*args, **kwargs):
+            return self._call(attr, *args, **kwargs)
+
+        guarded.__name__ = name
+        return guarded
+
+    def _call(self, method, *args, **kwargs):
+        self.stats.calls += 1
+        attempts = 0
+
+        def attempt():
+            nonlocal attempts
+            attempts += 1
+            return method(*args, **kwargs)
+
+        try:
+            result = call_with_retry(
+                attempt,
+                policy=self.policy,
+                breaker=self.breaker,
+                sleep=self._sleep,
+            )
+        except BreakerOpen:
+            self.stats.failures += 1
+            raise
+        except LookupUnavailable:
+            self.stats.retries += max(0, attempts - 1)
+            self.stats.failures += 1
+            raise
+        self.stats.retries += max(0, attempts - 1)
+        return result
+
+
+#: Fallible query surface of :class:`repro.dns.dnsdb.PassiveDnsDatabase`.
+PASSIVE_DNS_METHODS: Tuple[str, ...] = (
+    "has_records",
+    "addresses_for_domain",
+    "slds_for_address",
+    "lookup_rrset",
+    "owners_of_address",
+    "query_names_for_owner",
+    "query_names_for_address",
+)
+
+#: Fallible query surface of :class:`repro.tls.scanner.ScanDataset`.
+SCAN_DATASET_METHODS: Tuple[str, ...] = (
+    "host",
+    "services_on",
+    "hosts_with_certificate",
+    "hosts_matching",
+    "certificates_for_domain",
+)
+
+
+class ResilientPassiveDns(ResilientLookup):
+    """Retry/breaker wrapper for passive-DNS access."""
+
+    def __init__(self, backend, **kwargs) -> None:
+        super().__init__(backend, PASSIVE_DNS_METHODS, **kwargs)
+
+
+class ResilientScanDataset(ResilientLookup):
+    """Retry/breaker wrapper for scan-snapshot access."""
+
+    def __init__(self, backend, **kwargs) -> None:
+        super().__init__(backend, SCAN_DATASET_METHODS, **kwargs)

@@ -1,0 +1,224 @@
+"""Retry policies and circuit breakers for fallible backends.
+
+The external data sources of Section 4 — the DNSDB passive-DNS store
+and the Censys-style scan snapshot — are network services in a real
+deployment: they time out, rate-limit and go down.  Two standard
+primitives make their consumers robust without spreading ad-hoc
+``try/except`` through the pipeline:
+
+* :class:`RetryPolicy` — capped exponential backoff for *transient*
+  errors.  Deterministic (no jitter): the reproduction's fault-matrix
+  tests need retry schedules that replay exactly.
+* :class:`CircuitBreaker` — a closed/open/half-open breaker over a
+  sliding failure-rate window.  When a backend is *down* (not merely
+  flaky), retrying every call wastes the caller's latency budget; the
+  breaker fails fast while open and probes with a limited number of
+  half-open trial calls after ``reset_seconds``.
+
+Error taxonomy: backends raise :class:`TransientLookupError` for
+retryable failures; :func:`call_with_retry` converts retry exhaustion
+and open breakers into :class:`LookupUnavailable`, the single error
+type the pipeline's degradation paths handle.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, Optional, TypeVar
+
+__all__ = [
+    "TransientLookupError",
+    "LookupUnavailable",
+    "BreakerOpen",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "call_with_retry",
+]
+
+T = TypeVar("T")
+
+#: Breaker states.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class TransientLookupError(RuntimeError):
+    """A retryable backend failure (timeout, 5xx, connection reset)."""
+
+
+class LookupUnavailable(RuntimeError):
+    """A lookup failed *after* retries/breaker handling.
+
+    This is the error the degradation paths catch: rule generation
+    demotes affected classes instead of emitting over-confident rules,
+    the hitlist pipeline falls back to the scan dataset, and so on.
+    """
+
+
+class BreakerOpen(LookupUnavailable):
+    """The circuit breaker is open; the call was never attempted."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff: ``base * multiplier**n``, capped.
+
+    ``max_retries`` counts *re*-tries — a policy with ``max_retries=2``
+    allows three attempts in total.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running attempt number ``attempt`` (0-based
+        count of failures so far)."""
+        return min(
+            self.backoff_cap,
+            self.backoff_base * self.multiplier ** max(0, attempt),
+        )
+
+    def delays(self) -> Iterator[float]:
+        """The full backoff schedule, one delay per permitted retry."""
+        for attempt in range(self.max_retries):
+            yield self.delay(attempt)
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker over a failure-rate window.
+
+    Closed: calls flow; the last ``window`` outcomes are tracked and the
+    breaker opens once at least ``min_calls`` outcomes exist and the
+    failure rate reaches ``failure_threshold``.  Open: calls are
+    rejected (:meth:`allow` is ``False``) until ``reset_seconds`` have
+    passed.  Half-open: up to ``half_open_probes`` trial calls are let
+    through — one success closes the breaker, one failure re-opens it
+    and restarts the timer.
+
+    ``clock`` is injectable so tests (and the fault harness) can drive
+    state transitions without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 16,
+        min_calls: int = 4,
+        reset_seconds: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1:
+            raise ValueError("window and min_calls must be positive")
+        self.failure_threshold = failure_threshold
+        self.window = window
+        self.min_calls = min_calls
+        self.reset_seconds = reset_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._outcomes: Deque[bool] = deque(maxlen=window)
+        self._state = STATE_CLOSED
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.opened_count = 0
+        self.rejected_count = 0
+
+    @property
+    def state(self) -> str:
+        """Current breaker state (resolving open→half-open lazily)."""
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.reset_seconds
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probes_in_flight = 0
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        state = self.state
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.rejected_count += 1
+            return False
+        self.rejected_count += 1
+        return False
+
+    def record_success(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            # A probe came back healthy: close and forget the episode.
+            self._state = STATE_CLOSED
+            self._outcomes.clear()
+            return
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        if self.state == STATE_HALF_OPEN:
+            self._trip()
+            return
+        self._outcomes.append(False)
+        if len(self._outcomes) < self.min_calls:
+            return
+        failures = sum(1 for ok in self._outcomes if not ok)
+        if failures / len(self._outcomes) >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+        self.opened_count += 1
+
+
+def call_with_retry(
+    fn: Callable[[], T],
+    policy: Optional[RetryPolicy] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Run ``fn`` under a retry policy and optional circuit breaker.
+
+    Only :class:`TransientLookupError` is retried; anything else is a
+    programming error and propagates.  Raises
+    :class:`LookupUnavailable` when retries are exhausted and
+    :class:`BreakerOpen` when the breaker rejects the call outright.
+    """
+    policy = policy or RetryPolicy()
+    last: Optional[TransientLookupError] = None
+    for attempt in range(policy.max_retries + 1):
+        if breaker is not None and not breaker.allow():
+            raise BreakerOpen(
+                "circuit breaker open; lookup rejected without attempt"
+            )
+        try:
+            result = fn()
+        except TransientLookupError as exc:
+            last = exc
+            if breaker is not None:
+                breaker.record_failure()
+            if attempt < policy.max_retries:
+                sleep(policy.delay(attempt))
+            continue
+        if breaker is not None:
+            breaker.record_success()
+        return result
+    raise LookupUnavailable(
+        f"lookup failed after {policy.max_retries + 1} attempts: {last}"
+    ) from last

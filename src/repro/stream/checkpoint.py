@@ -23,17 +23,20 @@ import logging
 import os
 import pathlib
 import re
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "LoadedCheckpoint",
     "checkpoint_path",
     "list_checkpoints",
     "write_checkpoint",
     "read_checkpoint",
     "latest_checkpoint",
+    "load_latest",
 ]
 
 logger = logging.getLogger("repro.stream.checkpoint")
@@ -160,15 +163,30 @@ def read_checkpoint(
     return payload
 
 
-def latest_checkpoint(
+@dataclass(frozen=True)
+class LoadedCheckpoint:
+    """What :func:`load_latest` recovered, and how hard it had to try.
+
+    ``fallbacks`` counts the newer-but-damaged generations skipped
+    before ``seq`` validated — the number the stream metrics surface as
+    ``checkpoints.fallbacks`` so silent fallback is visible.
+    """
+
+    seq: int
+    payload: Dict[str, object]
+    fallbacks: int = 0
+
+
+def load_latest(
     directory: Union[str, pathlib.Path]
-) -> Optional[Tuple[int, Dict[str, object]]]:
-    """The newest *valid* checkpoint, or ``None``.
+) -> Optional[LoadedCheckpoint]:
+    """The newest *valid* checkpoint with fallback accounting.
 
     Invalid files (truncated, corrupt, wrong version) and leftover
     ``.tmp`` files from an interrupted write are reported with a
     warning and skipped — the reader falls back to the previous
-    checkpoint rather than crashing.
+    checkpoint rather than crashing, and records how many generations
+    it skipped in :attr:`LoadedCheckpoint.fallbacks`.
     """
     directory = pathlib.Path(directory)
     if directory.is_dir():
@@ -178,10 +196,12 @@ def latest_checkpoint(
                 "(interrupted write)",
                 leftover.name,
             )
+    fallbacks = 0
     for seq, path in reversed(list_checkpoints(directory)):
         try:
-            return seq, read_checkpoint(path)
+            return LoadedCheckpoint(seq, read_checkpoint(path), fallbacks)
         except CheckpointError as exc:
+            fallbacks += 1
             logger.warning(
                 "checkpoint %s unusable (%s); falling back to the "
                 "previous one",
@@ -189,3 +209,17 @@ def latest_checkpoint(
                 exc,
             )
     return None
+
+
+def latest_checkpoint(
+    directory: Union[str, pathlib.Path]
+) -> Optional[Tuple[int, Dict[str, object]]]:
+    """The newest valid ``(seq, payload)``, or ``None``.
+
+    Compatibility wrapper over :func:`load_latest`, which additionally
+    reports how many damaged generations were skipped.
+    """
+    loaded = load_latest(directory)
+    if loaded is None:
+        return None
+    return loaded.seq, loaded.payload

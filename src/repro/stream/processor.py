@@ -44,9 +44,10 @@ from repro.core.rules import RuleSet
 from repro.engine.metrics import StreamMetrics
 from repro.netflow.records import PROTO_TCP, TCP_ACK, TCP_SYN
 from repro.netflow.replay import FlowReplaySource, FlowTuple, iter_flow_tuples
+from repro.resilience.quarantine import QuarantineSink
 from repro.stream.checkpoint import (
     CheckpointError,
-    latest_checkpoint,
+    load_latest,
     write_checkpoint,
 )
 from repro.stream.events import DetectionEvent, MemoryEventSink
@@ -87,6 +88,9 @@ class StreamConfig:
     #: write a checkpoint every N processed records; 0 disables
     checkpoint_every: int = 0
     checkpoint_keep: int = 3
+    #: sample malformed/impossible records here instead of raising;
+    #: ``None`` keeps the historical raise-on-bad-record behaviour
+    quarantine_dir: Optional[pathlib.Path] = None
 
 
 class StreamDetectionEngine:
@@ -98,6 +102,7 @@ class StreamDetectionEngine:
         hitlist: Hitlist,
         config: Optional[StreamConfig] = None,
         sink=None,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> None:
         config = config or StreamConfig()
         if config.workers < 1:
@@ -112,6 +117,9 @@ class StreamDetectionEngine:
         self.hitlist = hitlist
         self.config = config
         self.sink = sink if sink is not None else MemoryEventSink()
+        if quarantine is None and config.quarantine_dir is not None:
+            quarantine = QuarantineSink(config.quarantine_dir)
+        self.quarantine = quarantine
         per_worker = max(1, config.max_subscribers // config.workers)
         self._tables = [
             EvidenceStateTable(per_worker, config.ttl_seconds)
@@ -140,6 +148,7 @@ class StreamDetectionEngine:
         hitlist: Hitlist,
         config: Optional[StreamConfig] = None,
         sink=None,
+        quarantine: Optional[QuarantineSink] = None,
     ) -> "StreamDetectionEngine":
         """Rebuild an engine from the newest usable checkpoint.
 
@@ -149,17 +158,19 @@ class StreamDetectionEngine:
         uninterrupted one.  Operational fields (checkpoint cadence,
         retention, directory) come from ``config``.  The sink is
         truncated to the checkpointed position so re-folded records
-        re-emit into a log that ends up byte-identical.
+        re-emit into a log that ends up byte-identical.  The metrics
+        record which checkpoint generation was resumed from and how
+        many damaged generations were skipped getting there.
         """
         config = config or StreamConfig()
         if config.checkpoint_dir is None:
             raise ValueError("resume needs config.checkpoint_dir")
-        loaded = latest_checkpoint(config.checkpoint_dir)
+        loaded = load_latest(config.checkpoint_dir)
         if loaded is None:
             raise CheckpointError(
                 f"no usable checkpoint under {config.checkpoint_dir}"
             )
-        _seq, payload = loaded
+        payload = loaded.payload
         version = payload.get("state_version")
         if version != STATE_VERSION:
             raise CheckpointError(
@@ -170,7 +181,9 @@ class StreamDetectionEngine:
             config,
             **{name: saved[name] for name in _IDENTITY_FIELDS},
         )
-        engine = cls(rules, hitlist, config, sink)
+        engine = cls(rules, hitlist, config, sink, quarantine=quarantine)
+        engine.metrics.resumed_from_generation = loaded.seq
+        engine.metrics.checkpoint_fallbacks = loaded.fallbacks
         engine._tables = [
             EvidenceStateTable.from_state(state)
             for state in payload["tables"]
@@ -294,14 +307,16 @@ class StreamDetectionEngine:
         """
         skip = self.records_processed
         if fast:
-            tuples = iter_flow_tuples(path)
+            tuples = iter_flow_tuples(path, quarantine=self.quarantine)
             for _ in range(skip):
                 if next(tuples, None) is None:
                     return 0
             return self.process_tuples(
                 tuples, start_index=skip, max_records=max_records
             )
-        source = FlowReplaySource.from_flowfile(path)
+        source = FlowReplaySource.from_flowfile(
+            path, quarantine=self.quarantine
+        )
         source.skip(skip)
         source.next_index = skip
         return self.process(source, max_records=max_records)
@@ -423,6 +438,9 @@ class StreamDetectionEngine:
         self.metrics.evicted_ttl = sum(
             table.evicted_ttl for table in self._tables
         )
+        if self.quarantine is not None:
+            self.metrics.records_quarantined = self.quarantine.total
+            self.metrics.quarantine_reasons = dict(self.quarantine.counts)
 
     def metrics_dict(self) -> Dict[str, object]:
         """The ``repro.engine.metrics/1`` stream metrics document."""

@@ -1,0 +1,304 @@
+"""Fault-matrix suite: the full pipeline under injected failures.
+
+Every test here drives a *real* engine / pipeline / stream run with a
+fault injected by :mod:`repro.faults` and asserts the contract the
+resilience layer promises (§ fault tolerance in README):
+
+* worker crashes and timeouts recover via retry, and a retried run is
+  **bit-identical** to the clean run;
+* poison shards are dead-lettered with exact accounting of which
+  cohort-hours are missing;
+* lookup-backend outages degrade rule confidence instead of aborting;
+* corrupt NetFlow records are quarantined, counted, and skipped.
+
+Run with ``pytest -m faults``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.certmatch import recover_via_certificates
+from repro.core.hitlist import GroundTruthObservations, build_hitlist
+from repro.core.infra import INFRA_DEDICATED, INFRA_UNKNOWN
+from repro.core.levels import coarser_level
+from repro.core.rules import generate_rules
+from repro.dns.names import normalize
+from repro.engine.runner import run_wild_isp_sharded
+from repro.faults import FlakyProxy, ShardFaultPlan, corrupt_flow_lines
+from repro.isp.simulation import WildConfig
+from repro.netflow.flowfile import write_flow_file
+from repro.resilience import ResilientPassiveDns, RetryPolicy
+from repro.stream import StreamConfig, StreamDetectionEngine
+
+import numpy as np
+
+pytestmark = pytest.mark.faults
+
+
+# -- engine harness ----------------------------------------------------
+
+_ENGINE_DEFAULTS = dict(
+    subscribers=3_000, days=2, seed=11, workers=2, shard_size=512
+)
+
+
+def _engine_run(context, faults=None, **overrides):
+    config = dict(_ENGINE_DEFAULTS)
+    config.update(overrides)
+    return run_wild_isp_sharded(
+        context.scenario,
+        context.rules,
+        context.hitlist,
+        WildConfig(**config),
+        faults=faults,
+    )
+
+
+def _assert_identical(a, b):
+    assert set(a.hourly_counts) == set(b.hourly_counts)
+    for name in a.hourly_counts:
+        np.testing.assert_array_equal(
+            a.hourly_counts[name], b.hourly_counts[name]
+        )
+        np.testing.assert_array_equal(
+            a.daily_counts[name], b.daily_counts[name]
+        )
+    np.testing.assert_array_equal(a.any_daily, b.any_daily)
+    np.testing.assert_array_equal(a.other_daily, b.other_daily)
+    np.testing.assert_array_equal(a.other_hourly, b.other_hourly)
+    np.testing.assert_array_equal(
+        a.alexa_active_hourly, b.alexa_active_hourly
+    )
+    assert set(a.cumulative_lines) == set(b.cumulative_lines)
+    for name in a.cumulative_lines:
+        np.testing.assert_array_equal(
+            a.cumulative_lines[name], b.cumulative_lines[name]
+        )
+
+
+@pytest.fixture(scope="module")
+def clean_run(context):
+    return _engine_run(context)
+
+
+class TestShardFaultMatrix:
+    def test_crash_on_every_shard_is_bit_identical(
+        self, context, clean_run
+    ):
+        """The determinism contract: a raise-fault injected at *every*
+        shard index recovers via retry into the clean run's result,
+        bit for bit."""
+        shard_count = clean_run.metrics["shards"]["count"]
+        plan = ShardFaultPlan.crash_every_shard(4096, kind="raise")
+        faulted = _engine_run(context, faults=plan)
+        _assert_identical(clean_run, faulted)
+        faults = faulted.metrics["faults"]
+        assert faults["retries"] == shard_count
+        assert faults["dead_letters"] == []
+        assert faults["missing_cohort_hours"] == 0
+
+    def test_worker_death_recovers_bit_identical(
+        self, context, clean_run
+    ):
+        """A worker killed mid-shard (os._exit) breaks the pool; the
+        supervisor rebuilds it and the retried run is unchanged."""
+        plan = ShardFaultPlan.crash_on([1], kind="exit")
+        faulted = _engine_run(context, faults=plan)
+        _assert_identical(clean_run, faulted)
+        faults = faulted.metrics["faults"]
+        assert faults["pool_restarts"] >= 1
+        assert faults["dead_letters"] == []
+
+    def test_hanging_shard_is_killed_and_retried(
+        self, context, clean_run
+    ):
+        """A shard that wedges past ``shard_timeout`` is SIGKILLed and
+        re-run; the result is still bit-identical."""
+        plan = ShardFaultPlan.crash_on([0], kind="hang", seconds=60)
+        faulted = _engine_run(
+            context, faults=plan, shard_timeout=5.0
+        )
+        _assert_identical(clean_run, faulted)
+        faults = faulted.metrics["faults"]
+        assert faults["timeouts"] >= 1
+        assert faults["dead_letters"] == []
+
+    def test_poison_shard_is_dead_lettered_with_exact_accounting(
+        self, context, clean_run, tmp_path
+    ):
+        """A shard failing beyond the retry budget is quarantined; the
+        run completes and reports exactly which cohort-hours are
+        missing."""
+        plan = ShardFaultPlan.crash_on([2], kind="raise", times=99)
+        faulted = _engine_run(
+            context,
+            faults=plan,
+            max_retries=1,
+            quarantine_dir=str(tmp_path),
+        )
+        faults = faulted.metrics["faults"]
+        assert len(faults["dead_letters"]) == 1
+        letter = faults["dead_letters"][0]
+        assert letter["index"] == 2
+        assert letter["attempts"] == 2  # initial + one retry
+        assert letter["owners"] == letter["owner_stop"] - letter["owner_start"]
+        assert (
+            letter["missing_cohort_hours"] == letter["owners"] * 2 * 24
+        )
+        assert (
+            faults["missing_cohort_hours"]
+            == letter["missing_cohort_hours"]
+        )
+        # every other shard still contributed
+        shard_count = clean_run.metrics["shards"]["count"]
+        assert faulted.metrics["shards"]["count"] == shard_count - 1
+        # missing evidence can only lower counts, never invent them
+        for name, series in faulted.hourly_counts.items():
+            assert (series <= clean_run.hourly_counts[name]).all()
+        # the dead letter is persisted for offline triage
+        persisted = [
+            json.loads(line)
+            for line in (tmp_path / "dead_letters.jsonl")
+            .read_text()
+            .splitlines()
+        ]
+        assert persisted == [letter]
+
+
+# -- lookup-backend outages --------------------------------------------
+
+
+def _resilient_dnsdb(backend, **proxy_kwargs):
+    return ResilientPassiveDns(
+        FlakyProxy(backend, **proxy_kwargs),
+        policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        sleep=lambda _s: None,
+    )
+
+
+class TestLookupOutageDegradation:
+    def test_targeted_outage_demotes_affected_rules(self, context):
+        """Passive DNS permanently failing for one recoverable rule
+        domain: the domain survives via the certificate fallback, but
+        every class leaning on it is demoted one confidence level."""
+        scenario = context.scenario
+        clean = context.hitlist
+        observations = GroundTruthObservations.from_library(
+            scenario.library
+        )
+        candidate = None
+        for class_name, domains in sorted(clean.class_domains.items()):
+            for fqdn in domains:
+                verdict = clean.verdicts.get(fqdn)
+                if verdict is None or verdict.status != INFRA_DEDICATED:
+                    continue
+                recovery = recover_via_certificates(
+                    fqdn,
+                    scenario.scans,
+                    uses_https=observations.observation(fqdn).uses_https,
+                )
+                if recovery is not None:
+                    candidate = (class_name, fqdn)
+                    break
+            if candidate:
+                break
+        assert candidate is not None, (
+            "scenario has no cert-recoverable dedicated rule domain"
+        )
+        class_name, fqdn = candidate
+
+        dnsdb = _resilient_dnsdb(
+            scenario.dnsdb, outage_keys=(normalize(fqdn),)
+        )
+        degraded = build_hitlist(scenario, dnsdb=dnsdb)
+        assert dnsdb.stats.failures >= 1
+
+        assert fqdn in degraded.report.unknown_domains
+        assert fqdn in degraded.report.degraded_domains
+        assert class_name in degraded.degraded_classes
+        # the domain survived: detection coverage is intact
+        assert fqdn in degraded.class_domains[class_name]
+
+        clean_rules = generate_rules(scenario.catalog, clean)
+        degraded_rules = generate_rules(scenario.catalog, degraded)
+        for name in degraded_rules.class_names():
+            before = clean_rules.rule(name).level
+            after = degraded_rules.rule(name).level
+            if name in degraded.degraded_classes:
+                assert after == coarser_level(before)
+            else:
+                assert after == before
+
+    def test_total_outage_completes_with_breaker_open(self, context):
+        """Passive DNS fully down: every IoT domain is unknown, the
+        breaker opens to stop hammering the backend, and the pipeline
+        still produces a (certificate-recovered, fully degraded)
+        hitlist instead of crashing."""
+        scenario = context.scenario
+        dnsdb = _resilient_dnsdb(scenario.dnsdb, error_rate=1.0, seed=1)
+        degraded = build_hitlist(scenario, dnsdb=dnsdb)
+
+        assert degraded.verdicts
+        assert all(
+            verdict.status == INFRA_UNKNOWN
+            for verdict in degraded.verdicts.values()
+        )
+        assert dnsdb.stats.breaker_opens >= 1
+        assert dnsdb.stats.breaker_rejections >= 1
+        # whatever survived did so via certificates, so it is degraded
+        assert set(degraded.degraded_classes) == set(
+            degraded.class_domains
+        )
+        assert set(degraded.class_domains) <= set(
+            context.hitlist.class_domains
+        )
+
+
+# -- corrupt-record ingest ---------------------------------------------
+
+
+class TestCorruptRecordQuarantine:
+    def test_stream_run_quarantines_and_completes(
+        self, capture, rules, hitlist, tmp_path
+    ):
+        flows = []
+        for event in capture.isp_events:
+            src = 0x0A000000 + event.device_id
+            flows.append(
+                event.to_flow_record(src, capture.sampling_interval)
+            )
+        flows.sort(key=lambda flow: flow.first_switched)
+        path = tmp_path / "flows.csv"
+        write_flow_file(path, flows)
+
+        damaged = corrupt_flow_lines(path, [3, 10, 25, 77], seed=5)
+        assert damaged == 4
+
+        engine = StreamDetectionEngine(
+            rules,
+            hitlist,
+            StreamConfig(quarantine_dir=tmp_path / "quarantine"),
+        )
+        processed = engine.process_flowfile(path)
+        assert processed == len(flows) - damaged
+        assert engine.metrics.records_quarantined == damaged
+        assert (
+            sum(engine.metrics.quarantine_reasons.values()) == damaged
+        )
+        document = engine.metrics.to_dict()
+        assert document["quarantine"]["total"] == damaged
+        assert document["quarantine"]["by_reason"] == (
+            engine.metrics.quarantine_reasons
+        )
+        # samples landed on disk for triage
+        samples = (
+            (tmp_path / "quarantine" / "quarantine.jsonl")
+            .read_text()
+            .splitlines()
+        )
+        assert len(samples) == damaged
+        # the stream still detects: corruption cost 4 records, not the run
+        assert engine.metrics.events_emitted > 0
