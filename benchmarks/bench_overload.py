@@ -1,0 +1,113 @@
+"""The price of running under a memory governor that never fires.
+
+The runtime-guard layer is always-on in production runs, so its cost in
+the common case — plenty of headroom, zero shed actions — must be
+negligible.  This benchmark runs the stream engine over the ground-truth
+flowfile with and without a huge-budget :class:`MemoryGovernor` and
+records the relative overhead into ``BENCH_scaling.json`` under an
+``"overload"`` key, preserving every other key already in the document.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analysis.reporting import render_table
+from repro.netflow.flowfile import write_flow_file
+from repro.runtime import MemoryGovernor, parse_memory_size
+from repro.stream import StreamConfig, StreamDetectionEngine
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+)
+
+
+def _flowfile_from_capture(capture, directory):
+    flows = []
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flows.append(
+            event.to_flow_record(src, capture.sampling_interval)
+        )
+    flows.sort(key=lambda flow: flow.first_switched)
+    path = directory / "gt-flows.csv"
+    write_flow_file(path, flows)
+    return path, len(flows)
+
+
+def _stream_run(rules, hitlist, path, governor=None):
+    engine = StreamDetectionEngine(
+        rules, hitlist, StreamConfig(), governor=governor
+    )
+    started = time.perf_counter()
+    engine.process_flowfile(path)
+    seconds = time.perf_counter() - started
+    return seconds, engine.metrics.events_emitted, engine
+
+
+def bench_overload(
+    benchmark, context, write_artefact, tmp_path_factory
+):
+    directory = tmp_path_factory.mktemp("bench_overload")
+    path, records = _flowfile_from_capture(context.capture, directory)
+
+    plain_seconds, plain_events, _ = _stream_run(
+        context.rules, context.hitlist, path
+    )
+    governor = MemoryGovernor(parse_memory_size("1TiB"))
+    governed_seconds, governed_events, engine = benchmark.pedantic(
+        _stream_run,
+        args=(context.rules, context.hitlist, path),
+        kwargs={"governor": governor},
+        rounds=1,
+        iterations=1,
+    )
+
+    plain_rps = records / plain_seconds
+    governed_rps = records / governed_seconds
+    overhead = governed_seconds / plain_seconds - 1.0
+    overload = engine.metrics_dict()["overload"]
+
+    document = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    document["overload"] = {
+        "records": records,
+        "plain_records_per_second": plain_rps,
+        "governed_records_per_second": governed_rps,
+        "governor_overhead": overhead,
+        "rss_samples": overload["rss_samples"],
+        "rss_peak_bytes": overload["rss_peak_bytes"],
+        "pressure_events": overload["pressure_events"],
+        "shed_actions": overload["shed_actions"],
+    }
+    BENCH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    write_artefact(
+        "overload_overhead",
+        render_table(
+            ("path", "records/sec", "notes"),
+            (
+                ("stream", f"{plain_rps:,.0f}", "-"),
+                (
+                    "stream + governor",
+                    f"{governed_rps:,.0f}",
+                    f"{overhead:+.1%} overhead, "
+                    f"{overload['rss_samples']} RSS samples",
+                ),
+            ),
+            title=(
+                f"Memory-governor zero-pressure overhead "
+                f"({records:,} records)"
+            ),
+        ),
+    )
+
+    # identical detections, no shed actions, near-zero overhead
+    assert governed_events == plain_events
+    assert overload["pressure_events"] == 0
+    assert overload["shed_actions"] == {}
+    assert overload["rss_samples"] > 0
+    assert overhead < 0.10

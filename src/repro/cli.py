@@ -158,6 +158,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "(requires --workers != 1)"
         ),
     )
+    parser.add_argument(
+        "--memory-budget",
+        type=str,
+        default=None,
+        help=(
+            "RSS budget (e.g. 512M, 2GiB) the run sheds under instead "
+            "of exceeding; shed actions land in the 'overload' metrics "
+            "section"
+        ),
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock budget in seconds; at expiry the run stops "
+            "admitting work and marks partial results degraded"
+        ),
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        help=(
+            "seconds a signal-triggered drain may take before the "
+            "process force-exits with code 70 (default: unlimited)"
+        ),
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     commands.add_parser("list", help="list available experiments")
@@ -294,6 +322,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stop after N records this run (the engine stays "
         "resumable)",
     )
+    stream_run.add_argument(
+        "--inject-sigterm-at", type=int, default=None,
+        help="fault harness: deliver a real SIGTERM to this process "
+        "just before folding record index N (deterministic soak "
+        "testing of the drain path)",
+    )
     return parser
 
 
@@ -331,9 +365,22 @@ def _run_stream(args) -> int:
     With ``--artifacts`` the simulated world is never built — the
     streaming path starts in milliseconds, which is the deployment
     shape (artifacts are produced once by ``repro artifacts``).
+
+    Exit codes: 0 when the whole input was consumed,
+    :data:`~repro.runtime.EXIT_DRAINED` (3) when a signal or deadline
+    ended the run early but resumably, 70 when a drain overran
+    ``--drain-grace`` (see README "Graceful shutdown & overload").
     """
     import json
 
+    from repro.runtime import (
+        EXIT_DRAINED,
+        DeadlineBudget,
+        MemoryGovernor,
+        ShutdownCoordinator,
+        StopToken,
+        parse_memory_size,
+    )
     from repro.stream import (
         CheckpointError,
         JsonlEventSink,
@@ -374,45 +421,75 @@ def _run_stream(args) -> int:
         if args.events_out is not None
         else MemoryEventSink()
     )
+    token = StopToken()
+    governor = (
+        MemoryGovernor(parse_memory_size(args.memory_budget))
+        if args.memory_budget is not None
+        else None
+    )
+    deadline = (
+        DeadlineBudget(args.deadline)
+        if args.deadline is not None
+        else None
+    )
     try:
-        if args.resume:
-            if config.checkpoint_dir is None:
+        with ShutdownCoordinator(token, grace=args.drain_grace):
+            if args.resume:
+                if config.checkpoint_dir is None:
+                    print(
+                        "error: --resume needs --checkpoint-dir",
+                        file=sys.stderr,
+                    )
+                    return 2
+                try:
+                    engine = StreamDetectionEngine.resume(
+                        rules, hitlist, config, sink,
+                        stop_token=token,
+                        governor=governor,
+                        deadline=deadline,
+                    )
+                except CheckpointError as exc:
+                    print(
+                        f"error: cannot resume: {exc}", file=sys.stderr
+                    )
+                    return 2
+            else:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink,
+                    stop_token=token,
+                    governor=governor,
+                    deadline=deadline,
+                )
+            processed = _stream_ingest(engine, args)
+            if engine.stopped:
+                # Early stop (signal/deadline): final checkpoint at
+                # the exact record reached + sink flush.
+                engine.drain()
+            elif (
+                engine.config.checkpoint_dir is not None
+                and engine.metrics.records_since_checkpoint
+            ):
+                engine.write_checkpoint()
+            metrics = engine.metrics_dict()
+            print(
+                f"# processed={processed} "
+                f"total={engine.records_processed} "
+                f"matched={engine.metrics.flows_matched} "
+                f"events={engine.metrics.events_emitted} "
+                f"quarantined={engine.metrics.records_quarantined}",
+                file=sys.stderr,
+            )
+            if engine.stopped:
                 print(
-                    "error: --resume needs --checkpoint-dir",
+                    f"# drained reason={engine.metrics.overload.stop_reason} "
+                    f"resumable={engine.config.checkpoint_dir is not None}",
                     file=sys.stderr,
                 )
-                return 2
-            try:
-                engine = StreamDetectionEngine.resume(
-                    rules, hitlist, config, sink
-                )
-            except CheckpointError as exc:
-                print(f"error: cannot resume: {exc}", file=sys.stderr)
-                return 2
-        else:
-            engine = StreamDetectionEngine(rules, hitlist, config, sink)
-        processed = engine.process_flowfile(
-            args.flows, max_records=args.max_records
-        )
-        if (
-            engine.config.checkpoint_dir is not None
-            and engine.metrics.records_since_checkpoint
-        ):
-            engine.write_checkpoint()
-        metrics = engine.metrics_dict()
-        print(
-            f"# processed={processed} "
-            f"total={engine.records_processed} "
-            f"matched={engine.metrics.flows_matched} "
-            f"events={engine.metrics.events_emitted} "
-            f"quarantined={engine.metrics.records_quarantined}",
-            file=sys.stderr,
-        )
-        if isinstance(sink, MemoryEventSink):
-            for event in sink.events:
-                print(event.to_line())
-        else:
-            sink.flush(sync=True)
+            if isinstance(sink, MemoryEventSink):
+                for event in sink.events:
+                    print(event.to_line())
+            else:
+                sink.flush(sync=True)
     finally:
         sink.close()
     if args.stream_metrics_out is not None:
@@ -420,7 +497,29 @@ def _run_stream(args) -> int:
             json.dumps(metrics, indent=2, sort_keys=True) + "\n"
         )
         print(f"wrote {args.stream_metrics_out}", file=sys.stderr)
-    return 0
+    return EXIT_DRAINED if engine.stopped else 0
+
+
+def _stream_ingest(engine, args) -> int:
+    """Run the stream engine's ingest, optionally under fault probes."""
+    if args.inject_sigterm_at is None:
+        return engine.process_flowfile(
+            args.flows, max_records=args.max_records
+        )
+    from repro.faults import SignalPlan
+    from repro.netflow.replay import iter_flow_tuples
+
+    skip = engine.records_processed
+    tuples = iter_flow_tuples(args.flows, quarantine=engine.quarantine)
+    for _ in range(skip):
+        if next(tuples, None) is None:
+            return 0
+    target = args.inject_sigterm_at - skip
+    if target >= 0:
+        tuples = SignalPlan(at_index=target).wrap(tuples)
+    return engine.process_tuples(
+        tuples, start_index=skip, max_records=args.max_records
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -434,6 +533,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "stream":
         return _run_stream(args)
 
+    from repro.runtime import ShutdownCoordinator, parse_memory_size
+
+    # One coordinator over the whole batch command: SIGTERM/SIGINT
+    # stops shard admission (via repro.runtime.current_token) and the
+    # run returns whatever completed, marked in the metrics document.
+    with ShutdownCoordinator(grace=args.drain_grace):
+        return _run_batch(args, parse_memory_size)
+
+
+def _run_batch(args, parse_memory_size) -> int:
     context = get_context(
         seed=args.seed,
         wild_subscribers=args.subscribers,
@@ -447,6 +556,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.quarantine_dir is not None
             else None
         ),
+        wild_memory_budget=(
+            parse_memory_size(args.memory_budget)
+            if args.memory_budget is not None
+            else None
+        ),
+        wild_deadline=args.deadline,
     )
     if args.metrics_out is not None:
         import json

@@ -11,7 +11,12 @@ be tracked as a ``BENCH_*.json`` trajectory.  Schema (version
                  "max_retries": …, "shard_timeout": …},
       "faults": {"retries": …, "timeouts": …, "pool_restarts": …,
                  "isolated_runs": …, "dead_letters": […],
-                 "missing_cohort_hours": …},
+                 "missing_cohort_hours": …, "unstarted_shards": …},
+      "overload": {"memory_budget_bytes": …, "deadline_seconds": …,
+                   "rss_peak_bytes": …, "rss_samples": …,
+                   "pressure_events": …, "shed_actions": {…},
+                   "shed_units": {…}, "ingest_dropped": {…},
+                   "stop_reason": …, "degraded": …},
       "stages": {"plan_seconds": …, "simulate_seconds": …,
                  "aggregate_seconds": …, "total_seconds": …},
       "shards": {"count": …, "peak_rss_bytes_max": …,
@@ -31,6 +36,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.runtime.overload import OverloadMetrics
 
 __all__ = [
     "ShardMetrics",
@@ -77,6 +84,10 @@ class EngineMetrics:
     pool_restarts: int = 0
     isolated_runs: int = 0
     dead_letters: List[Dict[str, object]] = field(default_factory=list)
+    #: shards never started because the run stopped (drain/deadline)
+    unstarted_shards: int = 0
+    #: runtime-guard accounting (see repro.runtime.overload)
+    overload: OverloadMetrics = field(default_factory=OverloadMetrics)
 
     @property
     def total_seconds(self) -> float:
@@ -127,6 +138,11 @@ class EngineMetrics:
         self.dead_letters.extend(
             letter.to_dict() for letter in report.dead_letters
         )
+        self.unstarted_shards += report.unstarted
+        if report.unstarted:
+            self.overload.partial = True
+        if report.stop_reason and self.overload.stop_reason is None:
+            self.overload.stop_reason = report.stop_reason
 
     def to_dict(self) -> Dict[str, object]:
         """Render the documented JSON-serialisable schema."""
@@ -150,7 +166,9 @@ class EngineMetrics:
                 "isolated_runs": self.isolated_runs,
                 "dead_letters": list(self.dead_letters),
                 "missing_cohort_hours": self.missing_cohort_hours,
+                "unstarted_shards": self.unstarted_shards,
             },
+            "overload": self.overload.to_dict(),
             "stages": {
                 "plan_seconds": self.plan_seconds,
                 "simulate_seconds": self.simulate_seconds,
@@ -201,6 +219,8 @@ class StreamMetrics:
     subscribers_tracked: int = 0
     evicted_lru: int = 0
     evicted_ttl: int = 0
+    #: entries shed by memory-pressure table shrinks
+    evicted_pressure: int = 0
     checkpoints_written: int = 0
     checkpoint_seconds: float = 0.0
     process_seconds: float = 0.0
@@ -214,6 +234,8 @@ class StreamMetrics:
     checkpoint_fallbacks: int = 0
     records_quarantined: int = 0
     quarantine_reasons: Dict[str, int] = field(default_factory=dict)
+    #: runtime-guard accounting (see repro.runtime.overload)
+    overload: OverloadMetrics = field(default_factory=OverloadMetrics)
 
     @property
     def records_per_second(self) -> float:
@@ -253,6 +275,7 @@ class StreamMetrics:
                 "subscribers_tracked": self.subscribers_tracked,
                 "evicted_lru": self.evicted_lru,
                 "evicted_ttl": self.evicted_ttl,
+                "evicted_pressure": self.evicted_pressure,
             },
             "lag": {
                 "records_since_checkpoint": self.records_since_checkpoint,
@@ -270,6 +293,7 @@ class StreamMetrics:
                 "total": self.records_quarantined,
                 "by_reason": dict(sorted(self.quarantine_reasons.items())),
             },
+            "overload": self.overload.to_dict(),
             "throughput": {
                 "records": self.records_processed,
                 "matched": self.flows_matched,

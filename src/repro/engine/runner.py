@@ -35,6 +35,9 @@ from repro.engine.worker import (
     simulate_shard,
 )
 from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
+from repro.runtime.deadline import DeadlineBudget
+from repro.runtime.memory import MemoryGovernor
+from repro.runtime.shutdown import current_token
 
 __all__ = ["resolve_workers", "run_wild_isp_sharded"]
 
@@ -73,6 +76,7 @@ def run_wild_isp_sharded(
     topology=None,
     block_bytes: int = DEFAULT_BLOCK_BYTES,
     faults=None,
+    stop_token=None,
 ):
     """Run the Section 6 in-the-wild ISP study on the sharded engine.
 
@@ -90,6 +94,16 @@ def run_wild_isp_sharded(
     ``config.quarantine_dir``, when set) instead of aborting the run.
     ``faults`` optionally injects a
     :class:`repro.faults.ShardFaultPlan` into workers (test harness).
+
+    Runtime guards (see :mod:`repro.runtime`): ``stop_token`` defaults
+    to the active :func:`~repro.runtime.shutdown.current_token`;
+    ``config.memory_budget`` attaches a
+    :class:`~repro.runtime.memory.MemoryGovernor` and
+    ``config.deadline`` a wall-clock budget.  A guarded stop ends
+    shard admission at the next boundary — completed shards keep their
+    results, surrendered ones are counted in
+    ``metrics["faults"]["unstarted_shards"]`` and the run is marked
+    ``degraded`` in the ``"overload"`` section.
     """
     from repro.isp.simulation import (
         WildConfig,
@@ -165,6 +179,24 @@ def run_wild_isp_sharded(
     )
     metrics.plan_seconds = time.perf_counter() - stage_start
 
+    # ---- runtime guards --------------------------------------------------
+    if stop_token is None:
+        stop_token = current_token()
+    budget = getattr(config, "memory_budget", None)
+    governor = (
+        MemoryGovernor(budget, metrics=metrics.overload)
+        if budget is not None
+        else None
+    )
+    deadline_seconds = getattr(config, "deadline", None)
+    deadline = (
+        DeadlineBudget(deadline_seconds)
+        if deadline_seconds is not None
+        else None
+    )
+    if deadline is not None:
+        metrics.overload.deadline_seconds = deadline.seconds
+
     # ---- stage 2: simulate shards (supervised) ---------------------------
     stage_start = time.perf_counter()
     supervised = (
@@ -173,7 +205,24 @@ def run_wild_isp_sharded(
         or (workers > 1 and len(tasks) > 1)
     )
     if not supervised:
-        results = [simulate_shard(task) for task in tasks]
+        results = []
+        for position, task in enumerate(tasks):
+            reason = None
+            if stop_token is not None and stop_token.stop_requested():
+                reason = stop_token.reason or "stop"
+            elif deadline is not None and deadline.expired():
+                reason = deadline.reason
+            if reason is not None:
+                if metrics.overload.stop_reason is None:
+                    metrics.overload.stop_reason = reason
+                metrics.unstarted_shards += len(tasks) - position
+                metrics.overload.partial = True
+                break
+            if governor is not None and governor.tick(
+                governor.sample_every
+            ):
+                governor.collect_garbage()
+            results.append(simulate_shard(task))
     else:
         supervisor = ShardSupervisor(
             pool_size=min(workers, max(1, len(tasks))),
@@ -187,7 +236,13 @@ def run_wild_isp_sharded(
                 ),
             ),
         )
-        results, report = supervisor.run(tasks, faults=faults)
+        results, report = supervisor.run(
+            tasks,
+            faults=faults,
+            stop_token=stop_token,
+            governor=governor,
+            deadline=deadline,
+        )
         metrics.record_supervision(report)
     metrics.simulate_seconds = time.perf_counter() - stage_start
 

@@ -44,6 +44,9 @@ class ExperimentContext:
     wild_max_retries: int = 2
     wild_shard_timeout: Optional[float] = None
     wild_quarantine_dir: Optional[str] = None
+    #: runtime-guard budgets (see repro.runtime): RSS bytes / seconds
+    wild_memory_budget: Optional[int] = None
+    wild_deadline: Optional[float] = None
     scenario: Scenario = field(init=False)
     schedule: ExperimentSchedule = field(init=False)
     hitlist: Hitlist = field(init=False)
@@ -89,6 +92,8 @@ class ExperimentContext:
                     max_retries=self.wild_max_retries,
                     shard_timeout=self.wild_shard_timeout,
                     quarantine_dir=self.wild_quarantine_dir,
+                    memory_budget=self.wild_memory_budget,
+                    deadline=self.wild_deadline,
                 ),
             )
         return self._wild
@@ -122,6 +127,8 @@ def get_context(
     wild_max_retries: int = 2,
     wild_shard_timeout: Optional[float] = None,
     wild_quarantine_dir: Optional[str] = None,
+    wild_memory_budget: Optional[int] = None,
+    wild_deadline: Optional[float] = None,
 ) -> ExperimentContext:
     """Memoised context per (seed, scale, engine/supervision config)."""
     key = (
@@ -133,6 +140,8 @@ def get_context(
         wild_max_retries,
         wild_shard_timeout,
         wild_quarantine_dir,
+        wild_memory_budget,
+        wild_deadline,
     )
     if key not in _CONTEXTS:
         _CONTEXTS[key] = ExperimentContext(
@@ -144,5 +153,7 @@ def get_context(
             wild_max_retries=wild_max_retries,
             wild_shard_timeout=wild_shard_timeout,
             wild_quarantine_dir=wild_quarantine_dir,
+            wild_memory_budget=wild_memory_budget,
+            wild_deadline=wild_deadline,
         )
     return _CONTEXTS[key]

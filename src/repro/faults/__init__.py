@@ -11,8 +11,11 @@ seams in the same vocabulary:
 * :mod:`repro.faults.injection` — runtime damage: crash-on-nth-shard /
   slow-worker / hung-worker plans for the supervised shard pool
   (:class:`ShardFaultPlan`), seeded lookup-error-rate wrappers for the
-  resilient backends (:class:`FlakyProxy`), and record-corruption
-  helpers for flow files.
+  resilient backends (:class:`FlakyProxy`), record-corruption helpers
+  for flow files, and runtime-guard probes: :class:`SignalPlan`
+  delivers a real kernel signal at an exact record index and
+  :class:`MemoryPressurePlan` allocates RSS ballast there, so the
+  drain/shed soak tests are deterministic.
 
 Everything here is deterministic per seed — a fault matrix that cannot
 be replayed exactly cannot assert bit-identical recovery.
@@ -28,16 +31,20 @@ from repro.faults.files import (
 from repro.faults.injection import (
     FlakyProxy,
     InjectedFault,
+    MemoryPressurePlan,
     ShardFault,
     ShardFaultPlan,
+    SignalPlan,
     corrupt_flow_lines,
 )
 
 __all__ = [
     "FlakyProxy",
     "InjectedFault",
+    "MemoryPressurePlan",
     "ShardFault",
     "ShardFaultPlan",
+    "SignalPlan",
     "corrupt_flow_lines",
     "corrupt_payload_byte",
     "corrupt_version_header",

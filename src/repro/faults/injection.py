@@ -15,6 +15,13 @@ Three injection seams, matching the three resilience mechanisms:
   feeding to :class:`~repro.resilience.lookups.ResilientLookup`.
 * :func:`corrupt_flow_lines` damages flow-file records in place so the
   ingest quarantine has something to catch.
+* :class:`SignalPlan` and :class:`MemoryPressurePlan` wrap a record
+  iterable and, at an *exact* record index, deliver a real kernel
+  signal to this process (``os.kill`` — the installed handler runs,
+  exactly as a ``kill`` from outside would) or allocate a ballast that
+  pushes RSS over a configured budget.  Both make the runtime-guard
+  soak tests deterministic: the fault lands at a chosen record, not at
+  a racy wall-clock instant.
 
 Everything is picklable and deterministic per seed.
 """
@@ -24,17 +31,29 @@ from __future__ import annotations
 import os
 import pathlib
 import random
+import signal as signal_module
 import time
 import zlib
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple, Union
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.resilience.retry import TransientLookupError
 
 __all__ = [
     "InjectedFault",
+    "MemoryPressurePlan",
     "ShardFault",
     "ShardFaultPlan",
+    "SignalPlan",
     "FlakyProxy",
     "corrupt_flow_lines",
 ]
@@ -133,6 +152,72 @@ class ShardFaultPlan:
         fault = self.fault_for(index)
         if fault is not None:
             fault.fire(index, attempt)
+
+
+@dataclass(frozen=True)
+class SignalPlan:
+    """Deliver a real signal to this process at an exact record index.
+
+    ``wrap`` passes an iterable through unchanged except that
+    immediately *before* yielding item number ``at_index`` (0-based) it
+    runs ``os.kill(os.getpid(), signum)``.  The kernel delivers the
+    signal to whatever handler is installed — for the stream engine
+    under a :class:`~repro.runtime.shutdown.ShutdownCoordinator` that
+    flips the stop token, and the engine drains at its next guard
+    boundary.  This is the deterministic stand-in for an operator's
+    ``kill <pid>``: same delivery path, chosen record instead of chosen
+    moment.
+    """
+
+    at_index: int
+    signum: int = signal_module.SIGTERM
+
+    def __post_init__(self) -> None:
+        if self.at_index < 0:
+            raise ValueError("at_index must be >= 0")
+
+    def wrap(self, records: Iterable) -> Iterator:
+        for index, item in enumerate(records):
+            if index == self.at_index:
+                os.kill(os.getpid(), self.signum)
+            yield item
+
+
+@dataclass
+class MemoryPressurePlan:
+    """Allocate real RSS ballast at an exact record index.
+
+    ``wrap`` yields records unchanged until ``at_index``, then holds a
+    ``ballast_bytes`` byte allocation (touched so the pages are
+    actually resident) for the rest of the iteration — pushing the
+    process over a configured ``--memory-budget`` so the governor's
+    shed ladder fires at a reproducible point.  :meth:`release` frees
+    the ballast (e.g. after asserting the shed happened).
+    """
+
+    at_index: int
+    ballast_bytes: int
+    _ballast: List[bytearray] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.at_index < 0:
+            raise ValueError("at_index must be >= 0")
+        if self.ballast_bytes <= 0:
+            raise ValueError("ballast_bytes must be positive")
+
+    def wrap(self, records: Iterable) -> Iterator:
+        for index, item in enumerate(records):
+            if index == self.at_index and not self._ballast:
+                # bytearray zero-fills, which commits the pages to RSS.
+                self._ballast.append(bytearray(self.ballast_bytes))
+            yield item
+
+    @property
+    def held_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self._ballast)
+
+    def release(self) -> None:
+        self._ballast.clear()
 
 
 class FlakyProxy:

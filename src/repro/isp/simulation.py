@@ -274,6 +274,14 @@ class WildConfig:
     (:class:`~repro.resilience.supervisor.ShardSupervisor`): retry
     budget per failed shard, per-shard wall-clock budget in seconds
     (``None`` disables), and where dead-letter records are persisted.
+
+    ``memory_budget``/``deadline`` attach runtime guards
+    (:mod:`repro.runtime`) to the sharded engine: an RSS budget in
+    bytes the run sheds under rather than exceeds, and a wall-clock
+    budget in seconds after which the run stops admitting shards and
+    returns partial results marked ``degraded`` in the metrics
+    document.  Both only take effect on the engine path; the serial
+    path ignores them.
     """
 
     subscribers: int = 100_000
@@ -288,6 +296,10 @@ class WildConfig:
     max_retries: int = 2
     shard_timeout: Optional[float] = None
     quarantine_dir: Optional[str] = None
+    #: RSS budget in bytes (``None`` disables the memory governor)
+    memory_budget: Optional[int] = None
+    #: wall-clock run budget in seconds (``None`` disables)
+    deadline: Optional[float] = None
 
     @property
     def hours(self) -> int:

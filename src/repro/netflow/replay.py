@@ -12,6 +12,15 @@ the ordered, indexed, *backpressure-aware* record iterator the
   one producer batch; a producer batch larger than ``max_pending`` is a
   contract violation and raises instead of buffering unboundedly.  The
   observed ``high_watermark`` is exported through the stream metrics.
+* **shed-capable**: under declared overload a source can *drop* instead
+  of raising — ``overflow_policy`` bounds ingest by shedding the
+  overflowing part of an oversized batch, and an attached
+  :class:`~repro.runtime.deadline.DeadlineBudget` sheds everything past
+  expiry.  Every dropped record is counted per reason in ``drops``
+  (surfaced as ``overload.ingest_dropped`` in the stream metrics) —
+  shedding is visible, never silent.  Dropped records are gone from the
+  stream's index space, so a shedding run is marked ``degraded`` and
+  is not bit-identical to an unshedded one by design.
 
 :func:`iter_flow_tuples` is the hot-path variant for flow files: it
 parses only the columns detection consumes and skips
@@ -25,7 +34,17 @@ from __future__ import annotations
 import pathlib
 import struct
 from collections import deque
-from typing import IO, Deque, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    IO,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.cloud.addressing import str_to_ip
 from repro.netflow.flowfile import FLOW_FILE_COLUMNS, read_flow_file
@@ -51,6 +70,10 @@ _FILE_CHUNK = 256
 
 #: Entry cap on the tuple fast path's parse-memoisation caches.
 _PARSE_CACHE_LIMIT = 1 << 20
+
+#: Valid ``overflow_policy`` values: raise on an oversized producer
+#: batch (historical contract), or shed its newest/oldest records.
+OVERFLOW_POLICIES = ("raise", "drop_newest", "drop_oldest")
 
 
 class ReplayTruncated(RuntimeError):
@@ -80,14 +103,27 @@ class FlowReplaySource:
         start_index: int = 0,
         max_pending: int = 8192,
         quarantine: Optional[QuarantineSink] = None,
+        overflow_policy: str = "raise",
+        deadline=None,
     ) -> None:
         if max_pending <= 0:
             raise ValueError("max_pending must be positive")
+        if overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow_policy {overflow_policy!r}; "
+                f"expected one of {OVERFLOW_POLICIES}"
+            )
         self._batches = iter(batches)
         self._pending: Deque[FlowRecord] = deque()
         self.next_index = start_index
         self.max_pending = max_pending
         self.quarantine = quarantine
+        self.overflow_policy = overflow_policy
+        #: optional :class:`~repro.runtime.deadline.DeadlineBudget`;
+        #: once expired the source sheds everything still unread
+        self.deadline = deadline
+        #: per-reason shed counters (the ``ingest_dropped`` metrics)
+        self.drops: Dict[str, int] = {}
         #: Largest buffer occupancy seen — the backpressure signal.
         self.high_watermark = 0
 
@@ -100,6 +136,8 @@ class FlowReplaySource:
         start_index: int = 0,
         max_pending: int = 8192,
         quarantine: Optional[QuarantineSink] = None,
+        overflow_policy: str = "raise",
+        deadline=None,
     ) -> "FlowReplaySource":
         """Replay an in-memory flow iterable (chunked internally)."""
         return cls(
@@ -107,6 +145,8 @@ class FlowReplaySource:
             start_index=start_index,
             max_pending=max_pending,
             quarantine=quarantine,
+            overflow_policy=overflow_policy,
+            deadline=deadline,
         )
 
     @classmethod
@@ -116,6 +156,8 @@ class FlowReplaySource:
         start_index: int = 0,
         max_pending: int = 8192,
         quarantine: Optional[QuarantineSink] = None,
+        overflow_policy: str = "raise",
+        deadline=None,
     ) -> "FlowReplaySource":
         """Replay a haystack-flows CSV file."""
         return cls.from_flows(
@@ -123,6 +165,8 @@ class FlowReplaySource:
             start_index=start_index,
             max_pending=max_pending,
             quarantine=quarantine,
+            overflow_policy=overflow_policy,
+            deadline=deadline,
         )
 
     @classmethod
@@ -133,6 +177,8 @@ class FlowReplaySource:
         start_index: int = 0,
         max_pending: int = 8192,
         quarantine: Optional[QuarantineSink] = None,
+        overflow_policy: str = "raise",
+        deadline=None,
     ) -> "FlowReplaySource":
         """Replay binary NetFlow v9 / IPFIX export packets.
 
@@ -146,6 +192,8 @@ class FlowReplaySource:
             start_index=start_index,
             max_pending=max_pending,
             quarantine=quarantine,
+            overflow_policy=overflow_policy,
+            deadline=deadline,
         )
 
     # -- iteration ----------------------------------------------------
@@ -154,6 +202,13 @@ class FlowReplaySource:
         return self
 
     def __next__(self) -> Tuple[int, FlowRecord]:
+        if self.deadline is not None and self.deadline.expired():
+            # Shed whatever is still buffered — those are the only
+            # records this source verifiably held at expiry — and end
+            # the stream.
+            self._shed("deadline_exceeded", len(self._pending))
+            self._pending.clear()
+            raise StopIteration
         if not self._pending and not self._fill():
             raise StopIteration
         flow = self._pending.popleft()
@@ -176,8 +231,18 @@ class FlowReplaySource:
             skipped += 1
         return skipped
 
+    def _shed(self, reason: str, count: int) -> None:
+        if count > 0:
+            self.drops[reason] = self.drops.get(reason, 0) + count
+
     def _fill(self) -> bool:
         """Pull producer batches until a record is buffered."""
+        if self.deadline is not None and self.deadline.expired():
+            # Shed everything already buffered and stop pulling; only
+            # the records this source actually held are countable.
+            self._shed("deadline_exceeded", len(self._pending))
+            self._pending.clear()
+            return False
         while not self._pending:
             try:
                 batch = next(self._batches, None)
@@ -195,11 +260,18 @@ class FlowReplaySource:
             if batch is None:
                 return False
             if len(batch) > self.max_pending:
-                raise ValueError(
-                    f"producer batch of {len(batch)} records exceeds "
-                    f"max_pending={self.max_pending}; split the batch "
-                    "or raise the buffer bound"
-                )
+                if self.overflow_policy == "raise":
+                    raise ValueError(
+                        f"producer batch of {len(batch)} records exceeds "
+                        f"max_pending={self.max_pending}; split the batch "
+                        "or raise the buffer bound"
+                    )
+                excess = len(batch) - self.max_pending
+                if self.overflow_policy == "drop_newest":
+                    batch = batch[: self.max_pending]
+                else:  # drop_oldest
+                    batch = batch[excess:]
+                self._shed("batch_overflow", excess)
             if self.quarantine is None:
                 self._pending.extend(batch)
             else:

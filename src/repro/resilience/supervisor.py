@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.resilience.retry import RetryPolicy
+from repro.runtime.shutdown import StopToken, current_token
 
 __all__ = [
     "DeadLetter",
@@ -131,6 +132,12 @@ class SupervisorReport:
     pool_restarts: int = 0
     isolated_runs: int = 0
     dead_letters: List[DeadLetter] = field(default_factory=list)
+    #: shards surrendered without a result because the run stopped
+    #: early (signal drain or deadline expiry)
+    unstarted: int = 0
+    #: why admission stopped (``"signal:SIGTERM"``, ``"deadline"``,
+    #: …) — ``None`` for a run that consumed its whole queue
+    stop_reason: Optional[str] = None
 
     @property
     def missing_cohort_hours(self) -> int:
@@ -144,6 +151,8 @@ class SupervisorReport:
             "isolated_runs": self.isolated_runs,
             "dead_letters": [dl.to_dict() for dl in self.dead_letters],
             "missing_cohort_hours": self.missing_cohort_hours,
+            "unstarted": self.unstarted,
+            "stop_reason": self.stop_reason,
         }
 
 
@@ -161,23 +170,45 @@ class ShardEnvelope:
 
 
 class _HeartbeatWriter:
-    """Worker-side liveness file: ``<pid> <started>`` refreshed by a
-    daemon thread while the shard computes."""
+    """Worker-side liveness file refreshed by a daemon thread while the
+    shard computes.
+
+    Line format: ``<pid> <started_wall> <started_mono> <last_mono>``.
+    The wall-clock column exists for humans inspecting a live run's
+    heartbeat directory; staleness decisions use only the monotonic
+    columns — ``CLOCK_MONOTONIC`` is a single system-wide timeline on
+    Linux, shared by the worker writing the beat and the supervisor
+    judging it, so an NTP step or a suspended laptop can neither fake a
+    stall nor hide one.  Each beat atomically replaces the file so the
+    supervisor never reads a torn line.
+    """
 
     def __init__(self, directory: str, index: int) -> None:
         self.path = _heartbeat_path(directory, index)
+        self._started_wall = 0.0
+        self._started_mono = 0.0
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._beat, daemon=True)
 
     def __enter__(self) -> "_HeartbeatWriter":
-        self.path.write_text(f"{os.getpid()} {time.time():.3f}")
+        self._started_wall = time.time()
+        self._started_mono = time.monotonic()
+        self._write()
         self._thread.start()
         return self
+
+    def _write(self) -> None:
+        temp = self.path.with_name(self.path.name + ".tmp")
+        temp.write_text(
+            f"{os.getpid()} {self._started_wall:.3f} "
+            f"{self._started_mono:.3f} {time.monotonic():.3f}"
+        )
+        os.replace(temp, self.path)
 
     def _beat(self) -> None:
         while not self._stop.wait(HEARTBEAT_INTERVAL):
             try:
-                os.utime(self.path)
+                self._write()
             except OSError:
                 return
 
@@ -192,11 +223,13 @@ def _heartbeat_path(directory: str, index: int) -> pathlib.Path:
 def _read_heartbeat(
     directory: str, index: int
 ) -> Optional[Tuple[int, float, float]]:
-    """``(pid, started_at_walltime, last_beat_walltime)`` or ``None``."""
+    """``(pid, started_monotonic, last_beat_monotonic)`` or ``None``."""
     path = _heartbeat_path(directory, index)
     try:
-        pid_text, started_text = path.read_text().split()
-        return int(pid_text), float(started_text), path.stat().st_mtime
+        pid_text, _wall, started_text, last_text = (
+            path.read_text().split()
+        )
+        return int(pid_text), float(started_text), float(last_text)
     except (OSError, ValueError):
         return None
 
@@ -240,23 +273,45 @@ class ShardSupervisor:
         tasks,
         faults=None,
         fn: Optional[Callable] = None,
+        stop_token: Optional[StopToken] = None,
+        governor=None,
+        deadline=None,
     ) -> Tuple[List[object], SupervisorReport]:
         """Execute every task; returns (results sorted by task index,
-        report).  Dead-lettered tasks have no result entry."""
+        report).  Dead-lettered tasks have no result entry.
+
+        Runtime guards: ``stop_token`` (defaulting to the active
+        :func:`~repro.runtime.shutdown.current_token`) and ``deadline``
+        stop *admission* — in-flight shards finish and keep their
+        results, queued shards are surrendered and counted in
+        ``report.unstarted`` with the cause in ``report.stop_reason``.
+        A ``governor`` (:class:`~repro.runtime.memory.MemoryGovernor`)
+        under pressure steps the effective pool size down one slot per
+        shed, each step counted as a ``shard_admission_reduced``
+        action.
+        """
         self.report = SupervisorReport()
         results: Dict[int, object] = {}
         if not tasks:
             return [], self.report
+        if stop_token is None:
+            stop_token = current_token()
         with tempfile.TemporaryDirectory(
             prefix="repro-supervise-"
         ) as hb_dir:
-            self._run_pool(list(tasks), results, hb_dir, faults, fn)
+            self._run_pool(
+                list(tasks), results, hb_dir, faults, fn,
+                stop_token, governor, deadline,
+            )
         self._persist_dead_letters()
         return [results[index] for index in sorted(results)], self.report
 
     # -- main supervision loop ----------------------------------------
 
-    def _run_pool(self, tasks, results, hb_dir, faults, fn) -> None:
+    def _run_pool(
+        self, tasks, results, hb_dir, faults, fn,
+        stop_token=None, governor=None, deadline=None,
+    ) -> None:
         config = self.config
         policy = config.retry_policy()
         pending: Deque[Tuple[object, int]] = deque(
@@ -267,8 +322,36 @@ class ShardSupervisor:
         killed: Dict[int, str] = {}
         executor = self._spawn()
         running: Dict[Future, Tuple[object, int]] = {}
+        effective_pool = self.pool_size
         try:
             while pending or delayed or suspects or running:
+                if self.report.stop_reason is None:
+                    reason = self._guard_reason(stop_token, deadline)
+                    if reason is not None:
+                        self.report.stop_reason = reason
+                if self.report.stop_reason is not None and (
+                    pending or delayed or suspects
+                ):
+                    # Stop admitting: queued work (including retries
+                    # scheduled mid-drain) is surrendered; in-flight
+                    # shards finish and keep their results.
+                    self.report.unstarted += (
+                        len(pending) + len(delayed) + len(suspects)
+                    )
+                    pending.clear()
+                    delayed = []
+                    suspects.clear()
+                    if not running:
+                        break
+                if (
+                    governor is not None
+                    and governor.tick(governor.sample_every)
+                    and effective_pool > 1
+                ):
+                    effective_pool -= 1
+                    governor.record_action(
+                        "shard_admission_reduced", units=1
+                    )
                 now = time.monotonic()
                 if delayed:
                     ready = [e for e in delayed if e[0] <= now]
@@ -286,7 +369,7 @@ class ShardSupervisor:
                         task, attempt, results, hb_dir, faults, fn,
                         policy, delayed,
                     )
-                while pending and len(running) < self.pool_size:
+                while pending and len(running) < effective_pool:
                     task, attempt = pending.popleft()
                     envelope = ShardEnvelope(
                         task, attempt, hb_dir, faults, fn
@@ -363,6 +446,15 @@ class ShardSupervisor:
 
     # -- helpers -------------------------------------------------------
 
+    @staticmethod
+    def _guard_reason(stop_token, deadline) -> Optional[str]:
+        """Why admission should stop now, or ``None``."""
+        if stop_token is not None and stop_token.stop_requested():
+            return stop_token.reason or "stop"
+        if deadline is not None and deadline.expired():
+            return deadline.reason
+        return None
+
     def _spawn(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(max_workers=self.pool_size)
 
@@ -372,7 +464,7 @@ class ShardSupervisor:
         to exactly that shard via ``killed``."""
         timeout = self.config.shard_timeout
         stale_after = max(timeout, STALL_GRACE)
-        now = time.time()
+        now = time.monotonic()
         for task, _attempt in running.values():
             if task.index in killed:
                 continue

@@ -1,0 +1,52 @@
+"""Wall-clock run budgets.
+
+A run given ``--deadline N`` must end within roughly N seconds with
+whatever it has — partial results explicitly marked ``degraded`` in
+the metrics document — rather than overstay a maintenance window or a
+batch-scheduler slot.  :class:`DeadlineBudget` is a monotonic-clock
+countdown the long-running loops poll at the same boundaries they poll
+the stop token; expiry is sticky and carries the stable stop reason
+``"deadline"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["DeadlineBudget"]
+
+#: The stop reason a deadline expiry reports everywhere.
+REASON = "deadline"
+
+
+class DeadlineBudget:
+    """Sticky wall-clock countdown started at construction."""
+
+    def __init__(
+        self,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self.started = clock()
+        self._expired = False
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left; never negative."""
+        return max(0.0, self.seconds - self.elapsed)
+
+    def expired(self) -> bool:
+        """True once the budget is spent (sticky thereafter)."""
+        if not self._expired and self.elapsed >= self.seconds:
+            self._expired = True
+        return self._expired
+
+    reason = REASON

@@ -1,0 +1,168 @@
+"""RSS budget enforcement: sample, detect pressure, pace the shedding.
+
+An ISP-scale run pushed past its memory budget must degrade measurably
+instead of being OOM-killed.  :class:`MemoryGovernor` is the *when* of
+that trade: it samples the process RSS on a record-count stride,
+compares it against a configured budget, and tells its caller when to
+shed — the *what* (early checkpoint, state-table shrink, shard
+admission reduction) stays with the component that owns the memory,
+and every action is counted in the shared
+:class:`~repro.runtime.overload.OverloadMetrics`.
+
+Pressure is entered above ``headroom × budget`` (default 90%) — the
+point of a budget is acting *before* the kernel does.  After each shed
+the governor holds a cooldown of further samples so the ladder doesn't
+strip all state in one burst while the allocator is still returning
+memory.
+
+RSS is read from ``/proc/self/statm`` (current resident pages); where
+that is unavailable the fallback is ``resource.getrusage``'s
+``ru_maxrss`` — a peak, not a current, value, which makes the governor
+strictly more conservative there.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import re
+import resource
+from typing import Callable, Optional
+
+from repro.runtime.overload import OverloadMetrics
+
+__all__ = [
+    "MemoryGovernor",
+    "parse_memory_size",
+    "read_rss_bytes",
+]
+
+_PAGE_SIZE = resource.getpagesize()
+_STATM = "/proc/self/statm"
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>[kmgt]?i?b?)\s*$",
+    re.IGNORECASE,
+)
+_SIZE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": 1 << 10,
+    "m": 1 << 20,
+    "g": 1 << 30,
+    "t": 1 << 40,
+}
+
+#: ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_UNIT = 1 if os.uname().sysname == "Darwin" else 1024
+
+
+def parse_memory_size(text: str) -> int:
+    """``"512M"`` / ``"1.5GiB"`` / ``"1073741824"`` → bytes."""
+    match = _SIZE_RE.match(str(text))
+    if not match:
+        raise ValueError(f"unparseable memory size {text!r}")
+    number = float(match.group("number"))
+    unit = match.group("unit").lower().rstrip("b").rstrip("i")
+    factor = _SIZE_UNITS.get(unit)
+    if factor is None:
+        raise ValueError(f"unknown memory unit in {text!r}")
+    size = int(number * factor)
+    if size <= 0:
+        raise ValueError("memory size must be positive")
+    return size
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size of this process, in bytes."""
+    try:
+        with open(_STATM, "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            * _RU_MAXRSS_UNIT
+        )
+
+
+class MemoryGovernor:
+    """Budget-driven pacing of memory shedding.
+
+    ``tick(records)`` is the hot-path entry: it only samples once per
+    ``sample_every`` accumulated records, and returns ``True`` exactly
+    when the caller should run its shed ladder (pressure detected and
+    the cooldown from the previous shed has elapsed).
+    """
+
+    def __init__(
+        self,
+        budget_bytes: int,
+        headroom: float = 0.9,
+        sample_every: int = 4096,
+        cooldown: int = 4,
+        sampler: Optional[Callable[[], int]] = None,
+        metrics: Optional[OverloadMetrics] = None,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive")
+        if not 0.0 < headroom <= 1.0:
+            raise ValueError("headroom must be in (0, 1]")
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.budget_bytes = budget_bytes
+        self.pressure_bytes = int(budget_bytes * headroom)
+        self.sample_every = sample_every
+        self.cooldown = cooldown
+        self._sampler = sampler if sampler is not None else read_rss_bytes
+        self.metrics = metrics if metrics is not None else OverloadMetrics()
+        self.metrics.memory_budget_bytes = budget_bytes
+        self.last_rss = 0
+        self._until_sample = sample_every
+        self._cooldown_left = 0
+
+    # -- sampling -----------------------------------------------------
+
+    def sample(self) -> int:
+        """Read RSS now, update the peak, and classify pressure."""
+        rss = self._sampler()
+        self.last_rss = rss
+        self.metrics.record_sample(rss)
+        if rss > self.pressure_bytes:
+            self.metrics.pressure_events += 1
+        return rss
+
+    @property
+    def under_pressure(self) -> bool:
+        """The most recent sample exceeded the pressure threshold."""
+        return self.last_rss > self.pressure_bytes
+
+    def tick(self, records: int = 1) -> bool:
+        """Account ``records`` of work; true when a shed is due.
+
+        Cheap between samples (one subtraction); at most one RSS read
+        per ``sample_every`` records.
+        """
+        self._until_sample -= records
+        if self._until_sample > 0:
+            return False
+        self._until_sample = self.sample_every
+        self.sample()
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return False
+        if not self.under_pressure:
+            return False
+        self._cooldown_left = self.cooldown
+        return True
+
+    # -- shared shed actions ------------------------------------------
+
+    def record_action(self, name: str, units: int = 0) -> None:
+        self.metrics.record_action(name, units)
+
+    def collect_garbage(self) -> None:
+        """The ladder's last unconditional rung: a full GC pass."""
+        gc.collect()
+        self.metrics.record_action("gc_collect")

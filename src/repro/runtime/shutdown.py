@@ -1,0 +1,182 @@
+"""Signal-driven graceful shutdown: drain to checkpoint, then exit.
+
+A production detector is killed as a matter of routine — redeploys,
+autoscaler downscale, operator Ctrl+C.  The contract this module
+provides: the *first* SIGTERM/SIGINT flips a cooperative
+:class:`StopToken`; every long-running loop (the stream engine's
+record loop, the shard supervisor's admission loop) polls the token at
+its next safe boundary, stops starting new work, persists a final
+checkpoint, flushes its sinks, and returns.  A drained run resumes
+from that checkpoint with an event log byte-identical to an
+uninterrupted run — nothing is lost but wall time.
+
+Escalation: a *second* delivery of the same signal restores the
+original disposition and re-raises it (an operator hammering Ctrl+C
+gets the immediate kill they are asking for), and an optional
+``grace`` budget hard-exits the process with
+:data:`EXIT_DRAIN_TIMEOUT` if the drain itself wedges — a stuck drain
+must not turn a graceful shutdown into an unkillable process.
+
+Exit codes (see README "Graceful shutdown & overload"):
+
+* :data:`EXIT_COMPLETED` (0) — the run consumed its whole input;
+* :data:`EXIT_DRAINED` (3) — a signal or deadline ended the run early
+  but cleanly: state is checkpointed and ``--resume`` continues it;
+* :data:`EXIT_DRAIN_TIMEOUT` (70) — the drain exceeded the
+  ``--drain-grace`` budget and the process force-exited.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import threading
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "EXIT_COMPLETED",
+    "EXIT_DRAINED",
+    "EXIT_DRAIN_TIMEOUT",
+    "ShutdownCoordinator",
+    "StopToken",
+    "current_token",
+]
+
+EXIT_COMPLETED = 0
+EXIT_DRAINED = 3
+EXIT_DRAIN_TIMEOUT = 70
+
+#: The process-wide token the active coordinator exposes (see
+#: :func:`current_token`).
+_CURRENT: Optional["StopToken"] = None
+
+
+class StopToken:
+    """A cooperative, one-way stop request.
+
+    Safe to set from a signal handler or another thread; cheap to poll
+    from a hot loop (:meth:`stop_requested` is one ``Event.is_set``).
+    The first :meth:`stop` wins — the recorded ``reason`` never
+    changes afterwards, so metrics report why the run *started*
+    stopping, not the last straw.
+    """
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def stop(self, reason: str) -> None:
+        if self.reason is None:
+            self.reason = reason
+        self._event.set()
+
+    def stop_requested(self) -> bool:
+        return self._event.is_set()
+
+    def __bool__(self) -> bool:
+        return self._event.is_set()
+
+
+def current_token() -> Optional[StopToken]:
+    """The active coordinator's token, or ``None``.
+
+    Long-running entry points use this as their default stop token, so
+    installing one :class:`ShutdownCoordinator` at the CLI's top level
+    makes every loop underneath it drain-aware without threading the
+    token through each call signature.
+    """
+    return _CURRENT
+
+
+class ShutdownCoordinator:
+    """Installs signal handlers that drive a :class:`StopToken`.
+
+    Use as a context manager around the run::
+
+        token = StopToken()
+        with ShutdownCoordinator(token, grace=30.0):
+            engine.process_flowfile(path)   # polls the token
+            engine.drain()                  # final checkpoint + flush
+
+    Handlers are installed on ``__enter__`` and the originals restored
+    on ``__exit__``; nesting is a programming error only in that the
+    innermost coordinator wins :func:`current_token` until it exits.
+    Signal handlers can only be installed from the main thread; off
+    the main thread the coordinator degrades to a plain token holder
+    (``installed`` stays false) so library use inside worker threads
+    keeps working.
+    """
+
+    def __init__(
+        self,
+        token: Optional[StopToken] = None,
+        signals: Iterable[int] = (signal.SIGTERM, signal.SIGINT),
+        grace: Optional[float] = None,
+    ) -> None:
+        if grace is not None and grace <= 0:
+            raise ValueError("grace must be positive when set")
+        self.token = token if token is not None else StopToken()
+        self.signals = tuple(signals)
+        self.grace = grace
+        self.signals_received = 0
+        self.installed = False
+        self._previous: Dict[int, object] = {}
+        self._outer_token: Optional[StopToken] = None
+        self._grace_timer: Optional[threading.Timer] = None
+
+    # -- context manager ----------------------------------------------
+
+    def __enter__(self) -> "ShutdownCoordinator":
+        global _CURRENT
+        self._outer_token = _CURRENT
+        _CURRENT = self.token
+        if threading.current_thread() is threading.main_thread():
+            for signum in self.signals:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle
+                )
+            self.installed = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _CURRENT
+        _CURRENT = self._outer_token
+        if self._grace_timer is not None:
+            self._grace_timer.cancel()
+            self._grace_timer = None
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+        self.installed = False
+
+    # -- signal path --------------------------------------------------
+
+    def _handle(self, signum: int, frame) -> None:
+        self.signals_received += 1
+        name = signal.Signals(signum).name
+        if self.token.stop_requested():
+            # Second delivery: the operator wants out *now*.  Restore
+            # the original disposition and re-raise the signal.
+            previous = self._previous.pop(signum, signal.SIG_DFL)
+            signal.signal(signum, previous)  # type: ignore[arg-type]
+            os.kill(os.getpid(), signum)
+            return
+        self.token.stop(f"signal:{name}")
+        sys.stderr.write(
+            f"repro: received {name}; draining to checkpoint "
+            "(send again to exit immediately)\n"
+        )
+        if self.grace is not None:
+            self._grace_timer = threading.Timer(
+                self.grace, self._force_exit
+            )
+            self._grace_timer.daemon = True
+            self._grace_timer.start()
+
+    def _force_exit(self) -> None:  # pragma: no cover - exits process
+        os.write(
+            2,
+            b"repro: drain exceeded the grace budget; force-exiting\n",
+        )
+        os._exit(EXIT_DRAIN_TIMEOUT)

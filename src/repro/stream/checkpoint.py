@@ -7,9 +7,12 @@ A checkpoint is one file::
 
 written atomically: the bytes go to a ``.tmp`` sibling first, are
 fsynced, and only then renamed over the final name (``os.replace`` is
-atomic on POSIX).  A crash therefore leaves either the previous
-checkpoint intact or a ``.tmp`` leftover — never a half-written final
-file.  The header makes the remaining failure modes (truncation on a
+atomic on POSIX), after which the *directory* is fsynced too — the
+rename itself lives in directory metadata, and without that second
+fsync a power cut can roll the directory back to before the rename
+even though the data blocks hit the platter.  A crash therefore leaves
+either the previous checkpoint intact or a ``.tmp`` leftover — never a
+half-written final file.  The header makes the remaining failure modes (truncation on a
 dying disk, a foreign or future file format) detectable: the reader
 verifies magic, version, payload length and SHA-256 digest and falls
 back to the previous checkpoint with a logged warning on any mismatch.
@@ -109,10 +112,31 @@ def write_checkpoint(
         if fsync:
             os.fsync(fh.fileno())
     os.replace(temp, final)
+    if fsync:
+        _fsync_directory(directory)
     for _seq, stale in list_checkpoints(directory)[: -keep or None]:
         if stale != final:
             stale.unlink(missing_ok=True)
     return final
+
+
+def _fsync_directory(directory: pathlib.Path) -> None:
+    """Make the ``os.replace`` rename itself durable.
+
+    Directory fds can't be opened on some filesystems (or at all on
+    some platforms); failing to sync is then a durability downgrade,
+    not an error — the checkpoint content is already fsynced.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def read_checkpoint(

@@ -36,7 +36,7 @@ from __future__ import annotations
 import pathlib
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.core.detector import _AnonymizerCache
 from repro.core.hitlist import Hitlist
@@ -45,6 +45,9 @@ from repro.engine.metrics import StreamMetrics
 from repro.netflow.records import PROTO_TCP, TCP_ACK, TCP_SYN
 from repro.netflow.replay import FlowReplaySource, FlowTuple, iter_flow_tuples
 from repro.resilience.quarantine import QuarantineSink
+from repro.runtime.deadline import DeadlineBudget
+from repro.runtime.memory import MemoryGovernor
+from repro.runtime.shutdown import StopToken, current_token
 from repro.stream.checkpoint import (
     CheckpointError,
     load_latest,
@@ -58,6 +61,15 @@ __all__ = ["StreamConfig", "StreamDetectionEngine"]
 
 #: Version of the engine-state payload inside a checkpoint.
 STATE_VERSION = 1
+
+#: Records between runtime-guard polls (stop token, deadline, memory
+#: governor).  Small enough that a SIGTERM drains within a fraction of
+#: a millisecond of stream time; large enough to keep the per-record
+#: cost of guarding at one integer decrement.
+GUARD_STRIDE = 64
+
+#: A pressure shrink never reduces a state table below this bound.
+_MIN_TABLE_BOUND = 128
 
 #: Config fields that determine detection output; a checkpoint's values
 #: are authoritative on resume so a resumed run cannot diverge.
@@ -103,6 +115,9 @@ class StreamDetectionEngine:
         config: Optional[StreamConfig] = None,
         sink=None,
         quarantine: Optional[QuarantineSink] = None,
+        stop_token: Optional[StopToken] = None,
+        governor: Optional[MemoryGovernor] = None,
+        deadline: Optional[DeadlineBudget] = None,
     ) -> None:
         config = config or StreamConfig()
         if config.workers < 1:
@@ -138,6 +153,19 @@ class StreamDetectionEngine:
             checkpoint_every=config.checkpoint_every,
             threshold=config.threshold,
         )
+        # -- runtime guards (see repro.runtime) -----------------------
+        self._stop_token = stop_token
+        self.governor = governor
+        self.deadline = deadline
+        if governor is not None:
+            self.metrics.overload = governor.metrics
+        if deadline is not None:
+            self.metrics.overload.deadline_seconds = deadline.seconds
+        #: digests whose evidence a pressure shrink discarded — the
+        #: accounting tests use this to scope the match-on-unshedded
+        #: guarantee
+        self.shed_subscribers: Set[str] = set()
+        self._pressure_sheds = 0
 
     # -- construction from a checkpoint -------------------------------
 
@@ -149,6 +177,9 @@ class StreamDetectionEngine:
         config: Optional[StreamConfig] = None,
         sink=None,
         quarantine: Optional[QuarantineSink] = None,
+        stop_token: Optional[StopToken] = None,
+        governor: Optional[MemoryGovernor] = None,
+        deadline: Optional[DeadlineBudget] = None,
     ) -> "StreamDetectionEngine":
         """Rebuild an engine from the newest usable checkpoint.
 
@@ -181,7 +212,16 @@ class StreamDetectionEngine:
             config,
             **{name: saved[name] for name in _IDENTITY_FIELDS},
         )
-        engine = cls(rules, hitlist, config, sink, quarantine=quarantine)
+        engine = cls(
+            rules,
+            hitlist,
+            config,
+            sink,
+            quarantine=quarantine,
+            stop_token=stop_token,
+            governor=governor,
+            deadline=deadline,
+        )
         engine.metrics.resumed_from_generation = loaded.seq
         engine.metrics.checkpoint_fallbacks = loaded.fallbacks
         engine._tables = [
@@ -218,10 +258,20 @@ class StreamDetectionEngine:
 
         ``max_records`` bounds this call (used by tests to simulate a
         kill mid-stream); the engine remains resumable afterwards.
+
+        Runtime guards (stop token, ``deadline``, memory ``governor``)
+        are polled every :data:`GUARD_STRIDE` records: a requested stop
+        or an expired deadline ends the call early (the engine remains
+        resumable; call :meth:`drain` to persist), memory pressure runs
+        the shed ladder in place.
         """
         observe = self._observe
         checkpoint_every = self.config.checkpoint_every
         processed = 0
+        guard_left = GUARD_STRIDE
+        drops_before = dict(getattr(source, "drops", None) or {})
+        if self._check_guards(0):  # stop already requested
+            return 0
         started = time.perf_counter()
         try:
             for index, flow in source:
@@ -243,6 +293,11 @@ class StreamDetectionEngine:
                     == 0
                 ):
                     self.write_checkpoint()
+                guard_left -= 1
+                if guard_left <= 0:
+                    guard_left = GUARD_STRIDE
+                    if self._check_guards(GUARD_STRIDE):
+                        break
                 if max_records is not None and processed >= max_records:
                     break
         finally:
@@ -252,6 +307,7 @@ class StreamDetectionEngine:
                 self.metrics.source_high_watermark = max(
                     self.metrics.source_high_watermark, watermark
                 )
+            self._fold_source_drops(source, drops_before)
             self._sync_state_metrics()
         return processed
 
@@ -271,6 +327,9 @@ class StreamDetectionEngine:
         checkpoint_every = self.config.checkpoint_every
         index = start_index
         processed = 0
+        guard_left = GUARD_STRIDE
+        if self._check_guards(0):  # stop already requested
+            return 0
         started = time.perf_counter()
         try:
             for when, src, dst, proto, dport, flags in tuples:
@@ -285,6 +344,11 @@ class StreamDetectionEngine:
                     == 0
                 ):
                     self.write_checkpoint()
+                guard_left -= 1
+                if guard_left <= 0:
+                    guard_left = GUARD_STRIDE
+                    if self._check_guards(GUARD_STRIDE):
+                        break
                 if max_records is not None and processed >= max_records:
                     break
         finally:
@@ -426,6 +490,109 @@ class StreamDetectionEngine:
         metrics.checkpoint_seconds += time.perf_counter() - started
         return path
 
+    # -- runtime guards (see repro.runtime) ---------------------------
+
+    @property
+    def stop_token(self) -> Optional[StopToken]:
+        """The explicit token, else the active coordinator's."""
+        if self._stop_token is not None:
+            return self._stop_token
+        return current_token()
+
+    @property
+    def stopped(self) -> bool:
+        """A guard (signal or deadline) ended the last ingest early."""
+        return self.metrics.overload.stop_reason is not None
+
+    def _check_guards(self, records: int) -> bool:
+        """Poll the runtime guards; true when ingest must stop."""
+        governor = self.governor
+        if governor is not None and governor.tick(records):
+            self._shed_memory(governor)
+        deadline = self.deadline
+        if deadline is not None and deadline.expired():
+            self._note_stop(deadline.reason)
+            return True
+        token = self.stop_token
+        if token is not None and token.stop_requested():
+            self._note_stop(token.reason or "stop")
+            return True
+        return False
+
+    def _note_stop(self, reason: str) -> None:
+        if self.metrics.overload.stop_reason is None:
+            self.metrics.overload.stop_reason = reason
+
+    def _shed_memory(self, governor: MemoryGovernor) -> None:
+        """Run the shed ladder, lossless rungs before lossy ones.
+
+        First pressure event: drop the recomputable identity cache,
+        persist an early checkpoint (so shrinking afterwards cannot
+        widen the replay window), and collect garbage — detection
+        output is unaffected.  If pressure persists into later shed
+        events, evidence is shed for real: every state table is shrunk
+        to half its occupancy (never below ``_MIN_TABLE_BOUND``), with
+        the evicted digests recorded in :attr:`shed_subscribers`.
+        Subscribers never shed keep exactly the detections an
+        unconstrained run would give them.
+        """
+        self._pressure_sheds += 1
+        if self._identities:
+            governor.record_action(
+                "identity_cache_clear", units=len(self._identities)
+            )
+            self._identities.clear()
+        if (
+            self.config.checkpoint_dir is not None
+            and self.metrics.records_since_checkpoint
+        ):
+            self.write_checkpoint()
+            governor.record_action("early_checkpoint")
+        governor.collect_garbage()
+        if self._pressure_sheds == 1:
+            return
+        shed = 0
+        for table in self._tables:
+            target = max(_MIN_TABLE_BOUND, len(table) // 2)
+            evicted = table.shrink(target)
+            self.shed_subscribers.update(evicted)
+            shed += len(evicted)
+        if shed:
+            governor.record_action("table_shrink", units=shed)
+
+    def _fold_source_drops(self, source, drops_before) -> None:
+        """Account a source's shed-policy drops since this call began."""
+        drops = getattr(source, "drops", None)
+        if not drops:
+            return
+        delta = {
+            reason: count - drops_before.get(reason, 0)
+            for reason, count in drops.items()
+        }
+        self.metrics.overload.record_drops(
+            {r: c for r, c in delta.items() if c > 0}
+        )
+
+    def drain(self) -> Optional[pathlib.Path]:
+        """Persist everything a resume needs; returns the checkpoint.
+
+        Called after an early stop (signal, deadline): writes a final
+        checkpoint at the exact record index reached — any index, not
+        just a ``checkpoint_every`` boundary — and flushes the event
+        sink, so the resumed run's event log ends byte-identical to an
+        uninterrupted run's.  A no-op checkpoint-wise when nothing was
+        folded since the last one, or without a checkpoint directory.
+        """
+        path = None
+        if (
+            self.config.checkpoint_dir is not None
+            and self.metrics.records_since_checkpoint
+        ):
+            path = self.write_checkpoint()
+        self.sink.flush(sync=True)
+        self._sync_state_metrics()
+        return path
+
     # -- reporting ----------------------------------------------------
 
     def _sync_state_metrics(self) -> None:
@@ -438,6 +605,13 @@ class StreamDetectionEngine:
         self.metrics.evicted_ttl = sum(
             table.evicted_ttl for table in self._tables
         )
+        self.metrics.evicted_pressure = sum(
+            table.evicted_pressure for table in self._tables
+        )
+        for table in self._tables:
+            if table.pressure_evicted:
+                self.shed_subscribers.update(table.pressure_evicted)
+                table.pressure_evicted.clear()
         if self.quarantine is not None:
             self.metrics.records_quarantined = self.quarantine.total
             self.metrics.quarantine_reasons = dict(self.quarantine.counts)

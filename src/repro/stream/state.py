@@ -16,7 +16,7 @@ resumed run behaves bit-identically to an uninterrupted one.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.detector import SubscriberProgress
 
@@ -42,6 +42,14 @@ class EvidenceStateTable:
         self._entries: "OrderedDict[str, List[object]]" = OrderedDict()
         self.evicted_lru = 0
         self.evicted_ttl = 0
+        #: entries shed by a memory-pressure shrink (see :meth:`shrink`)
+        self.evicted_pressure = 0
+        #: true once :meth:`shrink` reduced the bound — overflow
+        #: evictions are then *caused* by pressure, and charged to it
+        self.pressure_reduced = False
+        #: digests evicted under a pressure-reduced bound since the
+        #: owner last drained this list (shed accounting)
+        self.pressure_evicted: List[str] = []
         #: event-time high watermark driving TTL expiry
         self._clock = 0
 
@@ -68,8 +76,12 @@ class EvidenceStateTable:
             self._entries.move_to_end(digest)
         self.expire(self._clock)
         while len(self._entries) > self.max_subscribers:
-            self._entries.popitem(last=False)
-            self.evicted_lru += 1
+            evicted, _ = self._entries.popitem(last=False)
+            if self.pressure_reduced:
+                self.evicted_pressure += 1
+                self.pressure_evicted.append(evicted)
+            else:
+                self.evicted_lru += 1
         return entry[1]  # type: ignore[return-value]
 
     def expire(self, watermark: int) -> int:
@@ -89,6 +101,27 @@ class EvidenceStateTable:
         self.evicted_ttl += evicted
         return evicted
 
+    def shrink(self, new_max: int) -> List[str]:
+        """Reduce the table bound (memory pressure), never growing it.
+
+        Least-recently-active entries beyond the new bound are evicted
+        immediately; the evicted digests are returned so the caller
+        can account exactly *whose* evidence was shed.  Shrinking is
+        part of the table's state, so a checkpoint taken afterwards
+        restores the reduced bound on resume.
+        """
+        if new_max < 1:
+            raise ValueError("new_max must be >= 1")
+        if new_max < self.max_subscribers:
+            self.max_subscribers = new_max
+            self.pressure_reduced = True
+        evicted: List[str] = []
+        while len(self._entries) > self.max_subscribers:
+            digest, _entry = self._entries.popitem(last=False)
+            evicted.append(digest)
+        self.evicted_pressure += len(evicted)
+        return evicted
+
     def progress_of(self, digest: str) -> Optional[SubscriberProgress]:
         """The subscriber's progress without touching LRU order."""
         entry = self._entries.get(digest)
@@ -104,6 +137,8 @@ class EvidenceStateTable:
             "clock": self._clock,
             "evicted_lru": self.evicted_lru,
             "evicted_ttl": self.evicted_ttl,
+            "evicted_pressure": self.evicted_pressure,
+            "pressure_reduced": self.pressure_reduced,
             "entries": [
                 [digest, int(entry[0]), entry[1].to_state()]  # type: ignore[union-attr]
                 for digest, entry in self._entries.items()
@@ -123,6 +158,8 @@ class EvidenceStateTable:
         table._clock = int(state["clock"])  # type: ignore[arg-type]
         table.evicted_lru = int(state["evicted_lru"])  # type: ignore[arg-type]
         table.evicted_ttl = int(state["evicted_ttl"])  # type: ignore[arg-type]
+        table.evicted_pressure = int(state.get("evicted_pressure", 0))  # type: ignore[arg-type]
+        table.pressure_reduced = bool(state.get("pressure_reduced", False))
         for digest, last_active, progress in state["entries"]:  # type: ignore[union-attr]
             table._entries[str(digest)] = [
                 int(last_active),
