@@ -612,12 +612,11 @@ def _run_batch(args, parse_memory_size) -> int:
         return 0
 
     if args.command == "detect":
-        from repro.core.detector import FlowDetector
         from repro.core.serialization import (
             hitlist_from_json,
             rules_from_json,
         )
-        from repro.netflow.flowfile import read_flow_file
+        from repro.pipeline import PipelineConfig, run_flow_detection
 
         if args.artifacts is not None:
             hitlist = hitlist_from_json(
@@ -628,16 +627,29 @@ def _run_batch(args, parse_memory_size) -> int:
             )
         else:
             hitlist, rules = context.hitlist, context.rules
-        detector = FlowDetector(
-            rules, hitlist, threshold=args.threshold
+        # The offline assembly of the shared staged pipeline — same
+        # stage graph (and therefore same detections) as the stream
+        # path; see repro.pipeline.
+        result = run_flow_detection(
+            rules,
+            hitlist,
+            args.flows,
+            PipelineConfig.from_args(
+                threshold=args.threshold,
+                quarantine_dir=args.quarantine_dir,
+                memory_budget=(
+                    parse_memory_size(args.memory_budget)
+                    if args.memory_budget is not None
+                    else None
+                ),
+                deadline_seconds=args.deadline,
+            ),
         )
-        for flow in read_flow_file(args.flows):
-            detector.observe_flow(flow.src_ip, flow)
         print(
-            f"# flows={detector.flows_seen} "
-            f"matched={detector.flows_matched}"
+            f"# flows={result.flows_seen} "
+            f"matched={result.flows_matched}"
         )
-        for detection in detector.detections():
+        for detection in result.detections:
             print(
                 f"{detection.subscriber},{detection.class_name},"
                 f"{detection.detected_at}"

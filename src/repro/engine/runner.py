@@ -26,7 +26,6 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.engine.metrics import EngineMetrics
 from repro.engine.plan import build_cohort_plan, plan_shards
 from repro.engine.worker import (
     DEFAULT_BLOCK_BYTES,
@@ -34,10 +33,9 @@ from repro.engine.worker import (
     ShardTask,
     simulate_shard,
 )
+from repro.pipeline.core import GuardSet, StagedRun
+from repro.pipeline.metrics import EngineMetrics
 from repro.resilience.supervisor import ShardSupervisor, SupervisorConfig
-from repro.runtime.deadline import DeadlineBudget
-from repro.runtime.memory import MemoryGovernor
-from repro.runtime.shutdown import current_token
 
 __all__ = ["resolve_workers", "run_wild_isp_sharded"]
 
@@ -131,120 +129,103 @@ def run_wild_isp_sharded(
         )
 
     # ---- stage 1: compile cohorts into shard tasks ----------------------
-    stage_start = time.perf_counter()
-    plans = []
-    for product_name in sorted(ownership.product_owners):
-        plan = build_cohort_plan(
-            product_name,
-            ownership.product_owners[product_name],
-            scenario,
-            rules,
-            hitlist,
-            days=config.days,
-            sampling_interval=config.sampling_interval,
-            threshold=config.threshold,
-        )
-        if plan is not None:
-            plans.append(plan)
-
-    root = np.random.SeedSequence(config.seed)
-    cohort_sequences = root.spawn(len(plans))
-    tasks: List[ShardTask] = []
-    for plan, sequence in zip(plans, cohort_sequences):
-        shards = plan_shards(plan.owners.size, config.shard_size)
-        shard_sequences = sequence.spawn(len(shards))
-        for (start, stop), shard_sequence in zip(shards, shard_sequences):
-            tasks.append(
-                ShardTask(
-                    index=len(tasks),
-                    plan=plan,
-                    start=start,
-                    stop=stop,
-                    seed=shard_sequence,
-                    days=config.days,
-                    usage_packet_threshold=config.usage_packet_threshold,
-                    block_bytes=block_bytes,
-                )
+    # Staging and guard machinery are the shared pipeline layer's
+    # (see repro.pipeline.core); guards are wired in after the plan
+    # stage has built the metrics document they report into.
+    run = StagedRun()
+    with run.stage("plan"):
+        plans = []
+        for product_name in sorted(ownership.product_owners):
+            plan = build_cohort_plan(
+                product_name,
+                ownership.product_owners[product_name],
+                scenario,
+                rules,
+                hitlist,
+                days=config.days,
+                sampling_interval=config.sampling_interval,
+                threshold=config.threshold,
             )
-    workers = resolve_workers(config.workers, task_count=len(tasks))
-    metrics = EngineMetrics(
-        subscribers=config.subscribers,
-        days=config.days,
-        seed=config.seed,
-        sampling_interval=config.sampling_interval,
-        workers=workers,
-        shard_size=config.shard_size,
-        max_retries=config.max_retries,
-        shard_timeout=config.shard_timeout,
-    )
-    metrics.plan_seconds = time.perf_counter() - stage_start
+            if plan is not None:
+                plans.append(plan)
 
-    # ---- runtime guards --------------------------------------------------
-    if stop_token is None:
-        stop_token = current_token()
-    budget = getattr(config, "memory_budget", None)
-    governor = (
-        MemoryGovernor(budget, metrics=metrics.overload)
-        if budget is not None
-        else None
+        root = np.random.SeedSequence(config.seed)
+        cohort_sequences = root.spawn(len(plans))
+        tasks: List[ShardTask] = []
+        for plan, sequence in zip(plans, cohort_sequences):
+            shards = plan_shards(plan.owners.size, config.shard_size)
+            shard_sequences = sequence.spawn(len(shards))
+            for (start, stop), shard_sequence in zip(
+                shards, shard_sequences
+            ):
+                tasks.append(
+                    ShardTask(
+                        index=len(tasks),
+                        plan=plan,
+                        start=start,
+                        stop=stop,
+                        seed=shard_sequence,
+                        days=config.days,
+                        usage_packet_threshold=(
+                            config.usage_packet_threshold
+                        ),
+                        block_bytes=block_bytes,
+                    )
+                )
+        workers = resolve_workers(config.workers, task_count=len(tasks))
+        metrics = EngineMetrics(
+            subscribers=config.subscribers,
+            days=config.days,
+            seed=config.seed,
+            sampling_interval=config.sampling_interval,
+            workers=workers,
+            shard_size=config.shard_size,
+            max_retries=config.max_retries,
+            shard_timeout=config.shard_timeout,
+        )
+
+    # ---- runtime guards (see repro.pipeline.core) ------------------------
+    run.guards = GuardSet.build(
+        memory_budget=getattr(config, "memory_budget", None),
+        deadline=getattr(config, "deadline", None),
+        stop_token=stop_token,
+        overload=metrics.overload,
     )
-    deadline_seconds = getattr(config, "deadline", None)
-    deadline = (
-        DeadlineBudget(deadline_seconds)
-        if deadline_seconds is not None
-        else None
-    )
-    if deadline is not None:
-        metrics.overload.deadline_seconds = deadline.seconds
+    guards = run.guards
 
     # ---- stage 2: simulate shards (supervised) ---------------------------
-    stage_start = time.perf_counter()
     supervised = (
         faults is not None
         or config.shard_timeout is not None
         or (workers > 1 and len(tasks) > 1)
     )
-    if not supervised:
-        results = []
-        for position, task in enumerate(tasks):
-            reason = None
-            if stop_token is not None and stop_token.stop_requested():
-                reason = stop_token.reason or "stop"
-            elif deadline is not None and deadline.expired():
-                reason = deadline.reason
-            if reason is not None:
-                if metrics.overload.stop_reason is None:
-                    metrics.overload.stop_reason = reason
-                metrics.unstarted_shards += len(tasks) - position
-                metrics.overload.partial = True
-                break
-            if governor is not None and governor.tick(
-                governor.sample_every
-            ):
-                governor.collect_garbage()
-            results.append(simulate_shard(task))
-    else:
-        supervisor = ShardSupervisor(
-            pool_size=min(workers, max(1, len(tasks))),
-            config=SupervisorConfig(
-                max_retries=config.max_retries,
-                shard_timeout=config.shard_timeout,
-                quarantine_dir=(
-                    pathlib.Path(config.quarantine_dir)
-                    if config.quarantine_dir is not None
-                    else None
+    with run.stage("simulate"):
+        if not supervised:
+            results = []
+            for task in run.admit(tasks):
+                results.append(simulate_shard(task))
+            metrics.unstarted_shards += run.surrendered
+        else:
+            supervisor = ShardSupervisor(
+                pool_size=min(workers, max(1, len(tasks))),
+                config=SupervisorConfig(
+                    max_retries=config.max_retries,
+                    shard_timeout=config.shard_timeout,
+                    quarantine_dir=(
+                        pathlib.Path(config.quarantine_dir)
+                        if config.quarantine_dir is not None
+                        else None
+                    ),
                 ),
-            ),
-        )
-        results, report = supervisor.run(
-            tasks,
-            faults=faults,
-            stop_token=stop_token,
-            governor=governor,
-            deadline=deadline,
-        )
-        metrics.record_supervision(report)
-    metrics.simulate_seconds = time.perf_counter() - stage_start
+            )
+            results, report = supervisor.run(
+                tasks,
+                faults=faults,
+                stop_token=guards.stop_token,
+                governor=guards.governor,
+                deadline=guards.deadline,
+            )
+            metrics.record_supervision(report)
 
     # ---- stage 3: deterministic fold (task order) ------------------------
     stage_start = time.perf_counter()
@@ -299,7 +280,11 @@ def run_wild_isp_sharded(
         )
         for class_name in class_names
     }
-    metrics.aggregate_seconds = time.perf_counter() - stage_start
+    run.seconds["aggregate"] = time.perf_counter() - stage_start
+
+    metrics.plan_seconds = run.seconds.get("plan", 0.0)
+    metrics.simulate_seconds = run.seconds.get("simulate", 0.0)
+    metrics.aggregate_seconds = run.seconds.get("aggregate", 0.0)
 
     return WildIspResult(
         config=config,

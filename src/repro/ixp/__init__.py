@@ -1,7 +1,12 @@
 """IXP substrate: member ASes (eyeball vs non-eyeball), the switching
 fabric with IPFIX sampling, routing asymmetry, and the anti-spoofing
-filter of Section 6.3."""
+filter of Section 6.3.
 
+Flow-level detection at the fabric is a :mod:`repro.pipeline`
+assembly — :func:`~repro.ixp.detect.detect_fabric_flows` keys by
+source address and keeps the anti-spoofing Validate stage on."""
+
+from repro.ixp.detect import IxpDetectionResult, detect_fabric_flows
 from repro.ixp.members import IxpMember, build_members
 from repro.ixp.fabric import (
     IxpConfig,
@@ -12,6 +17,8 @@ from repro.ixp.fabric import (
 )
 
 __all__ = [
+    "IxpDetectionResult",
+    "detect_fabric_flows",
     "IxpMember",
     "build_members",
     "IxpConfig",

@@ -1,6 +1,13 @@
 """Flow-measurement substrate: packet and flow records, packet sampling,
-a flow cache (collector), and binary NetFlow v9 / IPFIX codecs."""
+a flow cache (collector), binary NetFlow v9 / IPFIX codecs, and the
+memoised CSV line parser shared by the record and tuple read paths."""
 
+from repro.netflow.parse import (
+    FLOW_FILE_COLUMNS,
+    FlowLineParser,
+    FlowTuple,
+    SHARED_PARSER,
+)
 from repro.netflow.records import (
     FlowKey,
     FlowRecord,
@@ -19,6 +26,7 @@ from repro.netflow.sampler import PacketSampler, sample_packet_counts
 from repro.netflow.collector import FlowCollector
 from repro.netflow.v9 import NetflowV9Codec
 from repro.netflow.flowfile import (
+    parse_flow_line,
     read_flow_file,
     write_flow_file,
 )
@@ -26,6 +34,11 @@ from repro.netflow.ipfix import IpfixCodec
 from repro.netflow.replay import FlowReplaySource, iter_flow_tuples
 
 __all__ = [
+    "FLOW_FILE_COLUMNS",
+    "FlowLineParser",
+    "FlowTuple",
+    "SHARED_PARSER",
+    "parse_flow_line",
     "FlowKey",
     "FlowRecord",
     "PacketRecord",

@@ -20,8 +20,13 @@ import io
 import pathlib
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
-from repro.cloud.addressing import ip_to_str, str_to_ip
-from repro.netflow.records import FlowKey, FlowRecord
+from repro.cloud.addressing import ip_to_str
+from repro.netflow.parse import (
+    FLOW_FILE_COLUMNS,
+    SHARED_PARSER,
+    FlowLineParser,
+)
+from repro.netflow.records import FlowRecord
 
 __all__ = [
     "FLOW_FILE_COLUMNS",
@@ -31,10 +36,6 @@ __all__ = [
     "parse_flow_line",
 ]
 
-FLOW_FILE_COLUMNS = (
-    "first", "last", "src", "dst", "proto", "sport", "dport",
-    "packets", "bytes", "flags",
-)
 _HEADER_PREFIX = "# haystack-flows v1"
 
 
@@ -57,31 +58,20 @@ def format_flow(flow: FlowRecord) -> str:
 
 
 def parse_flow_line(
-    line: str, sampling_interval: int = 1
+    line: str,
+    sampling_interval: int = 1,
+    parser: Optional[FlowLineParser] = None,
 ) -> FlowRecord:
-    """Parse one CSV line back into a flow record."""
-    parts = line.strip().split(",")
-    if len(parts) != len(FLOW_FILE_COLUMNS):
-        raise ValueError(
-            f"flow line has {len(parts)} fields, expected "
-            f"{len(FLOW_FILE_COLUMNS)}: {line!r}"
-        )
-    (first, last, src, dst, proto, sport, dport, packets, size,
-     flags) = parts
-    return FlowRecord(
-        key=FlowKey(
-            src_ip=str_to_ip(src),
-            dst_ip=str_to_ip(dst),
-            protocol=int(proto),
-            src_port=int(sport),
-            dst_port=int(dport),
-        ),
-        first_switched=int(first),
-        last_switched=int(last),
-        packets=int(packets),
-        bytes=int(size),
-        tcp_flags=int(flags, 16),
-        sampling_interval=sampling_interval,
+    """Parse one CSV line back into a flow record.
+
+    Parsing goes through the shared memoised
+    :class:`~repro.netflow.parse.FlowLineParser` — the same
+    implementation the stream fast path uses — so both paths agree on
+    the column contract and error message.
+    """
+    parser = parser if parser is not None else SHARED_PARSER
+    return parser.record(
+        parser.split(line.strip()), sampling_interval
     )
 
 

@@ -1,0 +1,130 @@
+"""Memoised flow-line parsing, shared by the record and tuple paths.
+
+Historically the repo parsed haystack-flows CSV lines twice: once in
+:func:`repro.netflow.flowfile.parse_flow_line` (full
+:class:`~repro.netflow.records.FlowRecord` construction for the batch
+path) and once inside ``iter_flow_tuples`` (column-subset tuples for
+the stream fast path), each with its own dotted-quad conversion and
+memoisation.  :class:`FlowLineParser` is the single implementation both
+now call: one split contract, one error message, one pair of bounded
+memo caches.
+
+Dotted quads and flag bytes repeat heavily — subscriber lines and
+hitlist endpoints are small sets next to the record count — so memoised
+conversions dominate raw parsing.  The caches are bounded: cleared if
+an adversarially diverse stream ever bloats them past
+:data:`PARSE_CACHE_LIMIT` entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cloud.addressing import str_to_ip
+from repro.netflow.records import FlowKey, FlowRecord
+
+__all__ = [
+    "FLOW_FILE_COLUMNS",
+    "FlowLineParser",
+    "FlowTuple",
+    "PARSE_CACHE_LIMIT",
+    "SHARED_PARSER",
+]
+
+#: Column order of the haystack-flows CSV format (see
+#: :mod:`repro.netflow.flowfile`, which owns reading/writing whole
+#: files around this per-line contract).
+FLOW_FILE_COLUMNS = (
+    "first", "last", "src", "dst", "proto", "sport", "dport",
+    "packets", "bytes", "flags",
+)
+
+#: ``(first_switched, src_ip, dst_ip, protocol, dst_port, tcp_flags)``
+#: — the columns detection consumes, in stream fast-path order.
+FlowTuple = Tuple[int, int, int, int, int, int]
+
+#: Entry cap on the memo caches.
+PARSE_CACHE_LIMIT = 1 << 20
+
+
+class FlowLineParser:
+    """Parses split CSV fields into tuples or records, memoised.
+
+    Instances are cheap; the module-level :data:`SHARED_PARSER` is the
+    default so every caller in a process shares one warm cache.  The
+    memo maps are pure (text → value), so sharing across callers can
+    only improve hit rates, never results.
+    """
+
+    __slots__ = ("cache_limit", "_ips", "_flags")
+
+    def __init__(self, cache_limit: int = PARSE_CACHE_LIMIT) -> None:
+        if cache_limit < 1:
+            raise ValueError("cache_limit must be positive")
+        self.cache_limit = cache_limit
+        self._ips: Dict[str, int] = {}
+        self._flags: Dict[str, int] = {}
+
+    def split(self, line: str) -> List[str]:
+        """Split one data line, enforcing the column-count contract."""
+        parts = line.split(",")
+        if len(parts) != len(FLOW_FILE_COLUMNS):
+            raise ValueError(
+                f"flow line has {len(parts)} fields, expected "
+                f"{len(FLOW_FILE_COLUMNS)}: {line!r}"
+            )
+        return parts
+
+    def ip(self, text: str) -> int:
+        """Memoised dotted-quad → integer conversion."""
+        value = self._ips.get(text)
+        if value is None:
+            if len(self._ips) >= self.cache_limit:
+                self._ips.clear()
+            value = self._ips[text] = str_to_ip(text)
+        return value
+
+    def flag_bits(self, text: str) -> int:
+        """Memoised ``0x..`` flag-byte parse."""
+        value = self._flags.get(text)
+        if value is None:
+            if len(self._flags) >= self.cache_limit:
+                self._flags.clear()
+            value = self._flags[text] = int(text, 16)
+        return value
+
+    def tuple(self, parts: Sequence[str]) -> FlowTuple:
+        """Detection-relevant columns only, no object construction."""
+        return (
+            int(parts[0]),  # first
+            self.ip(parts[2]),
+            self.ip(parts[3]),
+            int(parts[4]),  # proto
+            int(parts[6]),  # dport
+            self.flag_bits(parts[9]),
+        )
+
+    def record(
+        self, parts: Sequence[str], sampling_interval: int = 1
+    ) -> FlowRecord:
+        """Full :class:`FlowRecord` construction (batch/replay path)."""
+        return FlowRecord(
+            key=FlowKey(
+                src_ip=self.ip(parts[2]),
+                dst_ip=self.ip(parts[3]),
+                protocol=int(parts[4]),
+                src_port=int(parts[5]),
+                dst_port=int(parts[6]),
+            ),
+            first_switched=int(parts[0]),
+            last_switched=int(parts[1]),
+            packets=int(parts[7]),
+            bytes=int(parts[8]),
+            tcp_flags=self.flag_bits(parts[9]),
+            sampling_interval=sampling_interval,
+        )
+
+
+#: Process-wide default parser: both `read_flow_file` and
+#: `iter_flow_tuples` go through this instance unless handed their own.
+SHARED_PARSER = FlowLineParser()

@@ -46,8 +46,8 @@ from typing import (
     Union,
 )
 
-from repro.cloud.addressing import str_to_ip
 from repro.netflow.flowfile import FLOW_FILE_COLUMNS, read_flow_file
+from repro.netflow.parse import SHARED_PARSER, FlowLineParser, FlowTuple
 from repro.netflow.records import FlowRecord
 from repro.resilience.quarantine import (
     QuarantineSink,
@@ -62,14 +62,8 @@ __all__ = [
     "FlowTuple",
 ]
 
-#: ``(first_switched, src_ip, dst_ip, protocol, dst_port, tcp_flags)``
-FlowTuple = Tuple[int, int, int, int, int, int]
-
 #: Flow-file records pulled per batch by :meth:`from_flowfile`.
 _FILE_CHUNK = 256
-
-#: Entry cap on the tuple fast path's parse-memoisation caches.
-_PARSE_CACHE_LIMIT = 1 << 20
 
 #: Valid ``overflow_policy`` values: raise on an oversized producer
 #: batch (historical contract), or shed its newest/oldest records.
@@ -302,6 +296,7 @@ def _chunked(
 def iter_flow_tuples(
     source: Union[str, pathlib.Path, IO[str]],
     quarantine: Optional[QuarantineSink] = None,
+    parser: Optional[FlowLineParser] = None,
 ) -> Iterator[FlowTuple]:
     """Stream ``(first, src, dst, proto, dport, flags)`` from a flow
     file, parsing only the detection-relevant columns.
@@ -309,7 +304,10 @@ def iter_flow_tuples(
     Yields the same records in the same order as
     :func:`~repro.netflow.flowfile.read_flow_file`, minus the fields
     the detector never reads (``last``, ``sport``, ``packets``,
-    ``bytes``) and minus per-record object construction.
+    ``bytes``) and minus per-record object construction.  Field parsing
+    goes through the shared memoised
+    :class:`~repro.netflow.parse.FlowLineParser`, the same
+    implementation the record path uses.
 
     With a ``quarantine`` sink attached, malformed lines and impossible
     tuples are counted/sampled there and skipped; without one they
@@ -319,13 +317,9 @@ def iter_flow_tuples(
     stream: IO[str] = (
         open(source, "r", encoding="ascii") if owns else source
     )
+    parser = parser if parser is not None else SHARED_PARSER
     expected = len(FLOW_FILE_COLUMNS)
-    # Dotted quads and flag bytes repeat heavily (subscriber lines and
-    # hitlist endpoints are small sets next to the record count), so
-    # memoised parses dominate raw conversion.  The caches are bounded:
-    # cleared if an adversarially diverse stream ever bloats them.
-    ips: dict = {}
-    flag_bytes: dict = {}
+    parse = parser.tuple
     try:
         for line in stream:
             line = line.strip()
@@ -341,29 +335,7 @@ def iter_flow_tuples(
                     f"{expected}: {line!r}"
                 )
             try:
-                src = ips.get(parts[2])
-                if src is None:
-                    if len(ips) >= _PARSE_CACHE_LIMIT:
-                        ips.clear()
-                    src = ips[parts[2]] = str_to_ip(parts[2])
-                dst = ips.get(parts[3])
-                if dst is None:
-                    if len(ips) >= _PARSE_CACHE_LIMIT:
-                        ips.clear()
-                    dst = ips[parts[3]] = str_to_ip(parts[3])
-                flags = flag_bytes.get(parts[9])
-                if flags is None:
-                    if len(flag_bytes) >= _PARSE_CACHE_LIMIT:
-                        flag_bytes.clear()
-                    flags = flag_bytes[parts[9]] = int(parts[9], 16)
-                record = (
-                    int(parts[0]),  # first
-                    src,
-                    dst,
-                    int(parts[4]),  # proto
-                    int(parts[6]),  # dport
-                    flags,
-                )
+                record = parse(parts)
             except ValueError:
                 if quarantine is not None:
                     quarantine.record("unparseable_field", line)

@@ -1,0 +1,91 @@
+"""The staged flow pipeline every detection entry point assembles.
+
+One stage graph — ``Source → Decode → Validate → Detect → Sink`` —
+implemented once, assembled three ways:
+
+* the **batch wild-ISP engine** (:mod:`repro.engine`) runs plan →
+  simulate → aggregate stages through :class:`StagedRun` with guarded
+  shard admission;
+* the **stream engine** (:mod:`repro.stream`) wraps a
+  :class:`StreamingDetectStage` pipeline with checkpoint/resume;
+* the **IXP path** (:mod:`repro.ixp`) keys by address and keeps the
+  TCP-established anti-spoofing filter on in the Validate stage.
+
+The layering contract is directional: those three packages import
+:mod:`repro.pipeline`, never each other, and this package imports none
+of them (``tools/check_layering.py`` enforces it in CI).
+"""
+
+from repro.pipeline.assemble import (
+    FlowDetectionResult,
+    batch_assembly,
+    run_flow_detection,
+    streaming_assembly,
+)
+from repro.pipeline.config import (
+    CheckpointConfig,
+    DetectionConfig,
+    GuardConfig,
+    PipelineConfig,
+    QuarantineConfig,
+    StateConfig,
+)
+from repro.pipeline.core import GUARD_STRIDE, GuardSet, StagedRun
+from repro.pipeline.events import (
+    DetectionEvent,
+    JsonlEventSink,
+    MemoryEventSink,
+    read_event_log,
+)
+from repro.pipeline.flow import (
+    AddressKeying,
+    BatchDetectStage,
+    FlowDetectStage,
+    FlowPipeline,
+    StreamingDetectStage,
+    SubscriberKeying,
+)
+from repro.pipeline.metrics import (
+    METRICS_SCHEMA,
+    EngineMetrics,
+    ShardMetrics,
+    StreamMetrics,
+)
+from repro.pipeline.state import EvidenceStateTable
+
+__all__ = [
+    # core machinery
+    "GUARD_STRIDE",
+    "GuardSet",
+    "StagedRun",
+    # configuration
+    "PipelineConfig",
+    "DetectionConfig",
+    "StateConfig",
+    "CheckpointConfig",
+    "QuarantineConfig",
+    "GuardConfig",
+    # stages and driver
+    "FlowPipeline",
+    "FlowDetectStage",
+    "StreamingDetectStage",
+    "BatchDetectStage",
+    "SubscriberKeying",
+    "AddressKeying",
+    # state / events
+    "EvidenceStateTable",
+    "DetectionEvent",
+    "MemoryEventSink",
+    "JsonlEventSink",
+    "read_event_log",
+    # assemblies
+    "streaming_assembly",
+    "batch_assembly",
+    "run_flow_detection",
+    "FlowDetectionResult",
+    # metrics
+    "METRICS_SCHEMA",
+    "EngineMetrics",
+    "ShardMetrics",
+    "StreamMetrics",
+]

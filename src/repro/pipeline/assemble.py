@@ -1,0 +1,189 @@
+"""Ready-made pipeline assemblies.
+
+An *assembly* is a :class:`~repro.pipeline.flow.FlowPipeline` wired
+with a concrete keying, Detect stage, sink, and guard set.  The heavy
+entry points own their assemblies — the stream engine adds
+checkpoint/resume around a streaming assembly, the IXP path
+(:mod:`repro.ixp.detect`) keys by address — while this module provides
+the two generic ones library code and the CLI use directly:
+
+* :func:`streaming_assembly` — online detection into an event sink,
+  bounded state, no checkpointing;
+* :func:`batch_assembly` / :func:`run_flow_detection` — offline
+  detection over a flow file or record iterable, reproducing the
+  batch :class:`~repro.core.detector.FlowDetector` result through the
+  shared stage graph.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import IO, Iterable, List, Optional, Union
+
+from repro.core.detector import Detection
+from repro.core.hitlist import Hitlist
+from repro.core.rules import RuleSet
+from repro.netflow.records import FlowRecord
+from repro.netflow.replay import iter_flow_tuples
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.core import GuardSet
+from repro.pipeline.flow import (
+    BatchDetectStage,
+    FlowPipeline,
+    StreamingDetectStage,
+    SubscriberKeying,
+)
+from repro.pipeline.metrics import StreamMetrics
+from repro.pipeline.state import EvidenceStateTable
+from repro.resilience.quarantine import QuarantineSink
+
+__all__ = [
+    "streaming_assembly",
+    "batch_assembly",
+    "run_flow_detection",
+    "FlowDetectionResult",
+]
+
+
+def _metrics_for(config: PipelineConfig) -> StreamMetrics:
+    return StreamMetrics(
+        workers=config.state.shards,
+        max_subscribers=config.state.max_keys,
+        ttl_seconds=config.state.ttl_seconds,
+        checkpoint_every=config.checkpoint.every,
+        threshold=config.detection.threshold,
+    )
+
+
+def streaming_assembly(
+    rules: RuleSet,
+    hitlist: Hitlist,
+    config: Optional[PipelineConfig] = None,
+    sink=None,
+    guards: Optional[GuardSet] = None,
+    keying=None,
+) -> FlowPipeline:
+    """An online pipeline: bounded state, events into ``sink``.
+
+    The Detect stage holds one
+    :class:`~repro.pipeline.state.EvidenceStateTable` per keying shard;
+    ``keying`` defaults to salted subscriber digests.  Checkpointing is
+    the stream engine's concern (it wraps this shape with persistence);
+    here ``checkpoint.every`` only sizes the metrics document.
+    """
+    config = config or PipelineConfig()
+    if keying is None:
+        keying = SubscriberKeying(
+            salt=config.detection.salt, shards=config.state.shards
+        )
+    tables = [
+        EvidenceStateTable(
+            config.state.per_shard, config.state.ttl_seconds
+        )
+        for _ in range(keying.shards)
+    ]
+    stage = StreamingDetectStage(
+        rules,
+        hitlist,
+        keying,
+        tables,
+        threshold=config.detection.threshold,
+        require_established=config.detection.require_established,
+        metrics=_metrics_for(config),
+    )
+    if guards is None:
+        guards = config.build_guards(on_pressure=lambda _: keying.forget())
+    return FlowPipeline(stage, sink=sink, guards=guards)
+
+
+def batch_assembly(
+    rules: RuleSet,
+    hitlist: Hitlist,
+    config: Optional[PipelineConfig] = None,
+    guards: Optional[GuardSet] = None,
+    keying=None,
+) -> FlowPipeline:
+    """An offline pipeline: unbounded evidence, replayed on demand.
+
+    The stage accumulates and :meth:`~repro.pipeline.flow.
+    BatchDetectStage.detections` replays — batch semantics identical to
+    :class:`~repro.core.detector.FlowDetector` for the same flows.
+    """
+    config = config or PipelineConfig()
+    if keying is None:
+        keying = SubscriberKeying(
+            salt=config.detection.salt, shards=config.state.shards
+        )
+    stage = BatchDetectStage(
+        rules,
+        hitlist,
+        keying,
+        threshold=config.detection.threshold,
+        require_established=config.detection.require_established,
+        metrics=_metrics_for(config),
+    )
+    if guards is None:
+        guards = config.build_guards(on_pressure=lambda _: keying.forget())
+    return FlowPipeline(stage, guards=guards)
+
+
+@dataclass
+class FlowDetectionResult:
+    """Outcome of one offline :func:`run_flow_detection` run."""
+
+    detections: List[Detection]
+    metrics: StreamMetrics
+
+    @property
+    def flows_seen(self) -> int:
+        return self.metrics.records_processed
+
+    @property
+    def flows_matched(self) -> int:
+        return self.metrics.flows_matched
+
+    @property
+    def flows_rejected_spoof(self) -> int:
+        return self.metrics.flows_rejected_spoof
+
+
+def run_flow_detection(
+    rules: RuleSet,
+    hitlist: Hitlist,
+    source: Union[str, pathlib.Path, IO[str], Iterable[FlowRecord]],
+    config: Optional[PipelineConfig] = None,
+    guards: Optional[GuardSet] = None,
+    keying=None,
+) -> FlowDetectionResult:
+    """Offline detection over a flow file or record iterable.
+
+    A path (or text stream) takes the tuple fast path —
+    :func:`~repro.netflow.replay.iter_flow_tuples`, no record
+    construction; any other iterable is folded record by record.
+    Subscriber identity is the source address, matching the CLI
+    ``detect`` command and the batch detector convention.
+    """
+    config = config or PipelineConfig()
+    pipeline = batch_assembly(
+        rules, hitlist, config, guards=guards, keying=keying
+    )
+    quarantine = (
+        QuarantineSink(config.quarantine.directory)
+        if config.quarantine.directory is not None
+        else None
+    )
+    if isinstance(source, (str, pathlib.Path)) or hasattr(source, "read"):
+        pipeline.run_tuples(
+            iter_flow_tuples(source, quarantine=quarantine)
+        )
+    else:
+        pipeline.run_records(enumerate(source))
+    stage = pipeline.stage
+    metrics = stage.metrics
+    if quarantine is not None:
+        metrics.records_quarantined = quarantine.total
+        metrics.quarantine_reasons = dict(quarantine.counts)
+    return FlowDetectionResult(
+        detections=stage.detections(), metrics=metrics
+    )

@@ -1,0 +1,169 @@
+"""Bounded per-key evidence state for the Detect stage.
+
+An online assembly must survive an unending feed from millions of keys
+(subscriber lines at an ISP, addresses at an IXP), so per-key state
+lives in a fixed-size table: least-recently
+-active subscribers are evicted when the table is full (LRU), and
+subscribers idle longer than a TTL are evicted as the event-time
+watermark advances.  Eviction forgets evidence — a later re-appearance
+of the subscriber starts from scratch and may re-emit a detection; the
+counters make that trade-off observable.
+
+Everything here is deterministic: eviction depends only on the record
+stream (timestamps and arrival order), never on wall-clock, so a
+resumed run behaves bit-identically to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.core.detector import SubscriberProgress
+
+__all__ = ["EvidenceStateTable"]
+
+
+class EvidenceStateTable:
+    """LRU/TTL-evicted map of subscriber digest → evidence progress."""
+
+    def __init__(
+        self,
+        max_subscribers: int,
+        ttl_seconds: Optional[int] = None,
+    ) -> None:
+        if max_subscribers <= 0:
+            raise ValueError("max_subscribers must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive when set")
+        self.max_subscribers = max_subscribers
+        self.ttl_seconds = ttl_seconds
+        #: subscriber digest -> [last_active, SubscriberProgress],
+        #: ordered least- to most-recently active.
+        self._entries: "OrderedDict[str, List[object]]" = OrderedDict()
+        self.evicted_lru = 0
+        self.evicted_ttl = 0
+        #: entries shed by a memory-pressure shrink (see :meth:`shrink`)
+        self.evicted_pressure = 0
+        #: true once :meth:`shrink` reduced the bound — overflow
+        #: evictions are then *caused* by pressure, and charged to it
+        self.pressure_reduced = False
+        #: digests evicted under a pressure-reduced bound since the
+        #: owner last drained this list (shed accounting)
+        self.pressure_evicted: List[str] = []
+        #: event-time high watermark driving TTL expiry
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    def touch(self, digest: str, now: int) -> SubscriberProgress:
+        """The subscriber's progress, created on first sight.
+
+        Marks the subscriber most-recently active, advances the TTL
+        clock, and evicts (TTL first, then LRU overflow) as needed.
+        """
+        if now > self._clock:
+            self._clock = now
+        entry = self._entries.get(digest)
+        if entry is None:
+            entry = [now, SubscriberProgress()]
+            self._entries[digest] = entry
+        else:
+            entry[0] = max(int(entry[0]), now)  # type: ignore[call-overload]
+            self._entries.move_to_end(digest)
+        self.expire(self._clock)
+        while len(self._entries) > self.max_subscribers:
+            evicted, _ = self._entries.popitem(last=False)
+            if self.pressure_reduced:
+                self.evicted_pressure += 1
+                self.pressure_evicted.append(evicted)
+            else:
+                self.evicted_lru += 1
+        return entry[1]  # type: ignore[return-value]
+
+    def expire(self, watermark: int) -> int:
+        """Evict subscribers idle past the TTL at ``watermark``."""
+        if self.ttl_seconds is None:
+            return 0
+        horizon = watermark - self.ttl_seconds
+        evicted = 0
+        # Entries are in last-active order, oldest first; stop at the
+        # first survivor.
+        while self._entries:
+            digest, entry = next(iter(self._entries.items()))
+            if int(entry[0]) >= horizon:  # type: ignore[call-overload]
+                break
+            del self._entries[digest]
+            evicted += 1
+        self.evicted_ttl += evicted
+        return evicted
+
+    def shrink(self, new_max: int) -> List[str]:
+        """Reduce the table bound (memory pressure), never growing it.
+
+        Least-recently-active entries beyond the new bound are evicted
+        immediately; the evicted digests are returned so the caller
+        can account exactly *whose* evidence was shed.  Shrinking is
+        part of the table's state, so a checkpoint taken afterwards
+        restores the reduced bound on resume.
+        """
+        if new_max < 1:
+            raise ValueError("new_max must be >= 1")
+        if new_max < self.max_subscribers:
+            self.max_subscribers = new_max
+            self.pressure_reduced = True
+        evicted: List[str] = []
+        while len(self._entries) > self.max_subscribers:
+            digest, _entry = self._entries.popitem(last=False)
+            evicted.append(digest)
+        self.evicted_pressure += len(evicted)
+        return evicted
+
+    def progress_of(self, digest: str) -> Optional[SubscriberProgress]:
+        """The subscriber's progress without touching LRU order."""
+        entry = self._entries.get(digest)
+        return entry[1] if entry is not None else None  # type: ignore[return-value]
+
+    # -- checkpoint support -------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """JSON-serialisable snapshot preserving LRU order."""
+        return {
+            "max_subscribers": self.max_subscribers,
+            "ttl_seconds": self.ttl_seconds,
+            "clock": self._clock,
+            "evicted_lru": self.evicted_lru,
+            "evicted_ttl": self.evicted_ttl,
+            "evicted_pressure": self.evicted_pressure,
+            "pressure_reduced": self.pressure_reduced,
+            "entries": [
+                [digest, int(entry[0]), entry[1].to_state()]  # type: ignore[union-attr]
+                for digest, entry in self._entries.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "EvidenceStateTable":
+        table = cls(
+            max_subscribers=int(state["max_subscribers"]),  # type: ignore[arg-type]
+            ttl_seconds=(
+                int(state["ttl_seconds"])  # type: ignore[arg-type]
+                if state["ttl_seconds"] is not None
+                else None
+            ),
+        )
+        table._clock = int(state["clock"])  # type: ignore[arg-type]
+        table.evicted_lru = int(state["evicted_lru"])  # type: ignore[arg-type]
+        table.evicted_ttl = int(state["evicted_ttl"])  # type: ignore[arg-type]
+        table.evicted_pressure = int(state.get("evicted_pressure", 0))  # type: ignore[arg-type]
+        table.pressure_reduced = bool(state.get("pressure_reduced", False))
+        for digest, last_active, progress in state["entries"]:  # type: ignore[union-attr]
+            table._entries[str(digest)] = [
+                int(last_active),
+                SubscriberProgress.from_state(progress),
+            ]
+        return table

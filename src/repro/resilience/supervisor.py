@@ -199,9 +199,12 @@ class _HeartbeatWriter:
 
     def _write(self) -> None:
         temp = self.path.with_name(self.path.name + ".tmp")
+        # repr() round-trips floats exactly; %.3f can round a
+        # monotonic timestamp *up*, making the heartbeat appear to be
+        # from the future next to a fresh time.monotonic() reading.
         temp.write_text(
-            f"{os.getpid()} {self._started_wall:.3f} "
-            f"{self._started_mono:.3f} {time.monotonic():.3f}"
+            f"{os.getpid()} {self._started_wall!r} "
+            f"{self._started_mono!r} {time.monotonic()!r}"
         )
         os.replace(temp, self.path)
 

@@ -7,24 +7,27 @@ unending stream per subscriber line, and detections must be emitted
 the moment a rule's domain-evidence threshold ``D`` is crossed — the
 Section 5 time-to-detection, served online.
 
-This package provides that ingest path:
+This package is the *online assembly* of the shared staged pipeline
+(:mod:`repro.pipeline`):
 
-* :class:`~repro.stream.state.EvidenceStateTable` — fixed-size,
-  LRU/TTL-evicted per-subscriber evidence state (bounded memory no
-  matter how many lines the stream touches);
-* :class:`~repro.stream.events.DetectionEvent` and the event sinks —
-  the at-most-once detection feed downstream consumers read;
-* :class:`~repro.stream.checkpoint` — crash-safe checkpoints (atomic
+* the bounded per-key state
+  (:class:`~repro.pipeline.state.EvidenceStateTable`), the event type
+  and sinks (:mod:`repro.pipeline.events`), and the guarded ingest
+  loop all come from the pipeline layer (re-exported here for
+  compatibility);
+* :mod:`~repro.stream.checkpoint` — crash-safe checkpoints (atomic
   replace, version header, payload digest) so a killed process resumes
-  from the last checkpoint with bit-identical downstream detections;
-* :class:`~repro.stream.processor.StreamDetectionEngine` — the engine
-  tying them together, sharing its rule-evaluation core
+  from the last checkpoint with bit-identical downstream detections —
+  is the concern this package owns outright;
+* :class:`~repro.stream.processor.StreamDetectionEngine` ties them
+  together, sharing its rule-evaluation core
   (:class:`repro.core.detector.SubscriberProgress`) with the batch
   path, which therefore remains the golden oracle the stream must
-  agree with;
-* :mod:`~repro.stream.faults` — fault-injection helpers (truncated /
-  corrupt / partially-written checkpoints, out-of-order records) used
-  by the robustness test-suite.
+  agree with.
+
+Fault-injection helpers for the robustness test-suite live in
+:mod:`repro.faults` (the historical ``repro.stream.faults`` alias was
+removed).
 """
 
 from repro.stream.checkpoint import (

@@ -1,19 +1,13 @@
-"""Compatibility shim: the stream fault helpers moved to
-:mod:`repro.faults.files` when the injection harness was unified in
-:mod:`repro.faults`.  Import from there in new code."""
+"""Removed: the fault-injection helpers moved to :mod:`repro.faults`.
 
-from repro.faults.files import (
-    corrupt_payload_byte,
-    corrupt_version_header,
-    jitter_order,
-    truncate_file,
-    write_partial_temp,
+This module used to re-export five file-damage helpers from
+:mod:`repro.faults.files`; the alias is gone so there is exactly one
+import path for the fault harness.
+"""
+
+raise ImportError(
+    "repro.stream.faults was removed; the fault-injection helpers "
+    "(truncate_file, corrupt_version_header, corrupt_payload_byte, "
+    "write_partial_temp, jitter_order, ...) live in repro.faults — "
+    "update the import to 'from repro.faults import ...'"
 )
-
-__all__ = [
-    "truncate_file",
-    "corrupt_version_header",
-    "corrupt_payload_byte",
-    "write_partial_temp",
-    "jitter_order",
-]

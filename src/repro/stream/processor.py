@@ -1,9 +1,17 @@
 """The streaming detection engine.
 
-:class:`StreamDetectionEngine` consumes an ordered flow-record stream
-(a :class:`~repro.netflow.replay.FlowReplaySource`, or the tuple fast
+:class:`StreamDetectionEngine` is the *online assembly* of the shared
+staged pipeline (:mod:`repro.pipeline`): a
+:class:`~repro.pipeline.flow.StreamingDetectStage` keyed by salted
+subscriber digests (:class:`~repro.pipeline.flow.SubscriberKeying`),
+driven by a :class:`~repro.pipeline.flow.FlowPipeline` ingest loop,
+guarded by a :class:`~repro.pipeline.core.GuardSet` — plus the one
+concern this module owns outright: crash-safe checkpoint/resume.
+
+The engine consumes an ordered flow-record stream (a
+:class:`~repro.netflow.replay.FlowReplaySource`, or the tuple fast
 path over a flow file), folds each record into bounded per-subscriber
-state, and emits a :class:`~repro.stream.events.DetectionEvent` the
+state, and emits a :class:`~repro.pipeline.events.DetectionEvent` the
 moment a rule's domain-evidence threshold ``D`` — and every ancestor's
 — is crossed.  Rule evaluation is
 :class:`repro.core.detector.SubscriberProgress`, the exact core the
@@ -36,37 +44,34 @@ from __future__ import annotations
 import pathlib
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Set, Union
 
-from repro.core.detector import _AnonymizerCache
 from repro.core.hitlist import Hitlist
 from repro.core.rules import RuleSet
-from repro.engine.metrics import StreamMetrics
-from repro.netflow.records import PROTO_TCP, TCP_ACK, TCP_SYN
 from repro.netflow.replay import FlowReplaySource, FlowTuple, iter_flow_tuples
+from repro.pipeline.core import GUARD_STRIDE, GuardSet
+from repro.pipeline.events import MemoryEventSink
+from repro.pipeline.flow import (
+    FlowPipeline,
+    StreamingDetectStage,
+    SubscriberKeying,
+)
+from repro.pipeline.metrics import StreamMetrics
+from repro.pipeline.state import EvidenceStateTable
 from repro.resilience.quarantine import QuarantineSink
 from repro.runtime.deadline import DeadlineBudget
 from repro.runtime.memory import MemoryGovernor
-from repro.runtime.shutdown import StopToken, current_token
+from repro.runtime.shutdown import StopToken
 from repro.stream.checkpoint import (
     CheckpointError,
     load_latest,
     write_checkpoint,
 )
-from repro.stream.events import DetectionEvent, MemoryEventSink
-from repro.stream.state import EvidenceStateTable
-from repro.timeutil import SECONDS_PER_DAY, STUDY_START
 
 __all__ = ["StreamConfig", "StreamDetectionEngine"]
 
 #: Version of the engine-state payload inside a checkpoint.
 STATE_VERSION = 1
-
-#: Records between runtime-guard polls (stop token, deadline, memory
-#: governor).  Small enough that a SIGTERM drains within a fraction of
-#: a millisecond of stream time; large enough to keep the per-record
-#: cost of guarding at one integer decrement.
-GUARD_STRIDE = 64
 
 #: A pressure shrink never reduces a state table below this bound.
 _MIN_TABLE_BOUND = 128
@@ -135,17 +140,6 @@ class StreamDetectionEngine:
         if quarantine is None and config.quarantine_dir is not None:
             quarantine = QuarantineSink(config.quarantine_dir)
         self.quarantine = quarantine
-        per_worker = max(1, config.max_subscribers // config.workers)
-        self._tables = [
-            EvidenceStateTable(per_worker, config.ttl_seconds)
-            for _ in range(config.workers)
-        ]
-        self._digests = _AnonymizerCache(config.salt)
-        #: raw subscriber id -> (digest, worker shard)
-        self._identities: Dict[int, Tuple[str, int]] = {}
-        self._daily = hitlist.daily_endpoints
-        self._cached_day: Optional[int] = None
-        self._cached_endpoints: Dict[Tuple[int, int], str] = {}
         self.metrics = StreamMetrics(
             workers=config.workers,
             max_subscribers=config.max_subscribers,
@@ -153,14 +147,43 @@ class StreamDetectionEngine:
             checkpoint_every=config.checkpoint_every,
             threshold=config.threshold,
         )
-        # -- runtime guards (see repro.runtime) -----------------------
-        self._stop_token = stop_token
+        # -- pipeline assembly (see repro.pipeline) -------------------
+        per_worker = max(1, config.max_subscribers // config.workers)
+        keying = SubscriberKeying(
+            salt=config.salt, shards=config.workers
+        )
+        tables = [
+            EvidenceStateTable(per_worker, config.ttl_seconds)
+            for _ in range(config.workers)
+        ]
         self.governor = governor
         self.deadline = deadline
-        if governor is not None:
-            self.metrics.overload = governor.metrics
-        if deadline is not None:
-            self.metrics.overload.deadline_seconds = deadline.seconds
+        self._guards = GuardSet(
+            stop_token=stop_token,
+            governor=governor,
+            deadline=deadline,
+            overload=self.metrics.overload,
+            on_pressure=self._shed_memory,
+        )
+        # A governor brings its own OverloadMetrics; adopt whichever
+        # document the guard set settled on so there is exactly one.
+        self.metrics.overload = self._guards.overload
+        self._stage = StreamingDetectStage(
+            rules,
+            hitlist,
+            keying,
+            tables,
+            threshold=config.threshold,
+            require_established=config.require_established,
+            metrics=self.metrics,
+        )
+        self._pipeline = FlowPipeline(
+            self._stage,
+            sink=self.sink,
+            guards=self._guards,
+            checkpoint_every=config.checkpoint_every,
+            on_checkpoint=self.write_checkpoint,
+        )
         #: digests whose evidence a pressure shrink discarded — the
         #: accounting tests use this to scope the match-on-unshedded
         #: guarantee
@@ -247,6 +270,15 @@ class StreamDetectionEngine:
         """Records folded so far — the resume/skip coordinate."""
         return self.metrics.records_processed
 
+    @property
+    def _tables(self) -> List[EvidenceStateTable]:
+        """The Detect stage's state shards (checkpoint payload)."""
+        return self._stage.tables
+
+    @_tables.setter
+    def _tables(self, tables: List[EvidenceStateTable]) -> None:
+        self._stage.tables = tables
+
     # -- ingest -------------------------------------------------------
 
     def process(
@@ -260,56 +292,18 @@ class StreamDetectionEngine:
         kill mid-stream); the engine remains resumable afterwards.
 
         Runtime guards (stop token, ``deadline``, memory ``governor``)
-        are polled every :data:`GUARD_STRIDE` records: a requested stop
-        or an expired deadline ends the call early (the engine remains
-        resumable; call :meth:`drain` to persist), memory pressure runs
-        the shed ladder in place.
+        are polled every :data:`~repro.pipeline.core.GUARD_STRIDE`
+        records by the pipeline loop: a requested stop or an expired
+        deadline ends the call early (the engine remains resumable;
+        call :meth:`drain` to persist), memory pressure runs the shed
+        ladder in place.
         """
-        observe = self._observe
-        checkpoint_every = self.config.checkpoint_every
-        processed = 0
-        guard_left = GUARD_STRIDE
-        drops_before = dict(getattr(source, "drops", None) or {})
-        if self._check_guards(0):  # stop already requested
-            return 0
-        started = time.perf_counter()
         try:
-            for index, flow in source:
-                events = observe(
-                    index,
-                    flow.first_switched,
-                    flow.src_ip,
-                    flow.dst_ip,
-                    flow.protocol,
-                    flow.dst_port,
-                    flow.tcp_flags,
-                )
-                if events:
-                    self._emit(events)
-                processed += 1
-                if (
-                    checkpoint_every
-                    and self.metrics.records_processed % checkpoint_every
-                    == 0
-                ):
-                    self.write_checkpoint()
-                guard_left -= 1
-                if guard_left <= 0:
-                    guard_left = GUARD_STRIDE
-                    if self._check_guards(GUARD_STRIDE):
-                        break
-                if max_records is not None and processed >= max_records:
-                    break
+            return self._pipeline.run_records(
+                source, max_records=max_records
+            )
         finally:
-            self.metrics.process_seconds += time.perf_counter() - started
-            watermark = getattr(source, "high_watermark", None)
-            if watermark is not None:
-                self.metrics.source_high_watermark = max(
-                    self.metrics.source_high_watermark, watermark
-                )
-            self._fold_source_drops(source, drops_before)
             self._sync_state_metrics()
-        return processed
 
     def process_tuples(
         self,
@@ -323,38 +317,14 @@ class StreamDetectionEngine:
         (see :func:`repro.netflow.replay.iter_flow_tuples`); indices
         are assigned from ``start_index``.
         """
-        observe = self._observe
-        checkpoint_every = self.config.checkpoint_every
-        index = start_index
-        processed = 0
-        guard_left = GUARD_STRIDE
-        if self._check_guards(0):  # stop already requested
-            return 0
-        started = time.perf_counter()
         try:
-            for when, src, dst, proto, dport, flags in tuples:
-                events = observe(index, when, src, dst, proto, dport, flags)
-                if events:
-                    self._emit(events)
-                index += 1
-                processed += 1
-                if (
-                    checkpoint_every
-                    and self.metrics.records_processed % checkpoint_every
-                    == 0
-                ):
-                    self.write_checkpoint()
-                guard_left -= 1
-                if guard_left <= 0:
-                    guard_left = GUARD_STRIDE
-                    if self._check_guards(GUARD_STRIDE):
-                        break
-                if max_records is not None and processed >= max_records:
-                    break
+            return self._pipeline.run_tuples(
+                tuples,
+                start_index=start_index,
+                max_records=max_records,
+            )
         finally:
-            self.metrics.process_seconds += time.perf_counter() - started
             self._sync_state_metrics()
-        return processed
 
     def process_flowfile(
         self,
@@ -384,70 +354,6 @@ class StreamDetectionEngine:
         source.skip(skip)
         source.next_index = skip
         return self.process(source, max_records=max_records)
-
-    # -- hot path -----------------------------------------------------
-
-    def _observe(
-        self,
-        index: int,
-        when: int,
-        src: int,
-        dst: int,
-        proto: int,
-        dport: int,
-        flags: int,
-    ) -> Optional[List[DetectionEvent]]:
-        """Fold one record; return completed detections (usually None)."""
-        metrics = self.metrics
-        metrics.records_processed += 1
-        metrics.records_since_checkpoint += 1
-        if when > metrics.watermark:
-            metrics.watermark = when
-        if (
-            self.config.require_established
-            and proto == PROTO_TCP
-            and not (flags & TCP_ACK and not flags & TCP_SYN)
-        ):
-            metrics.flows_rejected_spoof += 1
-            return None
-        day = (when - STUDY_START) // SECONDS_PER_DAY
-        if day != self._cached_day:
-            self._cached_day = day
-            self._cached_endpoints = self._daily.get(day, {})
-        fqdn = self._cached_endpoints.get((dst, dport))
-        if fqdn is None:
-            return None
-        metrics.flows_matched += 1
-        identity = self._identities.get(src)
-        if identity is None:
-            digest = self._digests(src)
-            identity = (digest, int(digest, 16) % self.config.workers)
-            self._identities[src] = identity
-        digest, worker = identity
-        progress = self._tables[worker].touch(digest, when)
-        completed = progress.observe(
-            self.rules, self.config.threshold, fqdn, when
-        )
-        if not completed:
-            return None
-        return [
-            DetectionEvent(
-                subscriber=digest,
-                class_name=class_name,
-                detected_at=detected_at,
-                record_index=index,
-                matched_domains=self.rules.rule(
-                    class_name
-                ).matched_domains(progress.first_seen),
-            )
-            for class_name, detected_at in completed
-        ]
-
-    def _emit(self, events: List[DetectionEvent]) -> None:
-        append = self.sink.append
-        for event in events:
-            append(event)
-        self.metrics.events_emitted += len(events)
 
     # -- checkpointing ------------------------------------------------
 
@@ -490,38 +396,17 @@ class StreamDetectionEngine:
         metrics.checkpoint_seconds += time.perf_counter() - started
         return path
 
-    # -- runtime guards (see repro.runtime) ---------------------------
+    # -- runtime guards (see repro.pipeline.core) ---------------------
 
     @property
     def stop_token(self) -> Optional[StopToken]:
         """The explicit token, else the active coordinator's."""
-        if self._stop_token is not None:
-            return self._stop_token
-        return current_token()
+        return self._guards.stop_token
 
     @property
     def stopped(self) -> bool:
         """A guard (signal or deadline) ended the last ingest early."""
-        return self.metrics.overload.stop_reason is not None
-
-    def _check_guards(self, records: int) -> bool:
-        """Poll the runtime guards; true when ingest must stop."""
-        governor = self.governor
-        if governor is not None and governor.tick(records):
-            self._shed_memory(governor)
-        deadline = self.deadline
-        if deadline is not None and deadline.expired():
-            self._note_stop(deadline.reason)
-            return True
-        token = self.stop_token
-        if token is not None and token.stop_requested():
-            self._note_stop(token.reason or "stop")
-            return True
-        return False
-
-    def _note_stop(self, reason: str) -> None:
-        if self.metrics.overload.stop_reason is None:
-            self.metrics.overload.stop_reason = reason
+        return self._guards.stopped
 
     def _shed_memory(self, governor: MemoryGovernor) -> None:
         """Run the shed ladder, lossless rungs before lossy ones.
@@ -537,11 +422,11 @@ class StreamDetectionEngine:
         unconstrained run would give them.
         """
         self._pressure_sheds += 1
-        if self._identities:
+        freed = self._stage.keying.forget()
+        if freed:
             governor.record_action(
-                "identity_cache_clear", units=len(self._identities)
+                "identity_cache_clear", units=freed
             )
-            self._identities.clear()
         if (
             self.config.checkpoint_dir is not None
             and self.metrics.records_since_checkpoint
@@ -559,19 +444,6 @@ class StreamDetectionEngine:
             shed += len(evicted)
         if shed:
             governor.record_action("table_shrink", units=shed)
-
-    def _fold_source_drops(self, source, drops_before) -> None:
-        """Account a source's shed-policy drops since this call began."""
-        drops = getattr(source, "drops", None)
-        if not drops:
-            return
-        delta = {
-            reason: count - drops_before.get(reason, 0)
-            for reason, count in drops.items()
-        }
-        self.metrics.overload.record_drops(
-            {r: c for r, c in delta.items() if c > 0}
-        )
 
     def drain(self) -> Optional[pathlib.Path]:
         """Persist everything a resume needs; returns the checkpoint.

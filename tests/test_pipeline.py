@@ -1,0 +1,320 @@
+"""The staged ``repro.pipeline`` layer: cross-path equivalence and the
+shared machinery the three assemblies ride on.
+
+The defining property of the refactor is that batch, stream, and IXP
+detection are the *same* stage graph assembled three ways, so the first
+test class here pins triple equality — batch
+:class:`~repro.core.detector.FlowDetector` (the golden oracle), the
+stream engine's event log, and the generic pipeline assemblies must all
+report identical ``(subscriber, class, detected_at)`` triples over the
+same flows.  The rest covers the pieces the assemblies share: guard
+polling, staged-run admission, the typed config hierarchy, the single
+flow-line parser, and the removal of the ``repro.stream.faults`` shim.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.core.detector import FlowDetector
+from repro.ixp import IxpConfig, detect_fabric_flows, make_spoofed_flows
+from repro.netflow.flowfile import parse_flow_line, write_flow_file
+from repro.netflow.parse import FlowLineParser
+from repro.netflow.replay import iter_flow_tuples
+from repro.pipeline import (
+    GUARD_STRIDE,
+    DetectionConfig,
+    FlowPipeline,
+    GuardSet,
+    MemoryEventSink,
+    PipelineConfig,
+    StagedRun,
+    run_flow_detection,
+    streaming_assembly,
+)
+from repro.runtime.shutdown import StopToken
+from repro.stream import StreamConfig, StreamDetectionEngine
+
+
+# -- shared replay material -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gt_flows(capture):
+    """Ground-truth ISP flows in arrival order, one line per device."""
+    flows = []
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flows.append(event.to_flow_record(src, capture.sampling_interval))
+    flows.sort(key=lambda flow: flow.first_switched)
+    return flows
+
+
+@pytest.fixture(scope="module")
+def gt_flowfile(gt_flows, tmp_path_factory):
+    path = tmp_path_factory.mktemp("pipeline") / "flows.csv"
+    write_flow_file(path, gt_flows)
+    return path
+
+
+@pytest.fixture(scope="module")
+def oracle_triples(rules, hitlist, gt_flows):
+    """(subscriber, class, detected_at) from the batch FlowDetector."""
+    detector = FlowDetector(rules, hitlist, threshold=0.4)
+    for flow in gt_flows:
+        detector.observe_flow(flow.src_ip, flow)
+    return {
+        (d.subscriber, d.class_name, d.detected_at)
+        for d in detector.detections()
+    }
+
+
+def _triples(items):
+    return {(i.subscriber, i.class_name, i.detected_at) for i in items}
+
+
+# -- cross-path equivalence -------------------------------------------
+
+
+class TestCrossPathEquivalence:
+    """One stage graph, three assemblies, identical detections."""
+
+    def test_batch_assembly_equals_flow_detector(
+        self, rules, hitlist, gt_flowfile, oracle_triples
+    ):
+        result = run_flow_detection(rules, hitlist, gt_flowfile)
+        assert oracle_triples  # the scenario detects devices at all
+        assert _triples(result.detections) == oracle_triples
+
+    def test_record_and_tuple_paths_agree(
+        self, rules, hitlist, gt_flows, gt_flowfile
+    ):
+        """A record iterable and its flow file detect identically."""
+        from_file = run_flow_detection(rules, hitlist, gt_flowfile)
+        from_records = run_flow_detection(rules, hitlist, gt_flows)
+        assert _triples(from_records.detections) == _triples(
+            from_file.detections
+        )
+        assert from_records.flows_seen == from_file.flows_seen
+        assert from_records.flows_matched == from_file.flows_matched
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_streaming_assembly_equals_batch(
+        self, rules, hitlist, gt_flowfile, oracle_triples, shards
+    ):
+        sink = MemoryEventSink()
+        config = PipelineConfig.from_args(shards=shards)
+        pipeline = streaming_assembly(rules, hitlist, config, sink=sink)
+        pipeline.run_tuples(iter_flow_tuples(gt_flowfile))
+        assert _triples(sink.events) == oracle_triples
+
+    def test_stream_engine_equals_pipeline_batch(
+        self, rules, hitlist, gt_flowfile
+    ):
+        """The full engine (checkpointing wrapper) and the generic
+        batch assembly agree — the three entry points are one path."""
+        engine = StreamDetectionEngine(rules, hitlist, StreamConfig())
+        engine.process_flowfile(gt_flowfile)
+        batch = run_flow_detection(rules, hitlist, gt_flowfile)
+        assert _triples(engine.sink.events) == _triples(batch.detections)
+        assert (
+            engine.metrics.records_processed == batch.flows_seen
+        )
+
+    def test_quarantine_feeds_result_metrics(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        corrupted = tmp_path / "flows.csv"
+        lines = gt_flowfile.read_text().splitlines()
+        lines.insert(3, "1,2,3")  # malformed: wrong column count
+        corrupted.write_text("\n".join(lines) + "\n")
+        config = PipelineConfig.from_args(
+            quarantine_dir=tmp_path / "quarantine"
+        )
+        result = run_flow_detection(rules, hitlist, corrupted, config)
+        assert result.metrics.records_quarantined == 1
+        assert result.metrics.quarantine_reasons == {
+            "malformed_line": 1
+        }
+
+
+# -- the IXP assembly: anti-spoofing validate stage -------------------
+
+
+class TestIxpAntiSpoofing:
+    def test_spoofed_syns_all_rejected(self, rules, hitlist):
+        spoofed = make_spoofed_flows(hitlist, count=300)
+        result = detect_fabric_flows(rules, hitlist, spoofed)
+        assert result.flows_rejected_spoof == 300
+        assert result.detections == []
+        assert result.detected_addresses == []
+        assert result.metrics.records_processed == 300
+
+    def test_filter_off_admits_spoofed_flows(self, rules, hitlist):
+        spoofed = make_spoofed_flows(hitlist, count=300)
+        config = IxpConfig(require_established=False)
+        result = detect_fabric_flows(rules, hitlist, spoofed, config)
+        assert result.flows_rejected_spoof == 0
+        assert result.metrics.flows_matched == 300
+
+
+# -- guard polling and staged admission -------------------------------
+
+
+class TestGuards:
+    def test_prestopped_token_admits_nothing(self, rules, hitlist):
+        token = StopToken()
+        token.stop("sigterm")
+        guards = GuardSet(stop_token=token)
+        config = PipelineConfig()
+        pipeline = streaming_assembly(
+            rules, hitlist, config, guards=guards
+        )
+        spoofed = make_spoofed_flows(hitlist, count=10)
+        pipeline.run_records(enumerate(spoofed))
+        assert pipeline.stage.metrics.records_processed == 0
+        assert guards.overload.stop_reason == "sigterm"
+
+    def test_stop_mid_stream_honoured_within_stride(
+        self, rules, hitlist
+    ):
+        token = StopToken()
+        guards = GuardSet(stop_token=token)
+        pipeline = streaming_assembly(
+            rules, hitlist, guards=guards
+        )
+        flows = make_spoofed_flows(hitlist, count=10 * GUARD_STRIDE)
+        stop_at = 3 * GUARD_STRIDE + 7
+
+        def source():
+            for index, flow in enumerate(flows):
+                if index == stop_at:
+                    token.stop("sigterm")
+                yield flow
+
+        processed = pipeline.run_records(enumerate(source()))
+        assert processed < len(flows)
+        assert processed - stop_at <= GUARD_STRIDE
+        assert guards.stopped
+        assert guards.overload.stop_reason == "sigterm"
+
+    def test_first_stop_reason_sticks(self):
+        guards = GuardSet()
+        guards.note_stop("deadline")
+        guards.note_stop("sigterm")
+        assert guards.overload.stop_reason == "deadline"
+
+    def test_staged_run_surrenders_tasks_on_stop(self):
+        token = StopToken()
+        run = StagedRun(GuardSet(stop_token=token))
+        admitted = []
+        for task in run.admit(range(10)):
+            admitted.append(task)
+            if task == 3:
+                token.stop("sigterm")
+        assert admitted == [0, 1, 2, 3]
+        assert run.surrendered == 6
+        assert run.guards.overload.partial is True
+
+    def test_staged_run_stage_timing_is_additive(self):
+        run = StagedRun()
+        with run.stage("plan"):
+            pass
+        first = run.seconds["plan"]
+        with run.stage("plan"):
+            pass
+        assert run.seconds["plan"] >= first
+        assert set(run.seconds) == {"plan"}
+
+
+# -- the typed config hierarchy ---------------------------------------
+
+
+class TestPipelineConfig:
+    def test_from_args_round_trip(self, tmp_path):
+        config = PipelineConfig.from_args(
+            threshold=0.6,
+            require_established=True,
+            salt="pepper",
+            max_keys=1024,
+            shards=4,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=500,
+            deadline_seconds=30.0,
+        )
+        assert config.detection.threshold == 0.6
+        assert config.detection.require_established is True
+        assert config.detection.salt == "pepper"
+        assert config.state.max_keys == 1024
+        assert config.state.per_shard == 256
+        assert config.checkpoint.every == 500
+        assert config.guards.deadline_seconds == 30.0
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DetectionConfig(threshold=0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            DetectionConfig(threshold=1.5)
+
+    def test_per_shard_never_zero(self):
+        config = PipelineConfig.from_args(max_keys=2, shards=8)
+        assert config.state.per_shard == 1
+
+    def test_build_guards_wires_deadline(self):
+        config = PipelineConfig.from_args(deadline_seconds=60.0)
+        guards = config.build_guards()
+        assert guards.deadline is not None
+        assert guards.overload.deadline_seconds == 60.0
+
+
+# -- the shared flow-line parser --------------------------------------
+
+
+class TestSharedParser:
+    def test_error_message_identical_across_paths(self, tmp_path):
+        """Both paths reject a malformed line with one message."""
+        bad = "1,2,3"
+        with pytest.raises(ValueError) as record_error:
+            parse_flow_line(bad)
+        path = tmp_path / "flows.csv"
+        path.write_text(f"# comment\n{bad}\n")
+        with pytest.raises(ValueError) as tuple_error:
+            list(iter_flow_tuples(path))
+        assert str(record_error.value) == str(tuple_error.value)
+        assert "expected 10" in str(record_error.value)
+
+    def test_tuple_and_record_share_conversions(self):
+        parser = FlowLineParser()
+        line = "100,160,10.0.0.1,93.184.216.34,6,40000,443,3,300,0x10"
+        parts = parser.split(line)
+        tup = parser.tuple(parts)
+        record = parser.record(parts)
+        assert tup == (
+            record.first_switched,
+            record.src_ip,
+            record.dst_ip,
+            record.protocol,
+            record.dst_port,
+            record.tcp_flags,
+        )
+
+    def test_memo_caches_stay_bounded(self):
+        parser = FlowLineParser(cache_limit=4)
+        for octet in range(16):
+            parser.ip(f"10.0.0.{octet}")
+        assert len(parser._ips) <= 4
+        assert parser.ip("10.0.0.1") == (10 << 24) + 1
+
+
+# -- the removed compatibility shim -----------------------------------
+
+
+class TestFaultsShimRemoved:
+    def test_stream_faults_import_fails_with_pointer(self):
+        with pytest.raises(ImportError, match="repro.faults"):
+            importlib.import_module("repro.stream.faults")
+
+    def test_canonical_home_still_imports(self):
+        from repro.faults import jitter_order, truncate_file  # noqa: F401

@@ -30,7 +30,7 @@ from repro.stream import (
     StreamDetectionEngine,
     read_event_log,
 )
-from repro.stream.faults import jitter_order
+from repro.faults import jitter_order
 from repro.stream.state import EvidenceStateTable
 from repro.timeutil import STUDY_START
 

@@ -21,7 +21,7 @@ from repro.stream.checkpoint import (
     read_checkpoint,
     write_checkpoint,
 )
-from repro.stream.faults import (
+from repro.faults import (
     corrupt_payload_byte,
     corrupt_version_header,
     truncate_file,

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Layering checker: the pipeline dependency contract, enforced.
+
+The staged pipeline refactor rests on one directional rule:
+
+* :mod:`repro.engine`, :mod:`repro.stream`, and :mod:`repro.ixp` are
+  *assemblies* — each may import :mod:`repro.pipeline`, and none may
+  import the other two;
+* :mod:`repro.pipeline` is the shared layer — it may import the
+  substrate (core, netflow, runtime, resilience, ...) but none of the
+  three assemblies.
+
+This script walks the import statements of every module in the scoped
+packages with :mod:`ast` (no third-party import-linter needed) and
+exits non-zero on a violation, printing ``file:line`` for each.  It is
+wired into CI as the ``layering`` job and into the tier-1 suite via
+``tests/test_layering.py``.
+
+Usage::
+
+    python tools/check_layering.py [--root src]
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import pathlib
+import sys
+from typing import Dict, Iterator, List, Set, Tuple
+
+#: package -> packages it must never import (directly or lazily).
+FORBIDDEN: Dict[str, Set[str]] = {
+    "repro.engine": {"repro.stream", "repro.ixp"},
+    "repro.stream": {"repro.engine", "repro.ixp"},
+    "repro.ixp": {"repro.engine", "repro.stream"},
+    "repro.pipeline": {"repro.engine", "repro.stream", "repro.ixp"},
+}
+
+#: assemblies that must actually sit on the shared layer: at least one
+#: module in each must import repro.pipeline.
+MUST_USE_PIPELINE = ("repro.engine", "repro.stream", "repro.ixp")
+
+
+def module_name(root: pathlib.Path, path: pathlib.Path) -> str:
+    """Dotted module name of ``path`` relative to the source root."""
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def iter_imports(
+    path: pathlib.Path, module: str
+) -> Iterator[Tuple[str, int]]:
+    """Yield ``(imported module, line)`` for every import statement.
+
+    Handles plain imports, from-imports, and relative imports
+    (resolved against ``module``); imports nested in functions count
+    too — a lazy import is still a dependency.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    package_parts = module.split(".")
+    is_package = path.name == "__init__.py"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                if node.module is not None:
+                    yield node.module, node.lineno
+                continue
+            # Relative import: drop `level` components from the end of
+            # the importing module's package path.
+            keep = len(package_parts) - node.level + (1 if is_package else 0)
+            base = ".".join(package_parts[:keep]) if keep > 0 else ""
+            target = (
+                f"{base}.{node.module}" if node.module else base
+            )
+            if target:
+                yield target, node.lineno
+
+
+def within(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+def check(root: pathlib.Path) -> Tuple[List[str], Dict[str, bool]]:
+    """Return (violations, assembly -> imports-pipeline flag)."""
+    violations: List[str] = []
+    uses_pipeline = {package: False for package in MUST_USE_PIPELINE}
+    for path in sorted(root.rglob("*.py")):
+        module = module_name(root, path)
+        owners = [
+            package for package in FORBIDDEN if within(module, package)
+        ]
+        if not owners:
+            continue
+        for imported, line in iter_imports(path, module):
+            for package in owners:
+                if package in uses_pipeline and within(
+                    imported, "repro.pipeline"
+                ):
+                    uses_pipeline[package] = True
+                for banned in FORBIDDEN[package]:
+                    if within(imported, banned):
+                        violations.append(
+                            f"{path}:{line}: {module} imports "
+                            f"{imported} ({package} must not depend "
+                            f"on {banned})"
+                        )
+    return violations, uses_pipeline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "src",
+        help="source root containing the repro package (default: src)",
+    )
+    args = parser.parse_args(argv)
+    violations, uses_pipeline = check(args.root)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    for package, used in sorted(uses_pipeline.items()):
+        if not used:
+            violations.append(package)
+            print(
+                f"{package} never imports repro.pipeline — the "
+                "assembly has come off the shared layer",
+                file=sys.stderr,
+            )
+    if violations:
+        return 1
+    print("layering ok: engine/stream/ixp sit on pipeline, not on each other")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
