@@ -1,0 +1,317 @@
+"""Columnar vectorized detect throughput vs the per-record hot loop.
+
+The columnar path exists to lift the detect stage off the one-Python-
+call-per-record ceiling, so the headline comparison is detect-stage to
+detect-stage on identical pre-staged input: a pre-parsed tuple list
+through ``FlowPipeline.run_tuples`` (the per-record baseline) against
+pre-decoded ``FlowChunk`` batches through
+``ColumnarFlowPipeline.run_chunks`` — the shape in-process sources
+(the traffic generator, binary collector decoders, the IXP fabric
+tap) actually feed.  End-to-end file numbers for both paths are
+reported alongside, where text decode bounds the columnar gain.
+
+The bench input is a *haystack*: the ground-truth capture's flows
+diluted ~9:1 with background flows to non-hitlist endpoints, so
+matching rows are sparse the way the paper's deployment is.  Results
+merge into ``BENCH_scaling.json`` under ``"columnar"``.
+
+``python benchmarks/bench_columnar.py --quick`` runs a seconds-long
+synthetic equivalence + throughput smoke (the CI invocation) without
+building the full experiment context.
+"""
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+BENCH_PATH = (
+    pathlib.Path(__file__).resolve().parents[1] / "BENCH_scaling.json"
+)
+
+_BACKGROUND_RATIO = 9
+_CHUNK_SIZE = 1 << 16
+
+
+def _ip_text(value):
+    return ".".join(
+        str((value >> shift) & 255) for shift in (24, 16, 8, 0)
+    )
+
+
+def _haystack_file(capture, hitlist, directory, ratio=_BACKGROUND_RATIO):
+    """GT capture flows diluted with non-matching background traffic."""
+    from repro.netflow.flowfile import format_flow
+
+    lines = []
+    lo, hi = None, None
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flow = event.to_flow_record(src, capture.sampling_interval)
+        when = flow.first_switched
+        lo = when if lo is None else min(lo, when)
+        hi = when if hi is None else max(hi, when)
+        lines.append((when, format_flow(flow)))
+    matched_candidates = len(lines)
+    endpoint_keys = set()
+    for endpoints in hitlist.daily_endpoints.values():
+        endpoint_keys.update(endpoints)
+    rng = random.Random(1337)
+    background = matched_candidates * ratio
+    produced = 0
+    while produced < background:
+        when = rng.randint(lo, hi)
+        dst = rng.randint(0x08000000, 0x08FFFFFF)  # never a hitlist IP
+        port = rng.choice((53, 80, 123, 443, 8080))
+        if (dst, port) in endpoint_keys:
+            continue
+        src = 0x0A000000 + rng.randrange(1 << 16)
+        lines.append(
+            (
+                when,
+                f"{when},{when + 30},{_ip_text(src)},{_ip_text(dst)},"
+                f"{rng.choice((6, 17))},40000,{port},3,300,0x10",
+            )
+        )
+        produced += 1
+    lines.sort(key=lambda item: item[0])
+    path = directory / "haystack-flows.csv"
+    path.write_text("\n".join(text for _, text in lines) + "\n")
+    return path, len(lines)
+
+
+def _assembly(rules, hitlist):
+    from repro.pipeline import PipelineConfig, streaming_assembly
+
+    return streaming_assembly(rules, hitlist, PipelineConfig())
+
+
+def _events(sink):
+    return [
+        (e.subscriber, e.class_name, e.detected_at, e.record_index)
+        for e in sink.events
+    ]
+
+
+def _run_tuples(rules, hitlist, tuples):
+    """Per-record detect baseline over pre-parsed tuples."""
+    pipeline = _assembly(rules, hitlist)
+    pipeline.run_tuples(iter(tuples))
+    return pipeline.stage.metrics.process_seconds, pipeline
+
+
+def _run_chunks(rules, hitlist, chunks):
+    """Vectorized detect over pre-decoded chunks (the headline)."""
+    from repro.pipeline import ColumnarFlowPipeline
+
+    pipeline = _assembly(rules, hitlist)
+    columnar = ColumnarFlowPipeline(
+        pipeline.stage, sink=pipeline.sink, guards=pipeline.guards
+    )
+    columnar.run_chunks(iter(chunks))
+    return pipeline.stage.metrics.process_seconds, pipeline
+
+
+def _run_file(rules, hitlist, path, columnar):
+    from repro.stream import StreamConfig, StreamDetectionEngine
+
+    engine = StreamDetectionEngine(
+        rules,
+        hitlist,
+        StreamConfig(columnar=columnar, chunk_size=_CHUNK_SIZE),
+    )
+    started = time.perf_counter()
+    engine.process_flowfile(path)
+    return time.perf_counter() - started, engine
+
+
+def bench_columnar(benchmark, context, write_artefact, tmp_path_factory):
+    from repro.analysis.reporting import render_table
+    from repro.netflow.parse import ColumnarDecodeStage
+    from repro.netflow.replay import iter_flow_tuples
+
+    rules, hitlist = context.rules, context.hitlist
+    directory = tmp_path_factory.mktemp("bench_columnar")
+    path, records = _haystack_file(context.capture, hitlist, directory)
+
+    # End-to-end file runs, both paths (decode included).
+    scalar_file_seconds, scalar_engine = _run_file(
+        rules, hitlist, path, columnar=False
+    )
+    columnar_file_seconds, columnar_engine = _run_file(
+        rules, hitlist, path, columnar=True
+    )
+    assert _events(columnar_engine.sink) == _events(scalar_engine.sink)
+
+    # Detect-stage runs over pre-staged input.
+    tuples = list(iter_flow_tuples(path))
+    chunks = list(
+        ColumnarDecodeStage(chunk_size=_CHUNK_SIZE).iter_chunks(path)
+    )
+    tuple_seconds, tuple_pipeline = _run_tuples(rules, hitlist, tuples)
+    chunk_seconds, chunk_pipeline = benchmark.pedantic(
+        _run_chunks,
+        args=(rules, hitlist, chunks),
+        rounds=1,
+        iterations=1,
+    )
+    assert _events(chunk_pipeline.sink) == _events(tuple_pipeline.sink)
+    matched = chunk_pipeline.stage.metrics.flows_matched
+
+    tuple_rps = records / tuple_seconds
+    chunk_rps = records / chunk_seconds
+    scalar_file_rps = records / scalar_file_seconds
+    columnar_file_rps = records / columnar_file_seconds
+
+    document = (
+        json.loads(BENCH_PATH.read_text()) if BENCH_PATH.exists() else {}
+    )
+    document["columnar"] = {
+        "records": records,
+        "matched": matched,
+        "chunk_size": _CHUNK_SIZE,
+        "records_per_second": chunk_rps,
+        "per_record_records_per_second": tuple_rps,
+        "file_records_per_second": columnar_file_rps,
+        "per_record_file_records_per_second": scalar_file_rps,
+        "speedup_vectorized": chunk_rps / tuple_rps,
+        "speedup_end_to_end": columnar_file_rps / scalar_file_rps,
+        "events": len(chunk_pipeline.sink.events),
+    }
+    BENCH_PATH.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+
+    write_artefact(
+        "columnar_throughput",
+        render_table(
+            ("path", "records/sec", "notes"),
+            (
+                ("per-record detect (tuples)", f"{tuple_rps:,.0f}", "-"),
+                (
+                    "columnar detect (chunks)",
+                    f"{chunk_rps:,.0f}",
+                    f"{chunk_rps / tuple_rps:.1f}x per-record",
+                ),
+                (
+                    "per-record end-to-end (file)",
+                    f"{scalar_file_rps:,.0f}",
+                    "-",
+                ),
+                (
+                    "columnar end-to-end (file)",
+                    f"{columnar_file_rps:,.0f}",
+                    f"{columnar_file_rps / scalar_file_rps:.1f}x "
+                    "per-record",
+                ),
+            ),
+            title=(
+                f"Columnar detect throughput ({records:,} records, "
+                f"{matched:,} matched)"
+            ),
+        ),
+    )
+
+    # Identical events at >= 5x the per-record detect rate (10x target);
+    # the end-to-end file path must win too, text decode included.
+    assert chunk_rps >= 5 * tuple_rps
+    assert columnar_file_rps > scalar_file_rps
+
+
+# -- the CI smoke path -------------------------------------------------
+
+
+def _quick(argv=None) -> int:
+    """Synthetic-world equivalence + throughput smoke (seconds)."""
+    import tempfile
+    import types
+
+    from repro.core.rules import DetectionRule, RuleSet
+    from repro.netflow.parse import ColumnarDecodeStage
+    from repro.netflow.replay import iter_flow_tuples
+    from repro.timeutil import SECONDS_PER_DAY, STUDY_START
+
+    daily = {
+        0: {(0xC0A80001, 443): "a.example", (0xC0A80002, 80): "b.example"},
+        1: {(0xC0A80001, 443): "a.example", (0xC0A80003, 8883): "c.example"},
+    }
+    hitlist = types.SimpleNamespace(daily_endpoints=daily)
+    rules = RuleSet(
+        [
+            DetectionRule(
+                class_name="cam",
+                level="Product",
+                domains=("a.example", "b.example", "c.example"),
+            )
+        ]
+    )
+    rng = random.Random(7)
+    endpoint_pool = [
+        (0xC0A80001, 443),
+        (0xC0A80002, 80),
+        (0xC0A80003, 8883),
+    ]
+    lines = []
+    for _ in range(50_000):
+        day = rng.choice([0, 1])
+        when = (
+            STUDY_START
+            + day * SECONDS_PER_DAY
+            + rng.randrange(SECONDS_PER_DAY)
+        )
+        if rng.random() < 0.1:
+            dst_ip, dport = rng.choice(endpoint_pool)
+        else:
+            dst_ip, dport = rng.randint(0x08000000, 0x08FFFFFF), 53
+        src = 0x0A000000 + rng.randrange(256)
+        lines.append(
+            f"{when},{when + 30},{_ip_text(src)},{_ip_text(dst_ip)},"
+            f"6,40000,{dport},3,300,0x10"
+        )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "flows.csv"
+        path.write_text("\n".join(lines) + "\n")
+        tuples = list(iter_flow_tuples(path))
+        chunks = list(ColumnarDecodeStage(8192).iter_chunks(path))
+    tuple_seconds, tuple_pipeline = _run_tuples(rules, hitlist, tuples)
+    chunk_seconds, chunk_pipeline = _run_chunks(rules, hitlist, chunks)
+    if _events(chunk_pipeline.sink) != _events(tuple_pipeline.sink):
+        print("FAIL: columnar events diverge from per-record events")
+        return 1
+    scalar = tuple_pipeline.stage.metrics
+    vector = chunk_pipeline.stage.metrics
+    for field in ("records_processed", "flows_matched", "watermark"):
+        if getattr(scalar, field) != getattr(vector, field):
+            print(f"FAIL: metrics field {field} diverges")
+            return 1
+    print(
+        f"columnar smoke ok: {len(tuples):,} records, "
+        f"{vector.flows_matched:,} matched, "
+        f"{len(chunk_pipeline.sink.events)} events identical; "
+        f"detect {len(tuples) / tuple_seconds:,.0f} rec/s per-record "
+        f"vs {len(tuples) / chunk_seconds:,.0f} rec/s columnar "
+        f"({tuple_seconds / chunk_seconds:.1f}x)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="synthetic equivalence + throughput smoke (CI); the full "
+        "benchmark runs via pytest and updates BENCH_scaling.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        return _quick()
+    import pytest
+
+    return pytest.main([__file__, "-x", "-q"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -247,6 +247,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.4,
         help="detection threshold D (default 0.4)",
     )
+    detect.add_argument(
+        "--columnar", action="store_true",
+        help="fold the flow file through the vectorized columnar "
+        "path (identical detections, chunked numpy hot loop)",
+    )
+    detect.add_argument(
+        "--chunk-size", type=int, default=65536,
+        help="rows per decoded column chunk with --columnar "
+        "(default 65536)",
+    )
 
     stream = commands.add_parser(
         "stream",
@@ -321,6 +331,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-records", type=int, default=None,
         help="stop after N records this run (the engine stays "
         "resumable)",
+    )
+    stream_run.add_argument(
+        "--columnar", action="store_true",
+        help="fold the flow file through the vectorized columnar "
+        "path (identical events; guards/checkpoints polled per "
+        "chunk)",
+    )
+    stream_run.add_argument(
+        "--chunk-size", type=int, default=65536,
+        help="rows per decoded column chunk with --columnar "
+        "(default 65536)",
     )
     stream_run.add_argument(
         "--inject-sigterm-at", type=int, default=None,
@@ -415,6 +436,8 @@ def _run_stream(args) -> int:
             args.checkpoint_every if args.checkpoint_dir else 0
         ),
         quarantine_dir=args.quarantine_dir,
+        columnar=args.columnar,
+        chunk_size=args.chunk_size,
     )
     sink = (
         JsonlEventSink(args.events_out, resume=args.resume)
@@ -501,7 +524,13 @@ def _run_stream(args) -> int:
 
 
 def _stream_ingest(engine, args) -> int:
-    """Run the stream engine's ingest, optionally under fault probes."""
+    """Run the stream engine's ingest, optionally under fault probes.
+
+    The fault harness (``--inject-sigterm-at``) always drives the
+    per-record tuple path — the probe fires at an exact record index,
+    which a chunked fold cannot honour; ``--columnar`` applies to
+    ordinary ingest via ``engine.process_flowfile``.
+    """
     if args.inject_sigterm_at is None:
         return engine.process_flowfile(
             args.flows, max_records=args.max_records
@@ -636,6 +665,8 @@ def _run_batch(args, parse_memory_size) -> int:
             args.flows,
             PipelineConfig.from_args(
                 threshold=args.threshold,
+                columnar=args.columnar,
+                chunk_size=args.chunk_size,
                 quarantine_dir=args.quarantine_dir,
                 memory_budget=(
                     parse_memory_size(args.memory_budget)

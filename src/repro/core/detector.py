@@ -268,7 +268,13 @@ class FlowDetector:
             results.extend(
                 self._detections_for(subscriber, evidence, threshold)
             )
-        results.sort(key=lambda item: (item.detected_at, item.class_name))
+        results.sort(
+            key=lambda item: (
+                item.detected_at,
+                item.class_name,
+                item.subscriber,
+            )
+        )
         return results
 
     def _detections_for(
@@ -277,7 +283,9 @@ class FlowDetector:
         evidence: Dict[str, int],
         threshold: float,
     ) -> List[Detection]:
-        ordered = sorted(evidence.items(), key=lambda item: item[1])
+        ordered = sorted(
+            evidence.items(), key=lambda item: (item[1], item[0])
+        )
         progress = SubscriberProgress()
         emitted: List[Tuple[str, int]] = []
         for fqdn, when in ordered:

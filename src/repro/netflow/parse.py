@@ -11,24 +11,42 @@ memo caches.
 
 Dotted quads and flag bytes repeat heavily — subscriber lines and
 hitlist endpoints are small sets next to the record count — so memoised
-conversions dominate raw parsing.  The caches are bounded: cleared if
-an adversarially diverse stream ever bloats them past
-:data:`PARSE_CACHE_LIMIT` entries.
+conversions dominate raw parsing.  The caches are bounded: if an
+adversarially diverse stream ever bloats them past
+:data:`PARSE_CACHE_LIMIT` entries, an arbitrary half is evicted so the
+warm half keeps serving (a full clear would cold-start every
+conversion at once).
+
+:class:`ColumnarDecodeStage` is the batch counterpart of the per-line
+parser: it decodes a flow file into :class:`FlowChunk` batches of
+numpy column arrays for the vectorized detect path
+(:mod:`repro.pipeline.columnar`), falling back to the exact per-line
+semantics of :func:`repro.netflow.replay.iter_flow_tuples` — same
+error messages, same quarantine reasons — whenever a chunk contains
+comments, blank lines, or malformed fields.  numpy is imported lazily
+so the substrate stays importable without it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import itertools
+import pathlib
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.addressing import str_to_ip
 from repro.netflow.records import FlowKey, FlowRecord
+from repro.resilience.quarantine import QuarantineSink, validate_flow_tuple
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "FLOW_FILE_COLUMNS",
+    "ColumnarDecodeStage",
+    "FlowChunk",
     "FlowLineParser",
     "FlowTuple",
     "PARSE_CACHE_LIMIT",
     "SHARED_PARSER",
+    "chunks_from_records",
 ]
 
 #: Column order of the haystack-flows CSV format (see
@@ -45,6 +63,37 @@ FlowTuple = Tuple[int, int, int, int, int, int]
 
 #: Entry cap on the memo caches.
 PARSE_CACHE_LIMIT = 1 << 20
+
+#: Rows per :class:`FlowChunk` the columnar decode stage aims for.
+#: Large enough to amortise per-chunk numpy overhead, small enough
+#: that the chunk's column temporaries stay cache/allocator friendly.
+DEFAULT_CHUNK_SIZE = 1 << 16
+
+#: Byte-size heuristic used to turn ``chunk_size`` rows into a read
+#: request (haystack-flows lines average ~45 bytes).
+_BYTES_PER_LINE = 48
+
+_np = None
+
+
+def _numpy():
+    """Import numpy on first columnar use (keeps the per-line paths
+    importable without it)."""
+    global _np
+    if _np is None:
+        import numpy
+
+        _np = numpy
+    return _np
+
+
+def _evict_half(cache: Dict[str, int]) -> None:
+    """Drop an arbitrary half of a memo cache (the insertion-oldest
+    half, as dicts preserve insertion order) so recent entries keep
+    serving instead of cold-starting the whole stream."""
+    drop = max(1, len(cache) // 2)
+    for key in list(itertools.islice(cache, drop)):
+        del cache[key]
 
 
 class FlowLineParser:
@@ -80,7 +129,7 @@ class FlowLineParser:
         value = self._ips.get(text)
         if value is None:
             if len(self._ips) >= self.cache_limit:
-                self._ips.clear()
+                _evict_half(self._ips)
             value = self._ips[text] = str_to_ip(text)
         return value
 
@@ -89,7 +138,7 @@ class FlowLineParser:
         value = self._flags.get(text)
         if value is None:
             if len(self._flags) >= self.cache_limit:
-                self._flags.clear()
+                _evict_half(self._flags)
             value = self._flags[text] = int(text, 16)
         return value
 
@@ -128,3 +177,288 @@ class FlowLineParser:
 #: Process-wide default parser: both `read_flow_file` and
 #: `iter_flow_tuples` go through this instance unless handed their own.
 SHARED_PARSER = FlowLineParser()
+
+
+class FlowChunk:
+    """One decoded batch of flows as parallel int64 column arrays.
+
+    The columnar counterpart of a run of :data:`FlowTuple` rows: six
+    equal-length numpy arrays (``first``, ``src``, ``dst``, ``proto``,
+    ``dport``, ``flags``) plus ``start_index``, the stream index of
+    row 0 in the same valid-row coordinate system the per-record paths
+    assign (quarantined/skipped lines never consume an index).
+    """
+
+    __slots__ = (
+        "start_index", "first", "src", "dst", "proto", "dport", "flags",
+    )
+
+    def __init__(
+        self, start_index, first, src, dst, proto, dport, flags
+    ) -> None:
+        self.start_index = start_index
+        self.first = first
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+        self.dport = dport
+        self.flags = flags
+
+    def __len__(self) -> int:
+        return len(self.first)
+
+    def head(self, count: int) -> "FlowChunk":
+        """The first ``count`` rows (``max_records`` bounding)."""
+        return FlowChunk(
+            self.start_index,
+            self.first[:count],
+            self.src[:count],
+            self.dst[:count],
+            self.proto[:count],
+            self.dport[:count],
+            self.flags[:count],
+        )
+
+    def tail(self, drop: int) -> "FlowChunk":
+        """Rows from ``drop`` on, re-indexed (resume fast-forward)."""
+        return FlowChunk(
+            self.start_index + drop,
+            self.first[drop:],
+            self.src[drop:],
+            self.dst[drop:],
+            self.proto[drop:],
+            self.dport[drop:],
+            self.flags[drop:],
+        )
+
+
+class ColumnarDecodeStage:
+    """Decode a flow file into :class:`FlowChunk` column batches.
+
+    The bulk fast path splits a whole block of complete lines at once
+    and converts each needed column with one vectorized conversion (or
+    one memo-map pass for dotted quads and flag bytes, sharing the
+    per-line parser's caches).  Any irregularity — comments, blank
+    lines, a field-count misalignment, a conversion error — drops the
+    whole block to a per-line path that reproduces
+    :func:`repro.netflow.replay.iter_flow_tuples` exactly: same error
+    messages without a quarantine, same reason strings with one.
+
+    The fast path is safe against silent misalignment: a block is only
+    bulk-decoded when its total field count and line count agree, and
+    any shifted column puts a dotted quad into an integer column (or
+    vice versa), which raises and falls back.  Field values outside
+    int64 are not supported on the columnar path (no writer in this
+    repo produces them).
+    """
+
+    def __init__(
+        self,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        parser: Optional[FlowLineParser] = None,
+        quarantine: Optional[QuarantineSink] = None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        self.chunk_size = chunk_size
+        self.parser = parser if parser is not None else SHARED_PARSER
+        self.quarantine = quarantine
+
+    # -- file ingest --------------------------------------------------
+
+    def iter_chunks(
+        self,
+        source: Union[str, pathlib.Path, IO[str]],
+        skip: int = 0,
+    ) -> Iterator[FlowChunk]:
+        """Yield decoded chunks; ``skip`` fast-forwards valid rows.
+
+        Indices continue the per-record coordinate system: the first
+        yielded row carries index ``skip`` (quarantine accounting still
+        covers the skipped prefix, matching the per-record resume
+        path).
+        """
+        owns = isinstance(source, (str, pathlib.Path))
+        stream: IO[str] = (
+            open(source, "r", encoding="ascii") if owns else source
+        )
+        read_size = self.chunk_size * _BYTES_PER_LINE
+        index = 0
+        to_skip = skip
+        carry = ""
+        try:
+            while True:
+                block = stream.read(read_size)
+                if not block:
+                    break
+                if carry:
+                    block = carry + block
+                    carry = ""
+                cut = block.rfind("\n")
+                if cut < 0:
+                    carry = block
+                    continue
+                carry = block[cut + 1:]
+                chunk = self._chunk_from_text(block[:cut], index)
+                index += len(chunk)
+                chunk, to_skip = _skip_rows(chunk, to_skip)
+                if len(chunk):
+                    yield chunk
+            if carry:
+                chunk = self._chunk_from_text(carry, index)
+                chunk, to_skip = _skip_rows(chunk, to_skip)
+                if len(chunk):
+                    yield chunk
+        finally:
+            if owns:
+                stream.close()
+
+    # -- decoding -----------------------------------------------------
+
+    def _chunk_from_text(self, text: str, start_index: int) -> FlowChunk:
+        """Decode a block of complete newline-separated lines."""
+        np = _numpy()
+        columns = None
+        if text and text[0] != "\n" and "#" not in text and "\n\n" not in text:
+            columns = self._decode_bulk(text, np)
+        if columns is None:
+            columns = self._decode_lines(text.split("\n"), np)
+        return FlowChunk(start_index, *columns)
+
+    def _decode_bulk(self, text: str, np):
+        """Vectorized whole-block decode; ``None`` when ineligible."""
+        fields = text.replace("\n", ",").split(",")
+        rows, extra = divmod(len(fields), len(FLOW_FILE_COLUMNS))
+        if extra or text.count("\n") + 1 != rows:
+            return None
+        try:
+            first = np.array(fields[0::10], dtype=np.int64)
+            src = self._map_column(
+                fields[2::10], self.parser._ips, self.parser.ip, np
+            )
+            dst = self._map_column(
+                fields[3::10], self.parser._ips, self.parser.ip, np
+            )
+            proto = np.array(fields[4::10], dtype=np.int64)
+            dport = np.array(fields[6::10], dtype=np.int64)
+            flags = self._map_column(
+                fields[9::10], self.parser._flags, self.parser.flag_bits, np
+            )
+        except (ValueError, OverflowError):
+            return None
+        if self.quarantine is not None:
+            bad = (
+                (first < 0)
+                | (proto < 0) | (proto > 255)
+                | (dport < 0) | (dport > 65535)
+                | (flags < 0) | (flags > 0xFF)
+            )
+            if bad.any():
+                lines = text.split("\n")
+                for row in np.flatnonzero(bad).tolist():
+                    reason = validate_flow_tuple(
+                        int(first[row]), int(src[row]), int(dst[row]),
+                        int(proto[row]), int(dport[row]), int(flags[row]),
+                    )
+                    self.quarantine.record(reason, lines[row])
+                keep = ~bad
+                first, src, dst = first[keep], src[keep], dst[keep]
+                proto, dport, flags = proto[keep], dport[keep], flags[keep]
+        return first, src, dst, proto, dport, flags
+
+    @staticmethod
+    def _map_column(texts: List[str], memo: Dict[str, int], convert, np):
+        """One memo-map pass over a column; misses go through the
+        parser's bounded-cache conversion."""
+        try:
+            values = list(map(memo.__getitem__, texts))
+        except KeyError:
+            values = [convert(text) for text in texts]
+        return np.array(values, dtype=np.int64)
+
+    def _decode_lines(self, lines: Iterable[str], np):
+        """Per-line fallback with exact ``iter_flow_tuples`` semantics."""
+        parser = self.parser
+        quarantine = self.quarantine
+        expected = len(FLOW_FILE_COLUMNS)
+        columns: Tuple[List[int], ...] = ([], [], [], [], [], [])
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(",")
+            if len(parts) != expected:
+                if quarantine is not None:
+                    quarantine.record("malformed_line", line)
+                    continue
+                raise ValueError(
+                    f"flow line has {len(parts)} fields, expected "
+                    f"{expected}: {line!r}"
+                )
+            try:
+                row = parser.tuple(parts)
+            except ValueError:
+                if quarantine is not None:
+                    quarantine.record("unparseable_field", line)
+                    continue
+                raise
+            if quarantine is not None:
+                reason = validate_flow_tuple(*row)
+                if reason is not None:
+                    quarantine.record(reason, line)
+                    continue
+            for column, value in zip(columns, row):
+                column.append(value)
+        return tuple(
+            np.array(column, dtype=np.int64) for column in columns
+        )
+
+
+def _skip_rows(chunk: FlowChunk, to_skip: int):
+    """Fast-forward a resume prefix through a decoded chunk."""
+    if not to_skip:
+        return chunk, 0
+    if to_skip >= len(chunk):
+        return chunk.head(0), to_skip - len(chunk)
+    return chunk.tail(to_skip), 0
+
+
+def chunks_from_records(
+    records: Iterable[FlowRecord],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    start_index: int = 0,
+) -> Iterator[FlowChunk]:
+    """Column chunks from an in-memory record iterable.
+
+    The columnar twin of ``FlowPipeline.run_records`` over
+    ``enumerate(records)``: no validation, indices assigned from
+    ``start_index`` — chunk sources that never touch text (the IXP
+    fabric tap, binary collector decoders) enter the vectorized path
+    here.
+    """
+    np = _numpy()
+    iterator = iter(records)
+    index = start_index
+    while True:
+        batch = list(itertools.islice(iterator, chunk_size))
+        if not batch:
+            return
+        count = len(batch)
+        yield FlowChunk(
+            index,
+            np.fromiter(
+                (f.first_switched for f in batch), np.int64, count=count
+            ),
+            np.fromiter((f.src_ip for f in batch), np.int64, count=count),
+            np.fromiter((f.dst_ip for f in batch), np.int64, count=count),
+            np.fromiter(
+                (f.protocol for f in batch), np.int64, count=count
+            ),
+            np.fromiter(
+                (f.dst_port for f in batch), np.int64, count=count
+            ),
+            np.fromiter(
+                (f.tcp_flags for f in batch), np.int64, count=count
+            ),
+        )
+        index += count

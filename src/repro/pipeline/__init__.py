@@ -11,6 +11,12 @@ implemented once, assembled three ways:
 * the **IXP path** (:mod:`repro.ixp`) keys by address and keeps the
   TCP-established anti-spoofing filter on in the Validate stage.
 
+Each assembly can also run the Decode/Validate/Detect stages
+*columnar*: :class:`ColumnarFlowPipeline` folds numpy column chunks
+(``FlowChunk``) with vectorized filtering and endpoint lookup, staying
+record-for-record equivalent to the per-record path — the equivalence
+the ``tests/test_columnar.py`` suite pins.
+
 The layering contract is directional: those three packages import
 :mod:`repro.pipeline`, never each other, and this package imports none
 of them (``tools/check_layering.py`` enforces it in CI).
@@ -22,8 +28,10 @@ from repro.pipeline.assemble import (
     run_flow_detection,
     streaming_assembly,
 )
+from repro.pipeline.columnar import ColumnarFlowPipeline, EndpointDayIndex
 from repro.pipeline.config import (
     CheckpointConfig,
+    ColumnarConfig,
     DetectionConfig,
     GuardConfig,
     PipelineConfig,
@@ -65,6 +73,7 @@ __all__ = [
     "CheckpointConfig",
     "QuarantineConfig",
     "GuardConfig",
+    "ColumnarConfig",
     # stages and driver
     "FlowPipeline",
     "FlowDetectStage",
@@ -72,6 +81,8 @@ __all__ = [
     "BatchDetectStage",
     "SubscriberKeying",
     "AddressKeying",
+    "ColumnarFlowPipeline",
+    "EndpointDayIndex",
     # state / events
     "EvidenceStateTable",
     "DetectionEvent",

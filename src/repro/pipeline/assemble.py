@@ -24,8 +24,10 @@ from typing import IO, Iterable, List, Optional, Union
 from repro.core.detector import Detection
 from repro.core.hitlist import Hitlist
 from repro.core.rules import RuleSet
+from repro.netflow.parse import ColumnarDecodeStage, chunks_from_records
 from repro.netflow.records import FlowRecord
 from repro.netflow.replay import iter_flow_tuples
+from repro.pipeline.columnar import ColumnarFlowPipeline
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.core import GuardSet
 from repro.pipeline.flow import (
@@ -161,6 +163,9 @@ def run_flow_detection(
     A path (or text stream) takes the tuple fast path —
     :func:`~repro.netflow.replay.iter_flow_tuples`, no record
     construction; any other iterable is folded record by record.
+    With ``config.columnar.enabled`` both source shapes run the
+    vectorized :class:`~repro.pipeline.columnar.ColumnarFlowPipeline`
+    instead — identical detections, metrics, and quarantine output.
     Subscriber identity is the source address, matching the CLI
     ``detect`` command and the batch detector convention.
     """
@@ -173,7 +178,23 @@ def run_flow_detection(
         if config.quarantine.directory is not None
         else None
     )
-    if isinstance(source, (str, pathlib.Path)) or hasattr(source, "read"):
+    is_file = isinstance(source, (str, pathlib.Path)) or hasattr(
+        source, "read"
+    )
+    if config.columnar.enabled:
+        columnar = ColumnarFlowPipeline(
+            pipeline.stage, sink=pipeline.sink, guards=pipeline.guards
+        )
+        if is_file:
+            decode = ColumnarDecodeStage(
+                config.columnar.chunk_size, quarantine=quarantine
+            )
+            columnar.run_chunks(decode.iter_chunks(source))
+        else:
+            columnar.run_chunks(
+                chunks_from_records(source, config.columnar.chunk_size)
+            )
+    elif is_file:
         pipeline.run_tuples(
             iter_flow_tuples(source, quarantine=quarantine)
         )

@@ -22,6 +22,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.netflow.parse import DEFAULT_CHUNK_SIZE
 from repro.pipeline.core import GuardSet
 from repro.runtime.overload import OverloadMetrics
 from repro.runtime.shutdown import StopToken
@@ -32,6 +33,7 @@ __all__ = [
     "CheckpointConfig",
     "QuarantineConfig",
     "GuardConfig",
+    "ColumnarConfig",
     "PipelineConfig",
 ]
 
@@ -117,6 +119,26 @@ class GuardConfig:
 
 
 @dataclass(frozen=True)
+class ColumnarConfig:
+    """The vectorized chunked detect path (Decode/Validate/Detect).
+
+    When ``enabled``, assemblies decode flow sources into
+    :class:`~repro.netflow.parse.FlowChunk` column batches of
+    ``chunk_size`` rows and run them through
+    :class:`~repro.pipeline.columnar.ColumnarFlowPipeline` — same
+    events, metrics, and checkpoints as the per-record path, at vector
+    speed.
+    """
+
+    enabled: bool = False
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+
+@dataclass(frozen=True)
 class PipelineConfig:
     """One assembly's full tuning, grouped by stage."""
 
@@ -125,6 +147,7 @@ class PipelineConfig:
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     quarantine: QuarantineConfig = field(default_factory=QuarantineConfig)
     guards: GuardConfig = field(default_factory=GuardConfig)
+    columnar: ColumnarConfig = field(default_factory=ColumnarConfig)
 
     @classmethod
     def from_args(
@@ -141,6 +164,8 @@ class PipelineConfig:
         quarantine_dir: Optional[_PathLike] = None,
         memory_budget: Optional[int] = None,
         deadline_seconds: Optional[float] = None,
+        columnar: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ) -> "PipelineConfig":
         """Build from the flat knob names the CLI flags use."""
         return cls(
@@ -163,6 +188,9 @@ class PipelineConfig:
             guards=GuardConfig(
                 memory_budget=memory_budget,
                 deadline_seconds=deadline_seconds,
+            ),
+            columnar=ColumnarConfig(
+                enabled=columnar, chunk_size=chunk_size
             ),
         )
 

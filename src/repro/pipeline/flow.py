@@ -153,8 +153,10 @@ class FlowDetectStage:
         "keying",
         "metrics",
         "_daily",
-        "_cached_day",
-        "_cached_endpoints",
+        "_day_front",
+        "_endpoints_front",
+        "_day_back",
+        "_endpoints_back",
     )
 
     def __init__(
@@ -174,8 +176,13 @@ class FlowDetectStage:
             threshold=threshold
         )
         self._daily = hitlist.daily_endpoints
-        self._cached_day: Optional[int] = None
-        self._cached_endpoints: Dict[Tuple[int, int], str] = {}
+        # Two-entry day cache: out-of-order records that jitter across
+        # a UTC day boundary alternate between two days, and a single
+        # cached day would re-fetch from ``_daily`` on every flip.
+        self._day_front: Optional[int] = None
+        self._endpoints_front: Dict[Tuple[int, int], str] = {}
+        self._day_back: Optional[int] = None
+        self._endpoints_back: Dict[Tuple[int, int], str] = {}
 
     def observe(
         self,
@@ -201,10 +208,19 @@ class FlowDetectStage:
             metrics.flows_rejected_spoof += 1
             return None
         day = (when - STUDY_START) // SECONDS_PER_DAY
-        if day != self._cached_day:
-            self._cached_day = day
-            self._cached_endpoints = self._daily.get(day, {})
-        fqdn = self._cached_endpoints.get((dst, dport))
+        if day != self._day_front:
+            if day == self._day_back:
+                self._day_front, self._day_back = day, self._day_front
+                self._endpoints_front, self._endpoints_back = (
+                    self._endpoints_back,
+                    self._endpoints_front,
+                )
+            else:
+                self._day_back = self._day_front
+                self._endpoints_back = self._endpoints_front
+                self._day_front = day
+                self._endpoints_front = self._daily.get(day, {})
+        fqdn = self._endpoints_front.get((dst, dport))
         if fqdn is None:
             return None
         metrics.flows_matched += 1
@@ -330,7 +346,9 @@ class BatchDetectStage(FlowDetectStage):
         threshold = self.threshold if threshold is None else threshold
         results: List[Detection] = []
         for key, evidence in self._evidence.items():
-            ordered = sorted(evidence.items(), key=lambda item: item[1])
+            ordered = sorted(
+                evidence.items(), key=lambda item: (item[1], item[0])
+            )
             progress = SubscriberProgress()
             emitted: List[Tuple[str, int]] = []
             for fqdn, when in ordered:
@@ -349,7 +367,13 @@ class BatchDetectStage(FlowDetectStage):
                 )
                 for class_name, detected_at in emitted
             )
-        results.sort(key=lambda item: (item.detected_at, item.class_name))
+        results.sort(
+            key=lambda item: (
+                item.detected_at,
+                item.class_name,
+                item.subscriber,
+            )
+        )
         return results
 
 
@@ -451,6 +475,12 @@ class FlowPipeline:
         guard_left = GUARD_STRIDE
         if guards.check(0) is not None:  # stop already requested
             return 0
+        if checkpoint_every:
+            # Cadence counts records since the last checkpoint, not the
+            # cumulative total — a resume restored to a count that is
+            # not a multiple of ``checkpoint_every`` must still write
+            # its next checkpoint ``checkpoint_every`` records in.
+            metrics.records_since_checkpoint = 0
         started = time.perf_counter()
         try:
             for index, (when, src, dst, proto, dport, flags) in pairs:
@@ -460,9 +490,10 @@ class FlowPipeline:
                 processed += 1
                 if (
                     checkpoint_every
-                    and metrics.records_processed % checkpoint_every == 0
+                    and metrics.records_since_checkpoint >= checkpoint_every
                 ):
                     self.on_checkpoint()
+                    metrics.records_since_checkpoint = 0
                 guard_left -= 1
                 if guard_left <= 0:
                     guard_left = GUARD_STRIDE

@@ -48,7 +48,9 @@ from typing import Dict, Iterable, List, Optional, Set, Union
 
 from repro.core.hitlist import Hitlist
 from repro.core.rules import RuleSet
+from repro.netflow.parse import DEFAULT_CHUNK_SIZE, ColumnarDecodeStage
 from repro.netflow.replay import FlowReplaySource, FlowTuple, iter_flow_tuples
+from repro.pipeline.columnar import ColumnarFlowPipeline
 from repro.pipeline.core import GUARD_STRIDE, GuardSet
 from repro.pipeline.events import MemoryEventSink
 from repro.pipeline.flow import (
@@ -108,6 +110,11 @@ class StreamConfig:
     #: sample malformed/impossible records here instead of raising;
     #: ``None`` keeps the historical raise-on-bad-record behaviour
     quarantine_dir: Optional[pathlib.Path] = None
+    #: fold flow files through the vectorized columnar path (not a
+    #: detection-identity field: output is record-for-record equal)
+    columnar: bool = False
+    #: rows per decoded column chunk on the columnar path
+    chunk_size: int = DEFAULT_CHUNK_SIZE
 
 
 class StreamDetectionEngine:
@@ -178,6 +185,13 @@ class StreamDetectionEngine:
             metrics=self.metrics,
         )
         self._pipeline = FlowPipeline(
+            self._stage,
+            sink=self.sink,
+            guards=self._guards,
+            checkpoint_every=config.checkpoint_every,
+            on_checkpoint=self.write_checkpoint,
+        )
+        self._columnar = ColumnarFlowPipeline(
             self._stage,
             sink=self.sink,
             guards=self._guards,
@@ -326,6 +340,23 @@ class StreamDetectionEngine:
         finally:
             self._sync_state_metrics()
 
+    def process_chunks(
+        self,
+        chunks,
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Vectorized ingest of :class:`~repro.netflow.parse.FlowChunk`
+        batches — the columnar twin of :meth:`process_tuples`, sharing
+        the same stage, sink, guards, and checkpoint cadence (polled
+        per chunk instead of every record).
+        """
+        try:
+            return self._columnar.run_chunks(
+                chunks, max_records=max_records
+            )
+        finally:
+            self._sync_state_metrics()
+
     def process_flowfile(
         self,
         path,
@@ -337,9 +368,19 @@ class StreamDetectionEngine:
         Records already folded (a fresh engine has none; a resumed one
         skips the checkpointed prefix) are fast-forwarded over, so
         calling this repeatedly — across kills and resumes — always
-        continues where the engine left off.
+        continues where the engine left off.  With ``config.columnar``
+        the fast path decodes column chunks and folds them vectorized;
+        events and state stay identical to the per-record replay.
         """
         skip = self.records_processed
+        if fast and self.config.columnar:
+            decode = ColumnarDecodeStage(
+                self.config.chunk_size, quarantine=self.quarantine
+            )
+            return self.process_chunks(
+                decode.iter_chunks(path, skip=skip),
+                max_records=max_records,
+            )
         if fast:
             tuples = iter_flow_tuples(path, quarantine=self.quarantine)
             for _ in range(skip):

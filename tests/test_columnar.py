@@ -1,0 +1,465 @@
+"""Columnar == per-record equivalence over the staged pipeline.
+
+The vectorized path (:mod:`repro.pipeline.columnar` fed by
+:class:`~repro.netflow.parse.ColumnarDecodeStage`) must be *semantics
+free*: same detections, same event log (including record indices),
+same metrics, same quarantine accounting as the per-record hot loop —
+over in-order, out-of-order, day-straddling, and malformed input, for
+every assembly that grew a ``columnar`` knob.  The per-record path is
+the oracle throughout; nothing here relaxes an equality to a set
+comparison unless the per-record path itself is order-free.
+"""
+
+from __future__ import annotations
+
+import random
+import types
+
+import pytest
+
+from repro.core.rules import DetectionRule, RuleSet
+from repro.ixp import IxpConfig, detect_fabric_flows, make_spoofed_flows
+from repro.netflow.flowfile import write_flow_file
+from repro.netflow.parse import ColumnarDecodeStage, chunks_from_records
+from repro.netflow.replay import iter_flow_tuples
+from repro.pipeline import (
+    ColumnarFlowPipeline,
+    MemoryEventSink,
+    PipelineConfig,
+    run_flow_detection,
+    streaming_assembly,
+)
+from repro.resilience.quarantine import QuarantineSink
+from repro.runtime.shutdown import StopToken
+from repro.pipeline.core import GuardSet
+from repro.stream import JsonlEventSink, StreamConfig, StreamDetectionEngine
+from repro.timeutil import SECONDS_PER_DAY, STUDY_START
+
+
+# -- shared replay material -------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def gt_flows(capture):
+    """Ground-truth ISP flows in arrival order, one line per device."""
+    flows = []
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flows.append(event.to_flow_record(src, capture.sampling_interval))
+    flows.sort(key=lambda flow: flow.first_switched)
+    return flows
+
+
+@pytest.fixture(scope="module")
+def gt_flowfile(gt_flows, tmp_path_factory):
+    path = tmp_path_factory.mktemp("columnar") / "flows.csv"
+    write_flow_file(path, gt_flows)
+    return path
+
+
+def _events(sink):
+    """Full event identity, including fold order and record index."""
+    return [
+        (e.subscriber, e.class_name, e.detected_at, e.record_index)
+        for e in sink.events
+    ]
+
+
+def _metric_fields(metrics):
+    return {
+        name: getattr(metrics, name)
+        for name in (
+            "records_processed",
+            "flows_matched",
+            "flows_rejected_spoof",
+            "events_emitted",
+            "watermark",
+            "records_quarantined",
+            "quarantine_reasons",
+        )
+    }
+
+
+def _tiny_world():
+    """Two-day endpoints + one rule needing both domains (D=0.4 on a
+    two-domain rule means both must appear, forcing cross-day state)."""
+    daily = {
+        0: {(0xC0A80001, 443): "a.example", (0xC0A80002, 80): "b.example"},
+        1: {(0xC0A80001, 443): "a.example", (0xC0A80003, 8883): "c.example"},
+    }
+    hitlist = types.SimpleNamespace(daily_endpoints=daily)
+    rules = RuleSet(
+        [
+            DetectionRule(
+                class_name="cam",
+                level="Product",
+                domains=("a.example", "b.example", "c.example"),
+            )
+        ]
+    )
+    return rules, hitlist
+
+
+def _jittered_lines(count, seed=11):
+    """Flow lines straddling the day-0/day-1 boundary, out of order."""
+    rng = random.Random(seed)
+    endpoints = [
+        (0xC0A80001, 443),
+        (0xC0A80002, 80),
+        (0xC0A80003, 8883),
+        (0x08080808, 53),  # matches nothing
+    ]
+    lines = []
+    for i in range(count):
+        day = rng.choice([0, 1])
+        when = (
+            STUDY_START
+            + day * SECONDS_PER_DAY
+            + rng.randrange(SECONDS_PER_DAY)
+        )
+        dst_ip, dport = rng.choice(endpoints)
+        dst = ".".join(
+            str((dst_ip >> s) & 255) for s in (24, 16, 8, 0)
+        )
+        src = f"10.1.{rng.randrange(4)}.{rng.randrange(16)}"
+        flags = rng.choice(["0x10", "0x02", "0x12"])
+        proto = rng.choice([6, 17])
+        lines.append(
+            f"{when},{when + 30},{src},{dst},{proto},40000,{dport},"
+            f"3,300,{flags}"
+        )
+    return lines
+
+
+# -- batch assembly ----------------------------------------------------
+
+
+class TestBatchEquivalence:
+    def test_flow_file_detections_identical(
+        self, rules, hitlist, gt_flowfile
+    ):
+        """Same file, same detections *list* (not just set) and same
+        metrics through the columnar batch assembly."""
+        per_record = run_flow_detection(rules, hitlist, gt_flowfile)
+        columnar = run_flow_detection(
+            rules,
+            hitlist,
+            gt_flowfile,
+            PipelineConfig.from_args(columnar=True),
+        )
+        assert per_record.detections  # the scenario detects at all
+        assert columnar.detections == per_record.detections
+        assert _metric_fields(columnar.metrics) == _metric_fields(
+            per_record.metrics
+        )
+
+    def test_record_iterable_detections_identical(
+        self, rules, hitlist, gt_flows
+    ):
+        """An in-memory record iterable chunks via
+        ``chunks_from_records`` and still reproduces the oracle."""
+        per_record = run_flow_detection(rules, hitlist, gt_flows)
+        columnar = run_flow_detection(
+            rules,
+            hitlist,
+            gt_flows,
+            PipelineConfig.from_args(columnar=True, chunk_size=777),
+        )
+        assert columnar.detections == per_record.detections
+        assert _metric_fields(columnar.metrics) == _metric_fields(
+            per_record.metrics
+        )
+
+    def test_chunk_size_does_not_matter(
+        self, rules, hitlist, gt_flowfile
+    ):
+        """Tiny chunks (boundary churn) equal one huge chunk."""
+        tiny = run_flow_detection(
+            rules,
+            hitlist,
+            gt_flowfile,
+            PipelineConfig.from_args(columnar=True, chunk_size=3),
+        )
+        huge = run_flow_detection(
+            rules,
+            hitlist,
+            gt_flowfile,
+            PipelineConfig.from_args(columnar=True, chunk_size=1 << 20),
+        )
+        assert tiny.detections == huge.detections
+        assert _metric_fields(tiny.metrics) == _metric_fields(
+            huge.metrics
+        )
+
+
+# -- streaming assembly ------------------------------------------------
+
+
+class TestStreamingEquivalence:
+    def test_event_log_identical_including_indices(
+        self, rules, hitlist, gt_flowfile
+    ):
+        """The online path emits the *same events in the same order at
+        the same record indices* columnar and per-record."""
+        config = PipelineConfig.from_args(shards=4)
+        scalar_sink = MemoryEventSink()
+        scalar = streaming_assembly(
+            rules, hitlist, config, sink=scalar_sink
+        )
+        scalar.run_tuples(iter_flow_tuples(gt_flowfile))
+
+        columnar_sink = MemoryEventSink()
+        vector = streaming_assembly(
+            rules, hitlist, config, sink=columnar_sink
+        )
+        columnar = ColumnarFlowPipeline(
+            vector.stage, sink=columnar_sink, guards=vector.guards
+        )
+        columnar.run_chunks(
+            ColumnarDecodeStage(chunk_size=4096).iter_chunks(gt_flowfile)
+        )
+        assert _events(columnar_sink) == _events(scalar_sink)
+        assert _metric_fields(vector.stage.metrics) == _metric_fields(
+            scalar.stage.metrics
+        )
+
+    def test_out_of_order_day_straddling_input(self, tmp_path):
+        """Jittered, day-straddling flows: the min-merge out-of-order
+        semantics survive vectorization chunk boundary or not."""
+        rules, hitlist = _tiny_world()
+        path = tmp_path / "jitter.csv"
+        path.write_text("\n".join(_jittered_lines(3000)) + "\n")
+
+        def run(columnar, chunk_size=256):
+            sink = MemoryEventSink()
+            pipeline = streaming_assembly(
+                rules, hitlist, PipelineConfig(), sink=sink
+            )
+            if columnar:
+                ColumnarFlowPipeline(
+                    pipeline.stage, sink=sink, guards=pipeline.guards
+                ).run_chunks(
+                    ColumnarDecodeStage(chunk_size).iter_chunks(path)
+                )
+            else:
+                pipeline.run_tuples(iter_flow_tuples(path))
+            return _events(sink), _metric_fields(pipeline.stage.metrics)
+
+        scalar_events, scalar_metrics = run(columnar=False)
+        assert scalar_events  # jitter still detects
+        for chunk_size in (17, 256, 100_000):
+            events, metrics = run(columnar=True, chunk_size=chunk_size)
+            assert events == scalar_events
+            assert metrics == scalar_metrics
+
+    def test_max_records_stops_mid_chunk(self, rules, hitlist, gt_flowfile):
+        sink = MemoryEventSink()
+        pipeline = streaming_assembly(rules, hitlist, sink=sink)
+        columnar = ColumnarFlowPipeline(pipeline.stage, sink=sink)
+        processed = columnar.run_chunks(
+            ColumnarDecodeStage(chunk_size=1000).iter_chunks(gt_flowfile),
+            max_records=2500,
+        )
+        assert processed == 2500
+        assert pipeline.stage.metrics.records_processed == 2500
+
+    def test_prestopped_guards_admit_nothing(
+        self, rules, hitlist, gt_flowfile
+    ):
+        token = StopToken()
+        token.stop("sigterm")
+        guards = GuardSet(stop_token=token)
+        pipeline = streaming_assembly(rules, hitlist, guards=guards)
+        columnar = ColumnarFlowPipeline(pipeline.stage, guards=guards)
+        processed = columnar.run_chunks(
+            ColumnarDecodeStage().iter_chunks(gt_flowfile)
+        )
+        assert processed == 0
+        assert pipeline.stage.metrics.records_processed == 0
+
+
+# -- quarantine and error parity ---------------------------------------
+
+
+class TestDecodeParity:
+    def test_quarantined_file_counts_and_detections_equal(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        """Malformed + impossible lines quarantine identically and the
+        surviving records detect identically."""
+        lines = gt_flowfile.read_text().splitlines()
+        lines.insert(5, "1,2,3")
+        lines.insert(50, "# a comment mid-file")
+        lines.insert(
+            500,
+            "-7,0,10.0.0.1,8.8.8.8,6,1,53,1,1,0x10",  # negative ts
+        )
+        lines.insert(
+            700,
+            "1,2,10.0.0.1,8.8.8.8,6,1,99999,1,1,0x10",  # bad port
+        )
+        lines.insert(900, "1,2,10.0.0.1,8.8.8.8,6,1,53,1,1,zz")
+        corrupted = tmp_path / "flows.csv"
+        corrupted.write_text("\n".join(lines) + "\n")
+
+        per_record = run_flow_detection(
+            rules,
+            hitlist,
+            corrupted,
+            PipelineConfig.from_args(quarantine_dir=tmp_path / "q1"),
+        )
+        columnar = run_flow_detection(
+            rules,
+            hitlist,
+            corrupted,
+            PipelineConfig.from_args(
+                columnar=True,
+                chunk_size=997,
+                quarantine_dir=tmp_path / "q2",
+            ),
+        )
+        assert columnar.detections == per_record.detections
+        assert _metric_fields(columnar.metrics) == _metric_fields(
+            per_record.metrics
+        )
+        assert per_record.metrics.quarantine_reasons == {
+            "malformed_line": 1,
+            "negative_timestamp": 1,
+            "bad_port": 1,
+            "unparseable_field": 1,
+        }
+
+    def test_malformed_line_raises_identical_message(self, tmp_path):
+        """Without a quarantine both decoders raise the same error."""
+        path = tmp_path / "flows.csv"
+        path.write_text(
+            "100,160,10.0.0.1,8.8.8.8,6,1,53,1,1,0x10\n1,2,3\n"
+        )
+        with pytest.raises(ValueError) as per_record:
+            list(iter_flow_tuples(path))
+        with pytest.raises(ValueError) as columnar:
+            list(ColumnarDecodeStage().iter_chunks(path))
+        assert str(columnar.value) == str(per_record.value)
+
+    def test_decoded_columns_equal_tuples(self, gt_flowfile):
+        """Raw decode parity: chunk columns equal the tuple stream."""
+        tuples = list(iter_flow_tuples(gt_flowfile))
+        decoded = []
+        index = 0
+        for chunk in ColumnarDecodeStage(chunk_size=4096).iter_chunks(
+            gt_flowfile
+        ):
+            assert chunk.start_index == index
+            index += len(chunk)
+            for i in range(len(chunk)):
+                decoded.append(
+                    (
+                        int(chunk.first[i]),
+                        int(chunk.src[i]),
+                        int(chunk.dst[i]),
+                        int(chunk.proto[i]),
+                        int(chunk.dport[i]),
+                        int(chunk.flags[i]),
+                    )
+                )
+        assert decoded == tuples
+
+
+# -- the IXP assembly --------------------------------------------------
+
+
+class TestIxpColumnar:
+    def test_spoofed_flows_rejected_identically(self, rules, hitlist):
+        spoofed = make_spoofed_flows(hitlist, count=300)
+        per_record = detect_fabric_flows(rules, hitlist, spoofed)
+        columnar = detect_fabric_flows(
+            rules,
+            hitlist,
+            spoofed,
+            IxpConfig(columnar=True, chunk_size=64),
+        )
+        assert columnar.detections == per_record.detections
+        assert (
+            columnar.flows_rejected_spoof
+            == per_record.flows_rejected_spoof
+            == 300
+        )
+        assert columnar.metrics.records_processed == 300
+
+    def test_fabric_flows_detect_identically(
+        self, rules, hitlist, gt_flows
+    ):
+        config_scalar = IxpConfig(require_established=False)
+        config_columnar = IxpConfig(
+            require_established=False, columnar=True, chunk_size=1000
+        )
+        per_record = detect_fabric_flows(
+            rules, hitlist, gt_flows, config_scalar
+        )
+        columnar = detect_fabric_flows(
+            rules, hitlist, gt_flows, config_columnar
+        )
+        assert columnar.detections == per_record.detections
+        assert _metric_fields(columnar.metrics) == _metric_fields(
+            per_record.metrics
+        )
+
+
+# -- the stream engine: kill/resume on the columnar path ---------------
+
+
+class TestStreamEngineColumnar:
+    def test_engine_columnar_equals_per_record(
+        self, rules, hitlist, gt_flowfile
+    ):
+        scalar = StreamDetectionEngine(rules, hitlist, StreamConfig())
+        scalar.process_flowfile(gt_flowfile)
+        vector = StreamDetectionEngine(
+            rules,
+            hitlist,
+            StreamConfig(columnar=True, chunk_size=8192),
+        )
+        vector.process_flowfile(gt_flowfile)
+        assert _events(vector.sink) == _events(scalar.sink)
+        assert _metric_fields(vector.metrics) == _metric_fields(
+            scalar.metrics
+        )
+
+    def test_kill_resume_from_non_multiple_offset_byte_identical(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        """Kill the columnar run at a record count that is *not* a
+        checkpoint-cadence multiple, drain, resume columnar: the event
+        log ends byte-identical to an uninterrupted run's."""
+
+        def run(name, kill_after=None):
+            log = tmp_path / f"{name}.jsonl"
+            config = StreamConfig(
+                columnar=True,
+                chunk_size=1024,
+                checkpoint_dir=tmp_path / f"{name}-ckpt",
+                checkpoint_every=5_000,
+            )
+            with JsonlEventSink(log) as sink:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink
+                )
+                engine.process_flowfile(
+                    gt_flowfile, max_records=kill_after
+                )
+                if kill_after is not None:
+                    # final checkpoint at the exact (odd) offset
+                    engine.drain()
+                    assert engine.records_processed == kill_after
+            if kill_after is not None:
+                with JsonlEventSink(log, resume=True) as sink:
+                    engine = StreamDetectionEngine.resume(
+                        rules, hitlist, config, sink
+                    )
+                    assert engine.records_processed == kill_after
+                    engine.process_flowfile(gt_flowfile)
+            return log
+
+        full = run("full")
+        resumed = run("killed", kill_after=12_345)
+        assert full.read_bytes() == resumed.read_bytes()

@@ -15,10 +15,12 @@ flow-line parser, and the removal of the ``repro.stream.faults`` shim.
 from __future__ import annotations
 
 import importlib
+import types
 
 import pytest
 
 from repro.core.detector import FlowDetector
+from repro.core.rules import DetectionRule, RuleSet
 from repro.ixp import IxpConfig, detect_fabric_flows, make_spoofed_flows
 from repro.netflow.flowfile import parse_flow_line, write_flow_file
 from repro.netflow.parse import FlowLineParser
@@ -34,8 +36,15 @@ from repro.pipeline import (
     run_flow_detection,
     streaming_assembly,
 )
+from repro.pipeline.flow import (
+    BatchDetectStage,
+    StreamingDetectStage,
+    SubscriberKeying,
+)
+from repro.pipeline.state import EvidenceStateTable
 from repro.runtime.shutdown import StopToken
 from repro.stream import StreamConfig, StreamDetectionEngine
+from repro.timeutil import SECONDS_PER_DAY, STUDY_START
 
 
 # -- shared replay material -------------------------------------------
@@ -306,6 +315,178 @@ class TestSharedParser:
             parser.ip(f"10.0.0.{octet}")
         assert len(parser._ips) <= 4
         assert parser.ip("10.0.0.1") == (10 << 24) + 1
+
+
+# -- hot-loop correctness fixes ---------------------------------------
+
+
+_DAY0 = STUDY_START
+_DAY1 = STUDY_START + SECONDS_PER_DAY
+
+
+def _tiny_world():
+    """A two-day hitlist plus one single-domain rule, duck-typed.
+
+    The detect stages only read ``hitlist.daily_endpoints``, so a
+    namespace stands in for the heavy :class:`~repro.core.hitlist.
+    Hitlist` and the test controls endpoint placement exactly.
+    """
+    daily = {
+        0: {(0xC0A80001, 443): "cam.example"},
+        1: {(0xC0A80001, 443): "cam.example"},
+    }
+    hitlist = types.SimpleNamespace(daily_endpoints=daily)
+    rules = RuleSet(
+        [
+            DetectionRule(
+                class_name="cam",
+                level="Product",
+                domains=("cam.example",),
+            )
+        ]
+    )
+    return rules, hitlist
+
+
+def _match_tuple(when, src=0x0A000001):
+    """A flow tuple hitting the tiny world's endpoint at ``when``."""
+    return (when, src, 0xC0A80001, 6, 443, 0x10)
+
+
+def _miss_tuple(when, src=0x0A000001):
+    """A flow tuple matching no hitlist endpoint."""
+    return (when, src, 0x08080808, 6, 53, 0x10)
+
+
+class _CountingDaily(dict):
+    """daily_endpoints stand-in counting ``get`` calls (cache probes)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.gets = 0
+
+    def get(self, *args):
+        self.gets += 1
+        return super().get(*args)
+
+
+class TestHotLoopFixes:
+    """Regression tests for the four latent hot-loop bugs."""
+
+    def test_colliding_timestamps_order_deterministically(self):
+        """Equal-time detections across subscribers come out in one
+        order no matter the fold order (the N-shard merge property)."""
+        rules, hitlist = _tiny_world()
+        when = _DAY0 + 100
+        folds = [
+            _match_tuple(when, src=0x0A000001),
+            _match_tuple(when, src=0x0A000002),
+        ]
+
+        def run(ordering):
+            stage = BatchDetectStage(
+                rules, hitlist, SubscriberKeying(), threshold=0.4
+            )
+            FlowPipeline(stage).run_tuples(iter(ordering))
+            return stage.detections()
+
+        forward = run(folds)
+        backward = run(list(reversed(folds)))
+        assert forward == backward
+        assert len(forward) == 2
+        assert [d.detected_at for d in forward] == [when, when]
+        assert forward == sorted(
+            forward,
+            key=lambda d: (d.detected_at, d.class_name, d.subscriber),
+        )
+
+    def test_evidence_replay_breaks_timestamp_ties_by_fqdn(self):
+        """Equal-time evidence replays in fqdn order, not dict
+        insertion order, so replay is insertion-order independent."""
+        rules, hitlist = _tiny_world()
+        stage = BatchDetectStage(
+            rules, hitlist, SubscriberKeying(), threshold=0.4
+        )
+        when = _DAY0 + 5
+        stage._fold(0, when, 0x0A000001, "z.example")
+        stage._fold(1, when, 0x0A000001, "cam.example")
+        mirror = BatchDetectStage(
+            rules, hitlist, SubscriberKeying(), threshold=0.4
+        )
+        mirror._fold(0, when, 0x0A000001, "cam.example")
+        mirror._fold(1, when, 0x0A000001, "z.example")
+        assert stage.detections() == mirror.detections()
+
+    def test_checkpoint_cadence_counts_from_resume_offset(self):
+        """A restored record count that is not a multiple of
+        ``checkpoint_every`` still checkpoints every N records."""
+        rules, hitlist = _tiny_world()
+        stage = StreamingDetectStage(
+            rules,
+            hitlist,
+            SubscriberKeying(),
+            [EvidenceStateTable(64, None)],
+        )
+        # Simulate a resume: 7 records restored, cadence of 5.
+        stage.metrics.records_processed = 7
+        checkpoints = []
+        pipeline = FlowPipeline(
+            stage,
+            checkpoint_every=5,
+            on_checkpoint=lambda: checkpoints.append(
+                stage.metrics.records_processed
+            ),
+        )
+        pipeline.run_tuples(
+            iter([_miss_tuple(_DAY0 + i) for i in range(10)])
+        )
+        # 5 records after the resume point, then 5 more — not at the
+        # absolute multiples 10 and 15 the old modulo cadence produced.
+        assert checkpoints == [12, 17]
+
+    def test_day_boundary_jitter_does_not_thrash_lookup(self):
+        """Out-of-order records alternating across a UTC day boundary
+        hit the two-day cache instead of re-fetching per record."""
+        rules, hitlist = _tiny_world()
+        counting = _CountingDaily(hitlist.daily_endpoints)
+        stage = StreamingDetectStage(
+            rules,
+            hitlist,
+            SubscriberKeying(),
+            [EvidenceStateTable(1024, None)],
+        )
+        stage._daily = counting
+        pipeline = FlowPipeline(stage)
+        tuples = []
+        matched = 0
+        for i in range(200):
+            # jitter: alternate just before / just after midnight
+            when = _DAY1 - 1 if i % 2 == 0 else _DAY1 + 1
+            if i % 10 == 0:
+                tuples.append(_match_tuple(when, src=0x0A000000 + i))
+                matched += 1
+            else:
+                tuples.append(_miss_tuple(when, src=0x0A000000 + i))
+        pipeline.run_tuples(iter(tuples))
+        # Output equivalence with an independent count of the same
+        # tuples, and a lookup bound: one fetch per distinct day.
+        assert stage.metrics.flows_matched == matched
+        assert stage.metrics.events_emitted == matched
+        assert counting.gets <= 4
+
+    def test_parser_eviction_keeps_warm_entries(self):
+        """Hitting the memo cap evicts incrementally — recent entries
+        keep serving instead of a full cold start."""
+        parser = FlowLineParser(cache_limit=8)
+        for octet in range(8):
+            parser.ip(f"10.0.0.{octet}")
+        parser.ip("10.0.0.8")  # crosses the limit
+        assert len(parser._ips) <= 8
+        # The newest entries survived the eviction...
+        assert "10.0.0.7" in parser._ips
+        assert "10.0.0.8" in parser._ips
+        # ...while the insertion-oldest half was dropped.
+        assert "10.0.0.0" not in parser._ips
 
 
 # -- the removed compatibility shim -----------------------------------

@@ -8,7 +8,10 @@ The staged pipeline refactor rests on one directional rule:
   import the other two;
 * :mod:`repro.pipeline` is the shared layer — it may import the
   substrate (core, netflow, runtime, resilience, ...) but none of the
-  three assemblies.
+  three assemblies;
+* :mod:`repro.netflow` is substrate — the columnar decode stage lives
+  there next to the flow-line parser, so it must not import upward
+  into the pipeline layer or any assembly.
 
 This script walks the import statements of every module in the scoped
 packages with :mod:`ast` (no third-party import-linter needed) and
@@ -35,6 +38,12 @@ FORBIDDEN: Dict[str, Set[str]] = {
     "repro.stream": {"repro.engine", "repro.ixp"},
     "repro.ixp": {"repro.engine", "repro.stream"},
     "repro.pipeline": {"repro.engine", "repro.stream", "repro.ixp"},
+    "repro.netflow": {
+        "repro.pipeline",
+        "repro.engine",
+        "repro.stream",
+        "repro.ixp",
+    },
 }
 
 #: assemblies that must actually sit on the shared layer: at least one
