@@ -12,6 +12,9 @@ Usage::
         --checkpoint-dir ckpts/ --checkpoint-every 50000
     python -m repro stream run flows.csv --artifacts artifacts/ \
         --checkpoint-dir ckpts/ --checkpoint-every 50000 --resume
+    python -m repro sweep run --grid quick --out sweep-out/
+    python -m repro sweep run --grid adversarial --workers 4 \
+        --artifacts artifacts/ --out sweep-out/
 
 Experiments run against the shared
 :class:`~repro.experiments.context.ExperimentContext`; the first
@@ -349,6 +352,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "just before folding record index N (deterministic soak "
         "testing of the drain path)",
     )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help=(
+            "scenario-matrix evaluation: run the detector over a grid "
+            "of adversarial/realism cells; see repro.sweep"
+        ),
+    )
+    sweep_commands = sweep.add_subparsers(
+        dest="sweep_command", required=True
+    )
+    sweep_run = sweep_commands.add_parser(
+        "run",
+        help=(
+            "expand a grid into cells, run per-record + columnar "
+            "detection per cell, write metrics JSONs + a scorecard"
+        ),
+    )
+    sweep_run.add_argument(
+        "--grid", default="quick",
+        help="preset name (quick/paper/adversarial) or a JSON grid "
+        "file (default quick)",
+    )
+    sweep_run.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("sweep-out"),
+        help="output directory for cell JSONs + scorecard "
+        "(default sweep-out/)",
+    )
+    sweep_run.add_argument(
+        "--workers", dest="sweep_workers", type=int, default=1,
+        help="cell-level process parallelism (default 1; results are "
+        "identical for any value)",
+    )
+    sweep_run.add_argument(
+        "--artifacts", type=pathlib.Path, default=None,
+        help=(
+            "directory with hitlist.json/rules.json (default: derive "
+            "them from the simulated world)"
+        ),
+    )
+    sweep_run.add_argument(
+        "--threshold", type=float, default=0.4,
+        help="detection threshold D (default 0.4)",
+    )
+    sweep_run.add_argument(
+        "--lines", type=int, default=240,
+        help="subscriber lines per cell (default 240)",
+    )
+    sweep_run.add_argument(
+        "--sweep-days", type=int, default=2,
+        help="traffic days per cell (default 2)",
+    )
+    sweep_run.add_argument(
+        "--chunk-size", type=int, default=4096,
+        help="rows per decoded column chunk on the columnar leg "
+        "(default 4096)",
+    )
     return parser
 
 
@@ -551,6 +611,49 @@ def _stream_ingest(engine, args) -> int:
     )
 
 
+def _run_sweep(args) -> int:
+    """``repro sweep run``: evaluate the detector over a scenario grid.
+
+    Writes one ``repro.sweep.metrics/1`` JSON per cell plus
+    ``scorecard.json``/``scorecard.md`` into ``--out``.  Exit code 0
+    when every cell's per-record and columnar detections agreed, 1
+    otherwise (the sweep is also an equivalence harness).
+    """
+    from repro.sweep import TrafficModel, load_grid, run_sweep
+
+    grid = load_grid(args.grid)
+    address_space = None
+    if args.artifacts is not None:
+        hitlist, rules = _load_artifacts(args.artifacts)
+    else:
+        context = get_context(
+            seed=args.seed,
+            wild_subscribers=args.subscribers,
+            wild_days=args.days,
+        )
+        hitlist, rules = context.hitlist, context.rules
+        address_space = context.scenario.isp_topology().subscriber_space
+    result = run_sweep(
+        rules,
+        hitlist,
+        grid,
+        model=TrafficModel(lines=args.lines, days=args.sweep_days),
+        seed=args.seed,
+        threshold=args.threshold,
+        chunk_size=args.chunk_size,
+        workers=args.sweep_workers,
+        address_space=address_space,
+        out_dir=args.out,
+    )
+    print(result.markdown)
+    print(
+        f"wrote {len(result.cells)} cell documents + scorecard to "
+        f"{args.out}",
+        file=sys.stderr,
+    )
+    return 0 if result.all_paths_equal else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -561,6 +664,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "stream":
         return _run_stream(args)
+
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     from repro.runtime import ShutdownCoordinator, parse_memory_size
 

@@ -1,9 +1,11 @@
 """ISP substrate: topology (BNG/border routers, Home-VP), subscriber
-population with address churn, and the ground-truth + wild-scale
-simulation drivers."""
+population with address churn, CGNAT/adversary hooks for the scenario
+matrix, and the ground-truth + wild-scale simulation drivers."""
 
 from repro.isp.topology import BorderRouter, HomeVantagePoint, IspTopology
 from repro.isp.subscribers import SubscriberPopulation
+from repro.isp.cgnat import AddressPlan, CgnatPool, build_address_plan
+from repro.isp.adversary import assign_hidden, assign_mimics
 from repro.isp.simulation import (
     GroundTruthCapture,
     GtFlowEvent,
@@ -18,6 +20,11 @@ __all__ = [
     "HomeVantagePoint",
     "IspTopology",
     "SubscriberPopulation",
+    "AddressPlan",
+    "CgnatPool",
+    "build_address_plan",
+    "assign_hidden",
+    "assign_mimics",
     "GroundTruthCapture",
     "GtFlowEvent",
     "WildConfig",

@@ -1,0 +1,71 @@
+"""Adversarial behaviours layered on the subscriber population.
+
+Two behaviours from the threat-model literature, both expressed as
+deterministic *assignments* over line indices so the sweep runner can
+turn them into flow-generation layers and, independently, into ground
+truth:
+
+* **mimicry** — non-IoT hosts replaying a device class's domain and
+  endpoint pattern (false-positive pressure on the detector);
+* **hiding** — device owners whose IoT traffic never reaches the
+  vantage point, e.g. tunnelled through a VPN (false-negative
+  pressure).
+
+Neither needs traffic knowledge: they are pure functions of the line
+set, the available device patterns, and a seeded RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Sequence
+
+import numpy as np
+
+__all__ = ["assign_mimics", "assign_hidden"]
+
+
+def assign_mimics(
+    rng: np.random.Generator,
+    candidate_lines: Sequence[int],
+    patterns: Sequence[str],
+    fraction: float,
+) -> Dict[int, str]:
+    """Pick ``fraction`` of ``candidate_lines`` as mimics.
+
+    Each chosen line replays one device class's endpoint pattern;
+    patterns rotate round-robin over the (sorted) chosen lines so a
+    grid cell exercises several classes.  Returns ``{line: class}``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"mimicry fraction out of range: {fraction}")
+    candidates = np.sort(np.asarray(candidate_lines, dtype=np.int64))
+    size = int(round(fraction * len(candidates)))
+    if size == 0 or not patterns:
+        return {}
+    chosen = np.sort(rng.choice(candidates, size=size, replace=False))
+    ordered = sorted(patterns)
+    return {
+        int(line): ordered[i % len(ordered)]
+        for i, line in enumerate(chosen)
+    }
+
+
+def assign_hidden(
+    rng: np.random.Generator,
+    owner_lines: Sequence[int],
+    fraction: float,
+) -> FrozenSet[int]:
+    """Pick ``fraction`` of owners whose device traffic is hidden.
+
+    Hidden owners stay in the ground truth (they *do* own the device);
+    their flows are simply never emitted, so every one of their truth
+    entries the detector misses is a false negative by construction.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"hiding fraction out of range: {fraction}")
+    owners = np.sort(np.asarray(owner_lines, dtype=np.int64))
+    size = int(round(fraction * len(owners)))
+    if size == 0:
+        return frozenset()
+    chosen = rng.choice(owners, size=size, replace=False)
+    return frozenset(int(line) for line in chosen)

@@ -1,0 +1,129 @@
+"""Carrier-grade NAT pools and the per-day address plan.
+
+The paper assumes one broadband *line* per external address; CGNAT
+breaks that by parking ``pool_size`` lines behind a single translated
+public address.  :class:`CgnatPool` models the translation (static
+line->pool mapping, the common carrier deployment), and
+:class:`AddressPlan` combines it with the churn model of
+:class:`~repro.isp.subscribers.SubscriberPopulation` into one per-day
+view that the scenario-matrix sweep can both render flows from and
+*invert* for scoring: a detection names an address, scoring needs the
+set of lines that could have produced it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.addressing import Prefix
+from repro.isp.subscribers import SubscriberPopulation
+
+__all__ = ["CgnatPool", "AddressPlan", "build_address_plan"]
+
+
+@dataclass(frozen=True)
+class CgnatPool:
+    """``pool_size`` subscriber lines share one translated address.
+
+    The line->pool mapping is static (line index // pool size), as in
+    deterministic carrier-grade NAT: churn on the private side is
+    invisible once translation collapses the pool onto one public
+    address.
+    """
+
+    pool_size: int
+    base_address: int
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 2:
+            raise ValueError("CGNAT pool size must be >= 2")
+
+    def public_addresses(self, lines: np.ndarray) -> np.ndarray:
+        """Translated public address per line index."""
+        return self.base_address + lines // self.pool_size
+
+    def lines_behind(self, address: int, count: int) -> np.ndarray:
+        """All line indices (< ``count``) sharing ``address``."""
+        slot = int(address) - self.base_address
+        if slot < 0:
+            return np.empty(0, dtype=np.int64)
+        first = slot * self.pool_size
+        if first >= count:
+            return np.empty(0, dtype=np.int64)
+        return np.arange(
+            first, min(first + self.pool_size, count), dtype=np.int64
+        )
+
+
+class AddressPlan:
+    """Per-day line->external-address mapping, invertible for scoring.
+
+    Without a pool this is exactly the population's churn model; with a
+    pool every line's external identity is its pool address, stable
+    across churn (the translation hides private-side reassignment).
+    """
+
+    def __init__(
+        self,
+        population: SubscriberPopulation,
+        pool: Optional[CgnatPool] = None,
+    ) -> None:
+        self.population = population
+        self.pool = pool
+
+    @property
+    def count(self) -> int:
+        return self.population.count
+
+    def addresses_for_day(self, day: int) -> np.ndarray:
+        """External address of every line on study day ``day``."""
+        if self.pool is not None:
+            lines = np.arange(self.count, dtype=np.int64)
+            return self.pool.public_addresses(lines)
+        return self.population.addresses_for_day(day)
+
+    def address_of(self, line: int, day: int) -> int:
+        return int(self.addresses_for_day(day)[line])
+
+    def lines_for_address(self, address: int, day: int) -> np.ndarray:
+        """Every line that ``address`` could name on ``day``.
+
+        This is what a per-address detection *means* at line
+        granularity: one line normally, a whole pool under CGNAT, and
+        possibly several lines after churn collisions within a region.
+        """
+        if self.pool is not None:
+            return self.pool.lines_behind(address, self.count)
+        addresses = self.population.addresses_for_day(day)
+        return np.flatnonzero(addresses == int(address)).astype(np.int64)
+
+
+def build_address_plan(
+    prefix: Prefix,
+    count: int,
+    churn_probability: float = 0.0,
+    cgnat_pool_size: int = 1,
+    seed: int = 13,
+) -> AddressPlan:
+    """Wire a population (+ optional CGNAT pool) inside ``prefix``.
+
+    The pool's public range is carved from the middle of ``prefix`` so
+    it never collides with the region-allocated population addresses at
+    the bottom of the space or the Home-VP carved from the top.
+    """
+    population = SubscriberPopulation(
+        count, prefix, churn_probability=churn_probability, seed=seed
+    )
+    if cgnat_pool_size <= 1:
+        return AddressPlan(population)
+    pool_count = (count + cgnat_pool_size - 1) // cgnat_pool_size
+    base = prefix.first + prefix.size // 2
+    if base + pool_count > prefix.last:
+        raise ValueError(
+            f"prefix {prefix} too small for {pool_count} CGNAT addresses"
+        )
+    pool = CgnatPool(pool_size=cgnat_pool_size, base_address=base)
+    return AddressPlan(population, pool)

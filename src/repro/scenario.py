@@ -115,6 +115,33 @@ class Scenario:
             )
         return cache[sampling_interval]
 
+    def sweep_address_plan(
+        self,
+        count: int,
+        sampling_interval: int = 100,
+        churn_probability: float = 0.0,
+        cgnat_pool_size: int = 1,
+        seed: int = 13,
+    ):
+        """A per-cell :class:`~repro.isp.cgnat.AddressPlan` carved from
+        this world's subscriber space.
+
+        The scenario-matrix sweep layers CGNAT pools and churn on top
+        of the same address space the ISP simulation uses, so cell
+        traffic is indistinguishable (address-wise) from a wild run at
+        the given sampling rate.
+        """
+        from repro.isp.cgnat import build_address_plan
+
+        topology = self.isp_topology(sampling_interval)
+        return build_address_plan(
+            topology.subscriber_space,
+            count,
+            churn_probability=churn_probability,
+            cgnat_pool_size=cgnat_pool_size,
+            seed=seed,
+        )
+
     def make_resolver(self, feed_dnsdb: bool = True) -> Resolver:
         """A fresh caching resolver over this world's zones."""
         return Resolver(

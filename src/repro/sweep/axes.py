@@ -1,0 +1,334 @@
+"""Scenario axes and per-cell ground-truth flow synthesis.
+
+A :class:`SweepCell` fixes one value per axis.  The axes stress the
+paper's three load-bearing assumptions:
+
+* ``cgnat_pool`` / ``churn`` — per-line granularity and stable
+  addressing (NAT pools and re-assignment break the line<->address
+  bijection);
+* ``sampling`` — sampled-flow visibility (1/100 .. 1/10000);
+* ``mimicry`` / ``hiding`` — adversarial pressure: non-IoT hosts
+  replaying device endpoint patterns (false positives) and owners whose
+  device traffic never reaches the vantage point (false negatives).
+
+:func:`synthesize_cell` composes the generator layers — device traffic
+for owners, replayed patterns for mimics, background noise for
+everyone — into one sorted ``haystack-flows v1`` text plus the
+:class:`CellTruth` needed to score detections against it.  Everything
+is deterministic given the cell and a base seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.addressing import ip_to_str
+from repro.core.rules import RuleSet
+from repro.isp.adversary import assign_hidden, assign_mimics
+from repro.isp.cgnat import AddressPlan
+from repro.timeutil import SECONDS_PER_DAY, STUDY_START
+
+__all__ = [
+    "AXES",
+    "SweepCell",
+    "TrafficModel",
+    "CellTruth",
+    "leaf_classes",
+    "class_pattern_domains",
+    "endpoint_directory",
+    "cell_seed",
+    "synthesize_cell",
+]
+
+#: Axis name -> (baseline value, description).  Order defines cell-id
+#: layout and scorecard columns.
+AXES = {
+    "cgnat_pool": (1, "subscriber lines behind one public address"),
+    "churn": (0.0, "daily address re-assignment probability"),
+    "sampling": (100, "packet sampling interval (1/N)"),
+    "mimicry": (0.0, "fraction of non-owners replaying IoT patterns"),
+    "hiding": (0.0, "fraction of owners with hidden device traffic"),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point in the scenario grid."""
+
+    cgnat_pool: int = 1
+    churn: float = 0.0
+    sampling: int = 100
+    mimicry: float = 0.0
+    hiding: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cgnat_pool < 1:
+            raise ValueError("cgnat_pool must be >= 1")
+        if self.sampling < 1:
+            raise ValueError("sampling must be >= 1")
+        for name in ("churn", "mimicry", "hiding"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+
+    @property
+    def cell_id(self) -> str:
+        return (
+            f"cgnat{self.cgnat_pool:03d}"
+            f"-churn{self.churn:.3f}"
+            f"-samp{self.sampling:05d}"
+            f"-mim{self.mimicry:.2f}"
+            f"-hide{self.hiding:.2f}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: getattr(self, name) for name in AXES}
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Scale knobs shared by every cell of a sweep run.
+
+    ``wire_packets_per_domain_day`` is the pre-sampling packet count a
+    device sends each monitored domain per day; a cell observes
+    ``Binomial(wire, 1/sampling)`` of them, which is what makes the
+    sampling axis bite.
+    """
+
+    lines: int = 240
+    days: int = 2
+    owner_fraction: float = 0.25
+    wire_packets_per_domain_day: int = 600
+    background_flows_per_line_day: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lines < 4:
+            raise ValueError("need at least 4 lines")
+        if self.days < 1:
+            raise ValueError("need at least one day")
+        if not 0.0 < self.owner_fraction < 1.0:
+            raise ValueError("owner_fraction must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class CellTruth:
+    """Ground truth for one synthesised cell."""
+
+    #: line index -> leaf class it owns (hidden owners included)
+    owners: Dict[int, str]
+    #: owner lines whose device traffic was never emitted
+    hidden: FrozenSet[int]
+    #: line index -> leaf class it mimics (never in the truth)
+    mimics: Dict[int, str]
+    #: study-day indices with traffic
+    days: Tuple[int, ...]
+
+    def truth_lines(self, rules: RuleSet) -> Dict[str, FrozenSet[int]]:
+        """Class name -> lines that truly own a device of that class.
+
+        An owner of leaf ``L`` is ground truth for ``L`` and every
+        ancestor class (the detector reports the whole chain).
+        """
+        truth: Dict[str, set] = {}
+        for line, leaf in self.owners.items():
+            for name in (leaf, *rules.ancestors(leaf)):
+                truth.setdefault(name, set()).add(line)
+        return {name: frozenset(lines) for name, lines in truth.items()}
+
+
+def leaf_classes(rules: RuleSet) -> Tuple[str, ...]:
+    """Classes that are no rule's parent — concrete device patterns."""
+    parents = {rule.parent for rule in rules if rule.parent is not None}
+    return tuple(
+        name for name in sorted(rules.class_names()) if name not in parents
+    )
+
+
+def class_pattern_domains(rules: RuleSet) -> Dict[str, Tuple[str, ...]]:
+    """Leaf class -> full endpoint pattern a device of it contacts.
+
+    A real device satisfies its leaf rule *and* every ancestor rule, so
+    its observable pattern is the union of the whole chain's domains.
+    """
+    patterns: Dict[str, Tuple[str, ...]] = {}
+    for leaf in leaf_classes(rules):
+        seen: Dict[str, None] = {}
+        for name in (leaf, *rules.ancestors(leaf)):
+            for fqdn in rules.rule(name).domains:
+                seen.setdefault(fqdn, None)
+        patterns[leaf] = tuple(seen)
+    return patterns
+
+
+def endpoint_directory(hitlist) -> Dict[int, Dict[str, List[Tuple[int, int]]]]:
+    """Per study day: fqdn -> sorted ``(address, port)`` endpoints."""
+    directory: Dict[int, Dict[str, List[Tuple[int, int]]]] = {}
+    for day, endpoints in hitlist.daily_endpoints.items():
+        by_name: Dict[str, List[Tuple[int, int]]] = {}
+        for (address, port), fqdn in endpoints.items():
+            by_name.setdefault(fqdn, []).append((address, port))
+        directory[day] = {
+            fqdn: sorted(pairs) for fqdn, pairs in by_name.items()
+        }
+    return directory
+
+
+def cell_seed(cell: SweepCell, base_seed: int) -> int:
+    """Deterministic per-cell RNG seed: base mixed with the cell id."""
+    return (base_seed << 32) ^ zlib.crc32(cell.cell_id.encode("ascii"))
+
+
+# ----------------------------------------------------------------------
+# generator layers
+
+#: (when, line, day, dst_address, dst_port) — rendered to CSV last so
+#: the address plan can translate line -> source address per day.
+_Event = Tuple[int, int, int, int, int]
+
+
+def _pattern_layer(
+    rng: np.random.Generator,
+    assignment: Dict[int, str],
+    patterns: Dict[str, Tuple[str, ...]],
+    endpoints: Dict[int, Dict[str, List[Tuple[int, int]]]],
+    days: Sequence[int],
+    sampling: int,
+    model: TrafficModel,
+) -> List[_Event]:
+    """Sampled flows of lines replaying a class pattern.
+
+    Shared by real owners and mimics: a mimic is, by definition,
+    indistinguishable on the wire, so it uses the same generator with a
+    different line->class assignment.
+    """
+    events: List[_Event] = []
+    probability = 1.0 / sampling
+    for line, leaf in sorted(assignment.items()):
+        for day in days:
+            day_endpoints = endpoints.get(day, {})
+            base = STUDY_START + day * SECONDS_PER_DAY
+            for fqdn in patterns[leaf]:
+                candidates = day_endpoints.get(fqdn)
+                if not candidates:
+                    continue
+                observed = int(
+                    rng.binomial(
+                        model.wire_packets_per_domain_day, probability
+                    )
+                )
+                if observed == 0:
+                    continue
+                whens = base + rng.integers(
+                    0, SECONDS_PER_DAY, size=observed
+                )
+                picks = rng.integers(0, len(candidates), size=observed)
+                for when, pick in zip(whens, picks):
+                    address, port = candidates[int(pick)]
+                    events.append(
+                        (int(when), line, day, address, port)
+                    )
+    return events
+
+
+def _background_layer(
+    rng: np.random.Generator,
+    lines: int,
+    endpoints: Dict[int, Dict[str, List[Tuple[int, int]]]],
+    days: Sequence[int],
+    model: TrafficModel,
+) -> List[_Event]:
+    """Non-IoT noise from every line to off-hitlist destinations."""
+    monitored = {
+        pair
+        for per_day in endpoints.values()
+        for pairs in per_day.values()
+        for pair in pairs
+    }
+    events: List[_Event] = []
+    for day in days:
+        base = STUDY_START + day * SECONDS_PER_DAY
+        count = lines * model.background_flows_per_line_day
+        whens = base + rng.integers(0, SECONDS_PER_DAY, size=count)
+        targets = 0x08000000 + rng.integers(0, 1 << 16, size=count)
+        for index in range(count):
+            address = int(targets[index])
+            if (address, 443) in monitored:
+                continue
+            events.append(
+                (int(whens[index]), index % lines, day, address, 443)
+            )
+    return events
+
+
+def synthesize_cell(
+    rules: RuleSet,
+    hitlist,
+    cell: SweepCell,
+    model: TrafficModel,
+    plan: AddressPlan,
+    base_seed: int,
+) -> Tuple[str, CellTruth]:
+    """Flow-file text + ground truth for one cell.
+
+    Layer order: owner device traffic (minus hidden owners), mimic
+    traffic, background noise; the merged events are time-sorted and
+    rendered through ``plan`` so CGNAT/churn shape the source
+    addresses the detector actually sees.
+    """
+    rng = np.random.default_rng(cell_seed(cell, base_seed))
+    patterns = class_pattern_domains(rules)
+    leaves = sorted(patterns)
+    endpoints = endpoint_directory(hitlist)
+    days = tuple(
+        day for day in sorted(endpoints) if day < model.days
+    )
+    if not days:
+        raise ValueError("hitlist has no endpoint days in the window")
+
+    all_lines = np.arange(model.lines, dtype=np.int64)
+    owner_count = max(1, int(round(model.owner_fraction * model.lines)))
+    owner_lines = np.sort(
+        rng.choice(all_lines, size=owner_count, replace=False)
+    )
+    owners = {
+        int(line): leaves[i % len(leaves)]
+        for i, line in enumerate(owner_lines)
+    }
+    hidden = assign_hidden(rng, owner_lines, cell.hiding)
+    non_owners = np.setdiff1d(all_lines, owner_lines)
+    mimics = assign_mimics(rng, non_owners, leaves, cell.mimicry)
+    truth = CellTruth(
+        owners=owners, hidden=hidden, mimics=mimics, days=days
+    )
+
+    visible = {
+        line: leaf for line, leaf in owners.items() if line not in hidden
+    }
+    events = _pattern_layer(
+        rng, visible, patterns, endpoints, days, cell.sampling, model
+    )
+    events += _pattern_layer(
+        rng, mimics, patterns, endpoints, days, cell.sampling, model
+    )
+    events += _background_layer(
+        rng, model.lines, endpoints, days, model
+    )
+    events.sort()
+
+    addresses = {day: plan.addresses_for_day(day) for day in days}
+    sports = rng.integers(1024, 65536, size=max(1, len(events)))
+    out = [
+        f"# haystack-flows v1 sampling={cell.sampling}",
+        f"# sweep cell {cell.cell_id}",
+    ]
+    for index, (when, line, day, address, port) in enumerate(events):
+        src = ip_to_str(int(addresses[day][line]))
+        out.append(
+            f"{when},{when + 30},{src},{ip_to_str(address)},6,"
+            f"{int(sports[index])},{port},1,64,0x10"
+        )
+    return "\n".join(out) + "\n", truth

@@ -1,0 +1,110 @@
+"""Declarative sweep grids: axis value lists -> cell lists.
+
+A grid maps axis names (see :data:`repro.sweep.axes.AXES`) to value
+lists; :meth:`SweepGrid.cells` expands the cartesian product into
+:class:`~repro.sweep.axes.SweepCell` instances in a deterministic
+order.  Three presets ship:
+
+* ``quick``   — 8 cells: the baseline plus one-axis perturbations of
+  CGNAT, sampling, and mimicry.  CI smoke + the differential matrix.
+* ``paper``   — the realism grid: sampling 1/100..1/10000 crossed with
+  churn and CGNAT pool sizes (the paper's granularity assumptions).
+* ``adversarial`` — mimicry x hiding x CGNAT (threat-model pressure).
+
+Custom grids load from JSON: ``{"name": ..., "axes": {axis: [...]}}``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.sweep.axes import AXES, SweepCell
+
+__all__ = ["SweepGrid", "GRID_PRESETS", "load_grid"]
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A named cartesian product over scenario axes."""
+
+    name: str
+    axes: Mapping[str, Tuple[object, ...]]
+
+    def __post_init__(self) -> None:
+        unknown = set(self.axes) - set(AXES)
+        if unknown:
+            raise ValueError(f"unknown sweep axes: {sorted(unknown)}")
+        for axis, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    @property
+    def cell_count(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def cells(self) -> List[SweepCell]:
+        """Expand the product; unlisted axes stay at their baseline."""
+        names = [axis for axis in AXES if axis in self.axes]
+        cells = [
+            SweepCell(**dict(zip(names, combo)))
+            for combo in itertools.product(
+                *(self.axes[axis] for axis in names)
+            )
+        ]
+        return sorted(cells, key=lambda cell: cell.cell_id)
+
+
+GRID_PRESETS: Dict[str, SweepGrid] = {
+    "quick": SweepGrid(
+        name="quick",
+        axes={
+            "cgnat_pool": (1, 16),
+            "sampling": (100, 1000),
+            "mimicry": (0.0, 0.10),
+        },
+    ),
+    "paper": SweepGrid(
+        name="paper",
+        axes={
+            "cgnat_pool": (1, 4, 16),
+            "churn": (0.0, 0.05),
+            "sampling": (100, 1000, 10000),
+        },
+    ),
+    "adversarial": SweepGrid(
+        name="adversarial",
+        axes={
+            "cgnat_pool": (1, 64),
+            "mimicry": (0.0, 0.10, 0.30),
+            "hiding": (0.0, 0.25, 0.50),
+        },
+    ),
+}
+
+
+def load_grid(spec: Union[str, pathlib.Path]) -> SweepGrid:
+    """Resolve a preset name or a JSON grid file path."""
+    key = str(spec)
+    if key in GRID_PRESETS:
+        return GRID_PRESETS[key]
+    path = pathlib.Path(spec)
+    if not path.is_file():
+        raise ValueError(
+            f"unknown grid {spec!r}: not a preset "
+            f"({', '.join(sorted(GRID_PRESETS))}) and not a file"
+        )
+    document = json.loads(path.read_text(encoding="utf-8"))
+    axes = document.get("axes")
+    if not isinstance(axes, dict) or not axes:
+        raise ValueError(f"grid file {path} needs a non-empty 'axes' map")
+    return SweepGrid(
+        name=str(document.get("name", path.stem)),
+        axes={axis: tuple(values) for axis, values in axes.items()},
+    )

@@ -15,6 +15,7 @@ from __future__ import annotations
 import random
 import types
 
+import numpy as np
 import pytest
 
 from repro.core.rules import DetectionRule, RuleSet
@@ -29,6 +30,7 @@ from repro.pipeline import (
     run_flow_detection,
     streaming_assembly,
 )
+from repro.pipeline.columnar import EndpointDayIndex
 from repro.resilience.quarantine import QuarantineSink
 from repro.runtime.shutdown import StopToken
 from repro.pipeline.core import GuardSet
@@ -462,4 +464,279 @@ class TestStreamEngineColumnar:
 
         full = run("full")
         resumed = run("killed", kill_after=12_345)
+        assert full.read_bytes() == resumed.read_bytes()
+
+# -- EndpointDayIndex edge cases ---------------------------------------
+
+
+def _boundary_world():
+    """Hitlist days exercising the packed-key index edges: an empty
+    day, a single-endpoint day, the minimum/maximum packable keys
+    (dport 0 and 65535 at both IP extremes), and a ``(dst, port)``
+    pair that repeats across days under different fqdns."""
+    daily = {
+        0: {},
+        1: {(0xC0A80001, 443): "a.example"},
+        2: {
+            (0x00000000, 0): "z.example",
+            (0xFFFFFFFF, 65535): "m.example",
+            (0xC0A80001, 0): "z.example",
+            (0xC0A80001, 443): "m.example",  # same pair as day 1
+            (0xC0A80001, 65535): "a.example",
+        },
+    }
+    hitlist = types.SimpleNamespace(daily_endpoints=daily)
+    rules = RuleSet(
+        [
+            DetectionRule(
+                class_name="cam",
+                level="Product",
+                # D=0.4 over three domains -> any single one detects
+                domains=("a.example", "z.example", "m.example"),
+            )
+        ]
+    )
+    return rules, hitlist
+
+
+def _boundary_lines():
+    """Probe flows: exact boundary hits plus off-by-one near misses
+    that land beyond both ends of each day's sorted key array (the
+    searchsorted insertion point must be clamped, not wrap)."""
+    probes = [
+        # day 0 is empty: nothing may match, even day-1's endpoint
+        (0, 0xC0A80001, 443),
+        (0, 0x00000000, 0),
+        # day 1, single endpoint: one hit + misses on either side
+        (1, 0xC0A80001, 443),
+        (1, 0xC0A80001, 442),
+        (1, 0xC0A80001, 444),
+        (1, 0xC0A80000, 443),
+        (1, 0xC0A80002, 443),
+        (1, 0x00000000, 0),      # sorts below the only key
+        (1, 0xFFFFFFFF, 65535),  # sorts above the only key
+        # day 2: both packed-key extremes and the port boundaries
+        (2, 0x00000000, 0),
+        (2, 0x00000000, 1),
+        (2, 0xFFFFFFFF, 65535),
+        (2, 0xFFFFFFFF, 65534),
+        (2, 0xC0A80001, 0),
+        (2, 0xC0A80001, 65535),
+        (2, 0xC0A80001, 443),    # repeated pair, day-2 fqdn
+        (2, 0xC0A80001, 1),
+    ]
+    lines = []
+    for index, (day, dst_ip, dport) in enumerate(probes):
+        when = STUDY_START + day * SECONDS_PER_DAY + 1000 + index
+        dst = ".".join(str((dst_ip >> s) & 255) for s in (24, 16, 8, 0))
+        lines.append(
+            f"{when},{when + 30},10.9.0.{index},{dst},6,40000,{dport},"
+            f"1,64,0x10"
+        )
+    return lines
+
+
+class TestEndpointDayIndex:
+    def test_compiled_day_shapes(self):
+        _, hitlist = _boundary_world()
+        index = EndpointDayIndex(hitlist.daily_endpoints)
+        assert index.day(0) is None          # empty day compiles to None
+        assert index.day(99) is None         # missing day too
+        keys, fqdns = index.day(1)
+        assert len(keys) == 1 and fqdns == ["a.example"]
+        keys, fqdns = index.day(2)
+        assert len(keys) == 5
+        assert list(keys) == sorted(keys)
+        assert int(keys[0]) == 0                      # (0.0.0.0, 0)
+        assert int(keys[-1]) == (0xFFFFFFFF << 16) | 65535
+        assert fqdns[0] == "z.example"
+        assert fqdns[-1] == "m.example"
+
+    def test_duplicate_pair_resolves_per_day(self):
+        _, hitlist = _boundary_world()
+        index = EndpointDayIndex(hitlist.daily_endpoints)
+        key = (0xC0A80001 << 16) | 443
+        for day, expected in ((1, "a.example"), (2, "m.example")):
+            keys, fqdns = index.day(day)
+            position = int(np.searchsorted(keys, key))
+            assert int(keys[position]) == key
+            assert fqdns[position] == expected
+
+    def test_boundary_probes_match_per_record_path(self, tmp_path):
+        """The searchsorted lookup and the scalar dict lookup agree on
+        every boundary probe — including the off-array near misses."""
+        rules_b, hitlist_b = _boundary_world()
+        path = tmp_path / "boundary.csv"
+        path.write_text("\n".join(_boundary_lines()) + "\n")
+
+        def run(columnar, chunk_size=4):
+            sink = MemoryEventSink()
+            pipeline = streaming_assembly(
+                rules_b, hitlist_b, PipelineConfig(), sink=sink
+            )
+            if columnar:
+                ColumnarFlowPipeline(
+                    pipeline.stage, sink=sink, guards=pipeline.guards
+                ).run_chunks(
+                    ColumnarDecodeStage(chunk_size).iter_chunks(path)
+                )
+            else:
+                pipeline.run_tuples(iter_flow_tuples(path))
+            return _events(sink), _metric_fields(pipeline.stage.metrics)
+
+        scalar_events, scalar_metrics = run(columnar=False)
+        # exactly the 6 true endpoint hits match, nothing else
+        assert scalar_metrics["flows_matched"] == 6
+        assert scalar_events  # single-domain threshold detects
+        for chunk_size in (1, 3, 5, 1000):
+            events, metrics = run(columnar=True, chunk_size=chunk_size)
+            assert events == scalar_events
+            assert metrics == scalar_metrics
+
+
+# -- PR-6 regressions under the columnar path: two-day endpoint cache
+#    and checkpoint cadence with chunk_size not dividing the cadence
+
+
+class TestColumnarCacheAndCadence:
+    def test_alternating_day_rows_thrash_the_two_day_cache(
+        self, tmp_path
+    ):
+        """Adjacent rows alternating between day 0 and day 1 force a
+        front/back cache swap on every record of the per-record path
+        and per-day regrouping on the columnar path; both must agree
+        even when every chunk straddles midnight."""
+        rules_t, hitlist_t = _tiny_world()
+        endpoints = [
+            (0xC0A80001, 443),
+            (0xC0A80002, 80),
+            (0xC0A80003, 8883),
+        ]
+        lines = []
+        for i in range(900):
+            day = i % 2
+            when = STUDY_START + day * SECONDS_PER_DAY + (i // 2)
+            dst_ip, dport = endpoints[i % 3]
+            dst = ".".join(
+                str((dst_ip >> s) & 255) for s in (24, 16, 8, 0)
+            )
+            lines.append(
+                f"{when},{when + 30},10.2.{i % 7}.{i % 11},{dst},6,"
+                f"40000,{dport},1,64,0x10"
+            )
+        path = tmp_path / "alternating.csv"
+        path.write_text("\n".join(lines) + "\n")
+
+        def run(columnar, chunk_size=7):
+            sink = MemoryEventSink()
+            pipeline = streaming_assembly(
+                rules_t, hitlist_t, PipelineConfig(), sink=sink
+            )
+            if columnar:
+                ColumnarFlowPipeline(
+                    pipeline.stage, sink=sink, guards=pipeline.guards
+                ).run_chunks(
+                    ColumnarDecodeStage(chunk_size).iter_chunks(path)
+                )
+            else:
+                pipeline.run_tuples(iter_flow_tuples(path))
+            return _events(sink), _metric_fields(pipeline.stage.metrics)
+
+        scalar_events, scalar_metrics = run(columnar=False)
+        assert scalar_events
+        # odd chunk sizes guarantee day-straddling chunks throughout
+        for chunk_size in (7, 9, 251):
+            events, metrics = run(columnar=True, chunk_size=chunk_size)
+            assert events == scalar_events
+            assert metrics == scalar_metrics
+
+    def test_checkpoint_cadence_with_non_dividing_chunk_size(
+        self, tmp_path
+    ):
+        """chunk_size 768 does not divide checkpoint_every 5000: the
+        columnar pipeline may only fire at chunk boundaries, exactly
+        when the running count reaches the cadence."""
+        rules_t, hitlist_t = _tiny_world()
+        path = tmp_path / "jitter.csv"
+        path.write_text("\n".join(_jittered_lines(17_000)) + "\n")
+
+        fired_at = []
+        boundaries = []
+        pipeline = streaming_assembly(
+            rules_t, hitlist_t, PipelineConfig()
+        )
+        stage = pipeline.stage
+        columnar = ColumnarFlowPipeline(
+            stage,
+            guards=pipeline.guards,
+            checkpoint_every=5_000,
+            on_checkpoint=lambda: fired_at.append(
+                stage.metrics.records_processed
+            ),
+        )
+
+        def record_boundaries(chunks):
+            total = 0
+            for chunk in chunks:
+                total += len(chunk)
+                boundaries.append(total)
+                yield chunk
+
+        processed = columnar.run_chunks(
+            record_boundaries(
+                ColumnarDecodeStage(chunk_size=768).iter_chunks(path)
+            )
+        )
+        assert processed == 17_000
+        # chunk sizing is a byte budget, so rows per chunk vary and
+        # none of the boundaries lines up with the cadence exactly
+        assert len(boundaries) > 10
+        assert all(b % 5_000 for b in boundaries)
+        # mirror the cadence contract: fire at the first chunk
+        # boundary with >= 5000 records accumulated since last fire
+        expected, last_fire = [], 0
+        for boundary in boundaries:
+            if boundary - last_fire >= 5_000:
+                expected.append(boundary)
+                last_fire = boundary
+        assert fired_at == expected
+        assert len(fired_at) == 3
+
+    def test_kill_resume_chunk_not_dividing_cadence_byte_identical(
+        self, rules, hitlist, gt_flowfile, tmp_path
+    ):
+        """Resume from an offset that is a multiple of neither the
+        chunk size nor the checkpoint cadence; the drained checkpoint
+        anchors the cadence so the resumed columnar run finishes with
+        an event log byte-identical to an uninterrupted run's."""
+
+        def run(name, kill_after=None):
+            log = tmp_path / f"{name}.jsonl"
+            config = StreamConfig(
+                columnar=True,
+                chunk_size=768,
+                checkpoint_dir=tmp_path / f"{name}-ckpt",
+                checkpoint_every=5_000,
+            )
+            with JsonlEventSink(log) as sink:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink
+                )
+                engine.process_flowfile(
+                    gt_flowfile, max_records=kill_after
+                )
+                if kill_after is not None:
+                    engine.drain()
+                    assert engine.records_processed == kill_after
+            if kill_after is not None:
+                with JsonlEventSink(log, resume=True) as sink:
+                    engine = StreamDetectionEngine.resume(
+                        rules, hitlist, config, sink
+                    )
+                    assert engine.records_processed == kill_after
+                    engine.process_flowfile(gt_flowfile)
+            return log
+
+        full = run("full")
+        resumed = run("killed", kill_after=7_777)
         assert full.read_bytes() == resumed.read_bytes()

@@ -259,3 +259,176 @@ class TestPipelineConservation:
             for ts in range(total)
         )
         assert kept == 20
+
+
+# ---------------------------------------------------------------------------
+# decode parity fuzz: ColumnarDecodeStage vs the per-line parser
+
+
+def _random_flow_line(rng) -> str:
+    """One random line: valid, boundary-valued, or deliberately broken."""
+    boundary_ip = ("0.0.0.0", "255.255.255.255", "10.0.0.1", "8.8.8.8")
+    roll = rng.random()
+    if roll < 0.05:
+        return rng.choice(("", "   ", "# comment noise", "#"))
+    if roll < 0.15:
+        # wrong field count -> malformed_line
+        fields = rng.randrange(1, 15)
+        if fields == 10:
+            fields = 3
+        return ",".join(str(rng.randrange(100)) for _ in range(fields))
+    when = rng.choice((0, 1, 1573776000, 2**31, rng.randrange(2**31)))
+    src = rng.choice(boundary_ip + (f"10.{rng.randrange(256)}.0.7",))
+    dst = rng.choice(boundary_ip + (f"192.0.{rng.randrange(256)}.9",))
+    proto = rng.choice((0, 6, 6, 17, 255))
+    sport = rng.choice((0, 65535, rng.randrange(65536)))
+    dport = rng.choice((0, 65535, 53, 443, rng.randrange(65536)))
+    flags = rng.choice(("0x0", "0x02", "0x10", "0x12", "0xff"))
+    parts = [
+        str(when), str(when + 30), src, dst, str(proto),
+        str(sport), str(dport), "3", "300", flags,
+    ]
+    if roll < 0.35:
+        # break exactly one field in a well-formed line
+        breakage = rng.choice(
+            (
+                (0, "-5"),              # negative_timestamp
+                (0, "soon"),            # unparseable_field
+                (2, "256.1.2.3"),       # octet out of range
+                (2, "1.2.3"),           # truncated quad
+                (3, "a.b.c.d"),         # non-numeric quad
+                (4, "300"),             # bad_protocol
+                (4, "x"),               # unparseable_field
+                (5, "notaport"),        # unparseable sport
+                (6, "99999"),           # bad_port
+                (6, "1.5"),             # float port
+                (9, "0x100"),           # bad_flags
+                (9, "zz"),              # unparseable flags
+            )
+        )
+        parts[breakage[0]] = breakage[1]
+    return ",".join(parts)
+
+
+def _fuzz_corpus(seed: int, size: int = 400):
+    import random as random_module
+
+    rng = random_module.Random(seed)
+    return rng, [_random_flow_line(rng) for _ in range(size)]
+
+
+def _chunk_tuples(text: str, chunk_size: int, quarantine=None):
+    import io
+
+    from repro.netflow.parse import ColumnarDecodeStage, FlowLineParser
+
+    decoded = []
+    stage = ColumnarDecodeStage(
+        chunk_size, parser=FlowLineParser(), quarantine=quarantine
+    )
+    for chunk in stage.iter_chunks(io.StringIO(text)):
+        for i in range(len(chunk)):
+            decoded.append(
+                (
+                    int(chunk.first[i]),
+                    int(chunk.src[i]),
+                    int(chunk.dst[i]),
+                    int(chunk.proto[i]),
+                    int(chunk.dport[i]),
+                    int(chunk.flags[i]),
+                )
+            )
+    return decoded
+
+
+class TestDecodeFuzzParity:
+    """Differential fuzz: the vectorized decoder must be
+    indistinguishable from the per-line parser on any input — same
+    tuples, same quarantine reasons, same error messages."""
+
+    SEEDS = (1, 7, 13, 99, 12345)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_tuples_and_quarantine_reasons_identical(self, seed):
+        import io
+
+        from repro.netflow.parse import FlowLineParser
+        from repro.netflow.replay import iter_flow_tuples
+        from repro.resilience.quarantine import QuarantineSink
+
+        rng, lines = _fuzz_corpus(seed)
+        text = "\n".join(lines) + "\n"
+        scalar_sink = QuarantineSink()
+        scalar = list(
+            iter_flow_tuples(
+                io.StringIO(text),
+                quarantine=scalar_sink,
+                parser=FlowLineParser(),
+            )
+        )
+        assert scalar  # the corpus always has surviving records
+        assert scalar_sink.counts  # ... and quarantined ones
+        for chunk_size in (rng.randrange(1, 8), 64, 10_000):
+            columnar_sink = QuarantineSink()
+            columnar = _chunk_tuples(
+                text, chunk_size, quarantine=columnar_sink
+            )
+            assert columnar == scalar
+            assert columnar_sink.counts == scalar_sink.counts
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_first_error_message_identical(self, seed):
+        import io
+
+        from repro.netflow.parse import FlowLineParser
+        from repro.netflow.replay import iter_flow_tuples
+
+        rng, lines = _fuzz_corpus(seed, size=120)
+        text = "\n".join(lines) + "\n"
+        try:
+            list(
+                iter_flow_tuples(
+                    io.StringIO(text), parser=FlowLineParser()
+                )
+            )
+            scalar_error = None
+        except ValueError as error:
+            scalar_error = str(error)
+        assert scalar_error is not None  # corpora always contain junk
+        for chunk_size in (rng.randrange(1, 8), 64, 10_000):
+            with pytest.raises(ValueError) as caught:
+                _chunk_tuples(text, chunk_size)
+            assert str(caught.value) == scalar_error
+
+    def test_boundary_valid_lines_round_trip(self):
+        """All-extreme but valid lines decode identically and without
+        quarantine on both paths."""
+        import io
+
+        from repro.netflow.parse import FlowLineParser
+        from repro.netflow.replay import iter_flow_tuples
+        from repro.resilience.quarantine import QuarantineSink
+
+        lines = [
+            "0,0,0.0.0.0,0.0.0.0,0,0,0,1,1,0x0",
+            "0,30,0.0.0.0,255.255.255.255,255,65535,65535,1,1,0xff",
+            "2147483648,2147483678,255.255.255.255,8.8.8.8,6,1,53,1,1,0x10",
+            "1573776000,1573776030,10.0.0.1,192.0.2.9,17,53,53,9,900,0x0",
+        ]
+        text = "\n".join(lines) + "\n"
+        sink = QuarantineSink()
+        scalar = list(
+            iter_flow_tuples(
+                io.StringIO(text),
+                quarantine=sink,
+                parser=FlowLineParser(),
+            )
+        )
+        assert len(scalar) == 4
+        assert sink.total == 0
+        for chunk_size in (1, 2, 100):
+            columnar_sink = QuarantineSink()
+            assert _chunk_tuples(
+                text, chunk_size, quarantine=columnar_sink
+            ) == scalar
+            assert columnar_sink.total == 0
