@@ -228,6 +228,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "directory", type=pathlib.Path,
         help="directory receiving hitlist.json and rules.json",
     )
+    artifacts.add_argument(
+        "--versioned", action="store_true",
+        help="publish into a versioned rule store (rules-vNNN.json "
+        "artifacts with integrity headers) instead of flat JSON; "
+        "repeated runs allocate monotonically increasing versions",
+    )
 
     detect = commands.add_parser(
         "detect",
@@ -345,6 +351,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chunk-size", type=int, default=65536,
         help="rows per decoded column chunk with --columnar "
         "(default 65536)",
+    )
+    stream_run.add_argument(
+        "--hitlist-dir", type=pathlib.Path, default=None,
+        help="versioned rule store (see `repro artifacts --versioned`); "
+        "rules/hitlist load from its newest generation instead of "
+        "--artifacts, and refresh/hot-swap becomes available",
+    )
+    stream_run.add_argument(
+        "--hitlist-refresh-every", type=int, default=0,
+        help="poll --hitlist-dir for a newer generation every N "
+        "records (at absolute record-count multiples, so resumed "
+        "runs poll at the same stream positions) and hot-swap at "
+        "the next event-time hour boundary (0 = no polling)",
+    )
+    stream_run.add_argument(
+        "--migrate-rules", action="store_true",
+        help="allow --resume under a different rule generation by "
+        "migrating the checkpointed evidence (surviving rules keep "
+        "their windows, dropped rules are expired and counted)",
     )
     stream_run.add_argument(
         "--inject-sigterm-at", type=int, default=None,
@@ -466,11 +491,43 @@ def _run_stream(args) -> int:
         CheckpointError,
         JsonlEventSink,
         MemoryEventSink,
+        RuleVersionMismatch,
         StreamConfig,
         StreamDetectionEngine,
     )
 
-    if args.artifacts is not None:
+    store = None
+    rules_version = 0
+    if args.hitlist_refresh_every and args.hitlist_dir is None:
+        print(
+            "error: --hitlist-refresh-every needs --hitlist-dir",
+            file=sys.stderr,
+        )
+        return 2
+    if args.hitlist_dir is not None:
+        from repro.rules import VersionedRuleStore
+
+        store = VersionedRuleStore(args.hitlist_dir)
+        loaded = store.load_latest()
+        if loaded is None:
+            print(
+                f"error: no usable rule artifact under "
+                f"{args.hitlist_dir} (publish one with "
+                f"`repro artifacts --versioned {args.hitlist_dir}`)",
+                file=sys.stderr,
+            )
+            return 2
+        hitlist = loaded.artifact.hitlist
+        rules = loaded.artifact.rules
+        rules_version = loaded.artifact.version
+        if loaded.fallbacks:
+            print(
+                f"# rules artifact fallback: skipped "
+                f"{loaded.fallbacks} damaged generation(s), using "
+                f"last-good v{rules_version}",
+                file=sys.stderr,
+            )
+    elif args.artifacts is not None:
         hitlist, rules = _load_artifacts(args.artifacts)
     else:
         context = get_context(
@@ -530,20 +587,43 @@ def _run_stream(args) -> int:
                         stop_token=token,
                         governor=governor,
                         deadline=deadline,
+                        rules_version=rules_version,
+                        migrate_rules=args.migrate_rules,
                     )
+                except RuleVersionMismatch as exc:
+                    # The store may still hold the generation this
+                    # checkpoint was taken under — resuming with it is
+                    # always exact, no migration needed.
+                    engine = _resume_with_checkpoint_rules(
+                        store, exc, config, sink, token,
+                        governor, deadline,
+                    )
+                    if engine is None:
+                        print(
+                            f"error: cannot resume: {exc}",
+                            file=sys.stderr,
+                        )
+                        return 2
                 except CheckpointError as exc:
                     print(
                         f"error: cannot resume: {exc}", file=sys.stderr
                     )
                     return 2
+                _restage_pending_rules(engine, store)
             else:
                 engine = StreamDetectionEngine(
                     rules, hitlist, config, sink,
                     stop_token=token,
                     governor=governor,
                     deadline=deadline,
+                    rules_version=rules_version,
                 )
-            processed = _stream_ingest(engine, args)
+            if store is not None and args.hitlist_refresh_every:
+                processed = _stream_ingest_with_refresh(
+                    engine, args, store
+                )
+            else:
+                processed = _stream_ingest(engine, args)
             if engine.stopped:
                 # Early stop (signal/deadline): final checkpoint at
                 # the exact record reached + sink flush.
@@ -583,7 +663,7 @@ def _run_stream(args) -> int:
     return EXIT_DRAINED if engine.stopped else 0
 
 
-def _stream_ingest(engine, args) -> int:
+def _stream_ingest(engine, args, max_records=None) -> int:
     """Run the stream engine's ingest, optionally under fault probes.
 
     The fault harness (``--inject-sigterm-at``) always drives the
@@ -591,9 +671,11 @@ def _stream_ingest(engine, args) -> int:
     which a chunked fold cannot honour; ``--columnar`` applies to
     ordinary ingest via ``engine.process_flowfile``.
     """
+    if max_records is None:
+        max_records = args.max_records
     if args.inject_sigterm_at is None:
         return engine.process_flowfile(
-            args.flows, max_records=args.max_records
+            args.flows, max_records=max_records
         )
     from repro.faults import SignalPlan
     from repro.netflow.replay import iter_flow_tuples
@@ -607,8 +689,132 @@ def _stream_ingest(engine, args) -> int:
     if target >= 0:
         tuples = SignalPlan(at_index=target).wrap(tuples)
     return engine.process_tuples(
-        tuples, start_index=skip, max_records=args.max_records
+        tuples, start_index=skip, max_records=max_records
     )
+
+
+def _stream_ingest_with_refresh(engine, args, store) -> int:
+    """Ingest in refresh-cadence segments, hot-swapping between them.
+
+    The store is polled every ``--hitlist-refresh-every`` records *at
+    absolute record-count multiples*: the first segment is sized to
+    land on the next multiple, so a resumed run polls (and therefore
+    stages swaps) at exactly the same stream positions as an
+    uninterrupted one — the precondition for byte-identical event
+    logs across kills.
+    """
+    every = args.hitlist_refresh_every
+    remaining = args.max_records
+    total = 0
+    while True:
+        step = every - (engine.records_processed % every)
+        if remaining is not None:
+            step = min(step, remaining)
+        if step <= 0:
+            break
+        processed = _stream_ingest(engine, args, max_records=step)
+        total += processed
+        if remaining is not None:
+            remaining -= processed
+        if processed < step or engine.stopped:
+            break
+        _maybe_stage_refresh(engine, store)
+    return total
+
+
+def _maybe_stage_refresh(engine, store) -> None:
+    """Stage the store's newest generation if it advanced."""
+    from repro.pipeline.swap import RuleGeneration
+
+    loaded = store.load_latest()
+    if loaded is None:
+        return
+    pending = engine.pending_rules
+    current = (
+        pending.generation.version if pending else engine.rules_version
+    )
+    if loaded.artifact.version <= current:
+        return
+    generation = RuleGeneration.prepare(
+        loaded.artifact.version,
+        loaded.artifact.rules,
+        loaded.artifact.hitlist,
+        build_index=engine.config.columnar,
+    )
+    boundary = engine.stage_rules(generation)
+    print(
+        f"# staged rules v{generation.version} "
+        f"(activates at event-time {boundary})",
+        file=sys.stderr,
+    )
+
+
+def _resume_with_checkpoint_rules(
+    store, mismatch, config, sink, token, governor, deadline
+):
+    """Resume under the exact generation the checkpoint was taken with.
+
+    Only possible when the store still holds that version; returns
+    ``None`` (caller reports the mismatch) when it was pruned or no
+    store is configured.
+    """
+    from repro.rules import ArtifactError
+    from repro.stream import StreamDetectionEngine
+
+    if store is None:
+        return None
+    try:
+        artifact = store.load_version(mismatch.checkpoint_version)
+    except ArtifactError:
+        return None
+    print(
+        f"# resuming under checkpointed rules "
+        f"v{mismatch.checkpoint_version} (store head is newer; the "
+        f"refresh loop will swap forward at the next boundary)",
+        file=sys.stderr,
+    )
+    return StreamDetectionEngine.resume(
+        artifact.rules, artifact.hitlist, config, sink,
+        stop_token=token,
+        governor=governor,
+        deadline=deadline,
+        rules_version=artifact.version,
+    )
+
+
+def _restage_pending_rules(engine, store) -> None:
+    """Re-stage the swap a resumed checkpoint had in flight.
+
+    The checkpoint records ``(pending_version, activate_at)``; loading
+    that generation from the store and staging it at the *same*
+    event-time boundary makes the resumed run swap exactly where the
+    uninterrupted run would have.
+    """
+    from repro.pipeline.swap import RuleGeneration
+    from repro.rules import ArtifactError
+
+    if store is None or engine.checkpoint_pending_rules is None:
+        return
+    version, activate_at = engine.checkpoint_pending_rules
+    if version <= engine.rules_version:
+        return
+    try:
+        artifact = store.load_version(version)
+    except ArtifactError as exc:
+        print(
+            f"# warning: checkpoint had rules v{version} staged but "
+            f"the artifact is gone ({exc}); the refresh loop will "
+            f"pick up the store head instead",
+            file=sys.stderr,
+        )
+        return
+    generation = RuleGeneration.prepare(
+        artifact.version,
+        artifact.rules,
+        artifact.hitlist,
+        build_index=engine.config.columnar,
+    )
+    engine.stage_rules(generation, activate_at=activate_at)
 
 
 def _run_sweep(args) -> int:
@@ -734,6 +940,24 @@ def _run_batch(args, parse_memory_size) -> int:
             hitlist_to_json,
             rules_to_json,
         )
+
+        if args.versioned:
+            from repro.rules import CandidateRejected, VersionedRuleStore
+
+            store = VersionedRuleStore(args.directory)
+            try:
+                artifact = store.publish(context.rules, context.hitlist)
+            except CandidateRejected as exc:
+                print(
+                    f"error: candidate rejected: {exc}", file=sys.stderr
+                )
+                return 2
+            print(
+                f"published rules v{artifact.version} to "
+                f"{args.directory}",
+                file=sys.stderr,
+            )
+            return 0
 
         args.directory.mkdir(parents=True, exist_ok=True)
         _emit(

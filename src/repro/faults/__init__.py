@@ -15,7 +15,11 @@ seams in the same vocabulary:
   for flow files, and runtime-guard probes: :class:`SignalPlan`
   delivers a real kernel signal at an exact record index and
   :class:`MemoryPressurePlan` allocates RSS ballast there, so the
-  drain/shed soak tests are deterministic.
+  drain/shed soak tests are deterministic;
+* :mod:`repro.faults.swap` — rule-lifecycle damage: :class:`SwapPlan`
+  names the four injection points of the live rule-swap fault matrix
+  (corrupt published artifact, crash mid-publish, backend outage
+  mid-refresh, SIGTERM during swap) and applies each one.
 
 Everything here is deterministic per seed — a fault matrix that cannot
 be replayed exactly cannot assert bit-identical recovery.
@@ -37,8 +41,11 @@ from repro.faults.injection import (
     SignalPlan,
     corrupt_flow_lines,
 )
+from repro.faults.swap import SWAP_FAULT_KINDS, SwapPlan
 
 __all__ = [
+    "SWAP_FAULT_KINDS",
+    "SwapPlan",
     "FlakyProxy",
     "InjectedFault",
     "MemoryPressurePlan",

@@ -1,0 +1,150 @@
+"""Fault injection for the live rule-swap lifecycle.
+
+The swap fault matrix (``tests/test_swap_faults.py``) breaks each
+stage of the refresh → publish → stage → flip chain on purpose and
+asserts the two lifecycle guarantees: consumers degrade to the
+*last-good* generation (never a torn or empty one), and a killed run
+resumed mid-swap produces an event log byte-identical to the
+uninterrupted run.  :class:`SwapPlan` names the injection points:
+
+* ``corrupt_artifact`` — the newest published artifact is damaged on
+  disk (bit rot, torn storage); readers must fall back to the
+  previous generation;
+* ``crash_mid_publish`` — the publisher died mid-write: a partial
+  ``.tmp`` sibling and a torn final file for the next version are
+  left behind; neither may be served, and the version number must
+  not be reused;
+* ``backend_outage`` — the recompute's passive-DNS/scan backends are
+  down for the whole refresh; the refresher counts a failure and the
+  store stays on last-good;
+* ``sigterm_mid_swap`` — a real SIGTERM lands at an exact record
+  index while a swap is staged or mid-flight (between publish and
+  flip, or at the activation boundary itself); the drained run must
+  resume to a byte-identical event log.
+
+Like everything in :mod:`repro.faults`, plans are deterministic per
+seed and per index — a matrix that cannot replay exactly cannot
+assert bit-identical recovery.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import signal as signal_module
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from repro.faults.files import corrupt_payload_byte
+from repro.faults.injection import FlakyProxy, SignalPlan
+from repro.rules.lifecycle import (
+    artifact_path,
+    list_artifacts,
+)
+
+__all__ = ["SWAP_FAULT_KINDS", "SwapPlan"]
+
+#: The injection points of the swap fault matrix.
+SWAP_FAULT_KINDS = (
+    "corrupt_artifact",
+    "crash_mid_publish",
+    "backend_outage",
+    "sigterm_mid_swap",
+)
+
+
+@dataclass(frozen=True)
+class SwapPlan:
+    """One swap-lifecycle fault: what breaks, and exactly where.
+
+    ``at_index`` (for ``sigterm_mid_swap``) is the 0-based record index
+    the signal lands before — chosen by the test relative to the
+    staged activation boundary, e.g. just before the boundary record
+    ("crash between publish and flip") or just after it ("SIGTERM
+    during swap").
+    """
+
+    kind: str
+    at_index: int = 0
+    signum: int = signal_module.SIGTERM
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SWAP_FAULT_KINDS:
+            raise ValueError(
+                f"unknown swap fault kind {self.kind!r}; "
+                f"expected one of {SWAP_FAULT_KINDS}"
+            )
+        if self.at_index < 0:
+            raise ValueError("at_index must be >= 0")
+
+    # -- store sabotage (corrupt_artifact, crash_mid_publish) ----------
+
+    def sabotage_store(self, directory) -> List[pathlib.Path]:
+        """Damage the on-disk store at this plan's injection point.
+
+        ``corrupt_artifact`` flips a payload byte of the newest
+        artifact (the digest check must catch it and the loader fall
+        back).  ``crash_mid_publish`` fabricates the wreckage of a
+        publisher killed mid-write of the *next* version: a partial
+        ``.tmp`` sibling plus a final file whose payload is truncated
+        against its own header.  Returns the paths touched.
+        """
+        if self.kind not in ("corrupt_artifact", "crash_mid_publish"):
+            raise ValueError(
+                f"sabotage_store does not apply to {self.kind!r}"
+            )
+        directory = pathlib.Path(directory)
+        artifacts = list_artifacts(directory)
+        if not artifacts:
+            raise ValueError(f"no artifacts under {directory} to sabotage")
+        if self.kind == "corrupt_artifact":
+            _version, newest = artifacts[-1]
+            corrupt_payload_byte(newest)
+            return [newest]
+        if self.kind == "crash_mid_publish":
+            latest_version, newest = artifacts[-1]
+            torn = artifact_path(directory, latest_version + 1)
+            raw = newest.read_bytes()
+            # Keep the full header (it still claims the complete
+            # length) but only half the payload — a write the crash
+            # interrupted after the first blocks hit the disk.
+            newline = raw.find(b"\n") + 1
+            cut = newline + max(1, (len(raw) - newline) // 2)
+            torn.write_bytes(raw[:cut])
+            temp = torn.with_name(torn.name + ".tmp")
+            temp.write_bytes(raw[:cut])
+            return [torn, temp]
+        raise AssertionError("unreachable")  # kinds checked above
+
+    # -- backend sabotage (backend_outage) -----------------------------
+
+    def wrap_backend(self, backend, outage_keys: Iterable = ()):
+        """A :class:`~repro.faults.injection.FlakyProxy` that always
+        fails (or fails only ``outage_keys`` when given) — the backend
+        is *down* for the refresh, not merely flaky."""
+        if self.kind != "backend_outage":
+            raise ValueError(
+                f"wrap_backend does not apply to {self.kind!r}"
+            )
+        keys = tuple(outage_keys)
+        return FlakyProxy(
+            backend,
+            error_rate=0.0 if keys else 1.0,
+            seed=self.seed,
+            outage_keys=keys,
+        )
+
+    # -- process sabotage (sigterm_mid_swap) ---------------------------
+
+    def wrap_records(self, records: Iterable) -> Iterator:
+        """Deliver this plan's signal before record ``at_index``.
+
+        Delegates to :class:`~repro.faults.injection.SignalPlan` — a
+        real ``os.kill`` through the installed handler, so the drain
+        path under test is the production one.
+        """
+        if self.kind != "sigterm_mid_swap":
+            raise ValueError(
+                f"wrap_records does not apply to {self.kind!r}"
+            )
+        return SignalPlan(self.at_index, self.signum).wrap(records)

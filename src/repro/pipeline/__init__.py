@@ -36,6 +36,7 @@ from repro.pipeline.config import (
     GuardConfig,
     PipelineConfig,
     QuarantineConfig,
+    RulesConfig,
     StateConfig,
 )
 from repro.pipeline.core import GUARD_STRIDE, GuardSet, StagedRun
@@ -60,6 +61,14 @@ from repro.pipeline.metrics import (
     StreamMetrics,
 )
 from repro.pipeline.state import EvidenceStateTable
+from repro.pipeline.swap import (
+    MigrationReport,
+    PendingSwap,
+    RuleGeneration,
+    migrate_progress,
+    migrate_tables,
+    next_activation,
+)
 
 __all__ = [
     # core machinery
@@ -74,6 +83,14 @@ __all__ = [
     "QuarantineConfig",
     "GuardConfig",
     "ColumnarConfig",
+    "RulesConfig",
+    # live rule swap
+    "RuleGeneration",
+    "PendingSwap",
+    "MigrationReport",
+    "migrate_progress",
+    "migrate_tables",
+    "next_activation",
     # stages and driver
     "FlowPipeline",
     "FlowDetectStage",

@@ -140,6 +140,10 @@ class ColumnarFlowPipeline:
         checkpoint_every = self.checkpoint_every
         metrics = self.stage.metrics
         processed = 0
+        if self.index._daily is not self.stage._daily:
+            # A rule swap applied on the per-record path (the stage is
+            # shared) retired the mapping this index was compiled from.
+            self.index = EndpointDayIndex(self.stage._daily)
         if guards.check(0) is not None:  # stop already requested
             return 0
         if checkpoint_every:
@@ -153,7 +157,10 @@ class ColumnarFlowPipeline:
                         chunk = chunk.head(budget)
                 count = len(chunk)
                 if count:
-                    self._observe_chunk(chunk)
+                    if self.stage._pending_swap is not None:
+                        self._observe_split(chunk)
+                    else:
+                        self._observe_chunk(chunk)
                     processed += count
                 if (
                     checkpoint_every
@@ -170,6 +177,42 @@ class ColumnarFlowPipeline:
         return processed
 
     # -- the vectorized fused stage -----------------------------------
+
+    def _observe_split(self, chunk: FlowChunk) -> None:
+        """Fold a chunk across a staged rule swap's activation boundary.
+
+        The per-record path applies a staged swap at the first record
+        whose timestamp reaches ``activate_at`` — in arrival order —
+        and folds that record and everything after it under the new
+        generation.  This reproduces those semantics chunked: rows
+        before the first boundary row fold under the old generation,
+        then the stage swap is applied and the endpoint index is
+        exchanged for the generation's prebuilt one (or a lazily
+        compiled replacement), and the boundary row onward folds under
+        the new generation.  Splitting keeps the two paths
+        record-for-record identical across swaps, including swaps that
+        land mid-chunk.
+        """
+        stage = self.stage
+        pending = stage._pending_swap
+        while pending is not None and len(chunk):
+            boundary = np.flatnonzero(chunk.first >= pending.activate_at)
+            if not len(boundary):
+                break
+            split = int(boundary[0])
+            if split:
+                self._observe_chunk(chunk.head(split))
+                chunk = chunk.tail(split)
+            generation = pending.generation
+            stage._apply_swap()
+            self.index = (
+                generation.index
+                if generation.index is not None
+                else EndpointDayIndex(stage._daily)
+            )
+            pending = stage._pending_swap
+        if len(chunk):
+            self._observe_chunk(chunk)
 
     def _observe_chunk(self, chunk: FlowChunk) -> None:
         stage = self.stage

@@ -34,6 +34,7 @@ __all__ = [
     "QuarantineConfig",
     "GuardConfig",
     "ColumnarConfig",
+    "RulesConfig",
     "PipelineConfig",
 ]
 
@@ -119,6 +120,29 @@ class GuardConfig:
 
 
 @dataclass(frozen=True)
+class RulesConfig:
+    """Live rule refresh from a versioned hitlist store.
+
+    ``hitlist_dir`` points at a :class:`repro.rules.lifecycle.
+    VersionedRuleStore` directory; when ``refresh_every`` is positive
+    the assembly polls the store every that many records (at
+    absolute record-count multiples, so a resumed run polls at the
+    same stream positions as an uninterrupted one) and hot-swaps to a
+    newer published generation at the next event-time hour boundary.
+    """
+
+    hitlist_dir: Optional[_PathLike] = None
+    #: poll the store every N processed records; 0 disables refresh
+    refresh_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.refresh_every < 0:
+            raise ValueError("refresh_every must be >= 0")
+        if self.refresh_every and self.hitlist_dir is None:
+            raise ValueError("refresh cadence needs a hitlist_dir")
+
+
+@dataclass(frozen=True)
 class ColumnarConfig:
     """The vectorized chunked detect path (Decode/Validate/Detect).
 
@@ -148,6 +172,7 @@ class PipelineConfig:
     quarantine: QuarantineConfig = field(default_factory=QuarantineConfig)
     guards: GuardConfig = field(default_factory=GuardConfig)
     columnar: ColumnarConfig = field(default_factory=ColumnarConfig)
+    rules: RulesConfig = field(default_factory=RulesConfig)
 
     @classmethod
     def from_args(
@@ -166,6 +191,8 @@ class PipelineConfig:
         deadline_seconds: Optional[float] = None,
         columnar: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        hitlist_dir: Optional[_PathLike] = None,
+        hitlist_refresh_every: int = 0,
     ) -> "PipelineConfig":
         """Build from the flat knob names the CLI flags use."""
         return cls(
@@ -191,6 +218,10 @@ class PipelineConfig:
             ),
             columnar=ColumnarConfig(
                 enabled=columnar, chunk_size=chunk_size
+            ),
+            rules=RulesConfig(
+                hitlist_dir=hitlist_dir,
+                refresh_every=hitlist_refresh_every,
             ),
         )
 

@@ -54,6 +54,12 @@ from repro.pipeline.core import GUARD_STRIDE, GuardSet
 from repro.pipeline.events import DetectionEvent, MemoryEventSink
 from repro.pipeline.metrics import StreamMetrics
 from repro.pipeline.state import EvidenceStateTable
+from repro.pipeline.swap import (
+    PendingSwap,
+    RuleGeneration,
+    migrate_tables,
+    next_activation,
+)
 from repro.timeutil import SECONDS_PER_DAY, STUDY_START
 
 __all__ = [
@@ -148,6 +154,7 @@ class FlowDetectStage:
 
     __slots__ = (
         "rules",
+        "hitlist",
         "threshold",
         "require_established",
         "keying",
@@ -157,6 +164,7 @@ class FlowDetectStage:
         "_endpoints_front",
         "_day_back",
         "_endpoints_back",
+        "_pending_swap",
     )
 
     def __init__(
@@ -169,6 +177,7 @@ class FlowDetectStage:
         metrics: Optional[StreamMetrics] = None,
     ) -> None:
         self.rules = rules
+        self.hitlist = hitlist
         self.threshold = threshold
         self.require_established = require_established
         self.keying = keying
@@ -183,6 +192,8 @@ class FlowDetectStage:
         self._endpoints_front: Dict[Tuple[int, int], str] = {}
         self._day_back: Optional[int] = None
         self._endpoints_back: Dict[Tuple[int, int], str] = {}
+        #: staged rule generation awaiting its event-time boundary
+        self._pending_swap: Optional[PendingSwap] = None
 
     def observe(
         self,
@@ -200,6 +211,11 @@ class FlowDetectStage:
         metrics.records_since_checkpoint += 1
         if when > metrics.watermark:
             metrics.watermark = when
+        if (
+            self._pending_swap is not None
+            and when >= self._pending_swap.activate_at
+        ):
+            self._apply_swap()
         if (
             self.require_established
             and proto == PROTO_TCP
@@ -230,6 +246,58 @@ class FlowDetectStage:
         self, index: int, when: int, src: int, fqdn: str
     ) -> Optional[List[DetectionEvent]]:
         raise NotImplementedError
+
+    # -- live rule swap (see repro.pipeline.swap) ---------------------
+
+    def stage_swap(
+        self,
+        generation: RuleGeneration,
+        activate_at: Optional[int] = None,
+    ) -> int:
+        """Stage ``generation`` for activation at an event-time boundary.
+
+        With ``activate_at`` omitted the boundary is the next hour
+        after the current watermark (:func:`~repro.pipeline.swap.
+        next_activation`).  The swap applies at the first observed
+        record whose timestamp reaches the boundary — in arrival
+        order — so activation is deterministic in the record stream
+        regardless of how the run is segmented.  Returns the boundary.
+        """
+        if activate_at is None:
+            activate_at = next_activation(self.metrics.watermark)
+        self._pending_swap = PendingSwap(generation, activate_at)
+        self.metrics.rules_pending_version = generation.version
+        self.metrics.rules_pending_activate_at = activate_at
+        return activate_at
+
+    def _apply_swap(self) -> None:
+        """Take the staged generation live (called on the hot path).
+
+        Reference flips plus one bounded evidence-migration pass: the
+        rule set and daily-endpoint mapping are exchanged, the two-day
+        endpoint cache is invalidated, and subclasses migrate their
+        per-key evidence in :meth:`_migrate_evidence`.
+        """
+        pending = self._pending_swap
+        assert pending is not None
+        self._pending_swap = None
+        generation = pending.generation
+        self.rules = generation.rules
+        self.hitlist = generation.hitlist
+        self._daily = generation.hitlist.daily_endpoints
+        self._day_front = None
+        self._endpoints_front = {}
+        self._day_back = None
+        self._endpoints_back = {}
+        metrics = self.metrics
+        metrics.rules_active_version = generation.version
+        metrics.rules_pending_version = None
+        metrics.rules_pending_activate_at = None
+        metrics.rules_swaps += 1
+        self._migrate_evidence(generation.rules)
+
+    def _migrate_evidence(self, rules: RuleSet) -> None:
+        """Subclasses owning per-key evidence migrate it here."""
 
     def shed_pressure(self) -> None:
         """Default pressure response: drop recomputable caches."""
@@ -294,6 +362,20 @@ class StreamingDetectStage(FlowDetectStage):
             )
             for class_name, detected_at in completed
         ]
+
+    def _migrate_evidence(self, rules: RuleSet) -> None:
+        """Migrate every state shard's evidence to the new rules.
+
+        Surviving domains keep their first-seen windows, dropped
+        domains/classes are expired — each tallied into the ``rules``
+        metrics section (see :func:`~repro.pipeline.swap.
+        migrate_tables` for the exact semantics).
+        """
+        report = migrate_tables(self.tables, rules)
+        metrics = self.metrics
+        metrics.rules_evidence_migrated += report.domains_kept
+        metrics.rules_evidence_expired += report.domains_expired
+        metrics.rules_classes_expired += report.classes_expired
 
 
 class BatchDetectStage(FlowDetectStage):

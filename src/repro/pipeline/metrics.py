@@ -240,6 +240,23 @@ class StreamMetrics:
     checkpoint_fallbacks: int = 0
     records_quarantined: int = 0
     quarantine_reasons: Dict[str, int] = field(default_factory=dict)
+    # -- live rule lifecycle (see repro.pipeline.swap) ----------------
+    #: rule generation currently detecting (0 = unversioned rules)
+    rules_active_version: int = 0
+    #: staged generation awaiting its activation boundary, if any
+    rules_pending_version: Optional[int] = None
+    #: event-time boundary the staged generation activates at
+    rules_pending_activate_at: Optional[int] = None
+    #: hot swaps applied so far
+    rules_swaps: int = 0
+    #: failed refresh attempts (backend outage, validation reject, …)
+    rules_refresh_failures: int = 0
+    #: first-seen domain windows that survived swap migration
+    rules_evidence_migrated: int = 0
+    #: first-seen windows expired because their domain was dropped
+    rules_evidence_expired: int = 0
+    #: per-class evidence expired because the class was dropped
+    rules_classes_expired: int = 0
     #: runtime-guard accounting (see repro.runtime.overload)
     overload: OverloadMetrics = field(default_factory=OverloadMetrics)
 
@@ -298,6 +315,16 @@ class StreamMetrics:
             "quarantine": {
                 "total": self.records_quarantined,
                 "by_reason": dict(sorted(self.quarantine_reasons.items())),
+            },
+            "rules": {
+                "active_version": self.rules_active_version,
+                "pending_version": self.rules_pending_version,
+                "pending_activate_at": self.rules_pending_activate_at,
+                "swap_count": self.rules_swaps,
+                "refresh_failures": self.rules_refresh_failures,
+                "evidence_migrated": self.rules_evidence_migrated,
+                "evidence_expired": self.rules_evidence_expired,
+                "classes_expired": self.rules_classes_expired,
             },
             "overload": self.overload.to_dict(),
             "throughput": {

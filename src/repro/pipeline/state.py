@@ -128,6 +128,17 @@ class EvidenceStateTable:
         entry = self._entries.get(digest)
         return entry[1] if entry is not None else None  # type: ignore[return-value]
 
+    def progress_items(self):
+        """Iterate ``(digest, progress)`` without touching LRU order.
+
+        The rule-swap migration pass (:func:`repro.pipeline.swap.
+        migrate_tables`) walks every entry through this; mutating the
+        yielded progress objects is allowed, inserting or evicting
+        while iterating is not.
+        """
+        for digest, entry in self._entries.items():
+            yield digest, entry[1]
+
     # -- checkpoint support -------------------------------------------
 
     def to_state(self) -> Dict[str, object]:

@@ -7,8 +7,10 @@ primitives make their consumers robust without spreading ad-hoc
 ``try/except`` through the pipeline:
 
 * :class:`RetryPolicy` — capped exponential backoff for *transient*
-  errors.  Deterministic (no jitter): the reproduction's fault-matrix
-  tests need retry schedules that replay exactly.
+  errors.  Deterministic by default; opting into ``jitter`` draws a
+  *full-jitter* delay (``uniform(0, capped)``) from a seeded RNG, so
+  fleets of retriers decorrelate while the reproduction's fault-matrix
+  tests still get retry schedules that replay exactly (fix ``seed``).
 * :class:`CircuitBreaker` — a closed/open/half-open breaker over a
   sliding failure-rate window.  When a backend is *down* (not merely
   flaky), retrying every call wastes the caller's latency budget; the
@@ -23,6 +25,7 @@ type the pipeline's degradation paths handle.
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -68,12 +71,22 @@ class RetryPolicy:
 
     ``max_retries`` counts *re*-tries — a policy with ``max_retries=2``
     allows three attempts in total.
+
+    With ``jitter`` enabled each delay is drawn *full-jitter* style —
+    ``uniform(0, min(cap, base * multiplier**n))`` — which decorrelates
+    synchronized retry herds (e.g. many refreshers hammering a backend
+    that just came back).  The draw comes from a ``random.Random``
+    seeded from ``seed`` (and, in :meth:`delay`, the attempt number),
+    so a fixed seed yields a schedule that replays exactly under test;
+    ``seed=None`` derives per-process randomness.
     """
 
     max_retries: int = 2
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
     multiplier: float = 2.0
+    jitter: bool = False
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -81,18 +94,35 @@ class RetryPolicy:
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ValueError("backoff must be non-negative")
 
-    def delay(self, attempt: int) -> float:
+    def delay(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
         """Backoff before re-running attempt number ``attempt`` (0-based
-        count of failures so far)."""
-        return min(
+        count of failures so far).
+
+        Without jitter this is the deterministic capped exponential.
+        With jitter, a full-jitter draw in ``[0, capped]`` — taken from
+        ``rng`` when the caller threads one through a whole retry
+        episode, else from a fresh RNG seeded by ``(seed, attempt)`` so
+        standalone calls stay reproducible.
+        """
+        capped = min(
             self.backoff_cap,
             self.backoff_base * self.multiplier ** max(0, attempt),
         )
+        if not self.jitter:
+            return capped
+        if rng is None:
+            rng = random.Random(
+                f"{self.seed}:{attempt}" if self.seed is not None else None
+            )
+        return rng.uniform(0.0, capped)
 
     def delays(self) -> Iterator[float]:
         """The full backoff schedule, one delay per permitted retry."""
+        rng = random.Random(self.seed) if self.jitter else None
         for attempt in range(self.max_retries):
-            yield self.delay(attempt)
+            yield self.delay(attempt, rng=rng)
 
 
 class CircuitBreaker:
@@ -201,6 +231,7 @@ def call_with_retry(
     :class:`BreakerOpen` when the breaker rejects the call outright.
     """
     policy = policy or RetryPolicy()
+    rng = random.Random(policy.seed) if policy.jitter else None
     last: Optional[TransientLookupError] = None
     for attempt in range(policy.max_retries + 1):
         if breaker is not None and not breaker.allow():
@@ -214,7 +245,7 @@ def call_with_retry(
             if breaker is not None:
                 breaker.record_failure()
             if attempt < policy.max_retries:
-                sleep(policy.delay(attempt))
+                sleep(policy.delay(attempt, rng=rng))
             continue
         if breaker is not None:
             breaker.record_success()

@@ -1,0 +1,618 @@
+"""Versioned rule artifacts, candidate validation, background refresh.
+
+The detection rules of Section 5 are derived from a *daily* hitlist:
+the DNS↔IP mappings behind IoT backends churn, so a long-running
+detector must pick up recomputed rules without a restart (a restart
+would lose every subscriber's evidence window).  This module owns the
+artifact half of the live-refresh story:
+
+* :class:`RulesArtifact` / :func:`write_artifact` /
+  :func:`read_artifact` — one rule generation (rules + hitlist +
+  version) as a crash-safe on-disk document.  Publishes go through
+  write-to-temp → fsync → atomic rename → directory fsync, and every
+  artifact carries a SHA-256 integrity header (the same discipline as
+  stream checkpoints), so a reader never observes a half-written or
+  silently truncated generation.
+* :func:`validate_candidate` — the gate a recomputed candidate must
+  pass before it may be published: non-empty, schema-complete,
+  version strictly newer than the incumbent, endpoint coverage within
+  configured delta bounds of the incumbent.
+* :class:`VersionedRuleStore` — a directory of versioned artifacts
+  with monotonically increasing versions, last-good fallback on
+  corrupt newest generations, and pruning.
+* :class:`HitlistRefresher` — recomputes candidates through the
+  resilient backend adapters (:mod:`repro.resilience.lookups`),
+  validates, publishes; failures (backend outage, validation reject)
+  leave the store untouched — consumers keep detecting on the
+  last-good generation — and the background loop retries under the
+  jittered capped backoff of :class:`~repro.resilience.retry.
+  RetryPolicy`.
+
+The pipeline half — staging a loaded generation, event-time activation
+at the next hour boundary, evidence migration — lives in
+:mod:`repro.pipeline.swap`; the stream assembly wires the two together.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pathlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.core.hitlist import Hitlist, build_hitlist
+from repro.core.rules import RuleSet, generate_rules
+from repro.core.serialization import (
+    hitlist_from_json,
+    hitlist_to_json,
+    rules_from_json,
+    rules_to_json,
+)
+from repro.resilience.lookups import (
+    ResilientPassiveDns,
+    ResilientScanDataset,
+)
+from repro.resilience.retry import LookupUnavailable, RetryPolicy
+
+__all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_VERSION",
+    "ArtifactError",
+    "CandidateRejected",
+    "HitlistRefresher",
+    "LoadedArtifact",
+    "RefreshStats",
+    "RulesArtifact",
+    "VersionedRuleStore",
+    "artifact_path",
+    "list_artifacts",
+    "load_latest_artifact",
+    "read_artifact",
+    "scenario_recompute",
+    "validate_candidate",
+    "write_artifact",
+]
+
+logger = logging.getLogger(__name__)
+
+#: First token of every artifact header line.
+ARTIFACT_MAGIC = "repro-rules-artifact"
+#: On-disk format revision.
+ARTIFACT_VERSION = "v1"
+
+_PathLike = Union[str, pathlib.Path]
+_PREFIX = "rules-v"
+_SUFFIX = ".json"
+
+
+class ArtifactError(RuntimeError):
+    """An artifact file is unreadable: bad header, hash, or schema."""
+
+
+class CandidateRejected(ValueError):
+    """A recomputed candidate failed validation and was not published."""
+
+
+@dataclass(frozen=True)
+class RulesArtifact:
+    """One publishable rule generation: rules + hitlist + version."""
+
+    version: int
+    rules: RuleSet
+    hitlist: Hitlist
+
+    def to_payload(self) -> bytes:
+        """The canonical JSON body (without the integrity header)."""
+        document = {
+            "format": f"haystack-rules-artifact/{ARTIFACT_VERSION[1:]}",
+            "version": self.version,
+            "rules": json.loads(rules_to_json(self.rules)),
+            "hitlist": json.loads(hitlist_to_json(self.hitlist)),
+        }
+        return json.dumps(
+            document, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "RulesArtifact":
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"artifact body is not JSON: {exc}")
+        expected = f"haystack-rules-artifact/{ARTIFACT_VERSION[1:]}"
+        if document.get("format") != expected:
+            raise ArtifactError(
+                f"not a {expected} document: {document.get('format')!r}"
+            )
+        for key in ("version", "rules", "hitlist"):
+            if key not in document:
+                raise ArtifactError(f"artifact missing {key!r} section")
+        try:
+            rules = rules_from_json(json.dumps(document["rules"]))
+            hitlist = hitlist_from_json(json.dumps(document["hitlist"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ArtifactError(f"artifact sections malformed: {exc}")
+        return cls(
+            version=int(document["version"]), rules=rules, hitlist=hitlist
+        )
+
+
+@dataclass(frozen=True)
+class LoadedArtifact:
+    """A successfully read artifact plus how it was found."""
+
+    artifact: RulesArtifact
+    path: pathlib.Path
+    #: newer-but-corrupt generations skipped to reach this one
+    fallbacks: int = 0
+
+
+def artifact_path(directory: _PathLike, version: int) -> pathlib.Path:
+    """Where generation ``version`` lives inside ``directory``."""
+    return pathlib.Path(directory) / f"{_PREFIX}{version:010d}{_SUFFIX}"
+
+
+def _version_of(path: pathlib.Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    digits = name[len(_PREFIX) : -len(_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def list_artifacts(
+    directory: _PathLike,
+) -> List[Tuple[int, pathlib.Path]]:
+    """All ``(version, path)`` pairs in ``directory``, oldest first."""
+    root = pathlib.Path(directory)
+    if not root.is_dir():
+        return []
+    found = []
+    for path in root.iterdir():
+        version = _version_of(path)
+        if version is not None:
+            found.append((version, path))
+    found.sort()
+    return found
+
+
+def write_artifact(path: _PathLike, artifact: RulesArtifact) -> None:
+    """Atomically publish ``artifact`` at ``path``.
+
+    Same crash-safety contract as checkpoint writes: the document is
+    written to a temp file in the same directory, fsynced, renamed
+    over the target, and the directory entry fsynced — a crash at any
+    point leaves either the old file or the complete new one, never a
+    torn artifact.  (Reimplemented here rather than imported from
+    :mod:`repro.stream.checkpoint`: the layering contract forbids
+    ``repro.rules`` → ``repro.stream``.)
+    """
+    target = pathlib.Path(path)
+    payload = artifact.to_payload()
+    digest = hashlib.sha256(payload).hexdigest()
+    header = (
+        f"{ARTIFACT_MAGIC} {ARTIFACT_VERSION} "
+        f"sha256={digest} length={len(payload)}\n"
+    ).encode("ascii")
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(header)
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    directory_fd = os.open(str(target.parent), os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+
+
+def read_artifact(path: _PathLike) -> RulesArtifact:
+    """Read and integrity-check one artifact file.
+
+    Raises :class:`ArtifactError` on any damage: missing file, bad
+    magic, truncated body, hash mismatch, or malformed sections.
+    """
+    target = pathlib.Path(path)
+    try:
+        raw = target.read_bytes()
+    except OSError as exc:
+        raise ArtifactError(f"cannot read artifact {target}: {exc}")
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise ArtifactError(f"artifact {target} has no header line")
+    try:
+        header = raw[:newline].decode("ascii")
+    except UnicodeDecodeError:
+        raise ArtifactError(f"artifact {target} header is not ASCII")
+    fields = header.split()
+    if (
+        len(fields) != 4
+        or fields[0] != ARTIFACT_MAGIC
+        or fields[1] != ARTIFACT_VERSION
+        or not fields[2].startswith("sha256=")
+        or not fields[3].startswith("length=")
+    ):
+        raise ArtifactError(f"artifact {target} header malformed: {header!r}")
+    expected_digest = fields[2][len("sha256=") :]
+    try:
+        expected_length = int(fields[3][len("length=") :])
+    except ValueError:
+        raise ArtifactError(f"artifact {target} length field malformed")
+    payload = raw[newline + 1 :]
+    if len(payload) != expected_length:
+        raise ArtifactError(
+            f"artifact {target} truncated: "
+            f"{len(payload)} of {expected_length} bytes"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != expected_digest:
+        raise ArtifactError(f"artifact {target} hash mismatch")
+    artifact = RulesArtifact.from_payload(payload)
+    file_version = _version_of(target)
+    if file_version is not None and file_version != artifact.version:
+        raise ArtifactError(
+            f"artifact {target} claims version {artifact.version}, "
+            f"filename says {file_version}"
+        )
+    return artifact
+
+
+def load_latest_artifact(
+    directory: _PathLike,
+) -> Optional[LoadedArtifact]:
+    """The newest readable generation, falling back past damage.
+
+    Tries generations newest-first; a corrupt or torn newest artifact
+    is logged and skipped (the *last-good* generation wins), counting
+    each skip in :attr:`LoadedArtifact.fallbacks`.  Returns ``None``
+    when no generation is readable.
+    """
+    fallbacks = 0
+    for version, path in reversed(list_artifacts(directory)):
+        try:
+            artifact = read_artifact(path)
+        except ArtifactError as exc:
+            logger.warning(
+                "rules artifact v%d unreadable, falling back: %s",
+                version,
+                exc,
+            )
+            fallbacks += 1
+            continue
+        return LoadedArtifact(
+            artifact=artifact, path=path, fallbacks=fallbacks
+        )
+    return None
+
+
+def _coverage(hitlist: Hitlist) -> int:
+    """Total (day, address, port) endpoints the hitlist monitors."""
+    return sum(
+        len(endpoints) for endpoints in hitlist.daily_endpoints.values()
+    )
+
+
+def validate_candidate(
+    candidate: RulesArtifact,
+    current: Optional[RulesArtifact] = None,
+    max_coverage_drop: float = 0.5,
+    max_coverage_growth: float = 20.0,
+) -> None:
+    """The publish gate: raise :class:`CandidateRejected` unless sane.
+
+    Checks, in order:
+
+    1. *non-empty* — at least one rule, one monitored domain, and one
+       daily endpoint (an empty candidate would silently blind the
+       detector);
+    2. *monotonic version* — strictly newer than the incumbent, so a
+       stale recompute can never roll the fleet backwards;
+    3. *coverage delta bounds* — the endpoint count may not collapse
+       below ``(1 - max_coverage_drop)`` of the incumbent's nor explode
+       past ``max_coverage_growth`` times it; both are symptoms of a
+       broken upstream (empty passive-DNS answers, a runaway join)
+       rather than genuine churn.
+    """
+    if not candidate.rules.class_names():
+        raise CandidateRejected("candidate has no rules")
+    if not candidate.rules.monitored_domains():
+        raise CandidateRejected("candidate monitors no domains")
+    if _coverage(candidate.hitlist) == 0:
+        raise CandidateRejected("candidate hitlist has no endpoints")
+    if candidate.version < 1:
+        raise CandidateRejected(
+            f"candidate version must be >= 1, got {candidate.version}"
+        )
+    if current is not None:
+        if candidate.version <= current.version:
+            raise CandidateRejected(
+                f"candidate version {candidate.version} is not newer "
+                f"than active version {current.version}"
+            )
+        old = _coverage(current.hitlist)
+        new = _coverage(candidate.hitlist)
+        if old > 0:
+            if new < old * (1.0 - max_coverage_drop):
+                raise CandidateRejected(
+                    f"endpoint coverage collapsed {old} -> {new} "
+                    f"(more than {max_coverage_drop:.0%} drop)"
+                )
+            if new > old * max_coverage_growth:
+                raise CandidateRejected(
+                    f"endpoint coverage exploded {old} -> {new} "
+                    f"(more than {max_coverage_growth:g}x growth)"
+                )
+
+
+class VersionedRuleStore:
+    """A directory of versioned rule artifacts with last-good reads.
+
+    Publishes are validated, monotonically versioned, and atomic;
+    reads fall back past damaged newest generations.  The store keeps
+    the newest ``keep`` generations plus whatever a reader might still
+    be resuming from — pruning only removes artifacts strictly older
+    than the newest ``keep``.
+    """
+
+    def __init__(self, directory: _PathLike, keep: int = 5) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = pathlib.Path(directory)
+        self.keep = keep
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def latest_version(self) -> int:
+        """Newest on-disk version (0 when the store is empty).
+
+        Counts damaged artifacts too: versions are allocated above any
+        file present, so a torn v5 never lets a later publish reuse 5.
+        """
+        artifacts = list_artifacts(self.directory)
+        return artifacts[-1][0] if artifacts else 0
+
+    def load_latest(self) -> Optional[LoadedArtifact]:
+        """Newest *readable* generation (last-good fallback)."""
+        return load_latest_artifact(self.directory)
+
+    def load_version(self, version: int) -> RulesArtifact:
+        """A specific generation; :class:`ArtifactError` if unreadable.
+
+        Resume paths use this: a checkpoint taken under version *k*
+        must restart under version *k*'s rules, not whatever is newest.
+        """
+        return read_artifact(artifact_path(self.directory, version))
+
+    def publish(
+        self,
+        rules: RuleSet,
+        hitlist: Hitlist,
+        validate: bool = True,
+        max_coverage_drop: float = 0.5,
+        max_coverage_growth: float = 20.0,
+    ) -> RulesArtifact:
+        """Validate and atomically publish the next generation.
+
+        The version is allocated as ``latest_version() + 1``; with
+        ``validate`` (the default) the candidate must pass
+        :func:`validate_candidate` against the current last-good
+        generation or :class:`CandidateRejected` propagates and the
+        store is left untouched.
+        """
+        current = self.load_latest()
+        version = self.latest_version() + 1
+        candidate = RulesArtifact(
+            version=version, rules=rules, hitlist=hitlist
+        )
+        if validate:
+            validate_candidate(
+                candidate,
+                current=current.artifact if current else None,
+                max_coverage_drop=max_coverage_drop,
+                max_coverage_growth=max_coverage_growth,
+            )
+        write_artifact(artifact_path(self.directory, version), candidate)
+        self._prune()
+        return candidate
+
+    def _prune(self) -> None:
+        artifacts = list_artifacts(self.directory)
+        for _version, path in artifacts[: -self.keep]:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing reader/cleaner
+                pass
+
+
+@dataclass
+class RefreshStats:
+    """What the refresher did, surfaced into the ``"rules"`` metrics."""
+
+    attempts: int = 0
+    published: int = 0
+    #: failed refreshes by cause — backend outage, validation reject, …
+    failures: int = 0
+    failure_reasons: List[str] = field(default_factory=list)
+    consecutive_failures: int = 0
+    last_published_version: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "attempts": self.attempts,
+            "published": self.published,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "last_published_version": self.last_published_version,
+        }
+
+
+class HitlistRefresher:
+    """Recompute → validate → publish, with last-good degradation.
+
+    ``recompute`` is a zero-argument callable returning ``(rules,
+    hitlist)`` — typically :func:`scenario_recompute`, which routes
+    the Figure-7 pipeline through the resilient passive-DNS and scan
+    adapters.  A refresh that fails — the backends stayed unavailable
+    past the retry budget (:class:`~repro.resilience.retry.
+    LookupUnavailable`), the candidate flunked validation
+    (:class:`CandidateRejected`), or the publish itself errored —
+    leaves the store untouched, so every consumer keeps detecting on
+    the last-good generation.
+
+    :meth:`run` is the background loop: refresh every ``interval``
+    seconds, and after failures wait out a capped backoff drawn from
+    ``policy`` (full jitter when the policy enables it, seeded for
+    deterministic tests) before trying again.  Tests drive
+    :meth:`refresh_once` directly — the loop adds only scheduling.
+    """
+
+    def __init__(
+        self,
+        store: VersionedRuleStore,
+        recompute: Callable[[], Tuple[RuleSet, Hitlist]],
+        policy: Optional[RetryPolicy] = None,
+        max_coverage_drop: float = 0.5,
+        max_coverage_growth: float = 20.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.store = store
+        self.recompute = recompute
+        self.policy = policy or RetryPolicy(
+            backoff_base=1.0, backoff_cap=60.0, jitter=True, seed=None
+        )
+        self.max_coverage_drop = max_coverage_drop
+        self.max_coverage_growth = max_coverage_growth
+        self.stats = RefreshStats()
+        self._sleep = sleep
+        self._rng = random.Random(self.policy.seed)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def refresh_once(self) -> Optional[RulesArtifact]:
+        """One refresh attempt; ``None`` (and counters) on failure."""
+        self.stats.attempts += 1
+        try:
+            rules, hitlist = self.recompute()
+            artifact = self.store.publish(
+                rules,
+                hitlist,
+                max_coverage_drop=self.max_coverage_drop,
+                max_coverage_growth=self.max_coverage_growth,
+            )
+        except (LookupUnavailable, CandidateRejected, ArtifactError) as exc:
+            self.stats.failures += 1
+            self.stats.consecutive_failures += 1
+            self.stats.failure_reasons.append(
+                f"{type(exc).__name__}: {exc}"
+            )
+            logger.warning(
+                "rule refresh failed (staying on last-good v%d): %s",
+                self.store.latest_version(),
+                exc,
+            )
+            return None
+        self.stats.published += 1
+        self.stats.consecutive_failures = 0
+        self.stats.last_published_version = artifact.version
+        logger.info("published rules generation v%d", artifact.version)
+        return artifact
+
+    def run(self, interval: float, max_refreshes: Optional[int] = None):
+        """The refresh loop (blocking; :meth:`start` wraps in a thread).
+
+        After each failed attempt the wait grows by the policy's capped
+        backoff (keyed by the consecutive-failure count); a success
+        resets to ``interval``.
+        """
+        refreshes = 0
+        while not self._stop.is_set():
+            if self._stop.wait(self._next_delay(interval)):
+                break
+            self.refresh_once()
+            refreshes += 1
+            if max_refreshes is not None and refreshes >= max_refreshes:
+                break
+
+    def _next_delay(self, interval: float) -> float:
+        if self.stats.consecutive_failures == 0:
+            return interval
+        backoff = self.policy.delay(
+            self.stats.consecutive_failures - 1, rng=self._rng
+        )
+        return interval + backoff
+
+    def start(self, interval: float) -> None:
+        """Run the refresh loop on a daemon thread."""
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeError("refresher already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self.run,
+            args=(interval,),
+            name="hitlist-refresher",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Signal the loop to exit and join the thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+
+def scenario_recompute(
+    scenario,
+    observations=None,
+    start: Optional[int] = None,
+    end: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    sleep: Callable[[float], None] = time.sleep,
+    dnsdb=None,
+    scans=None,
+) -> Callable[[], Tuple[RuleSet, Hitlist]]:
+    """A ``recompute`` callable running Figure 7 over resilient adapters.
+
+    Rebuilds the hitlist from the scenario's passive-DNS and scan
+    backends (or explicit ``dnsdb``/``scans`` overrides, e.g. a
+    :class:`repro.faults.FlakyProxy`-wrapped backend under test),
+    wrapped in :class:`~repro.resilience.lookups.ResilientPassiveDns` /
+    :class:`~repro.resilience.lookups.ResilientScanDataset`, then
+    derives rules from the scenario's catalog.
+    """
+    from repro.timeutil import STUDY_END, STUDY_START
+
+    window_start = STUDY_START if start is None else start
+    window_end = STUDY_END if end is None else end
+
+    def recompute() -> Tuple[RuleSet, Hitlist]:
+        resilient_dns = ResilientPassiveDns(
+            dnsdb if dnsdb is not None else scenario.dnsdb,
+            policy=policy,
+            sleep=sleep,
+        )
+        resilient_scans = ResilientScanDataset(
+            scans if scans is not None else scenario.scans,
+            policy=policy,
+            sleep=sleep,
+        )
+        hitlist = build_hitlist(
+            scenario,
+            observations=observations,
+            start=window_start,
+            end=window_end,
+            dnsdb=resilient_dns,
+            scans=resilient_scans,
+        )
+        rules = generate_rules(scenario.catalog, hitlist)
+        return rules, hitlist
+
+    return recompute

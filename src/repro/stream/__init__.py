@@ -32,6 +32,7 @@ removed).
 
 from repro.stream.checkpoint import (
     CheckpointError,
+    RuleVersionMismatch,
     latest_checkpoint,
     read_checkpoint,
     write_checkpoint,
@@ -47,6 +48,7 @@ from repro.stream.state import EvidenceStateTable
 
 __all__ = [
     "CheckpointError",
+    "RuleVersionMismatch",
     "latest_checkpoint",
     "read_checkpoint",
     "write_checkpoint",

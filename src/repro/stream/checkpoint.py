@@ -33,6 +33,7 @@ __all__ = [
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_VERSION",
     "CheckpointError",
+    "RuleVersionMismatch",
     "LoadedCheckpoint",
     "checkpoint_path",
     "list_checkpoints",
@@ -56,6 +57,28 @@ _HEADER_RE = re.compile(
 
 class CheckpointError(ValueError):
     """A checkpoint file failed validation (corrupt, truncated, …)."""
+
+
+class RuleVersionMismatch(CheckpointError):
+    """A checkpoint was taken under a different rule generation.
+
+    Evidence windows in a checkpoint are only meaningful under the
+    rule set that accumulated them, so resuming under a different
+    generation silently mixes semantics.  The processor refuses unless
+    the caller explicitly opts into the migration path.
+    """
+
+    def __init__(self, checkpoint_version: int, active_version: int) -> None:
+        self.checkpoint_version = checkpoint_version
+        self.active_version = active_version
+        super().__init__(
+            f"checkpoint was written under rules version "
+            f"{checkpoint_version} but the active rules are version "
+            f"{active_version}; resume with the matching artifact "
+            f"(VersionedRuleStore.load_version({checkpoint_version})) "
+            f"or pass migrate_rules=True (CLI: --migrate-rules) to "
+            f"migrate the checkpointed evidence to the new generation"
+        )
 
 
 def checkpoint_path(

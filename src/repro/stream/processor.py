@@ -64,8 +64,14 @@ from repro.resilience.quarantine import QuarantineSink
 from repro.runtime.deadline import DeadlineBudget
 from repro.runtime.memory import MemoryGovernor
 from repro.runtime.shutdown import StopToken
+from repro.pipeline.swap import (
+    PendingSwap,
+    RuleGeneration,
+    migrate_tables,
+)
 from repro.stream.checkpoint import (
     CheckpointError,
+    RuleVersionMismatch,
     load_latest,
     write_checkpoint,
 )
@@ -130,6 +136,7 @@ class StreamDetectionEngine:
         stop_token: Optional[StopToken] = None,
         governor: Optional[MemoryGovernor] = None,
         deadline: Optional[DeadlineBudget] = None,
+        rules_version: int = 0,
     ) -> None:
         config = config or StreamConfig()
         if config.workers < 1:
@@ -140,8 +147,6 @@ class StreamDetectionEngine:
             raise ValueError(
                 "checkpoint_every needs a checkpoint_dir"
             )
-        self.rules = rules
-        self.hitlist = hitlist
         self.config = config
         self.sink = sink if sink is not None else MemoryEventSink()
         if quarantine is None and config.quarantine_dir is not None:
@@ -153,7 +158,12 @@ class StreamDetectionEngine:
             ttl_seconds=config.ttl_seconds,
             checkpoint_every=config.checkpoint_every,
             threshold=config.threshold,
+            rules_active_version=rules_version,
         )
+        #: ``(pending_version, activate_at)`` a resumed checkpoint had
+        #: staged — the driver re-stages the matching generation so the
+        #: continued run swaps at the same event-time boundary
+        self.checkpoint_pending_rules: Optional[tuple] = None
         # -- pipeline assembly (see repro.pipeline) -------------------
         per_worker = max(1, config.max_subscribers // config.workers)
         keying = SubscriberKeying(
@@ -217,6 +227,8 @@ class StreamDetectionEngine:
         stop_token: Optional[StopToken] = None,
         governor: Optional[MemoryGovernor] = None,
         deadline: Optional[DeadlineBudget] = None,
+        rules_version: int = 0,
+        migrate_rules: bool = False,
     ) -> "StreamDetectionEngine":
         """Rebuild an engine from the newest usable checkpoint.
 
@@ -229,6 +241,15 @@ class StreamDetectionEngine:
         re-emit into a log that ends up byte-identical.  The metrics
         record which checkpoint generation was resumed from and how
         many damaged generations were skipped getting there.
+
+        Rule-generation identity: the checkpoint records the rules
+        version its evidence accumulated under.  Resuming with a
+        different ``rules_version`` raises
+        :class:`~repro.stream.checkpoint.RuleVersionMismatch` unless
+        ``migrate_rules`` is set, in which case the checkpointed
+        evidence is migrated to the supplied generation (surviving
+        domains keep their windows; dropped domains/classes are
+        expired and counted) before ingest continues.
         """
         config = config or StreamConfig()
         if config.checkpoint_dir is None:
@@ -244,6 +265,10 @@ class StreamDetectionEngine:
             raise CheckpointError(
                 f"engine state version {version!r} unsupported"
             )
+        ckpt_rules = payload.get("rules") or {}
+        ckpt_rules_version = int(ckpt_rules.get("active_version", 0))
+        if ckpt_rules_version != rules_version and not migrate_rules:
+            raise RuleVersionMismatch(ckpt_rules_version, rules_version)
         saved = payload["config"]
         config = replace(
             config,
@@ -258,6 +283,7 @@ class StreamDetectionEngine:
             stop_token=stop_token,
             governor=governor,
             deadline=deadline,
+            rules_version=rules_version,
         )
         engine.metrics.resumed_from_generation = loaded.seq
         engine.metrics.checkpoint_fallbacks = loaded.fallbacks
@@ -276,8 +302,75 @@ class StreamDetectionEngine:
             counters["checkpoints_written"]
         )
         engine.metrics.watermark = int(payload["watermark"])
+        engine.metrics.rules_swaps = int(counters.get("rules_swaps", 0))
+        engine.metrics.rules_refresh_failures = int(
+            counters.get("rules_refresh_failures", 0)
+        )
+        engine.metrics.rules_evidence_migrated = int(
+            counters.get("rules_evidence_migrated", 0)
+        )
+        engine.metrics.rules_evidence_expired = int(
+            counters.get("rules_evidence_expired", 0)
+        )
+        engine.metrics.rules_classes_expired = int(
+            counters.get("rules_classes_expired", 0)
+        )
+        if ckpt_rules_version != rules_version:
+            report = migrate_tables(engine._tables, rules)
+            engine.metrics.rules_evidence_migrated += report.domains_kept
+            engine.metrics.rules_evidence_expired += (
+                report.domains_expired
+            )
+            engine.metrics.rules_classes_expired += (
+                report.classes_expired
+            )
+        pending_version = ckpt_rules.get("pending_version")
+        if pending_version is not None:
+            engine.checkpoint_pending_rules = (
+                int(pending_version),
+                int(ckpt_rules["pending_activate_at"]),
+            )
         engine.sink.truncate_to(int(payload["sink_position"]))
         return engine
+
+    # -- live rule swap (see repro.pipeline.swap) ----------------------
+
+    @property
+    def rules(self) -> RuleSet:
+        """The *active* rule set (follows hot swaps)."""
+        return self._stage.rules
+
+    @property
+    def hitlist(self) -> Hitlist:
+        """The *active* hitlist (follows hot swaps)."""
+        return self._stage.hitlist
+
+    @property
+    def rules_version(self) -> int:
+        """The rule generation currently detecting (0 = unversioned)."""
+        return self.metrics.rules_active_version
+
+    @property
+    def pending_rules(self) -> Optional[PendingSwap]:
+        """The staged generation awaiting activation, if any."""
+        return self._stage._pending_swap
+
+    def stage_rules(
+        self,
+        generation: RuleGeneration,
+        activate_at: Optional[int] = None,
+    ) -> int:
+        """Stage a new rule generation for the next hour boundary.
+
+        Delegates to :meth:`~repro.pipeline.flow.FlowDetectStage.
+        stage_swap`; returns the event-time boundary the swap will
+        activate at.  The engine's public ``rules``/``hitlist`` follow
+        the flip the moment it happens (they read through to the
+        stage), so callers observing the engine always see the active
+        generation.
+        """
+        boundary = self._stage.stage_swap(generation, activate_at)
+        return boundary
 
     @property
     def records_processed(self) -> int:
@@ -421,6 +514,20 @@ class StreamDetectionEngine:
                 "rejected_spoof": metrics.flows_rejected_spoof,
                 "events": metrics.events_emitted,
                 "checkpoints_written": metrics.checkpoints_written + 1,
+                "rules_swaps": metrics.rules_swaps,
+                "rules_refresh_failures": metrics.rules_refresh_failures,
+                "rules_evidence_migrated": (
+                    metrics.rules_evidence_migrated
+                ),
+                "rules_evidence_expired": metrics.rules_evidence_expired,
+                "rules_classes_expired": metrics.rules_classes_expired,
+            },
+            "rules": {
+                "active_version": metrics.rules_active_version,
+                "pending_version": metrics.rules_pending_version,
+                "pending_activate_at": (
+                    metrics.rules_pending_activate_at
+                ),
             },
             "watermark": metrics.watermark,
             "sink_position": self.sink.position(),

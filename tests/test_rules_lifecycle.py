@@ -1,0 +1,764 @@
+"""Versioned rule lifecycle: artifacts, store, refresher, hot swap.
+
+Three guarantees are pinned here:
+
+* *artifact integrity* — a published generation survives a byte-exact
+  write/read roundtrip, and every form of damage (truncation, bit rot,
+  header tampering, version mismatch) is detected and falls back to
+  the last-good generation;
+* *identity swap* — swapping to a generation with identical content is
+  provably invisible: event logs byte-identical to a no-swap run on
+  both the per-record and columnar paths;
+* *changed-rules swap* — after a real v1→v2 swap, surviving rules
+  detect exactly as a fresh v2 run would, dropped rules' evidence is
+  expired with counted reasons, and new rules only fire at/after the
+  event-time activation boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core.hitlist import Hitlist, PipelineReport
+from repro.core.rules import DetectionRule, RuleSet
+from repro.core.serialization import hitlist_to_json, rules_to_json
+from repro.faults import corrupt_payload_byte, truncate_file
+from repro.netflow.flowfile import write_flow_file
+from repro.pipeline import RuleGeneration
+from repro.resilience.retry import (
+    LookupUnavailable,
+    RetryPolicy,
+    TransientLookupError,
+    call_with_retry,
+)
+from repro.rules import (
+    ARTIFACT_MAGIC,
+    ArtifactError,
+    CandidateRejected,
+    HitlistRefresher,
+    RulesArtifact,
+    VersionedRuleStore,
+    artifact_path,
+    list_artifacts,
+    read_artifact,
+    scenario_recompute,
+    validate_candidate,
+    write_artifact,
+)
+from repro.stream import (
+    RuleVersionMismatch,
+    StreamConfig,
+    StreamDetectionEngine,
+)
+from repro.stream.events import JsonlEventSink
+from repro.timeutil import SECONDS_PER_DAY, SECONDS_PER_HOUR, STUDY_START
+
+from tests.test_stream import _mkflow
+
+
+# -- a synthetic two-generation world ---------------------------------
+
+CAM_IP = 0xC0A80001
+HUB_IP = 0xC0A80002
+NEW_IP = 0xC0A80003
+
+SUB1, SUB2, SUB3, SUB4 = (0x0A000001 + n for n in range(4))
+
+#: the staged swaps in these tests activate at the first hour boundary
+BOUNDARY = STUDY_START + SECONDS_PER_HOUR
+
+_WORLD_DAYS = 3
+
+
+def make_world(classes, mapping, days=_WORLD_DAYS):
+    """A real ``(RuleSet, Hitlist)`` pair for a synthetic deployment.
+
+    ``classes`` maps class name -> monitored domain tuple; ``mapping``
+    maps fqdn -> backend address (port 443, every study day).  Real
+    objects — not stand-ins — because the store tests serialise them.
+    """
+    class_domains = {
+        name: tuple(domains) for name, domains in classes.items()
+    }
+    domain_classes = {}
+    for name, domains in class_domains.items():
+        for fqdn in domains:
+            domain_classes[fqdn] = domain_classes.get(fqdn, ()) + (name,)
+    daily = {
+        day: {
+            (address, 443): fqdn for fqdn, address in mapping.items()
+        }
+        for day in range(days)
+    }
+    report = PipelineReport(
+        observed_domains=len(mapping),
+        primary_domains=len(mapping),
+        support_domains=0,
+        generic_domains=0,
+        iot_specific_domains=len(mapping),
+        dedicated_domains=len(mapping),
+        shared_domains=0,
+        no_record_domains=0,
+        censys_recovered_domains=0,
+        censys_recovered_products=0,
+        excluded_products=(),
+        surviving_classes=tuple(class_domains),
+        dropped_classes=(),
+    )
+    hitlist = Hitlist(
+        window_start=STUDY_START,
+        window_end=STUDY_START + days * SECONDS_PER_DAY,
+        class_domains=class_domains,
+        class_critical={},
+        domain_ports={fqdn: (443,) for fqdn in mapping},
+        daily_endpoints=daily,
+        domain_classes=domain_classes,
+        classifications={},
+        verdicts={},
+        recoveries={},
+        report=report,
+        degraded_classes=(),
+    )
+    rules = RuleSet(
+        DetectionRule(class_name=name, level="Product", domains=domains)
+        for name, domains in class_domains.items()
+    )
+    return rules, hitlist
+
+
+def world_v1():
+    """Generation 1: camera + hub."""
+    return make_world(
+        {"camera": ("cam.example",), "hub": ("hub.example",)},
+        {"cam.example": CAM_IP, "hub.example": HUB_IP},
+    )
+
+
+def world_v2():
+    """Generation 2: camera kept, hub dropped, doorbell added."""
+    return make_world(
+        {"camera": ("cam.example",), "doorbell": ("new.example",)},
+        {"cam.example": CAM_IP, "new.example": NEW_IP},
+    )
+
+
+#: the swap replay: three subscribers active before the hour boundary,
+#: three flows after it touching kept, added, and dropped endpoints.
+SWAP_FLOWS = (
+    (SUB1, CAM_IP, STUDY_START + 100),
+    (SUB2, HUB_IP, STUDY_START + 200),
+    (SUB1, HUB_IP, STUDY_START + 300),
+    (SUB3, CAM_IP, BOUNDARY + 100),
+    (SUB2, NEW_IP, BOUNDARY + 200),
+    (SUB4, HUB_IP, BOUNDARY + 300),
+)
+
+
+def write_swap_flowfile(path):
+    write_flow_file(
+        path,
+        [_mkflow(src, dst, when) for src, dst, when in SWAP_FLOWS],
+    )
+    return path
+
+
+def _triples(events):
+    return {(e.subscriber, e.class_name, e.detected_at) for e in events}
+
+
+def _counters(engine):
+    m = engine.metrics
+    return (
+        m.records_processed,
+        m.flows_matched,
+        m.events_emitted,
+        m.watermark,
+    )
+
+
+@pytest.fixture()
+def swap_flowfile(tmp_path):
+    return write_swap_flowfile(tmp_path / "swap-flows.csv")
+
+
+# -- artifact format ---------------------------------------------------
+
+
+class TestArtifactFormat:
+    def test_payload_roundtrip(self):
+        rules, hitlist = world_v1()
+        artifact = RulesArtifact(version=3, rules=rules, hitlist=hitlist)
+        loaded = RulesArtifact.from_payload(artifact.to_payload())
+        assert loaded.version == 3
+        assert rules_to_json(loaded.rules) == rules_to_json(rules)
+        assert hitlist_to_json(loaded.hitlist) == hitlist_to_json(hitlist)
+
+    def test_write_read_artifact(self, tmp_path):
+        rules, hitlist = world_v1()
+        path = artifact_path(tmp_path, 1)
+        write_artifact(
+            path, RulesArtifact(version=1, rules=rules, hitlist=hitlist)
+        )
+        header = path.read_bytes().split(b"\n", 1)[0].decode()
+        fields = header.split()
+        assert fields[0] == ARTIFACT_MAGIC
+        assert fields[2].startswith("sha256=")
+        assert fields[3].startswith("length=")
+        loaded = read_artifact(path)
+        assert loaded.version == 1
+        assert hitlist_to_json(loaded.hitlist) == hitlist_to_json(hitlist)
+        assert not list(tmp_path.glob("*.tmp"))  # publish left no temp
+
+    def test_scenario_artifact_roundtrip(self, rules, hitlist, tmp_path):
+        """The real scenario's rules/hitlist survive the store."""
+        store = VersionedRuleStore(tmp_path)
+        store.publish(rules, hitlist)
+        loaded = store.load_latest()
+        assert loaded is not None and loaded.fallbacks == 0
+        assert rules_to_json(loaded.artifact.rules) == rules_to_json(rules)
+        assert hitlist_to_json(loaded.artifact.hitlist) == hitlist_to_json(
+            hitlist
+        )
+
+    @pytest.mark.parametrize(
+        "damage",
+        ["truncate", "payload_bit", "bad_magic", "version_mismatch"],
+    )
+    def test_damage_is_detected(self, tmp_path, damage):
+        rules, hitlist = world_v1()
+        path = artifact_path(tmp_path, 1)
+        write_artifact(
+            path, RulesArtifact(version=1, rules=rules, hitlist=hitlist)
+        )
+        if damage == "truncate":
+            truncate_file(path, path.stat().st_size // 2)
+        elif damage == "payload_bit":
+            corrupt_payload_byte(path)
+        elif damage == "bad_magic":
+            raw = path.read_bytes()
+            path.write_bytes(b"not-an-artifact" + raw)
+        elif damage == "version_mismatch":
+            path.rename(artifact_path(tmp_path, 7))
+            path = artifact_path(tmp_path, 7)
+        with pytest.raises(ArtifactError):
+            read_artifact(path)
+
+
+# -- versioned store ---------------------------------------------------
+
+
+class TestVersionedStore:
+    def test_empty_store(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        assert store.latest_version() == 0
+        assert store.load_latest() is None
+
+    def test_publish_is_monotonic(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        rules, hitlist = world_v1()
+        first = store.publish(rules, hitlist)
+        second = store.publish(*world_v2())
+        assert (first.version, second.version) == (1, 2)
+        assert store.latest_version() == 2
+        loaded = store.load_latest()
+        assert loaded.artifact.version == 2
+        assert store.load_version(1).version == 1
+
+    def test_prune_keeps_newest(self, tmp_path):
+        store = VersionedRuleStore(tmp_path, keep=2)
+        rules, hitlist = world_v1()
+        for _ in range(4):
+            store.publish(rules, hitlist, validate=False)
+        assert [v for v, _ in list_artifacts(tmp_path)] == [3, 4]
+
+    def test_corrupt_newest_falls_back_to_last_good(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())
+        store.publish(*world_v2())
+        corrupt_payload_byte(artifact_path(tmp_path, 2))
+        loaded = store.load_latest()
+        assert loaded.artifact.version == 1
+        assert loaded.fallbacks == 1
+
+    def test_damaged_version_is_never_reused(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())
+        store.publish(*world_v2())
+        corrupt_payload_byte(artifact_path(tmp_path, 2))
+        published = store.publish(*world_v2())
+        assert published.version == 3  # not 2, despite 2 being damaged
+        assert store.load_latest().artifact.version == 3
+
+    def test_load_missing_version_raises(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        with pytest.raises(ArtifactError):
+            store.load_version(9)
+
+
+# -- candidate validation ----------------------------------------------
+
+
+class TestValidation:
+    def test_empty_candidate_rejected(self, tmp_path):
+        _, hitlist = world_v1()
+        store = VersionedRuleStore(tmp_path)
+        with pytest.raises(CandidateRejected, match="no rules"):
+            store.publish(RuleSet([]), hitlist)
+        assert store.latest_version() == 0  # store untouched
+
+    def test_endpointless_candidate_rejected(self):
+        rules, hitlist = world_v1()
+        bare = dataclasses.replace(hitlist, daily_endpoints={})
+        candidate = RulesArtifact(version=1, rules=rules, hitlist=bare)
+        with pytest.raises(CandidateRejected, match="no endpoints"):
+            validate_candidate(candidate)
+
+    def test_version_must_be_monotonic(self):
+        rules, hitlist = world_v1()
+        current = RulesArtifact(version=2, rules=rules, hitlist=hitlist)
+        stale = RulesArtifact(version=2, rules=rules, hitlist=hitlist)
+        with pytest.raises(CandidateRejected, match="not newer"):
+            validate_candidate(stale, current=current)
+        with pytest.raises(CandidateRejected, match=">= 1"):
+            validate_candidate(
+                RulesArtifact(version=0, rules=rules, hitlist=hitlist)
+            )
+
+    def test_coverage_collapse_rejected(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())  # 2 endpoints x 3 days = 6
+        shrunk_rules, shrunk = make_world(
+            {"camera": ("cam.example",)},
+            {"cam.example": CAM_IP},
+            days=1,  # coverage 1 < 6 * (1 - 0.5)
+        )
+        with pytest.raises(CandidateRejected, match="collapsed"):
+            store.publish(shrunk_rules, shrunk)
+        assert store.load_latest().artifact.version == 1
+
+    def test_coverage_explosion_rejected(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        small_rules, small = make_world(
+            {"camera": ("cam.example",)}, {"cam.example": CAM_IP}, days=1
+        )
+        store.publish(small_rules, small)
+        big_rules, big = world_v1()  # coverage 6 > 1 * 2.0
+        with pytest.raises(CandidateRejected, match="exploded"):
+            store.publish(big_rules, big, max_coverage_growth=2.0)
+
+    def test_genuine_churn_is_accepted(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())
+        published = store.publish(*world_v2())  # same coverage, new mix
+        assert published.version == 2
+
+
+# -- background refresher ----------------------------------------------
+
+
+class TestRefresher:
+    def test_success_publishes_and_resets_failures(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        refresher = HitlistRefresher(store, lambda: world_v1())
+        refresher.stats.consecutive_failures = 3
+        artifact = refresher.refresh_once()
+        assert artifact is not None and artifact.version == 1
+        assert refresher.stats.published == 1
+        assert refresher.stats.consecutive_failures == 0
+        assert refresher.stats.last_published_version == 1
+
+    def test_backend_failure_keeps_last_good(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())
+
+        def down():
+            raise LookupUnavailable("passive DNS unreachable")
+
+        refresher = HitlistRefresher(store, down)
+        assert refresher.refresh_once() is None
+        assert refresher.stats.failures == 1
+        assert refresher.stats.consecutive_failures == 1
+        assert "LookupUnavailable" in refresher.stats.failure_reasons[0]
+        assert store.load_latest().artifact.version == 1
+
+    def test_validation_reject_keeps_last_good(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        store.publish(*world_v1())
+        _, hitlist = world_v1()
+        refresher = HitlistRefresher(store, lambda: (RuleSet([]), hitlist))
+        assert refresher.refresh_once() is None
+        assert refresher.stats.failures == 1
+        assert "CandidateRejected" in refresher.stats.failure_reasons[0]
+        assert store.load_latest().artifact.version == 1
+
+    def test_backoff_schedule_is_seeded_deterministic(self, tmp_path):
+        policy = RetryPolicy(
+            backoff_base=1.0, backoff_cap=60.0, jitter=True, seed=7
+        )
+
+        def schedule():
+            refresher = HitlistRefresher(
+                VersionedRuleStore(tmp_path), lambda: world_v1(),
+                policy=policy,
+            )
+            delays = []
+            for failures in range(1, 6):
+                refresher.stats.consecutive_failures = failures
+                delays.append(refresher._next_delay(10.0))
+            return delays
+
+        first, second = schedule(), schedule()
+        assert first == second  # same seed, same backoff draws
+        for failures, delay in enumerate(first, start=1):
+            cap = min(60.0, 1.0 * 2.0 ** (failures - 1))
+            assert 10.0 <= delay <= 10.0 + cap
+        refresher = HitlistRefresher(
+            VersionedRuleStore(tmp_path), lambda: world_v1(), policy=policy
+        )
+        assert refresher._next_delay(10.0) == 10.0  # healthy: no backoff
+
+    def test_run_loop_retries_through_outage(self, tmp_path):
+        store = VersionedRuleStore(tmp_path)
+        attempts = []
+
+        def flaky_recompute():
+            attempts.append(len(attempts))
+            if len(attempts) < 3:
+                raise LookupUnavailable("still down")
+            return world_v1()
+
+        refresher = HitlistRefresher(
+            store,
+            flaky_recompute,
+            policy=RetryPolicy(
+                backoff_base=0.0, backoff_cap=0.0, jitter=True, seed=1
+            ),
+        )
+        refresher.run(0.0, max_refreshes=3)
+        assert refresher.stats.attempts == 3
+        assert refresher.stats.failures == 2
+        assert refresher.stats.published == 1
+        assert store.load_latest().artifact.version == 1
+
+    def test_background_thread_start_stop(self, tmp_path):
+        import time as _time
+
+        store = VersionedRuleStore(tmp_path)
+        refresher = HitlistRefresher(store, lambda: world_v1())
+        refresher.start(0.001)
+        deadline = _time.monotonic() + 5.0
+        while (
+            refresher.stats.attempts < 2
+            and _time.monotonic() < deadline
+        ):
+            _time.sleep(0.005)
+        refresher.stop()
+        assert refresher.stats.attempts >= 2
+        assert refresher._thread is None
+        loaded = store.load_latest()
+        assert loaded is not None  # at least one publish landed
+
+    def test_scenario_recompute_through_resilient_backends(
+        self, scenario, tmp_path
+    ):
+        """Figure-7 recompute over the resilient adapters publishes a
+        first generation from the real scenario backends."""
+        recompute = scenario_recompute(
+            scenario,
+            policy=RetryPolicy(max_retries=0),
+            sleep=lambda _s: None,
+        )
+        store = VersionedRuleStore(tmp_path)
+        refresher = HitlistRefresher(store, recompute)
+        artifact = refresher.refresh_once()
+        assert artifact is not None and artifact.version == 1
+        assert artifact.rules.class_names()
+        assert any(artifact.hitlist.daily_endpoints.values())
+
+
+# -- full-jitter retry policy (satellite) ------------------------------
+
+
+class TestJitterPolicy:
+    def test_default_policy_schedule_unchanged(self):
+        assert list(RetryPolicy().delays()) == [0.05, 0.1]
+
+    def test_seeded_jitter_is_deterministic(self):
+        policy = RetryPolicy(max_retries=5, jitter=True, seed=42)
+        assert list(policy.delays()) == list(policy.delays())
+        assert policy.delay(3) == policy.delay(3)
+        other = RetryPolicy(max_retries=5, jitter=True, seed=43)
+        assert list(policy.delays()) != list(other.delays())
+
+    def test_jitter_draws_stay_within_the_cap(self):
+        policy = RetryPolicy(
+            max_retries=8,
+            backoff_base=0.05,
+            backoff_cap=2.0,
+            jitter=True,
+            seed=7,
+        )
+        for attempt, delay in enumerate(policy.delays()):
+            assert 0.0 <= delay <= min(2.0, 0.05 * 2.0 ** attempt)
+
+    def test_call_with_retry_draws_the_seeded_schedule(self):
+        policy = RetryPolicy(max_retries=2, jitter=True, seed=11)
+        failures = [0]
+
+        def fn():
+            if failures[0] < 2:
+                failures[0] += 1
+                raise TransientLookupError("flap")
+            return "ok"
+
+        slept = []
+        assert call_with_retry(policy=policy, fn=fn, sleep=slept.append)
+        rng = random.Random(11)
+        expected = [
+            rng.uniform(0.0, min(2.0, 0.05 * 2.0 ** attempt))
+            for attempt in range(2)
+        ]
+        assert slept == expected
+
+
+# -- hot swap: the identity proof --------------------------------------
+
+
+class TestIdentitySwap:
+    @pytest.mark.parametrize("columnar", [False, True])
+    def test_same_content_swap_is_bit_identical(
+        self, swap_flowfile, tmp_path, columnar
+    ):
+        """Swapping to k+1 with content equal to k must be provably
+        invisible: byte-identical event logs, equal counters."""
+        rules, hitlist = world_v1()
+        config = StreamConfig(columnar=columnar, chunk_size=2)
+
+        def run(tag, swap):
+            log = tmp_path / f"events-{tag}.jsonl"
+            with JsonlEventSink(log) as sink:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink, rules_version=1
+                )
+                if swap:
+                    generation = RuleGeneration.prepare(
+                        2, rules, hitlist, build_index=columnar
+                    )
+                    assert (
+                        engine.stage_rules(
+                            generation, activate_at=BOUNDARY
+                        )
+                        == BOUNDARY
+                    )
+                engine.process_flowfile(swap_flowfile)
+            return log, engine
+
+        plain_log, plain = run("noswap", swap=False)
+        swap_log, swapped = run("swap", swap=True)
+        assert plain_log.read_bytes() == swap_log.read_bytes()
+        assert plain.metrics.events_emitted  # the stream detects at all
+        assert _counters(plain) == _counters(swapped)
+        rules_section = swapped.metrics_dict()["rules"]
+        assert rules_section["active_version"] == 2
+        assert rules_section["swap_count"] == 1
+        assert rules_section["pending_version"] is None
+        # identity migration: every window kept, nothing expired
+        assert rules_section["evidence_expired"] == 0
+        assert rules_section["classes_expired"] == 0
+        assert rules_section["evidence_migrated"] > 0
+
+    def test_columnar_and_per_record_swaps_agree(
+        self, swap_flowfile, tmp_path
+    ):
+        """A real v1→v2 swap replays byte-identically on both paths."""
+        rules_v1, hitlist_v1 = world_v1()
+        rules_v2, hitlist_v2 = world_v2()
+
+        def run(tag, columnar):
+            log = tmp_path / f"events-{tag}.jsonl"
+            config = StreamConfig(columnar=columnar, chunk_size=2)
+            with JsonlEventSink(log) as sink:
+                engine = StreamDetectionEngine(
+                    rules_v1, hitlist_v1, config, sink, rules_version=1
+                )
+                engine.stage_rules(
+                    RuleGeneration.prepare(
+                        2, rules_v2, hitlist_v2, build_index=columnar
+                    ),
+                    activate_at=BOUNDARY,
+                )
+                engine.process_flowfile(swap_flowfile)
+            return log, engine
+
+        record_log, record_engine = run("record", columnar=False)
+        chunk_log, chunk_engine = run("chunk", columnar=True)
+        assert record_log.read_bytes() == chunk_log.read_bytes()
+        assert _counters(record_engine) == _counters(chunk_engine)
+        assert (
+            record_engine.metrics_dict()["rules"]
+            == chunk_engine.metrics_dict()["rules"]
+        )
+
+
+class TestChangedRulesSwap:
+    def test_post_swap_detections_match_fresh_v2_run(
+        self, swap_flowfile, tmp_path
+    ):
+        rules_v1, hitlist_v1 = world_v1()
+        rules_v2, hitlist_v2 = world_v2()
+        engine = StreamDetectionEngine(
+            rules_v1, hitlist_v1, rules_version=1
+        )
+        engine.stage_rules(
+            RuleGeneration(2, rules_v2, hitlist_v2),
+            activate_at=BOUNDARY,
+        )
+        engine.process_flowfile(swap_flowfile)
+        swapped = _triples(engine.sink.events)
+
+        fresh = StreamDetectionEngine(rules_v2, hitlist_v2)
+        fresh.process_flowfile(swap_flowfile)
+        fresh_triples = _triples(fresh.sink.events)
+
+        v2_classes = set(rules_v2.class_names())
+        # Surviving + added rules detect exactly as a fresh v2 run: the
+        # kept camera evidence carried its windows across the swap.
+        assert {
+            t for t in swapped if t[1] in v2_classes
+        } == fresh_triples
+        assert any(t[1] == "camera" for t in fresh_triples)
+        # The added rule fires only at/after the activation boundary.
+        doorbells = [t for t in swapped if t[1] == "doorbell"]
+        assert doorbells and all(t[2] >= BOUNDARY for t in doorbells)
+        # The dropped rule's detections all predate the boundary; the
+        # post-boundary hub flow (SUB4) no longer matches anything.
+        hubs = [t for t in swapped if t[1] == "hub"]
+        assert hubs and all(t[2] < BOUNDARY for t in hubs)
+
+    def test_dropped_evidence_expired_with_counted_reasons(
+        self, swap_flowfile, tmp_path
+    ):
+        rules_v1, hitlist_v1 = world_v1()
+        rules_v2, hitlist_v2 = world_v2()
+        engine = StreamDetectionEngine(
+            rules_v1, hitlist_v1, rules_version=1
+        )
+        engine.stage_rules(
+            RuleGeneration(2, rules_v2, hitlist_v2),
+            activate_at=BOUNDARY,
+        )
+        engine.process_flowfile(swap_flowfile)
+        section = engine.metrics_dict()["rules"]
+        # Pre-boundary evidence: SUB1 {cam, hub}, SUB2 {hub}.  The swap
+        # keeps SUB1's cam window, expires both hub windows, and expires
+        # the satisfied hub class on both subscribers.
+        assert section["evidence_migrated"] == 1
+        assert section["evidence_expired"] == 2
+        assert section["classes_expired"] == 2
+        assert section["swap_count"] == 1
+        assert section["active_version"] == 2
+
+
+# -- checkpoint identity across rule versions (satellite) --------------
+
+
+class TestCheckpointRuleIdentity:
+    def _checkpointed_v1_run(self, tmp_path, swap_flowfile, stage=None):
+        rules_v1, hitlist_v1 = world_v1()
+        config = StreamConfig(checkpoint_dir=tmp_path / "ckpt")
+        engine = StreamDetectionEngine(
+            rules_v1, hitlist_v1, config, rules_version=1
+        )
+        if stage is not None:
+            engine.stage_rules(stage, activate_at=BOUNDARY)
+        engine.process_flowfile(swap_flowfile, max_records=3)
+        engine.write_checkpoint()
+        return config
+
+    def test_resume_under_different_version_fails_loudly(
+        self, tmp_path, swap_flowfile
+    ):
+        config = self._checkpointed_v1_run(tmp_path, swap_flowfile)
+        rules_v2, hitlist_v2 = world_v2()
+        with pytest.raises(RuleVersionMismatch) as excinfo:
+            StreamDetectionEngine.resume(
+                rules_v2, hitlist_v2, config, rules_version=2
+            )
+        error = excinfo.value
+        assert error.checkpoint_version == 1
+        assert error.active_version == 2
+        # the remediation hint names both escape hatches
+        assert "load_version(1)" in str(error)
+        assert "--migrate-rules" in str(error)
+
+    def test_resume_with_matching_version_succeeds(
+        self, tmp_path, swap_flowfile
+    ):
+        config = self._checkpointed_v1_run(tmp_path, swap_flowfile)
+        rules_v1, hitlist_v1 = world_v1()
+        engine = StreamDetectionEngine.resume(
+            rules_v1, hitlist_v1, config, rules_version=1
+        )
+        assert engine.rules_version == 1
+        assert engine.records_processed == 3
+
+    def test_resume_with_migration_crosses_generations(
+        self, tmp_path, swap_flowfile
+    ):
+        config = self._checkpointed_v1_run(tmp_path, swap_flowfile)
+        rules_v2, hitlist_v2 = world_v2()
+        engine = StreamDetectionEngine.resume(
+            rules_v2,
+            hitlist_v2,
+            config,
+            rules_version=2,
+            migrate_rules=True,
+        )
+        assert engine.rules_version == 2
+        section = engine.metrics_dict()["rules"]
+        assert section["evidence_migrated"] == 1  # SUB1's cam window
+        assert section["evidence_expired"] == 2  # both hub windows
+        assert section["classes_expired"] == 2
+        engine.process_flowfile(swap_flowfile)
+        late = _triples(engine.sink.events)
+        assert any(
+            sub_class == "doorbell" for _, sub_class, _ in late
+        )  # v2 rules active after migration
+        assert all(t[1] != "hub" or t[2] < BOUNDARY for t in late)
+
+    def test_staged_swap_survives_the_checkpoint(
+        self, tmp_path, swap_flowfile
+    ):
+        rules_v1, hitlist_v1 = world_v1()
+        rules_v2, hitlist_v2 = world_v2()
+        generation = RuleGeneration(2, rules_v2, hitlist_v2)
+        config = StreamConfig(checkpoint_dir=tmp_path / "ckpt")
+        log = tmp_path / "resumed.jsonl"
+        with JsonlEventSink(log) as sink:
+            engine = StreamDetectionEngine(
+                rules_v1, hitlist_v1, config, sink, rules_version=1
+            )
+            engine.stage_rules(generation, activate_at=BOUNDARY)
+            engine.process_flowfile(swap_flowfile, max_records=3)
+            engine.write_checkpoint()
+        with JsonlEventSink(log, resume=True) as sink:
+            engine = StreamDetectionEngine.resume(
+                rules_v1, hitlist_v1, config, sink, rules_version=1
+            )
+            # the checkpoint carried the staged-but-not-applied swap
+            assert engine.checkpoint_pending_rules == (2, BOUNDARY)
+            engine.stage_rules(generation, activate_at=BOUNDARY)
+            engine.process_flowfile(swap_flowfile)
+        assert engine.rules_version == 2
+
+        full_log = tmp_path / "full.jsonl"
+        with JsonlEventSink(full_log) as sink:
+            uninterrupted = StreamDetectionEngine(
+                rules_v1, hitlist_v1, sink=sink, rules_version=1
+            )
+            uninterrupted.stage_rules(generation, activate_at=BOUNDARY)
+            uninterrupted.process_flowfile(swap_flowfile)
+        assert log.read_bytes() == full_log.read_bytes()

@@ -11,7 +11,12 @@ The staged pipeline refactor rests on one directional rule:
   three assemblies;
 * :mod:`repro.netflow` is substrate — the columnar decode stage lives
   there next to the flow-line parser, so it must not import upward
-  into the pipeline layer or any assembly.
+  into the pipeline layer or any assembly;
+* :mod:`repro.rules` (the versioned rule-lifecycle subsystem) may sit
+  on the substrate and shared layers (core, resilience, pipeline) but
+  never on an assembly — and neither :mod:`repro.pipeline` nor
+  :mod:`repro.netflow` may import it back (the swap machinery in
+  ``repro.pipeline.swap`` stays artifact-agnostic).
 
 This script walks the import statements of every module in the scoped
 packages with :mod:`ast` (no third-party import-linter needed) and
@@ -37,13 +42,20 @@ FORBIDDEN: Dict[str, Set[str]] = {
     "repro.engine": {"repro.stream", "repro.ixp"},
     "repro.stream": {"repro.engine", "repro.ixp"},
     "repro.ixp": {"repro.engine", "repro.stream"},
-    "repro.pipeline": {"repro.engine", "repro.stream", "repro.ixp"},
+    "repro.pipeline": {
+        "repro.engine",
+        "repro.stream",
+        "repro.ixp",
+        "repro.rules",
+    },
     "repro.netflow": {
         "repro.pipeline",
         "repro.engine",
         "repro.stream",
         "repro.ixp",
+        "repro.rules",
     },
+    "repro.rules": {"repro.engine", "repro.stream", "repro.ixp"},
 }
 
 #: assemblies that must actually sit on the shared layer: at least one
