@@ -378,6 +378,118 @@ def _build_parser() -> argparse.ArgumentParser:
         "testing of the drain path)",
     )
 
+    collect = commands.add_parser(
+        "collect",
+        help=(
+            "live UDP NetFlow v9 / IPFIX collector service feeding "
+            "the online detector; see repro.collector"
+        ),
+    )
+    collect.add_argument(
+        "--bind", default="127.0.0.1:0",
+        help="UDP HOST:PORT to receive export datagrams on (port 0 = "
+        "ephemeral, resolved port lands in --ready-file; default "
+        "127.0.0.1:0)",
+    )
+    collect.add_argument(
+        "--control-port", type=int, default=0,
+        help="HTTP control plane port on the bind host (0 = ephemeral; "
+        "default 0)",
+    )
+    collect.add_argument(
+        "--no-control", action="store_true",
+        help="disable the HTTP control plane entirely",
+    )
+    collect.add_argument(
+        "--exporter-timeout", type=float, default=300.0,
+        help="drop an exporter's template cache + pending buffer after "
+        "this many seconds of silence (default 300)",
+    )
+    collect.add_argument(
+        "--pending-sets", type=int, default=64,
+        help="max buffered data-before-template sets per exporter "
+        "(default 64)",
+    )
+    collect.add_argument(
+        "--pending-ttl", type=float, default=60.0,
+        help="seconds a buffered data set may wait for its template "
+        "(default 60)",
+    )
+    collect.add_argument(
+        "--recv-buffer", type=int, default=None,
+        help="request SO_RCVBUF bytes on the UDP socket (default: OS)",
+    )
+    collect.add_argument(
+        "--idle-exit", type=float, default=None,
+        help="exit 0 after this many seconds without a datagram "
+        "(default: run until signalled)",
+    )
+    collect.add_argument(
+        "--max-datagrams", type=int, default=None,
+        help="exit 0 after receiving N datagrams (test/bench bound)",
+    )
+    collect.add_argument(
+        "--artifacts", type=pathlib.Path, default=None,
+        help=(
+            "directory with hitlist.json/rules.json (default: derive "
+            "them from the simulated world)"
+        ),
+    )
+    collect.add_argument(
+        "--threshold", type=float, default=0.4,
+        help="detection threshold D (default 0.4)",
+    )
+    collect.add_argument(
+        "--require-established", action="store_true",
+        help="drop TCP flows without an established handshake (spoof "
+        "filter)",
+    )
+    collect.add_argument(
+        "--max-subscribers", type=int, default=1 << 16,
+        help="state-table bound: tracked subscriber lines "
+        "(default 65536)",
+    )
+    collect.add_argument(
+        "--ttl-seconds", type=int, default=None,
+        help="evict subscribers idle longer than this (event time; "
+        "default: no TTL)",
+    )
+    collect.add_argument(
+        "--checkpoint-dir", type=pathlib.Path, default=None,
+        help="directory for crash-safe checkpoints",
+    )
+    collect.add_argument(
+        "--checkpoint-every", type=int, default=0,
+        help="checkpoint every N folded records (service-owned "
+        "cadence; 0 = only on drain)",
+    )
+    collect.add_argument(
+        "--resume", action="store_true",
+        help="resume from the newest usable checkpoint in "
+        "--checkpoint-dir (the --journal is truncated to match)",
+    )
+    collect.add_argument(
+        "--events-out", type=pathlib.Path, default=None,
+        help="append detection events to this JSONL log (default: "
+        "print to stdout on exit)",
+    )
+    collect.add_argument(
+        "--journal", type=pathlib.Path, default=None,
+        help="append every delivered-and-decodable record to this "
+        "flow file (the delivered-set oracle a live run is verified "
+        "against)",
+    )
+    collect.add_argument(
+        "--stream-metrics-out", type=pathlib.Path, default=None,
+        help="write the repro.engine.metrics/1 document (with the "
+        "'collector' section) here on exit",
+    )
+    collect.add_argument(
+        "--ready-file", type=pathlib.Path, default=None,
+        help="write {'udp_port', 'control_port', 'pid'} JSON here "
+        "once both sockets are bound",
+    )
+
     sweep = commands.add_parser(
         "sweep",
         help=(
@@ -663,6 +775,176 @@ def _run_stream(args) -> int:
     return EXIT_DRAINED if engine.stopped else 0
 
 
+def _run_collect(args) -> int:
+    """``repro collect``: long-running UDP collector service.
+
+    Binds the data socket and (unless ``--no-control``) the HTTP
+    control plane, folds every delivered-and-decodable export record
+    into the streaming engine, and exits 0 when a bounded run
+    (``--max-datagrams`` / ``--idle-exit``) completes or
+    :data:`~repro.runtime.EXIT_DRAINED` (3) when a signal/deadline
+    drained it to a final checkpoint ``--resume`` continues from.
+    """
+    import json
+
+    from repro.collector import (
+        CollectorConfig,
+        CollectorService,
+        truncate_journal,
+    )
+    from repro.runtime import (
+        EXIT_DRAINED,
+        DeadlineBudget,
+        MemoryGovernor,
+        ShutdownCoordinator,
+        StopToken,
+        parse_memory_size,
+    )
+    from repro.stream import (
+        CheckpointError,
+        JsonlEventSink,
+        MemoryEventSink,
+        StreamConfig,
+        StreamDetectionEngine,
+    )
+
+    host, _, port_text = args.bind.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --bind must be HOST:PORT, got {args.bind!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.artifacts is not None:
+        hitlist, rules = _load_artifacts(args.artifacts)
+    else:
+        context = get_context(
+            seed=args.seed,
+            wild_subscribers=args.subscribers,
+            wild_days=args.days,
+        )
+        hitlist, rules = context.hitlist, context.rules
+    if args.checkpoint_every and args.checkpoint_dir is None:
+        print(
+            "error: --checkpoint-every needs --checkpoint-dir",
+            file=sys.stderr,
+        )
+        return 2
+    config = StreamConfig(
+        threshold=args.threshold,
+        require_established=args.require_established,
+        max_subscribers=args.max_subscribers,
+        ttl_seconds=args.ttl_seconds,
+        workers=max(1, args.workers),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=0,  # the service owns the cadence
+        quarantine_dir=args.quarantine_dir,
+    )
+    sink = (
+        JsonlEventSink(args.events_out, resume=args.resume)
+        if args.events_out is not None
+        else MemoryEventSink()
+    )
+    token = StopToken()
+    governor = (
+        MemoryGovernor(parse_memory_size(args.memory_budget))
+        if args.memory_budget is not None
+        else None
+    )
+    deadline = (
+        DeadlineBudget(args.deadline)
+        if args.deadline is not None
+        else None
+    )
+    try:
+        with ShutdownCoordinator(token, grace=args.drain_grace):
+            if args.resume:
+                if config.checkpoint_dir is None:
+                    print(
+                        "error: --resume needs --checkpoint-dir",
+                        file=sys.stderr,
+                    )
+                    return 2
+                try:
+                    engine = StreamDetectionEngine.resume(
+                        rules, hitlist, config, sink,
+                        stop_token=token,
+                        governor=governor,
+                        deadline=deadline,
+                    )
+                except CheckpointError as exc:
+                    print(
+                        f"error: cannot resume: {exc}", file=sys.stderr
+                    )
+                    return 2
+                if args.journal is not None:
+                    kept = truncate_journal(
+                        args.journal, engine.records_processed
+                    )
+                    print(
+                        f"# journal truncated to {kept} records",
+                        file=sys.stderr,
+                    )
+            else:
+                engine = StreamDetectionEngine(
+                    rules, hitlist, config, sink,
+                    stop_token=token,
+                    governor=governor,
+                    deadline=deadline,
+                )
+            service = CollectorService(
+                engine,
+                config=CollectorConfig(
+                    bind_host=host,
+                    bind_port=int(port_text),
+                    control_host=host,
+                    control_port=(
+                        None if args.no_control else args.control_port
+                    ),
+                    exporter_timeout=args.exporter_timeout,
+                    pending_max_sets=args.pending_sets,
+                    pending_ttl=args.pending_ttl,
+                    recv_buffer=args.recv_buffer,
+                    idle_exit=args.idle_exit,
+                    max_datagrams=args.max_datagrams,
+                    checkpoint_every=args.checkpoint_every,
+                    journal=args.journal,
+                    ready_file=args.ready_file,
+                ),
+            )
+            exit_code = service.run()
+            metrics = engine.metrics_dict()
+            collector = service.source.metrics
+            print(
+                f"# datagrams={collector.datagrams_received} "
+                f"decoded={collector.datagrams_decoded} "
+                f"quarantined={collector.datagrams_quarantined} "
+                f"records={engine.records_processed} "
+                f"events={engine.metrics.events_emitted}",
+                file=sys.stderr,
+            )
+            if exit_code == EXIT_DRAINED:
+                print(
+                    f"# drained reason="
+                    f"{engine.metrics.overload.stop_reason or token.reason} "
+                    f"resumable={config.checkpoint_dir is not None}",
+                    file=sys.stderr,
+                )
+            if isinstance(sink, MemoryEventSink):
+                for event in sink.events:
+                    print(event.to_line())
+            else:
+                sink.flush(sync=True)
+    finally:
+        sink.close()
+    if args.stream_metrics_out is not None:
+        args.stream_metrics_out.write_text(
+            json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.stream_metrics_out}", file=sys.stderr)
+    return exit_code
+
+
 def _stream_ingest(engine, args, max_records=None) -> int:
     """Run the stream engine's ingest, optionally under fault probes.
 
@@ -870,6 +1152,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "stream":
         return _run_stream(args)
+
+    if args.command == "collect":
+        return _run_collect(args)
 
     if args.command == "sweep":
         return _run_sweep(args)

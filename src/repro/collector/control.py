@@ -1,0 +1,102 @@
+"""The collector's threaded HTTP control plane.
+
+Three read-only endpoints, served from daemon threads so they respond
+*throughout* ingest (the acceptance criterion) without ever touching
+the socket loop's latency budget:
+
+``GET /healthz``
+    Liveness: status (``ok`` while ingesting, ``draining`` once a stop
+    is requested), bound ports, records folded, datagrams seen.
+
+``GET /metrics``
+    The full ``repro.engine.metrics/1`` stream document — overload,
+    quarantine, throughput — plus the live ``"collector"`` section
+    (datagram fates, sequence gaps, pending buffer, exporters).
+
+``GET /subscribers/<digest>``
+    Per-subscriber detection state straight out of the
+    :class:`~repro.pipeline.state.EvidenceStateTable`: the salted
+    digest's rule progress snapshot, or ``found: false``.
+
+Handlers only call the three ``*_snapshot`` methods the service
+exposes; the service serialises them against the ingest loop with its
+own lock, so a query observes a datagram boundary, never a half-folded
+batch.  Everything is stdlib (``http.server``) — no new dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Tuple
+
+__all__ = ["ControlPlane"]
+
+
+def _build_handler(service):
+    class _Handler(BaseHTTPRequestHandler):
+        # keep the soak's stderr clean; failures surface as HTTP codes
+        def log_message(self, fmt, *args):  # pragma: no cover
+            pass
+
+        def do_GET(self):  # noqa: N802 (http.server contract)
+            try:
+                if self.path == "/healthz":
+                    self._reply(200, service.health_snapshot())
+                elif self.path == "/metrics":
+                    self._reply(200, service.metrics_snapshot())
+                elif self.path.startswith("/subscribers/"):
+                    digest = self.path[len("/subscribers/") :]
+                    if not digest or "/" in digest:
+                        self._reply(404, {"error": "bad subscriber path"})
+                        return
+                    self._reply(200, service.subscriber_snapshot(digest))
+                else:
+                    self._reply(404, {"error": f"no route {self.path}"})
+            except Exception as exc:  # never kill the server thread
+                self._reply(500, {"error": repr(exc)})
+
+        def _reply(self, status: int, document) -> None:
+            body = json.dumps(document, sort_keys=True).encode("ascii")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+    return _Handler
+
+
+class ControlPlane:
+    """Threaded HTTP server bound next to the UDP data plane."""
+
+    def __init__(
+        self, service, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._server = ThreadingHTTPServer(
+            (host, port), _build_handler(service)
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-collector-control",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound (host, port) — port 0 resolves here."""
+        return self._server.server_address[:2]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)

@@ -1,0 +1,107 @@
+"""Collector-plane counters: the ``"collector"`` metrics section.
+
+Everything the UDP ingest path counts that the stream engine cannot
+see from inside: datagrams and their fates, per-exporter sequence-gap
+accounting (expected vs received), the data-before-template pending
+buffer, and exporter lifecycle.  The document is rendered into the
+``repro.engine.metrics/1`` stream document as a ``"collector"``
+section (see :class:`repro.pipeline.metrics.StreamMetrics`).
+
+These counters are *per process*: they describe the live socket's
+health, are not part of detection identity, and are deliberately not
+checkpointed — a resumed collector starts them at zero while the
+engine's detection state carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["CollectorMetrics"]
+
+
+@dataclass
+class CollectorMetrics:
+    """Counters of one live collector's ingest plane."""
+
+    # -- datagram fates ------------------------------------------------
+    datagrams_received: int = 0
+    datagrams_decoded: int = 0
+    #: datagrams rejected with a typed DatagramError (see the
+    #: ``datagram_*`` quarantine reasons for the breakdown)
+    datagrams_quarantined: int = 0
+    quarantined_by_reason: Dict[str, int] = field(default_factory=dict)
+    #: flow records decoded from delivered datagrams
+    records_decoded: int = 0
+    #: records that passed semantic validation and were folded
+    records_folded: int = 0
+    #: records dropped by semantic validation (impossible tuples)
+    records_invalid: int = 0
+
+    # -- per-exporter sequence accounting ------------------------------
+    #: distinct sequence-number gaps observed (datagrams lost in flight)
+    sequence_gaps: int = 0
+    #: records the gaps say we never received
+    records_missed: int = 0
+    #: datagrams whose sequence we had already accepted
+    duplicate_datagrams: int = 0
+    #: datagrams that arrived behind an already-accepted sequence
+    reordered_datagrams: int = 0
+    #: exporter restarts detected (sequence rebaselined, not a gap)
+    sequence_resets: int = 0
+
+    # -- data-before-template pending buffer ---------------------------
+    pending_buffered_sets: int = 0
+    pending_flushed_sets: int = 0
+    pending_flushed_records: int = 0
+    #: sets evicted because the per-exporter pending bound was hit
+    pending_overflow_sets: int = 0
+    #: sets dropped because their template never arrived within the TTL
+    pending_expired_sets: int = 0
+
+    # -- exporter lifecycle --------------------------------------------
+    exporters_active: int = 0
+    exporters_seen: int = 0
+    #: exporters dropped after ``exporter_timeout`` of silence
+    exporters_expired: int = 0
+    #: templates learned across all exporters (re-sends included)
+    templates_learned: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Render the ``"collector"`` metrics section."""
+        return {
+            "datagrams": {
+                "received": self.datagrams_received,
+                "decoded": self.datagrams_decoded,
+                "quarantined": self.datagrams_quarantined,
+                "quarantined_by_reason": dict(
+                    sorted(self.quarantined_by_reason.items())
+                ),
+            },
+            "records": {
+                "decoded": self.records_decoded,
+                "folded": self.records_folded,
+                "invalid": self.records_invalid,
+            },
+            "sequence": {
+                "gaps": self.sequence_gaps,
+                "records_missed": self.records_missed,
+                "duplicates": self.duplicate_datagrams,
+                "reordered": self.reordered_datagrams,
+                "resets": self.sequence_resets,
+            },
+            "pending": {
+                "buffered_sets": self.pending_buffered_sets,
+                "flushed_sets": self.pending_flushed_sets,
+                "flushed_records": self.pending_flushed_records,
+                "overflow_sets": self.pending_overflow_sets,
+                "expired_sets": self.pending_expired_sets,
+            },
+            "exporters": {
+                "active": self.exporters_active,
+                "seen": self.exporters_seen,
+                "expired": self.exporters_expired,
+                "templates_learned": self.templates_learned,
+            },
+        }

@@ -1,0 +1,369 @@
+"""The long-running collector service: socket loop, fold, journal,
+drain.
+
+:class:`CollectorService` ties the pure ingest front
+(:class:`~repro.collector.source.CollectorSource`) to the streaming
+engine (:class:`~repro.stream.processor.StreamDetectionEngine`): one
+UDP socket, one fold loop, one lock shared with the HTTP control
+plane.  Design points that carry the robustness guarantees:
+
+**Checkpoint cadence is service-owned.**  The engine is built with
+``checkpoint_every=0`` — the per-call cadence reset inside
+:class:`~repro.pipeline.flow.FlowPipeline` is designed for long file
+replays, and a collector folds thousands of datagram-sized batches.
+The service instead watches the engine's ``records_since_checkpoint``
+(which accumulates across batches when the pipeline cadence is off)
+and calls :meth:`~repro.stream.processor.StreamDetectionEngine.
+write_checkpoint` itself every ``checkpoint_every`` folded records.
+
+**The journal is the delivered-set oracle.**  Every record that was
+delivered, decodable, and valid is appended — *after* the fold
+accepted it — to an ordinary flow file.  Replaying the journal through
+a fresh engine must reproduce the live run's event log byte for byte;
+the fault matrix proves exactly that for every datagram fault.  The
+journal is fsynced before every checkpoint so the invariant
+``journal records >= checkpoint records`` holds across kills, and
+:func:`truncate_journal` restores equality on resume (dropping the
+uncheckpointed tail that the resumed socket loop will not re-receive).
+
+**Drain.**  A stop request (SIGTERM via the CLI's
+:class:`~repro.runtime.shutdown.ShutdownCoordinator`, or a deadline)
+is honoured at the next datagram boundary: the loop exits, the journal
+is flushed, and :meth:`~repro.stream.processor.StreamDetectionEngine.
+drain` persists the final checkpoint — the service returns
+:data:`~repro.runtime.shutdown.EXIT_DRAINED` (3).  Consuming a bounded
+input (``max_datagrams`` / ``idle_exit``) returns
+:data:`~repro.runtime.shutdown.EXIT_COMPLETED` (0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import IO, List, Optional
+
+from repro.collector.control import ControlPlane
+from repro.collector.source import CollectorSource
+from repro.netflow.flowfile import format_flow
+from repro.netflow.records import FlowRecord
+from repro.pipeline.metrics import StreamMetrics
+from repro.runtime.shutdown import EXIT_COMPLETED, EXIT_DRAINED
+
+__all__ = [
+    "CollectorConfig",
+    "CollectorService",
+    "truncate_journal",
+    "JOURNAL_HEADER",
+]
+
+#: Journal files are ordinary flow files; sampling is per-record
+#: irrelevant to the detection tuple, so the header pins 1.
+JOURNAL_HEADER = "# haystack-flows v1 sampling=1\n"
+
+_MAX_DATAGRAM = 65535
+
+
+@dataclass(frozen=True)
+class CollectorConfig:
+    """Tuning of one collector service run."""
+
+    bind_host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (resolved port lands in the ready file)
+    bind_port: int = 0
+    control_host: str = "127.0.0.1"
+    #: ``None`` disables the control plane; 0 binds ephemeral
+    control_port: Optional[int] = 0
+    #: drop an exporter's templates + pending after this much silence
+    exporter_timeout: float = 300.0
+    #: bound on buffered data-before-template sets per exporter
+    pending_max_sets: int = 64
+    #: seconds a pending set may wait for its template
+    pending_ttl: float = 60.0
+    #: sequence-reset detection window (see repro.collector.exporters)
+    reset_window: int = 64
+    #: SO_RCVBUF request; ``None`` keeps the OS default
+    recv_buffer: Optional[int] = None
+    #: exit 0 after this many seconds without a datagram; ``None`` runs
+    #: until stopped
+    idle_exit: Optional[float] = None
+    #: exit 0 after receiving this many datagrams; ``None`` unbounded
+    max_datagrams: Optional[int] = None
+    #: service-owned checkpoint cadence in folded records; 0 disables
+    checkpoint_every: int = 0
+    #: delivered-set journal (flow file) path; ``None`` disables
+    journal: Optional[pathlib.Path] = None
+    #: written (atomically) after both sockets are bound:
+    #: ``{"udp_port": …, "control_port": …, "pid": …}``
+    ready_file: Optional[pathlib.Path] = None
+    #: socket timeout — the idle/stop/expiry poll cadence
+    poll_interval: float = 0.2
+
+
+def truncate_journal(path: pathlib.Path, records: int) -> int:
+    """Cut the journal back to its first ``records`` data lines.
+
+    Called on resume: the checkpoint is authoritative about how many
+    records the continued run starts from, and the journal must agree
+    or the delivered-set oracle would claim records the resumed engine
+    never folded.  Comment/header lines are preserved.  Returns the
+    data lines kept.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return 0
+    kept: List[str] = []
+    data = 0
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                kept.append(line)
+                continue
+            if data < records:
+                kept.append(line)
+                data += 1
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="ascii") as fh:
+        fh.writelines(kept)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return data
+
+
+class CollectorService:
+    """One bound socket feeding one streaming engine."""
+
+    def __init__(
+        self,
+        engine,
+        source: Optional[CollectorSource] = None,
+        config: Optional[CollectorConfig] = None,
+    ) -> None:
+        config = config or CollectorConfig()
+        if not isinstance(engine.metrics, StreamMetrics):
+            raise TypeError(
+                "collector needs a stream-assembly engine (its metrics "
+                "document carries the 'collector' section)"
+            )
+        if engine.config.checkpoint_every:
+            raise ValueError(
+                "collector engines must be built with "
+                "checkpoint_every=0; the service owns the cadence "
+                "(CollectorConfig.checkpoint_every)"
+            )
+        if (
+            config.checkpoint_every
+            and engine.config.checkpoint_dir is None
+        ):
+            raise ValueError(
+                "checkpoint_every needs an engine checkpoint_dir"
+            )
+        self.engine = engine
+        self.config = config
+        self.source = source if source is not None else CollectorSource(
+            quarantine=engine.quarantine,
+            pending_max_sets=config.pending_max_sets,
+            pending_ttl=config.pending_ttl,
+            reset_window=config.reset_window,
+            exporter_timeout=config.exporter_timeout,
+        )
+        # surface the collector counters in the stream document
+        engine.metrics.collector = self.source.metrics
+        self._lock = threading.Lock()
+        self._journal: Optional[IO[str]] = None
+        self.udp_port: Optional[int] = None
+        self.control_port: Optional[int] = None
+        self.datagrams_seen = 0
+        self._draining = False
+
+    # -- control-plane snapshots (called from handler threads) ---------
+
+    def health_snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "status": "draining" if self._draining else "ok",
+                "mode": "collector",
+                "udp_port": self.udp_port,
+                "control_port": self.control_port,
+                "datagrams_received": (
+                    self.source.metrics.datagrams_received
+                ),
+                "records_processed": self.engine.records_processed,
+                "events_emitted": self.engine.metrics.events_emitted,
+                "exporters_active": (
+                    self.source.metrics.exporters_active
+                ),
+            }
+
+    def metrics_snapshot(self) -> dict:
+        with self._lock:
+            return self.engine.metrics_dict()
+
+    def subscriber_snapshot(self, digest: str) -> dict:
+        with self._lock:
+            for table in self.engine._tables:
+                progress = table.progress_of(digest)
+                if progress is not None:
+                    return {
+                        "digest": digest,
+                        "found": True,
+                        "progress": progress.to_state(),
+                    }
+            return {"digest": digest, "found": False, "progress": None}
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> int:
+        """Bind, serve, drain; returns the process exit code."""
+        config = self.config
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        control: Optional[ControlPlane] = None
+        try:
+            if config.recv_buffer is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_RCVBUF,
+                    config.recv_buffer,
+                )
+            sock.bind((config.bind_host, config.bind_port))
+            sock.settimeout(config.poll_interval)
+            self.udp_port = sock.getsockname()[1]
+            if config.control_port is not None:
+                control = ControlPlane(
+                    self, config.control_host, config.control_port
+                )
+                control.start()
+                self.control_port = control.port
+            self._open_journal()
+            self._write_ready_file()
+            exit_code = self._serve(sock)
+            with self._lock:
+                self._draining = exit_code == EXIT_DRAINED
+                self._drain()
+            return exit_code
+        finally:
+            if control is not None:
+                control.stop()
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+            sock.close()
+
+    def _serve(self, sock: socket.socket) -> int:
+        config = self.config
+        engine = self.engine
+        token = engine.stop_token
+        last_data = time.monotonic()
+        while True:
+            if token is not None and token.stop_requested():
+                return EXIT_DRAINED
+            try:
+                payload, addr = sock.recvfrom(_MAX_DATAGRAM)
+            except socket.timeout:
+                now = time.monotonic()
+                with self._lock:
+                    self.source.expire_exporters(now)
+                if (
+                    config.idle_exit is not None
+                    and now - last_data >= config.idle_exit
+                ):
+                    return EXIT_COMPLETED
+                continue
+            now = time.monotonic()
+            last_data = now
+            self.datagrams_seen += 1
+            with self._lock:
+                records = self.source.ingest(payload, addr, now)
+                if records:
+                    self._fold(records)
+            if engine.stopped:
+                return EXIT_DRAINED
+            if (
+                config.max_datagrams is not None
+                and self.datagrams_seen >= config.max_datagrams
+            ):
+                return EXIT_COMPLETED
+
+    def _fold(self, records: List[FlowRecord]) -> None:
+        """Fold one datagram's validated records into the engine.
+
+        Holds the service lock (caller-acquired).  Journals exactly the
+        prefix the engine accepted — a guard stop mid-batch must not
+        journal records that were never folded.
+        """
+        engine = self.engine
+        tuples = [
+            (
+                record.first_switched,
+                record.src_ip,
+                record.dst_ip,
+                record.protocol,
+                record.dst_port,
+                record.tcp_flags,
+            )
+            for record in records
+        ]
+        processed = engine.process_tuples(
+            iter(tuples), start_index=engine.records_processed
+        )
+        if self._journal is not None and processed:
+            for record in records[:processed]:
+                self._journal.write(format_flow(record) + "\n")
+        if (
+            self.config.checkpoint_every
+            and engine.metrics.records_since_checkpoint
+            >= self.config.checkpoint_every
+        ):
+            self._flush_journal()
+            engine.write_checkpoint()
+
+    def _drain(self) -> None:
+        """Journal before checkpoint, so resume truncation never loses
+        a checkpointed record."""
+        self._flush_journal()
+        self.engine.drain()
+
+    # -- journal -------------------------------------------------------
+
+    def _open_journal(self) -> None:
+        if self.config.journal is None:
+            return
+        path = pathlib.Path(self.config.journal)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not path.exists() or path.stat().st_size == 0
+        self._journal = open(path, "a", encoding="ascii")
+        if fresh:
+            self._journal.write(JOURNAL_HEADER)
+            self._journal.flush()
+
+    def _flush_journal(self) -> None:
+        if self._journal is None:
+            return
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+
+    # -- readiness -----------------------------------------------------
+
+    def _write_ready_file(self) -> None:
+        """Atomically publish the bound ports (tests/CI poll this)."""
+        if self.config.ready_file is None:
+            return
+        path = pathlib.Path(self.config.ready_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "udp_port": self.udp_port,
+                "control_port": self.control_port,
+                "pid": os.getpid(),
+            },
+            sort_keys=True,
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(payload, encoding="ascii")
+        os.replace(tmp, path)

@@ -1,0 +1,105 @@
+"""The collector ingest front: arbitrary bytes in, valid records out.
+
+:class:`CollectorSource` is the pure (socket-free) half of the live
+collector: hand it one datagram payload plus its peer address and it
+returns the flow records that are safe to fold — decoded in the right
+exporter's template context, sequence-accounted, semantically
+validated.  It **never raises**: a datagram that cannot be decoded is
+quarantined under a typed ``datagram_<reason>`` slug (see
+:class:`~repro.netflow.datagram.DatagramError`) and yields no records;
+a decodable record with an impossible tuple is quarantined under the
+shared semantic reasons (``bad_port``, ``time_travel``, …) exactly as
+the file-replay path would.  That last property is what makes a live
+run comparable to a file replay of the delivered-and-decodable set —
+both paths apply the same validation to the same records.
+
+The socket loop, engine fold, journal, and control plane live in
+:mod:`repro.collector.service`; keeping ingest pure makes the fault
+matrix in ``tests/test_collector_faults.py`` a function call, not a
+network exercise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.collector.exporters import ExporterTable
+from repro.collector.metrics import CollectorMetrics
+from repro.netflow.datagram import DatagramError, peek_header
+from repro.netflow.records import FlowRecord
+from repro.resilience.quarantine import (
+    QuarantineSink,
+    validate_flow_record,
+)
+
+__all__ = ["CollectorSource"]
+
+
+class CollectorSource:
+    """Datagram → validated flow records, with full fault accounting."""
+
+    def __init__(
+        self,
+        metrics: Optional[CollectorMetrics] = None,
+        quarantine: Optional[QuarantineSink] = None,
+        pending_max_sets: int = 64,
+        pending_ttl: float = 60.0,
+        reset_window: int = 64,
+        exporter_timeout: float = 300.0,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else CollectorMetrics()
+        self.quarantine = (
+            quarantine if quarantine is not None else QuarantineSink()
+        )
+        self.exporters = ExporterTable(
+            self.metrics,
+            pending_max_sets=pending_max_sets,
+            pending_ttl=pending_ttl,
+            reset_window=reset_window,
+            timeout=exporter_timeout,
+        )
+
+    def ingest(
+        self,
+        payload: bytes,
+        addr: Tuple[str, int] = ("", 0),
+        now: float = 0.0,
+    ) -> List[FlowRecord]:
+        """Fold one datagram; returns the records safe to detect on.
+
+        ``now`` is caller-supplied wall time (monotonic or epoch — it
+        only feeds pending-TTL and exporter-expiry arithmetic), which
+        keeps the fault matrix deterministic.
+        """
+        metrics = self.metrics
+        metrics.datagrams_received += 1
+        try:
+            header = peek_header(payload)
+            state = self.exporters.state_for(
+                addr, header.exporter_id, header.version
+            )
+            records = state.ingest(payload, now)
+        except DatagramError as exc:
+            reason = f"datagram_{exc.reason}"
+            metrics.datagrams_quarantined += 1
+            metrics.quarantined_by_reason[reason] = (
+                metrics.quarantined_by_reason.get(reason, 0) + 1
+            )
+            self.quarantine.record(reason, payload)
+            return []
+        metrics.datagrams_decoded += 1
+        metrics.records_decoded += len(records)
+        kept: List[FlowRecord] = []
+        for record in records:
+            reason = validate_flow_record(record)
+            if reason is not None:
+                metrics.records_invalid += 1
+                self.quarantine.record(reason, record)
+                continue
+            kept.append(record)
+        metrics.records_folded += len(kept)
+        return kept
+
+    def expire_exporters(self, now: float) -> int:
+        """Drop exporters idle past the timeout; returns how many."""
+        return self.exporters.expire(now)

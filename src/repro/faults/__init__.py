@@ -16,6 +16,13 @@ seams in the same vocabulary:
   delivers a real kernel signal at an exact record index and
   :class:`MemoryPressurePlan` allocates RSS ballast there, so the
   drain/shed soak tests are deterministic;
+* :mod:`repro.faults.datagrams` — wire damage for the live collector:
+  :class:`DatagramPlan` applies the eight delivery faults of the
+  collector matrix (drop, duplicate, reorder, truncate, bit-corrupt,
+  data-before-template, exporter restart, socket buffer overflow) to
+  encoded export datagrams, :func:`encode_export_stream` shapes the
+  structural ones at encode time, and :class:`UdpReplayShim` pushes a
+  delivered stream through a real socket;
 * :mod:`repro.faults.swap` — rule-lifecycle damage: :class:`SwapPlan`
   names the four injection points of the live rule-swap fault matrix
   (corrupt published artifact, crash mid-publish, backend outage
@@ -25,6 +32,12 @@ Everything here is deterministic per seed — a fault matrix that cannot
 be replayed exactly cannot assert bit-identical recovery.
 """
 
+from repro.faults.datagrams import (
+    DATAGRAM_FAULT_KINDS,
+    DatagramPlan,
+    UdpReplayShim,
+    encode_export_stream,
+)
 from repro.faults.files import (
     corrupt_payload_byte,
     corrupt_version_header,
@@ -44,6 +57,10 @@ from repro.faults.injection import (
 from repro.faults.swap import SWAP_FAULT_KINDS, SwapPlan
 
 __all__ = [
+    "DATAGRAM_FAULT_KINDS",
+    "DatagramPlan",
+    "UdpReplayShim",
+    "encode_export_stream",
     "SWAP_FAULT_KINDS",
     "SwapPlan",
     "FlakyProxy",

@@ -1,0 +1,236 @@
+"""Datagram-level fault plans for the live-collector matrix.
+
+UDP export feeds fail in a small number of well-understood ways; a
+:class:`DatagramPlan` names each one and applies it *deterministically
+per seed* to a concrete list of encoded export datagrams, so the fault
+matrix in ``tests/test_collector_faults.py`` can assert the exact
+robustness contract: **the collector's detections are byte-identical
+to a file replay of exactly the datagrams that were delivered and
+decodable**.
+
+Byte-level kinds (pure functions of the datagram list):
+
+* ``drop`` — lose a fraction of datagrams outright;
+* ``duplicate`` — deliver some datagrams twice;
+* ``reorder`` — bounded displacement shuffle (late arrivals);
+* ``truncate`` — cut datagrams short mid-payload;
+* ``corrupt`` — flip a byte somewhere in the payload;
+* ``buffer_overflow`` — a contiguous burst loss, the collapse mode of
+  an overrun ``SO_RCVBUF`` (the kernel drops arrivals wholesale while
+  the buffer is full, not at random).
+
+Structural kinds need control over *how the stream is encoded* rather
+than how it is delivered, so they live in
+:func:`encode_export_stream`: ``data_before_template`` (withhold the
+template until later datagrams) and ``exporter_restart`` (swap in a
+fresh codec mid-stream: sequence counter resets to zero and templates
+are re-sent, exactly what a rebooting router does).
+
+:class:`UdpReplayShim` is the live half: it pushes a delivered plan
+through a real socket to a bound collector — the ``FlakyProxy``
+analogue for datagrams — with an optional inter-datagram pause so slow
+CI machines cannot outrun the receiver.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DATAGRAM_FAULT_KINDS",
+    "DatagramPlan",
+    "UdpReplayShim",
+    "encode_export_stream",
+]
+
+#: Every fault the collector matrix must survive.
+DATAGRAM_FAULT_KINDS: Tuple[str, ...] = (
+    "drop",
+    "duplicate",
+    "reorder",
+    "truncate",
+    "corrupt",
+    "data_before_template",
+    "exporter_restart",
+    "buffer_overflow",
+)
+
+#: Kinds applied at delivery time by :meth:`DatagramPlan.apply`.
+_BYTE_KINDS = (
+    "drop",
+    "duplicate",
+    "reorder",
+    "truncate",
+    "corrupt",
+    "buffer_overflow",
+)
+
+
+@dataclass(frozen=True)
+class DatagramPlan:
+    """One seeded, named datagram fault.
+
+    ``rate`` is the per-datagram probability for ``drop`` /
+    ``duplicate`` / ``truncate`` / ``corrupt``, the displacement bound
+    (as a fraction of the stream) for ``reorder``, and the burst
+    length fraction for ``buffer_overflow``.  Structural kinds
+    (``data_before_template``, ``exporter_restart``) are no-ops at
+    delivery time — they shape the encode via
+    :func:`encode_export_stream` — so the matrix driver can iterate
+    one plan type over all eight kinds.
+    """
+
+    kind: str
+    seed: int = 0
+    rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in DATAGRAM_FAULT_KINDS:
+            raise ValueError(
+                f"unknown datagram fault kind {self.kind!r}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def apply(self, datagrams: Sequence[bytes]) -> List[bytes]:
+        """The delivered stream: what actually reaches the socket.
+
+        Deterministic per (kind, seed, rate).  Corrupted/truncated
+        datagrams are still *delivered* — deciding whether they decode
+        is the collector's job (typed quarantine), not the network's.
+        """
+        # crc32, not hash(): str hashing is salted per process, which
+        # would break replay-exactness across runs
+        rng = random.Random(
+            (zlib.crc32(self.kind.encode("ascii")) & 0xFFFF) ^ self.seed
+        )
+        datagrams = list(datagrams)
+        if self.kind == "drop":
+            return [d for d in datagrams if rng.random() >= self.rate]
+        if self.kind == "duplicate":
+            out: List[bytes] = []
+            for d in datagrams:
+                out.append(d)
+                if rng.random() < self.rate:
+                    out.append(d)
+            return out
+        if self.kind == "reorder":
+            # bounded-displacement shuffle: each datagram may slip up
+            # to ``window`` slots later, never indefinitely
+            window = max(1, int(len(datagrams) * self.rate))
+            keyed = [
+                (index + rng.randint(0, window), index, d)
+                for index, d in enumerate(datagrams)
+            ]
+            keyed.sort(key=lambda item: (item[0], item[1]))
+            return [d for _slot, _index, d in keyed]
+        if self.kind == "truncate":
+            out = []
+            for d in datagrams:
+                if rng.random() < self.rate and len(d) > 4:
+                    out.append(d[: rng.randint(2, len(d) - 1)])
+                else:
+                    out.append(d)
+            return out
+        if self.kind == "corrupt":
+            out = []
+            for d in datagrams:
+                if rng.random() < self.rate and d:
+                    position = rng.randrange(len(d))
+                    mutated = bytearray(d)
+                    mutated[position] ^= 1 << rng.randrange(8)
+                    out.append(bytes(mutated))
+                else:
+                    out.append(d)
+            return out
+        if self.kind == "buffer_overflow":
+            if len(datagrams) < 2:
+                return datagrams
+            burst = max(1, int(len(datagrams) * self.rate))
+            start = rng.randrange(max(1, len(datagrams) - burst))
+            return datagrams[:start] + datagrams[start + burst :]
+        # structural kinds: delivery is faithful
+        return datagrams
+
+
+def encode_export_stream(
+    batches: Sequence[Sequence],
+    codec_factory,
+    start_time: int = 0,
+    defer_template: int = 0,
+    restart_at: Optional[int] = None,
+) -> List[bytes]:
+    """Encode flow batches into one export-datagram stream.
+
+    One datagram per batch, export times counting up from
+    ``start_time``.  ``defer_template`` withholds the template from
+    the first N datagrams (data-before-template: the template first
+    appears on datagram N) and ``restart_at`` swaps in a fresh codec
+    before batch N — sequence counter back to zero, template re-sent —
+    modelling an exporter reboot.  ``codec_factory`` builds the
+    exporter codec (e.g. ``lambda: NetflowV9Codec(source_id=7)``).
+    """
+    codec = codec_factory()
+    datagrams: List[bytes] = []
+    for index, batch in enumerate(batches):
+        restarted = restart_at is not None and index == restart_at
+        if restarted:
+            codec = codec_factory()
+        # the template rides on datagram ``defer_template`` (0 = the
+        # usual announce-first behaviour) and is re-announced on the
+        # first datagram after a restart
+        include_template = index == defer_template or restarted
+        datagrams.append(
+            codec.encode(
+                list(batch),
+                start_time + index,
+                include_template=include_template,
+                include_options=include_template,
+            )
+        )
+    return datagrams
+
+
+class UdpReplayShim:
+    """Replay a delivered datagram stream into a live collector.
+
+    The socket twin of :meth:`DatagramPlan.apply`: delivery faults are
+    applied *before* the send loop, so what goes on the wire is
+    exactly the delivered set the oracle replays.  ``pause`` throttles
+    the sender (loopback reordering/drops are not modelled here — the
+    plan already decided delivery).
+    """
+
+    def __init__(
+        self, host: str, port: int, pause: float = 0.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.pause = pause
+        self.sent = 0
+
+    def send(
+        self,
+        datagrams: Sequence[bytes],
+        plan: Optional[DatagramPlan] = None,
+    ) -> List[bytes]:
+        """Send (optionally faulted) datagrams; returns the delivered
+        list actually written to the socket."""
+        delivered = (
+            plan.apply(datagrams) if plan is not None else list(datagrams)
+        )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            for payload in delivered:
+                sock.sendto(payload, (self.host, self.port))
+                self.sent += 1
+                if self.pause:
+                    time.sleep(self.pause)
+        finally:
+            sock.close()
+        return delivered

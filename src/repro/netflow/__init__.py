@@ -24,6 +24,12 @@ from repro.netflow.records import (
 )
 from repro.netflow.sampler import PacketSampler, sample_packet_counts
 from repro.netflow.collector import FlowCollector
+from repro.netflow.datagram import (
+    DatagramError,
+    DatagramHeader,
+    DecodedDatagram,
+    peek_header,
+)
 from repro.netflow.v9 import NetflowV9Codec
 from repro.netflow.flowfile import (
     parse_flow_line,
@@ -54,6 +60,10 @@ __all__ = [
     "PacketSampler",
     "sample_packet_counts",
     "FlowCollector",
+    "DatagramError",
+    "DatagramHeader",
+    "DecodedDatagram",
+    "peek_header",
     "NetflowV9Codec",
     "read_flow_file",
     "write_flow_file",

@@ -1,0 +1,146 @@
+"""Typed datagram decode errors and export-packet header peeking.
+
+A live collector feeds the NetFlow v9 / IPFIX codecs *arbitrary bytes*
+— truncated datagrams, bit-corrupted payloads, garbage aimed at the
+port.  The codecs therefore promise exactly one failure mode:
+:class:`DatagramError`, carrying a stable machine-matchable ``reason``
+plus the exporter/offset context an operator needs to attribute the
+damage.  Anything else escaping ``decode`` is a codec bug (the seeded
+mutation-fuzz suite in ``tests/test_netflow_codecs.py`` enforces
+this).
+
+:class:`DatagramError` subclasses :class:`ValueError` so historical
+callers catching ``ValueError`` around ``decode`` keep working.
+
+:func:`peek_header` reads just enough of a datagram to route it — the
+protocol version and the exporter identity (NetFlow v9 source id /
+IPFIX observation domain) plus the sequence number and record count a
+collector's per-exporter gap accounting consumes — without touching
+any template state.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "DatagramError",
+    "DatagramHeader",
+    "DecodedDatagram",
+    "peek_header",
+]
+
+_V9_HEADER = struct.Struct("!HHIIII")
+_IPFIX_HEADER = struct.Struct("!HHIII")
+
+
+class DatagramError(ValueError):
+    """One export datagram could not be (fully) decoded.
+
+    ``reason`` is a stable slug (``truncated_header``, ``bad_version``,
+    ``truncated_set``, ``zero_length_field``, ``corrupt_set_length``,
+    ``length_mismatch``, ``truncated_template``, ``unknown_template``)
+    quarantine accounting keys on; ``exporter`` and ``offset`` locate
+    the damage for an operator.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        detail: str = "",
+        exporter: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        self.reason = reason
+        self.exporter = exporter
+        self.offset = offset
+        where = []
+        if exporter is not None:
+            where.append(f"exporter={exporter}")
+        if offset is not None:
+            where.append(f"offset={offset}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        message = f"{reason}: {detail}{suffix}" if detail else (
+            f"{reason}{suffix}"
+        )
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class DatagramHeader:
+    """The routing fields of one export datagram."""
+
+    version: int  # 9 (NetFlow v9) or 10 (IPFIX)
+    exporter_id: int  # v9 source id / IPFIX observation domain
+    sequence: int
+    export_time: int
+    #: v9: records in this packet (header ``count`` field);
+    #: IPFIX: not carried — ``None`` (derive from the decoded body)
+    count: Optional[int]
+
+
+def peek_header(payload: bytes) -> DatagramHeader:
+    """Parse only the datagram header (version routing + sequencing).
+
+    Raises :class:`DatagramError` (``truncated_header`` /
+    ``bad_version``) — never anything else — on damaged input.
+    """
+    if len(payload) < 2:
+        raise DatagramError(
+            "truncated_header", f"{len(payload)} bytes"
+        )
+    version = struct.unpack_from("!H", payload)[0]
+    if version == 9:
+        if len(payload) < _V9_HEADER.size:
+            raise DatagramError(
+                "truncated_header",
+                f"{len(payload)} bytes < v9 header {_V9_HEADER.size}",
+            )
+        _, count, _uptime, secs, seq, source = _V9_HEADER.unpack_from(
+            payload
+        )
+        return DatagramHeader(
+            version=9,
+            exporter_id=source,
+            sequence=seq,
+            export_time=secs,
+            count=count,
+        )
+    if version == 10:
+        if len(payload) < _IPFIX_HEADER.size:
+            raise DatagramError(
+                "truncated_header",
+                f"{len(payload)} bytes < IPFIX header "
+                f"{_IPFIX_HEADER.size}",
+            )
+        _, _length, secs, seq, odid = _IPFIX_HEADER.unpack_from(payload)
+        return DatagramHeader(
+            version=10,
+            exporter_id=odid,
+            sequence=seq,
+            export_time=secs,
+            count=None,
+        )
+    raise DatagramError("bad_version", f"version {version}")
+
+
+@dataclass
+class DecodedDatagram:
+    """Everything one export datagram yielded.
+
+    ``flows`` are the data records whose templates were known;
+    ``pending`` holds the raw bodies of data sets that referenced a
+    template this decoder has not seen yet — a collector buffers them
+    (bounded, TTL'd) and re-decodes when the template re-send lands.
+    """
+
+    header: DatagramHeader
+    flows: List = field(default_factory=list)
+    #: ``(set id, raw body)`` of data sets without a known template
+    pending: List[Tuple[int, bytes]] = field(default_factory=list)
+    #: template ids (re)defined by this datagram
+    templates_learned: List[int] = field(default_factory=list)
+    #: options-template ids (re)defined by this datagram
+    options_learned: List[int] = field(default_factory=list)

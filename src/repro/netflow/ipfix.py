@@ -6,13 +6,25 @@ message layout differs from NetFlow v9 in the header (no uptime; a
 information elements used here carry the same numbers as their NetFlow
 v9 ancestors, plus ``flowStartSeconds``/``flowEndSeconds`` (150/151)
 in place of the sysuptime-relative switch times.
+
+Decode hardening mirrors :mod:`repro.netflow.v9`: arbitrary bytes fail
+with one typed :class:`~repro.netflow.datagram.DatagramError`, the
+template cache is persistent across messages (live collectors see
+data-only messages between template refreshes), and
+:meth:`IpfixCodec.decode_message` returns unknown-template data sets
+for buffering instead of raising.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.netflow.datagram import (
+    DatagramError,
+    DatagramHeader,
+    DecodedDatagram,
+)
 from repro.netflow.records import FlowKey, FlowRecord
 
 __all__ = ["IpfixCodec"]
@@ -47,6 +59,8 @@ class IpfixCodec:
         self.observation_domain = observation_domain
         self.sampling_interval = sampling_interval
         self._sequence = 0
+        # Collector-side template cache, persistent across messages.
+        self._templates: dict = {}
 
     # ------------------------------------------------------------------
     # encoding
@@ -96,45 +110,149 @@ class IpfixCodec:
     # decoding
 
     def decode(self, payload: bytes) -> List[FlowRecord]:
-        """Parse one IPFIX message back into flow records."""
+        """Parse one IPFIX message back into flow records.
+
+        Damaged or premature input raises :class:`~repro.netflow.
+        datagram.DatagramError` — including ``unknown_template`` for a
+        data set whose template this codec has never seen (a collector
+        that wants to buffer those uses :meth:`decode_message`).
+        """
+        return self._decode_message(payload, strict=True).flows
+
+    def decode_message(self, payload: bytes) -> DecodedDatagram:
+        """Collector-facing decode of one IPFIX message.
+
+        Like :meth:`decode` but data sets referencing an unknown
+        template land in ``.pending`` (raw bodies) instead of raising.
+        Structural damage still raises :class:`DatagramError`.
+        """
+        return self._decode_message(payload, strict=False)
+
+    def _decode_message(
+        self, payload: bytes, strict: bool
+    ) -> DecodedDatagram:
         if len(payload) < _HEADER.size:
-            raise ValueError("truncated IPFIX header")
-        version, length, _time, _seq, _odid = _HEADER.unpack_from(payload)
-        if version != 10:
-            raise ValueError(f"not an IPFIX message (version {version})")
-        if length != len(payload):
-            raise ValueError(
-                f"IPFIX length field {length} != payload {len(payload)}"
+            raise DatagramError(
+                "truncated_header",
+                f"{len(payload)} bytes < IPFIX header {_HEADER.size}",
             )
+        version, length, export_time, seq, odid = _HEADER.unpack_from(
+            payload
+        )
+        if version != 10:
+            raise DatagramError(
+                "bad_version", f"not an IPFIX message (version {version})"
+            )
+        if length != len(payload):
+            raise DatagramError(
+                "length_mismatch",
+                f"IPFIX length field {length} != payload {len(payload)}",
+                exporter=odid,
+            )
+        message = DecodedDatagram(
+            header=DatagramHeader(
+                version=10,
+                exporter_id=odid,
+                sequence=seq,
+                export_time=export_time,
+                count=None,
+            )
+        )
         offset = _HEADER.size
-        templates = {}
-        flows: List[FlowRecord] = []
         while offset + _SET_HEADER.size <= len(payload):
             set_id, set_length = _SET_HEADER.unpack_from(payload, offset)
             if set_length < _SET_HEADER.size:
-                raise ValueError("corrupt set length")
+                raise DatagramError(
+                    "corrupt_set_length",
+                    f"set {set_id} length {set_length}",
+                    exporter=odid,
+                    offset=offset,
+                )
+            if offset + set_length > len(payload):
+                raise DatagramError(
+                    "truncated_set",
+                    f"set {set_id} length {set_length} overruns "
+                    f"{len(payload)}-byte message",
+                    exporter=odid,
+                    offset=offset,
+                )
             body = payload[offset + _SET_HEADER.size : offset + set_length]
             if set_id == _TEMPLATE_SET_ID:
-                self._decode_templates(body, templates)
-            elif set_id >= 256 and set_id in templates:
-                flows.extend(self._decode_data(body, templates[set_id]))
+                message.templates_learned.extend(
+                    self._decode_templates(
+                        body, self._templates, odid, offset
+                    )
+                )
+            elif set_id >= 256 and set_id in self._templates:
+                message.flows.extend(
+                    self._decode_data(body, self._templates[set_id])
+                )
+            elif set_id >= 256:
+                if strict:
+                    raise DatagramError(
+                        "unknown_template",
+                        f"data set {set_id} before its template",
+                        exporter=odid,
+                        offset=offset,
+                    )
+                message.pending.append((set_id, bytes(body)))
+            # set ids 3 (options templates) and 4..255 (reserved) skipped
             offset += set_length
-        return flows
+        return message
+
+    def decode_data_body(
+        self, set_id: int, body: bytes
+    ) -> List[FlowRecord]:
+        """Decode a buffered data-set body against the template cache."""
+        elements = self._templates.get(set_id)
+        if elements is None:
+            raise DatagramError("unknown_template", f"data set {set_id}")
+        return self._decode_data(body, elements)
 
     @staticmethod
-    def _decode_templates(body: bytes, templates: dict) -> None:
+    def _decode_templates(
+        body: bytes,
+        templates: dict,
+        exporter: Optional[int] = None,
+        base_offset: int = 0,
+    ) -> List[int]:
+        learned: List[int] = []
         offset = 0
-        while offset + _TEMPLATE_HEADER.size <= len(body):
-            template_id, field_count = _TEMPLATE_HEADER.unpack_from(
-                body, offset
-            )
-            offset += _TEMPLATE_HEADER.size
-            elements = []
-            for _ in range(field_count):
-                element_id, length = struct.unpack_from("!HH", body, offset)
-                elements.append((element_id, length))
-                offset += 4
-            templates[template_id] = tuple(elements)
+        try:
+            while offset + _TEMPLATE_HEADER.size <= len(body):
+                template_id, field_count = _TEMPLATE_HEADER.unpack_from(
+                    body, offset
+                )
+                if template_id == 0:  # set padding
+                    break
+                offset += _TEMPLATE_HEADER.size
+                elements = []
+                for _ in range(field_count):
+                    element_id, length = struct.unpack_from(
+                        "!HH", body, offset
+                    )
+                    elements.append((element_id, length))
+                    offset += 4
+                if not elements or any(
+                    length == 0 for _, length in elements
+                ):
+                    raise DatagramError(
+                        "zero_length_field",
+                        f"template {template_id} with "
+                        f"{field_count} elements",
+                        exporter=exporter,
+                        offset=base_offset,
+                    )
+                templates[template_id] = tuple(elements)
+                learned.append(template_id)
+        except struct.error as exc:
+            raise DatagramError(
+                "truncated_template",
+                f"template set: {exc}",
+                exporter=exporter,
+                offset=base_offset,
+            ) from exc
+        return learned
 
     def _decode_data(
         self, body: bytes, elements: Tuple[Tuple[int, int], ...]

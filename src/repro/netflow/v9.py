@@ -5,13 +5,28 @@ codec round-trips the simulation's :class:`~repro.netflow.records.FlowRecord`
 through the real wire format: a packet header, a template flowset
 (FlowSet ID 0) describing the record layout, and data flowsets carrying
 the records.  Only the fields the methodology consumes are exported.
+
+Decoding is hardened for live-collector use: arbitrary bytes — a
+truncated datagram, a bit-flipped length field, a zero-length template
+field, a data flowset whose template has not arrived — fail with
+exactly one typed error, :class:`~repro.netflow.datagram.DatagramError`
+(reason + exporter + offset), never a bare ``struct.error`` or
+``KeyError``.  :meth:`NetflowV9Codec.decode_message` is the
+collector-facing variant: instead of raising on data-before-template
+it returns the raw sets for bounded buffering (see
+:mod:`repro.collector`).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple
 
+from repro.netflow.datagram import (
+    DatagramError,
+    DatagramHeader,
+    DecodedDatagram,
+)
 from repro.netflow.records import FlowKey, FlowRecord
 
 __all__ = ["NetflowV9Codec"]
@@ -166,84 +181,208 @@ class NetflowV9Codec:
 
         The decoder is template-driven: it learns the layout from the
         template flowset in the same packet (the common cold-start case
-        in collectors) and then decodes the data flowsets.
+        in collectors) and then decodes the data flowsets.  Damaged or
+        premature input raises :class:`~repro.netflow.datagram.
+        DatagramError` — including ``unknown_template`` for a data
+        flowset whose template this codec has never seen (a collector
+        that wants to buffer those uses :meth:`decode_message`).
         """
+        return self._decode_message(payload, strict=True).flows
+
+    def decode_message(self, payload: bytes) -> DecodedDatagram:
+        """Collector-facing decode of one export packet.
+
+        Like :meth:`decode` but data flowsets referencing an unknown
+        template land in ``.pending`` (raw bodies, for bounded
+        buffering until the template re-send) instead of raising.
+        Structural damage still raises :class:`DatagramError`.
+        """
+        return self._decode_message(payload, strict=False)
+
+    def _decode_message(
+        self, payload: bytes, strict: bool
+    ) -> DecodedDatagram:
         if len(payload) < _HEADER.size:
-            raise ValueError("truncated NetFlow v9 header")
-        version, _count, _uptime, _secs, _seq, _src = _HEADER.unpack_from(
+            raise DatagramError(
+                "truncated_header",
+                f"{len(payload)} bytes < v9 header {_HEADER.size}",
+            )
+        version, count, _uptime, secs, seq, src = _HEADER.unpack_from(
             payload
         )
         if version != 9:
-            raise ValueError(f"not a NetFlow v9 packet (version {version})")
+            raise DatagramError(
+                "bad_version", f"not NetFlow v9 (version {version})"
+            )
+        message = DecodedDatagram(
+            header=DatagramHeader(
+                version=9,
+                exporter_id=src,
+                sequence=seq,
+                export_time=secs,
+                count=count,
+            )
+        )
         offset = _HEADER.size
-        templates = self._templates
-        options_templates = self._options_templates
         discovered_sampling = None
-        flows: List[FlowRecord] = []
         while offset + _FLOWSET_HEADER.size <= len(payload):
-            flowset_id, length = _FLOWSET_HEADER.unpack_from(payload, offset)
+            flowset_id, length = _FLOWSET_HEADER.unpack_from(
+                payload, offset
+            )
             if length < _FLOWSET_HEADER.size:
-                raise ValueError("corrupt flowset length")
+                raise DatagramError(
+                    "corrupt_set_length",
+                    f"flowset {flowset_id} length {length}",
+                    exporter=src,
+                    offset=offset,
+                )
+            if offset + length > len(payload):
+                raise DatagramError(
+                    "truncated_set",
+                    f"flowset {flowset_id} length {length} overruns "
+                    f"{len(payload)}-byte datagram",
+                    exporter=src,
+                    offset=offset,
+                )
             body = payload[offset + _FLOWSET_HEADER.size : offset + length]
             if flowset_id == 0:
-                self._decode_templates(body, templates)
+                message.templates_learned.extend(
+                    self._decode_templates(
+                        body, self._templates, src, offset
+                    )
+                )
             elif flowset_id == _OPTIONS_FLOWSET_ID:
-                self._decode_options_templates(body, options_templates)
-            elif flowset_id >= 256 and flowset_id in options_templates:
+                message.options_learned.extend(
+                    self._decode_options_templates(
+                        body, self._options_templates, src, offset
+                    )
+                )
+            elif flowset_id >= 256 and flowset_id in self._options_templates:
                 interval = self._decode_options_data(
-                    body, options_templates[flowset_id]
+                    body, self._options_templates[flowset_id]
                 )
                 if interval is not None:
                     discovered_sampling = interval
-            elif flowset_id >= 256 and flowset_id in templates:
-                flows.extend(self._decode_data(body, templates[flowset_id]))
+            elif flowset_id >= 256 and flowset_id in self._templates:
+                message.flows.extend(
+                    self._decode_data(body, self._templates[flowset_id])
+                )
+            elif flowset_id >= 256:
+                if strict:
+                    raise DatagramError(
+                        "unknown_template",
+                        f"data flowset {flowset_id} before its template",
+                        exporter=src,
+                        offset=offset,
+                    )
+                message.pending.append((flowset_id, bytes(body)))
+            # flowset ids 2..255 are reserved: skipped, per RFC 3954
             offset += length
         if discovered_sampling:
             self._discovered_sampling = discovered_sampling
         effective = discovered_sampling or self._discovered_sampling
         if effective:
-            flows = [
-                FlowRecord(
-                    key=flow.key,
-                    first_switched=flow.first_switched,
-                    last_switched=flow.last_switched,
-                    packets=flow.packets,
-                    bytes=flow.bytes,
-                    tcp_flags=flow.tcp_flags,
-                    sampling_interval=effective,
-                )
-                for flow in flows
-            ]
+            message.flows = self._apply_sampling(message.flows, effective)
+        return message
+
+    def decode_data_body(
+        self, set_id: int, body: bytes
+    ) -> List[FlowRecord]:
+        """Decode a buffered data-flowset body against the cache.
+
+        The flush half of data-before-template buffering: once the
+        template (re-)send has landed, the collector replays the raw
+        bodies it queued through this.  Raises ``unknown_template``
+        when the template is still missing.
+        """
+        fields = self._templates.get(set_id)
+        if fields is None:
+            raise DatagramError(
+                "unknown_template", f"data flowset {set_id}"
+            )
+        flows = self._decode_data(body, fields)
+        if self._discovered_sampling:
+            flows = self._apply_sampling(
+                flows, self._discovered_sampling
+            )
         return flows
 
     @staticmethod
-    def _decode_options_templates(body: bytes, templates: dict) -> None:
-        """Parse an options template flowset (RFC 3954 §6.1)."""
-        offset = 0
-        while offset + 6 <= len(body):
-            template_id, scope_length, option_length = struct.unpack_from(
-                "!HHH", body, offset
+    def _apply_sampling(
+        flows: List[FlowRecord], effective: int
+    ) -> List[FlowRecord]:
+        """Re-stamp decoded flows with the announced sampling rate."""
+        return [
+            FlowRecord(
+                key=flow.key,
+                first_switched=flow.first_switched,
+                last_switched=flow.last_switched,
+                packets=flow.packets,
+                bytes=flow.bytes,
+                tcp_flags=flow.tcp_flags,
+                sampling_interval=effective,
             )
-            if template_id == 0:  # padding
-                break
-            offset += 6
-            scope_fields = []
-            cursor = offset
-            consumed = 0
-            while consumed < scope_length:
-                field_type, length = struct.unpack_from("!HH", body, cursor)
-                scope_fields.append((field_type, length))
-                cursor += 4
-                consumed += 4
-            option_fields = []
-            consumed = 0
-            while consumed < option_length:
-                field_type, length = struct.unpack_from("!HH", body, cursor)
-                option_fields.append((field_type, length))
-                cursor += 4
-                consumed += 4
-            templates[template_id] = (scope_fields, option_fields)
-            offset = cursor
+            for flow in flows
+        ]
+
+    @staticmethod
+    def _decode_options_templates(
+        body: bytes,
+        templates: dict,
+        exporter: Optional[int] = None,
+        base_offset: int = 0,
+    ) -> List[int]:
+        """Parse an options template flowset (RFC 3954 §6.1)."""
+        learned: List[int] = []
+        offset = 0
+        try:
+            while offset + 6 <= len(body):
+                template_id, scope_length, option_length = (
+                    struct.unpack_from("!HHH", body, offset)
+                )
+                if template_id == 0:  # padding
+                    break
+                offset += 6
+                scope_fields = []
+                cursor = offset
+                consumed = 0
+                while consumed < scope_length:
+                    field_type, length = struct.unpack_from(
+                        "!HH", body, cursor
+                    )
+                    scope_fields.append((field_type, length))
+                    cursor += 4
+                    consumed += 4
+                option_fields = []
+                consumed = 0
+                while consumed < option_length:
+                    field_type, length = struct.unpack_from(
+                        "!HH", body, cursor
+                    )
+                    option_fields.append((field_type, length))
+                    cursor += 4
+                    consumed += 4
+                if any(
+                    length == 0
+                    for _, length in scope_fields + option_fields
+                ):
+                    raise DatagramError(
+                        "zero_length_field",
+                        f"options template {template_id}",
+                        exporter=exporter,
+                        offset=base_offset,
+                    )
+                templates[template_id] = (scope_fields, option_fields)
+                learned.append(template_id)
+                offset = cursor
+        except struct.error as exc:
+            raise DatagramError(
+                "truncated_template",
+                f"options template flowset: {exc}",
+                exporter=exporter,
+                offset=base_offset,
+            ) from exc
+        return learned
 
     @staticmethod
     def _decode_options_data(body: bytes, template) -> "int | None":
@@ -267,19 +406,49 @@ class NetflowV9Codec:
         return interval
 
     @staticmethod
-    def _decode_templates(body: bytes, templates: dict) -> None:
+    def _decode_templates(
+        body: bytes,
+        templates: dict,
+        exporter: Optional[int] = None,
+        base_offset: int = 0,
+    ) -> List[int]:
+        learned: List[int] = []
         offset = 0
-        while offset + _TEMPLATE_HEADER.size <= len(body):
-            template_id, field_count = _TEMPLATE_HEADER.unpack_from(
-                body, offset
-            )
-            offset += _TEMPLATE_HEADER.size
-            fields = []
-            for _ in range(field_count):
-                field_type, length = struct.unpack_from("!HH", body, offset)
-                fields.append((field_type, length))
-                offset += 4
-            templates[template_id] = tuple(fields)
+        try:
+            while offset + _TEMPLATE_HEADER.size <= len(body):
+                template_id, field_count = _TEMPLATE_HEADER.unpack_from(
+                    body, offset
+                )
+                if template_id == 0:  # flowset padding
+                    break
+                offset += _TEMPLATE_HEADER.size
+                fields = []
+                for _ in range(field_count):
+                    field_type, length = struct.unpack_from(
+                        "!HH", body, offset
+                    )
+                    fields.append((field_type, length))
+                    offset += 4
+                if not fields or any(
+                    length == 0 for _, length in fields
+                ):
+                    raise DatagramError(
+                        "zero_length_field",
+                        f"template {template_id} with "
+                        f"{field_count} fields",
+                        exporter=exporter,
+                        offset=base_offset,
+                    )
+                templates[template_id] = tuple(fields)
+                learned.append(template_id)
+        except struct.error as exc:
+            raise DatagramError(
+                "truncated_template",
+                f"template flowset: {exc}",
+                exporter=exporter,
+                offset=base_offset,
+            ) from exc
+        return learned
 
     def _decode_data(
         self, body: bytes, fields: Tuple[Tuple[int, int], ...]

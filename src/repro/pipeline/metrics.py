@@ -259,6 +259,11 @@ class StreamMetrics:
     rules_classes_expired: int = 0
     #: runtime-guard accounting (see repro.runtime.overload)
     overload: OverloadMetrics = field(default_factory=OverloadMetrics)
+    #: live-collector counters (see repro.collector.metrics) — any
+    #: object with ``to_dict()`` (or a plain dict); rendered as the
+    #: ``"collector"`` section when set.  ``None`` (file replay, batch)
+    #: omits the section, keeping historical documents byte-stable.
+    collector: Optional[object] = None
 
     @property
     def records_per_second(self) -> float:
@@ -277,7 +282,7 @@ class StreamMetrics:
 
     def to_dict(self) -> Dict[str, object]:
         """Render the documented JSON-serialisable schema."""
-        return {
+        doc = {
             "schema": METRICS_SCHEMA,
             "mode": "stream",
             "config": {
@@ -335,6 +340,12 @@ class StreamMetrics:
                 "records_per_second": self.records_per_second,
             },
         }
+        if self.collector is not None:
+            render = getattr(self.collector, "to_dict", None)
+            doc["collector"] = render() if callable(render) else dict(
+                self.collector
+            )
+        return doc
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """Serialise :meth:`to_dict` as JSON text."""

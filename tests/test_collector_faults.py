@@ -1,0 +1,457 @@
+"""The datagram fault matrix and the live-collector CLI soak.
+
+The robustness contract under test: **detections from a faulted live
+run are byte-identical to a file replay of exactly the records that
+were delivered and decodable.**  The journal the collector appends
+(post-fold) *is* that delivered-and-decodable set, so every cell of
+the matrix runs the same differential —
+
+1. apply one :class:`~repro.faults.DatagramPlan` fault kind to a clean
+   export-datagram stream,
+2. feed the delivered stream through :class:`CollectorSource` into a
+   live :class:`StreamDetectionEngine`, journalling what folded,
+3. replay the journal through a *fresh* engine via the ordinary
+   file-replay path,
+4. compare the two event logs line for line.
+
+Undecodable datagrams must be quarantined under typed
+``datagram_<reason>`` slugs and must never kill the loop.  The soak
+half (``pytest -m soak``) does the same through the real binary: UDP
+socket, HTTP health plane, a real SIGTERM mid-ingest, ``--resume``,
+and the journal-replay oracle across the kill.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.collector import CollectorSource, JOURNAL_HEADER
+from repro.faults import (
+    DATAGRAM_FAULT_KINDS,
+    DatagramPlan,
+    UdpReplayShim,
+    encode_export_stream,
+)
+from repro.netflow.flowfile import format_flow
+from repro.netflow.v9 import NetflowV9Codec
+from repro.runtime import EXIT_DRAINED
+from repro.stream import (
+    MemoryEventSink,
+    StreamConfig,
+    StreamDetectionEngine,
+)
+
+_BATCH = 5
+
+
+@pytest.fixture(scope="module")
+def gt_flows(capture):
+    """Ground-truth ISP flows in arrival order (as in test_stream)."""
+    flows = []
+    for event in capture.isp_events:
+        src = 0x0A000000 + event.device_id
+        flows.append(event.to_flow_record(src, capture.sampling_interval))
+    flows.sort(key=lambda flow: flow.first_switched)
+    return flows
+
+
+@pytest.fixture(scope="module")
+def batches(gt_flows):
+    """100 export batches: one datagram each, 5 records per batch."""
+    flows = gt_flows[: 100 * _BATCH]
+    return [
+        flows[i : i + _BATCH] for i in range(0, len(flows), _BATCH)
+    ]
+
+
+@pytest.fixture(scope="module")
+def clean_datagrams(batches):
+    """The unfaulted stream: template on datagram 0, data-only after
+    (routers refresh templates periodically, not per packet)."""
+    return encode_export_stream(
+        batches, lambda: NetflowV9Codec(source_id=3)
+    )
+
+
+def _fold_live(rules, hitlist, delivered):
+    """Drive the delivered stream through source + engine in-process.
+
+    Returns (event lines, journalled records, collector metrics).
+    The journal is built exactly as the service builds it: the records
+    each datagram folded, in fold order.
+    """
+    sink = MemoryEventSink()
+    engine = StreamDetectionEngine(
+        rules, hitlist, StreamConfig(checkpoint_every=0), sink
+    )
+    source = CollectorSource()
+    journal = []
+    for number, payload in enumerate(delivered):
+        records = source.ingest(payload, now=number * 0.001)
+        if not records:
+            continue
+        tuples = [
+            (
+                record.first_switched,
+                record.src_ip,
+                record.dst_ip,
+                record.protocol,
+                record.dst_port,
+                record.tcp_flags,
+            )
+            for record in records
+        ]
+        processed = engine.process_tuples(
+            iter(tuples), start_index=engine.records_processed
+        )
+        assert processed == len(records)
+        journal.extend(records)
+    lines = [event.to_line() for event in sink.events]
+    return lines, journal, source.metrics
+
+
+def _replay_oracle(rules, hitlist, journal, path):
+    """File-replay the journalled record set through a fresh engine."""
+    path.write_text(
+        JOURNAL_HEADER
+        + "".join(format_flow(record) + "\n" for record in journal),
+        encoding="ascii",
+    )
+    sink = MemoryEventSink()
+    engine = StreamDetectionEngine(
+        rules, hitlist, StreamConfig(checkpoint_every=0), sink
+    )
+    engine.process_flowfile(path)
+    return [event.to_line() for event in sink.events]
+
+
+@pytest.mark.faults
+class TestDatagramFaultMatrix:
+    @pytest.mark.parametrize("kind", DATAGRAM_FAULT_KINDS)
+    def test_live_matches_delivered_set_replay(
+        self, kind, rules, hitlist, batches, clean_datagrams, tmp_path
+    ):
+        factory = lambda: NetflowV9Codec(source_id=3)  # noqa: E731
+        if kind == "data_before_template":
+            delivered = encode_export_stream(
+                batches, factory, defer_template=12
+            )
+        elif kind == "exporter_restart":
+            delivered = encode_export_stream(
+                batches, factory, restart_at=80
+            )
+        else:
+            plan = DatagramPlan(kind, seed=5)
+            delivered = plan.apply(clean_datagrams)
+
+        live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        replayed = _replay_oracle(
+            rules, hitlist, journal, tmp_path / "journal.csv"
+        )
+
+        # the contract: live == file replay of the delivered set
+        assert live == replayed
+        # the fault must not have silenced the stream entirely
+        assert metrics.records_folded > 0, kind
+        # every rejected datagram carries a typed reason
+        assert all(
+            reason.startswith("datagram_")
+            for reason in metrics.quarantined_by_reason
+        )
+        assert (
+            metrics.datagrams_decoded + metrics.datagrams_quarantined
+            == len(delivered)
+        )
+
+    def test_drop_surfaces_sequence_gaps(
+        self, rules, hitlist, clean_datagrams
+    ):
+        delivered = DatagramPlan("drop", seed=5).apply(clean_datagrams)
+        assert len(delivered) < len(clean_datagrams)
+        _live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        assert metrics.sequence_gaps > 0
+        assert metrics.records_missed > 0
+        # gap accounting measures exactly what was never delivered —
+        # up to the last arrival: a loss at the very tail of the
+        # stream is invisible until a later datagram reveals it
+        last_seen = clean_datagrams.index(delivered[-1])
+        interior_lost = (last_seen + 1) - len(delivered)
+        assert metrics.records_missed == _BATCH * interior_lost
+        assert len(journal) == _BATCH * len(delivered)
+
+    def test_duplicate_folds_idempotently(
+        self, rules, hitlist, clean_datagrams
+    ):
+        delivered = DatagramPlan("duplicate", seed=5).apply(
+            clean_datagrams
+        )
+        assert len(delivered) > len(clean_datagrams)
+        live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        assert metrics.duplicate_datagrams == len(delivered) - len(
+            clean_datagrams
+        )
+        # duplicates are delivered, so the journal contains them — but
+        # the min-merge evidence fold detects the same devices at the
+        # same times as the clean stream (record_index shifts, since
+        # duplicates occupy stream positions)
+        clean_live, _j, _m = _fold_live(
+            rules, hitlist, clean_datagrams
+        )
+
+        def without_index(lines):
+            out = []
+            for line in lines:
+                event = json.loads(line)
+                event.pop("record_index")
+                out.append(event)
+            return out
+
+        assert without_index(live) == without_index(clean_live)
+
+    def test_reorder_is_counted_not_dropped(
+        self, rules, hitlist, clean_datagrams
+    ):
+        delivered = DatagramPlan("reorder", seed=5).apply(
+            clean_datagrams
+        )
+        assert delivered != list(clean_datagrams)
+        _live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        assert metrics.reordered_datagrams > 0
+        # nothing was lost, only displaced: every record folds
+        assert len(journal) == _BATCH * len(clean_datagrams)
+
+    def test_exporter_restart_is_a_reset_not_a_gap(
+        self, rules, hitlist, batches
+    ):
+        delivered = encode_export_stream(
+            batches,
+            lambda: NetflowV9Codec(source_id=3),
+            restart_at=80,
+        )
+        _live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        assert metrics.sequence_resets == 1
+        assert metrics.sequence_gaps == 0
+        assert metrics.records_missed == 0
+        assert len(journal) == _BATCH * len(batches)
+
+    def test_data_before_template_buffers_then_flushes(
+        self, rules, hitlist, batches
+    ):
+        delivered = encode_export_stream(
+            batches,
+            lambda: NetflowV9Codec(source_id=3),
+            defer_template=12,
+        )
+        _live, journal, metrics = _fold_live(rules, hitlist, delivered)
+        assert metrics.pending_buffered_sets == 12
+        assert metrics.pending_flushed_sets == 12
+        assert metrics.pending_flushed_records == 12 * _BATCH
+        # nothing was lost: the early sets flushed when the template
+        # landed, so the journal holds every record
+        assert len(journal) == _BATCH * len(batches)
+
+    def test_corrupt_datagrams_quarantined_typed(
+        self, rules, hitlist, clean_datagrams
+    ):
+        # rate high enough that some corruptions hit structure (length
+        # fields, version, set ids), not just record values
+        delivered = DatagramPlan("corrupt", seed=11, rate=0.8).apply(
+            clean_datagrams
+        )
+        _live, _journal, metrics = _fold_live(
+            rules, hitlist, delivered
+        )
+        assert metrics.datagrams_quarantined > 0
+        assert all(
+            reason.startswith("datagram_")
+            for reason in metrics.quarantined_by_reason
+        )
+
+    def test_truncation_never_escapes_typed_error(
+        self, rules, hitlist, clean_datagrams
+    ):
+        delivered = DatagramPlan("truncate", seed=7, rate=0.6).apply(
+            clean_datagrams
+        )
+        _live, _journal, metrics = _fold_live(
+            rules, hitlist, delivered
+        )
+        assert metrics.datagrams_quarantined > 0
+        assert set(metrics.quarantined_by_reason) <= {
+            "datagram_truncated_header",
+            "datagram_truncated_set",
+            "datagram_corrupt_set_length",
+            "datagram_truncated_template",
+        }
+
+
+@pytest.mark.soak
+class TestCollectorCliSoak:
+    """The real thing: ``python -m repro collect`` on a loopback UDP
+    socket, health plane polled throughout, killed with a real SIGTERM
+    mid-ingest, resumed, and differentially checked against a file
+    replay of its own journal."""
+
+    def _spawn(self, args, cwd):
+        env = dict(os.environ)
+        root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def _await_ready(self, proc, ready):
+        for _ in range(150):
+            if ready.exists():
+                return json.loads(ready.read_text())
+            if proc.poll() is not None:
+                _out, err = proc.communicate()
+                raise AssertionError(
+                    f"collector died before ready: {err[-2000:]}"
+                )
+            time.sleep(0.1)
+        raise AssertionError("ready file never appeared")
+
+    def _get(self, port, path):
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10
+        ) as response:
+            return json.load(response)
+
+    def test_soak_sigterm_resume_and_replay_oracle(
+        self, rules, hitlist, gt_flows, tmp_path
+    ):
+        from repro.core.serialization import (
+            hitlist_to_json,
+            rules_to_json,
+        )
+
+        artifacts = tmp_path / "artifacts"
+        artifacts.mkdir()
+        (artifacts / "hitlist.json").write_text(
+            hitlist_to_json(hitlist)
+        )
+        (artifacts / "rules.json").write_text(rules_to_json(rules))
+
+        flows = gt_flows[:6000]
+        batches = [
+            flows[i : i + 25] for i in range(0, len(flows), 25)
+        ]
+        factory = lambda: NetflowV9Codec(source_id=3)  # noqa: E731
+        datagrams = encode_export_stream(batches, factory)
+        ready = tmp_path / "ready.json"
+        journal = tmp_path / "journal.csv"
+        events = tmp_path / "events.jsonl"
+
+        base = [
+            "collect",
+            "--artifacts", str(artifacts),
+            "--bind", "127.0.0.1:0",
+            "--events-out", str(events),
+            "--journal", str(journal),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            "--checkpoint-every", "400",
+            "--ready-file", str(ready),
+        ]
+
+        # ---- first life: ingest, health-poll, SIGTERM mid-stream ----
+        proc = self._spawn(base, tmp_path)
+        try:
+            info = self._await_ready(proc, ready)
+            health = self._get(info["control_port"], "/healthz")
+            assert health["status"] == "ok"
+
+            shim = UdpReplayShim(
+                "127.0.0.1", info["udp_port"], pause=0.003
+            )
+            sender = threading.Thread(
+                target=shim.send, args=(datagrams[:120],)
+            )
+            sender.start()
+            time.sleep(0.2)
+            # the control plane answers *during* ingest
+            mid = self._get(info["control_port"], "/healthz")
+            assert mid["status"] == "ok"
+            assert mid["datagrams_received"] > 0
+            metrics_mid = self._get(info["control_port"], "/metrics")
+            assert "collector" in metrics_mid
+            proc.send_signal(signal.SIGTERM)
+            sender.join()
+            _out, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == EXIT_DRAINED, err
+        assert "draining to checkpoint" in err
+        checkpoints = list((tmp_path / "ckpt").glob("ckpt-*.json"))
+        assert checkpoints, "drain must persist a final checkpoint"
+
+        first_records = sum(
+            1
+            for line in journal.read_text().splitlines()
+            if line and not line.startswith("#")
+        )
+        assert first_records > 0
+
+        # ---- second life: resume, exporter re-announces template ----
+        ready.unlink()
+        proc = self._spawn(
+            base + ["--resume", "--idle-exit", "2.0"], tmp_path
+        )
+        try:
+            info = self._await_ready(proc, ready)
+            rest = encode_export_stream(batches[120:], factory)
+            UdpReplayShim(
+                "127.0.0.1", info["udp_port"], pause=0.003
+            ).send(rest)
+            _out, err = proc.communicate(timeout=180)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0, err
+        assert "journal truncated" in err
+
+        # no double-counting across the kill: the journal's record
+        # count equals what the resumed engine reports having folded
+        final = [
+            line
+            for line in journal.read_text().splitlines()
+            if line and not line.startswith("#")
+        ]
+        reported = dict(
+            part.split("=")
+            for part in err.splitlines()[-1].lstrip("# ").split()
+        )
+        assert int(reported["records"]) == len(final)
+        assert len(final) > first_records  # second life made progress
+
+        # ---- the oracle: file-replay the stitched journal ----------
+        replay = self._spawn(
+            [
+                "stream", "run", str(journal),
+                "--artifacts", str(artifacts),
+                "--events-out", str(tmp_path / "replay.jsonl"),
+            ],
+            tmp_path,
+        )
+        _out, err = replay.communicate(timeout=300)
+        assert replay.returncode == 0, err
+        assert (
+            events.read_bytes()
+            == (tmp_path / "replay.jsonl").read_bytes()
+        )

@@ -28,6 +28,7 @@ class TestLayering:
             "repro.engine": True,
             "repro.stream": True,
             "repro.ixp": True,
+            "repro.collector": True,
         }
 
     def test_checker_flags_synthetic_violation(self, tmp_path):

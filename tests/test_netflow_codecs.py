@@ -1,8 +1,11 @@
 """Round-trip and robustness tests for the NetFlow v9 / IPFIX codecs."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.netflow.datagram import DatagramError, peek_header
 from repro.netflow.ipfix import IpfixCodec
 from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
 from repro.netflow.v9 import NetflowV9Codec
@@ -185,3 +188,138 @@ class TestIpfixSpecifics:
         decoded = codec.decode(codec.encode([big], 0))
         assert decoded[0].packets == 2**40
         assert decoded[0].bytes == 2**50
+
+
+#: the complete typed-failure vocabulary of the hardened decoders
+_DATAGRAM_REASONS = {
+    "truncated_header",
+    "bad_version",
+    "truncated_set",
+    "zero_length_field",
+    "corrupt_set_length",
+    "length_mismatch",
+    "truncated_template",
+    "unknown_template",
+}
+
+
+def _mutate(payload: bytes, rng: random.Random) -> bytes:
+    """One seeded structural mutation of a valid export datagram."""
+    choice = rng.randrange(6)
+    data = bytearray(payload)
+    if choice == 0:  # truncate anywhere, including inside the header
+        return bytes(data[: rng.randrange(len(data))])
+    if choice == 1:  # flip one bit
+        position = rng.randrange(len(data))
+        data[position] ^= 1 << rng.randrange(8)
+        return bytes(data)
+    if choice == 2:  # delete a byte (shifts every later field)
+        del data[rng.randrange(len(data))]
+        return bytes(data)
+    if choice == 3:  # insert a byte
+        data.insert(rng.randrange(len(data) + 1), rng.randrange(256))
+        return bytes(data)
+    if choice == 4:  # stomp a 4-byte window (lengths, counts, ids)
+        position = rng.randrange(len(data))
+        for index in range(position, min(position + 4, len(data))):
+            data[index] = rng.randrange(256)
+        return bytes(data)
+    # splice two valid datagrams mid-payload
+    cut = rng.randrange(len(data))
+    return bytes(data[:cut]) + payload[cut:] + payload[:cut]
+
+
+@pytest.mark.parametrize("codec_cls", [NetflowV9Codec, IpfixCodec])
+class TestMutationFuzz:
+    """Seeded mutation fuzz: decode never raises anything but
+    :class:`DatagramError`.
+
+    The live collector feeds whatever the socket delivers straight
+    into ``decode_message``; a single escaped ``struct.error`` or
+    ``KeyError`` would kill the ingest loop.  Every mutant of a valid
+    export datagram must therefore either decode (mutations that only
+    touch record *values* still parse) or fail with one typed
+    :class:`DatagramError` carrying a known reason slug.
+    """
+
+    def _valid_payloads(self, codec_cls):
+        exporter = codec_cls()
+        flows = [_flow(i, packets=i + 1) for i in range(9)]
+        payloads = [exporter.encode(flows, 100)]
+        if codec_cls is NetflowV9Codec:
+            payloads.append(
+                exporter.encode(flows[:4], 101, include_template=False)
+            )
+            payloads.append(
+                exporter.encode([], 102, include_options=True)
+            )
+        else:
+            payloads.append(exporter.encode(flows[:4], 101))
+            payloads.append(exporter.encode([], 102))
+        return payloads
+
+    def test_decode_raises_only_datagram_error(self, codec_cls):
+        rng = random.Random(0xC0DEC)
+        payloads = self._valid_payloads(codec_cls)
+        outcomes = {"decoded": 0, "rejected": 0}
+        for round_number in range(400):
+            payload = _mutate(rng.choice(payloads), rng)
+            codec = codec_cls()
+            try:
+                flows = codec.decode(payload)
+            except DatagramError as exc:
+                assert exc.reason in _DATAGRAM_REASONS
+                assert str(exc)  # carries human-readable context
+                outcomes["rejected"] += 1
+            else:
+                assert isinstance(flows, list)
+                outcomes["decoded"] += 1
+        # the mutation set must actually exercise both outcomes
+        assert outcomes["decoded"] > 0
+        assert outcomes["rejected"] > 0
+
+    def test_decode_message_raises_only_datagram_error(self, codec_cls):
+        """The collector-facing non-strict path holds the same
+        contract, with a warm template cache (the live steady state)."""
+        rng = random.Random(0xFEED)
+        payloads = self._valid_payloads(codec_cls)
+        codec = codec_cls()
+        codec.decode(payloads[0])  # learn the template first
+        for round_number in range(400):
+            payload = _mutate(rng.choice(payloads), rng)
+            try:
+                message = codec.decode_message(payload)
+            except DatagramError as exc:
+                assert exc.reason in _DATAGRAM_REASONS
+            else:
+                for set_id, body in message.pending:
+                    assert isinstance(set_id, int)
+                    assert isinstance(body, bytes)
+
+    def test_peek_header_raises_only_datagram_error(self, codec_cls):
+        rng = random.Random(0xBEEF)
+        payloads = self._valid_payloads(codec_cls)
+        for round_number in range(200):
+            payload = _mutate(rng.choice(payloads), rng)
+            try:
+                header = peek_header(payload)
+            except DatagramError as exc:
+                assert exc.reason in {"truncated_header", "bad_version"}
+            else:
+                assert header.version in (9, 10)
+
+    def test_error_context_is_attached(self, codec_cls):
+        """A mid-payload fault names the exporter and the offset."""
+        exporter = codec_cls()
+        payload = bytearray(exporter.encode([_flow()], 0))
+        # append a trailing set header claiming a body that runs past
+        # the end of the datagram
+        bogus_at = len(payload)
+        payload += (999).to_bytes(2, "big") + (4000).to_bytes(2, "big")
+        if codec_cls is IpfixCodec:  # keep the length field honest
+            payload[2:4] = len(payload).to_bytes(2, "big")
+        with pytest.raises(DatagramError) as excinfo:
+            codec_cls().decode(bytes(payload))
+        assert excinfo.value.reason == "truncated_set"
+        assert excinfo.value.exporter is not None
+        assert excinfo.value.offset == bogus_at

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.netflow.datagram import DatagramError
 from repro.netflow.records import FlowKey, FlowRecord, PROTO_TCP, TCP_ACK
 from repro.netflow.v9 import NetflowV9Codec
 
@@ -79,4 +80,13 @@ class TestTemplateCache:
         packet = exporter.encode(
             [_flow()], 0, include_template=False, include_options=False
         )
-        assert NetflowV9Codec().decode(packet) == []
+        # A cold collector has no template for the data flowset: strict
+        # decode raises the typed error ...
+        with pytest.raises(DatagramError) as excinfo:
+            NetflowV9Codec().decode(packet)
+        assert excinfo.value.reason == "unknown_template"
+        # ... while the collector-facing decode buffers the raw set.
+        message = NetflowV9Codec().decode_message(packet)
+        assert message.flows == []
+        assert len(message.pending) == 1
+        assert message.pending[0][0] == 256

@@ -16,7 +16,11 @@ The staged pipeline refactor rests on one directional rule:
   on the substrate and shared layers (core, resilience, pipeline) but
   never on an assembly — and neither :mod:`repro.pipeline` nor
   :mod:`repro.netflow` may import it back (the swap machinery in
-  ``repro.pipeline.swap`` stays artifact-agnostic).
+  ``repro.pipeline.swap`` stays artifact-agnostic);
+* :mod:`repro.collector` (live collector mode) is a fourth assembly:
+  it sits on pipeline/netflow/stream/runtime/resilience but never on
+  :mod:`repro.engine` or :mod:`repro.ixp`, and nothing below the
+  assembly layer may import it back.
 
 This script walks the import statements of every module in the scoped
 packages with :mod:`ast` (no third-party import-linter needed) and
@@ -39,14 +43,16 @@ from typing import Dict, Iterator, List, Set, Tuple
 
 #: package -> packages it must never import (directly or lazily).
 FORBIDDEN: Dict[str, Set[str]] = {
-    "repro.engine": {"repro.stream", "repro.ixp"},
-    "repro.stream": {"repro.engine", "repro.ixp"},
-    "repro.ixp": {"repro.engine", "repro.stream"},
+    "repro.engine": {"repro.stream", "repro.ixp", "repro.collector"},
+    "repro.stream": {"repro.engine", "repro.ixp", "repro.collector"},
+    "repro.ixp": {"repro.engine", "repro.stream", "repro.collector"},
+    "repro.collector": {"repro.engine", "repro.ixp"},
     "repro.pipeline": {
         "repro.engine",
         "repro.stream",
         "repro.ixp",
         "repro.rules",
+        "repro.collector",
     },
     "repro.netflow": {
         "repro.pipeline",
@@ -54,13 +60,24 @@ FORBIDDEN: Dict[str, Set[str]] = {
         "repro.stream",
         "repro.ixp",
         "repro.rules",
+        "repro.collector",
     },
-    "repro.rules": {"repro.engine", "repro.stream", "repro.ixp"},
+    "repro.rules": {
+        "repro.engine",
+        "repro.stream",
+        "repro.ixp",
+        "repro.collector",
+    },
 }
 
 #: assemblies that must actually sit on the shared layer: at least one
 #: module in each must import repro.pipeline.
-MUST_USE_PIPELINE = ("repro.engine", "repro.stream", "repro.ixp")
+MUST_USE_PIPELINE = (
+    "repro.engine",
+    "repro.stream",
+    "repro.ixp",
+    "repro.collector",
+)
 
 
 def module_name(root: pathlib.Path, path: pathlib.Path) -> str:
@@ -111,9 +128,12 @@ def within(module: str, package: str) -> bool:
 def check(root: pathlib.Path) -> Tuple[List[str], Dict[str, bool]]:
     """Return (violations, assembly -> imports-pipeline flag)."""
     violations: List[str] = []
-    uses_pipeline = {package: False for package in MUST_USE_PIPELINE}
+    uses_pipeline: Dict[str, bool] = {}
     for path in sorted(root.rglob("*.py")):
         module = module_name(root, path)
+        for package in MUST_USE_PIPELINE:
+            if within(module, package):
+                uses_pipeline.setdefault(package, False)
         owners = [
             package for package in FORBIDDEN if within(module, package)
         ]
@@ -157,7 +177,10 @@ def main(argv=None) -> int:
             )
     if violations:
         return 1
-    print("layering ok: engine/stream/ixp sit on pipeline, not on each other")
+    print(
+        "layering ok: engine/stream/ixp/collector sit on pipeline, "
+        "not on each other"
+    )
     return 0
 
 
