@@ -377,6 +377,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "just before folding record index N (deterministic soak "
         "testing of the drain path)",
     )
+    stream_run.add_argument(
+        "--fleet-workers", type=int, default=0,
+        help="fleet mode: route the stream onto N supervised worker "
+        "processes and merge their event logs byte-identically to a "
+        "single-engine run (0 = off; requires --checkpoint-dir as the "
+        "fleet directory and --events-out as the merged log)",
+    )
+    stream_run.add_argument(
+        "--fleet-ring-slots", type=int, default=64,
+        help="consistent-hash ring slots with --fleet-workers "
+        "(default 64)",
+    )
+    stream_run.add_argument(
+        "--fleet-batch-size", type=int, default=2048,
+        help="records per routed batch with --fleet-workers "
+        "(default 2048)",
+    )
+    stream_run.add_argument(
+        "--rebalance", action="store_true",
+        help="with --fleet-workers: on worker death, skip in-place "
+        "restarts and immediately quarantine + rebalance its ring "
+        "slots onto the successor",
+    )
 
     collect = commands.add_parser(
         "collect",
@@ -488,6 +511,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ready-file", type=pathlib.Path, default=None,
         help="write {'udp_port', 'control_port', 'pid'} JSON here "
         "once both sockets are bound",
+    )
+    collect.add_argument(
+        "--fleet-workers", type=int, default=0,
+        help="fold into a sharded worker fleet instead of one "
+        "in-process engine (0 = off, -1 = CPU count); needs "
+        "--journal (the fleet's replay source), --checkpoint-dir "
+        "(the fleet directory), and --events-out (the merged log)",
+    )
+    collect.add_argument(
+        "--fleet-ring-slots", type=int, default=64,
+        help="consistent-hash ring slots in fleet mode (default 64)",
+    )
+    collect.add_argument(
+        "--fleet-batch-size", type=int, default=2048,
+        help="records per router->worker batch in fleet mode "
+        "(default 2048)",
     )
 
     sweep = commands.add_parser(
@@ -648,6 +687,8 @@ def _run_stream(args) -> int:
             wild_days=args.days,
         )
         hitlist, rules = context.hitlist, context.rules
+    if args.fleet_workers:
+        return _run_stream_fleet(args, rules, hitlist, rules_version)
     if args.checkpoint_every and args.checkpoint_dir is None:
         print(
             "warning: --checkpoint-every has no effect without "
@@ -775,6 +816,213 @@ def _run_stream(args) -> int:
     return EXIT_DRAINED if engine.stopped else 0
 
 
+def _run_stream_fleet(args, rules, hitlist, rules_version) -> int:
+    """``repro stream run --fleet-workers N``: sharded streaming.
+
+    The router consistent-hashes the flow stream onto N supervised
+    worker processes under ``--checkpoint-dir`` (the fleet directory:
+    ``ring.json``, per-worker checkpoints and event logs) and writes
+    the deterministically merged event log to ``--events-out`` —
+    byte-identical to what a single engine would emit, including
+    across worker kills, rebalances, and SIGTERM drain/resume.
+
+    Exit codes match the single-engine path: 0 on a complete run,
+    :data:`~repro.runtime.EXIT_DRAINED` (3) on a resumable early stop.
+    """
+    import json
+
+    from repro.fleet import FleetConfig, run_fleet
+    from repro.runtime import (
+        ShutdownCoordinator,
+        StopToken,
+        resolve_workers,
+    )
+
+    if args.checkpoint_dir is None:
+        print(
+            "error: --fleet-workers needs --checkpoint-dir (the "
+            "fleet directory)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.events_out is None:
+        print(
+            "error: --fleet-workers needs --events-out (the merged "
+            "event log)",
+            file=sys.stderr,
+        )
+        return 2
+    unsupported = [
+        ("--hitlist-refresh-every", args.hitlist_refresh_every),
+        ("--max-records", args.max_records),
+        ("--migrate-rules", args.migrate_rules),
+        ("--memory-budget", args.memory_budget),
+        ("--deadline", args.deadline),
+    ]
+    for flag, value in unsupported:
+        if value:
+            print(
+                f"error: {flag} is not supported with "
+                f"--fleet-workers",
+                file=sys.stderr,
+            )
+            return 2
+    config = FleetConfig(
+        workers=resolve_workers(args.fleet_workers),
+        ring_slots=args.fleet_ring_slots,
+        batch_size=args.fleet_batch_size,
+        checkpoint_every=args.checkpoint_every,
+        columnar=args.columnar,
+        chunk_size=args.chunk_size,
+        threshold=args.threshold,
+        require_established=args.require_established,
+        max_subscribers=args.max_subscribers,
+        ttl_seconds=args.ttl_seconds,
+        rules_version=rules_version,
+        max_restarts=0 if args.rebalance else 1,
+        inject_sigterm_at=args.inject_sigterm_at,
+    )
+    token = StopToken()
+    with ShutdownCoordinator(token, grace=args.drain_grace):
+        code, service = run_fleet(
+            rules,
+            hitlist,
+            args.flows,
+            args.checkpoint_dir,
+            args.events_out,
+            config,
+            resume=args.resume,
+            stop_token=token,
+        )
+    fleet = service.metrics
+    print(
+        f"# fleet workers={config.workers} "
+        f"routed={fleet.records_routed} "
+        f"skipped={fleet.records_skipped} "
+        f"events={fleet.merged_events} "
+        f"restarts={fleet.restarts} "
+        f"rebalances={fleet.rebalances} "
+        f"epoch={fleet.ring_epoch}",
+        file=sys.stderr,
+    )
+    if code:
+        print(
+            f"# drained reason={token.reason} resumable=True",
+            file=sys.stderr,
+        )
+    if args.stream_metrics_out is not None:
+        args.stream_metrics_out.write_text(
+            json.dumps(
+                service.stream_metrics().to_dict(),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {args.stream_metrics_out}", file=sys.stderr)
+    return code
+
+
+def _run_collect_fleet(args, host, port, rules, hitlist) -> int:
+    """``repro collect --fleet-workers N``: socket front, worker fleet.
+
+    The UDP ingest front and control plane stay identical to the
+    single-engine collector; folding routes through a
+    :class:`~repro.fleet.service.FleetService` in push mode, with the
+    ``--journal`` doubling as the fleet's rebalance/resume replay
+    source (and therefore mandatory).
+    """
+    import json
+
+    from repro.collector import CollectorConfig, FleetCollectorService
+    from repro.fleet import FleetConfig, FleetService
+    from repro.runtime import (
+        EXIT_DRAINED,
+        ShutdownCoordinator,
+        StopToken,
+        resolve_workers,
+    )
+
+    missing = [
+        ("--journal", args.journal),
+        ("--checkpoint-dir", args.checkpoint_dir),
+        ("--events-out", args.events_out),
+    ]
+    for flag, value in missing:
+        if value is None:
+            print(
+                f"error: --fleet-workers needs {flag}",
+                file=sys.stderr,
+            )
+            return 2
+    config = FleetConfig(
+        workers=resolve_workers(args.fleet_workers),
+        ring_slots=args.fleet_ring_slots,
+        batch_size=args.fleet_batch_size,
+        threshold=args.threshold,
+        require_established=args.require_established,
+        max_subscribers=args.max_subscribers,
+        ttl_seconds=args.ttl_seconds,
+    )
+    token = StopToken()
+    fleet = FleetService(
+        rules,
+        hitlist,
+        args.checkpoint_dir,
+        config,
+        stop_token=token,
+    )
+    service = FleetCollectorService(
+        fleet,
+        CollectorConfig(
+            bind_host=host,
+            bind_port=port,
+            control_host=host,
+            control_port=(
+                None if args.no_control else args.control_port
+            ),
+            exporter_timeout=args.exporter_timeout,
+            pending_max_sets=args.pending_sets,
+            pending_ttl=args.pending_ttl,
+            recv_buffer=args.recv_buffer,
+            idle_exit=args.idle_exit,
+            max_datagrams=args.max_datagrams,
+            checkpoint_every=args.checkpoint_every,
+            journal=args.journal,
+            ready_file=args.ready_file,
+        ),
+        args.events_out,
+    )
+    with ShutdownCoordinator(token, grace=args.drain_grace):
+        exit_code = service.run(resume=args.resume)
+    collector = service.source.metrics
+    metrics = fleet.metrics
+    print(
+        f"# datagrams={collector.datagrams_received} "
+        f"decoded={collector.datagrams_decoded} "
+        f"quarantined={collector.datagrams_quarantined} "
+        f"records={metrics.records_routed + metrics.records_skipped} "
+        f"events={metrics.merged_events} "
+        f"workers={config.workers} "
+        f"restarts={metrics.restarts} "
+        f"rebalances={metrics.rebalances}",
+        file=sys.stderr,
+    )
+    if exit_code == EXIT_DRAINED:
+        print(
+            f"# drained reason={token.reason} resumable=True",
+            file=sys.stderr,
+        )
+    if args.stream_metrics_out is not None:
+        doc = fleet.stream_metrics()
+        doc.collector = collector
+        args.stream_metrics_out.write_text(
+            json.dumps(doc.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.stream_metrics_out}", file=sys.stderr)
+    return exit_code
+
+
 def _run_collect(args) -> int:
     """``repro collect``: long-running UDP collector service.
 
@@ -824,6 +1072,10 @@ def _run_collect(args) -> int:
             wild_days=args.days,
         )
         hitlist, rules = context.hitlist, context.rules
+    if args.fleet_workers:
+        return _run_collect_fleet(
+            args, host, int(port_text), rules, hitlist
+        )
     if args.checkpoint_every and args.checkpoint_dir is None:
         print(
             "error: --checkpoint-every needs --checkpoint-dir",

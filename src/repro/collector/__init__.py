@@ -10,7 +10,10 @@ quarantines undecodable datagrams under typed reasons
 engine with service-owned checkpoint cadence and a delivered-set
 journal (:mod:`repro.collector.service`), and a threaded HTTP control
 plane for health, metrics, and per-subscriber queries
-(:mod:`repro.collector.control`).
+(:mod:`repro.collector.control`).  With ``--fleet-workers N`` the same
+socket front feeds a horizontally sharded worker fleet instead of one
+in-process engine (:mod:`repro.collector.fleetmode`), with the journal
+doubling as the fleet's rebalance/resume replay source.
 
 Layering: sits on :mod:`repro.pipeline`, :mod:`repro.netflow`,
 :mod:`repro.stream`, :mod:`repro.runtime`, :mod:`repro.resilience` —
@@ -27,6 +30,10 @@ from repro.collector.service import (
     JOURNAL_HEADER,
     truncate_journal,
 )
+from repro.collector.fleetmode import (
+    FleetCollectorService,
+    trim_torn_tail,
+)
 from repro.collector.source import CollectorSource
 
 __all__ = [
@@ -37,6 +44,8 @@ __all__ = [
     "ControlPlane",
     "ExporterState",
     "ExporterTable",
+    "FleetCollectorService",
     "JOURNAL_HEADER",
+    "trim_torn_tail",
     "truncate_journal",
 ]

@@ -1,0 +1,312 @@
+"""Fleet collector mode: one UDP socket feeding a worker fleet.
+
+:class:`FleetCollectorService` reuses the collector's pure ingest
+front (:class:`~repro.collector.source.CollectorSource` — templates,
+decode, datagram quarantine) and the HTTP control plane, but folds
+into a :class:`~repro.fleet.service.FleetService` in push mode instead
+of a single in-process engine.  Two ordering rules differ from the
+single-engine :class:`~repro.collector.service.CollectorService`, and
+both exist because the journal doubles as the fleet's *replay source*:
+
+**Journal ahead of admission.**  The single-engine service journals
+after the fold accepted a record; here every decoded record is
+journaled (and the journal flushed to the OS) *before* it is admitted
+to the router.  Worker death triggers a replay that re-reads the
+journal up to the router's admitted position — journal-ahead ordering
+guarantees the replay can always see every admitted record.  The
+journal is only fsynced at checkpoint/drain boundaries, which is
+enough: replay needs read-back visibility (page cache), not crash
+durability.
+
+**Resume re-folds the journal tail.**  The single-engine service
+truncates the journal back to the checkpoint on resume (the socket
+will not re-receive the tail).  The fleet resume instead *replays the
+whole journal* through normal admission with per-slot checkpoint
+skips (:meth:`~repro.fleet.service.FleetService.start_push`), so
+journaled records a crash left uncheckpointed are re-folded rather
+than dropped — the only truncation is a torn final line from an
+unclean stop (:func:`trim_torn_tail`).
+
+The control plane serves the same three endpoints; ``/subscriber``
+reports ``found: false`` with a note — evidence lives in the worker
+processes, and the router deliberately holds no detection state.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import socket
+import threading
+import time
+from typing import IO, List, Optional
+
+from repro.collector.control import ControlPlane
+from repro.collector.service import JOURNAL_HEADER, _MAX_DATAGRAM
+from repro.collector.source import CollectorSource
+from repro.netflow.flowfile import format_flow
+from repro.netflow.records import FlowRecord
+from repro.runtime.shutdown import EXIT_COMPLETED, EXIT_DRAINED
+
+__all__ = ["FleetCollectorService", "trim_torn_tail"]
+
+
+def trim_torn_tail(path: pathlib.Path) -> int:
+    """Drop a torn (newline-less) final journal line; returns bytes cut.
+
+    The journal is appended with buffered writes, so an unclean stop
+    can leave a partial last line that the resume replay would reject
+    as malformed.  Complete lines are never touched.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return 0
+    size = path.stat().st_size
+    if size == 0:
+        return 0
+    with open(path, "rb+") as fh:
+        fh.seek(-1, os.SEEK_END)
+        if fh.read(1) == b"\n":
+            return 0
+        fh.seek(0)
+        data = fh.read()
+        keep = data.rfind(b"\n") + 1
+        fh.truncate(keep)
+    return size - keep
+
+
+class FleetCollectorService:
+    """One bound socket routing into N supervised fleet workers."""
+
+    def __init__(
+        self,
+        fleet,
+        config,
+        events_out,
+        source: Optional[CollectorSource] = None,
+    ) -> None:
+        if config.journal is None:
+            raise ValueError(
+                "fleet collector mode needs a journal — it is the "
+                "replay source for worker rebalance and resume"
+            )
+        self.fleet = fleet
+        self.config = config
+        self.events_out = pathlib.Path(events_out)
+        self.source = source if source is not None else CollectorSource(
+            pending_max_sets=config.pending_max_sets,
+            pending_ttl=config.pending_ttl,
+            reset_window=config.reset_window,
+            exporter_timeout=config.exporter_timeout,
+        )
+        self._lock = threading.Lock()
+        self._journal: Optional[IO[str]] = None
+        self._last_checkpoint = 0
+        self.udp_port: Optional[int] = None
+        self.control_port: Optional[int] = None
+        self.datagrams_seen = 0
+        self._draining = False
+
+    # -- control-plane snapshots (called from handler threads) ---------
+
+    @property
+    def records_admitted(self) -> int:
+        metrics = self.fleet.metrics
+        return metrics.records_routed + metrics.records_skipped
+
+    def health_snapshot(self) -> dict:
+        with self._lock:
+            fleet = self.fleet.metrics
+            return {
+                "status": "draining" if self._draining else "ok",
+                "mode": "fleet-collector",
+                "udp_port": self.udp_port,
+                "control_port": self.control_port,
+                "datagrams_received": (
+                    self.source.metrics.datagrams_received
+                ),
+                "records_processed": self.records_admitted,
+                "events_emitted": sum(
+                    stats.events_emitted
+                    for stats in fleet.worker_stats.values()
+                ),
+                "exporters_active": (
+                    self.source.metrics.exporters_active
+                ),
+                "workers": fleet.workers,
+                "ring_epoch": fleet.ring_epoch,
+                "restarts": fleet.restarts,
+                "rebalances": fleet.rebalances,
+            }
+
+    def metrics_snapshot(self) -> dict:
+        with self._lock:
+            metrics = self.fleet.stream_metrics()
+            metrics.collector = self.source.metrics
+            return metrics.to_dict()
+
+    def subscriber_snapshot(self, digest: str) -> dict:
+        # Evidence lives in the worker processes; the router holds no
+        # detection state by design (that is what makes it restartable
+        # from the ring + journal alone).
+        return {
+            "digest": digest,
+            "found": False,
+            "progress": None,
+            "note": "per-subscriber progress is worker-local in "
+            "fleet mode",
+        }
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self, resume: bool = False) -> int:
+        """Bind, serve, drain the fleet, merge; returns exit code."""
+        config = self.config
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        control: Optional[ControlPlane] = None
+        started = False
+        try:
+            if config.recv_buffer is not None:
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_RCVBUF,
+                    config.recv_buffer,
+                )
+            sock.bind((config.bind_host, config.bind_port))
+            sock.settimeout(config.poll_interval)
+            self.udp_port = sock.getsockname()[1]
+            if config.control_port is not None:
+                control = ControlPlane(
+                    self, config.control_host, config.control_port
+                )
+                control.start()
+                self.control_port = control.port
+            if resume:
+                trim_torn_tail(config.journal)
+            self.fleet.start_push(config.journal, resume=resume)
+            started = True
+            self._last_checkpoint = self.records_admitted
+            self._open_journal()
+            self._write_ready_file()
+            stopped = self._serve(sock)
+            with self._lock:
+                self._draining = stopped
+            self._flush_journal(sync=True)
+            return self.fleet.finish_push(self.events_out, stopped)
+        except BaseException:
+            if started:
+                self.fleet._kill_all()
+            raise
+        finally:
+            if control is not None:
+                control.stop()
+            if self._journal is not None:
+                self._journal.close()
+                self._journal = None
+            sock.close()
+
+    def _serve(self, sock: socket.socket) -> bool:
+        """Socket loop; returns True when drained by a stop request."""
+        config = self.config
+        token = self.fleet.stop_token
+        last_data = time.monotonic()
+        while True:
+            if token is not None and token.stop_requested():
+                return True
+            try:
+                payload, addr = sock.recvfrom(_MAX_DATAGRAM)
+            except socket.timeout:
+                now = time.monotonic()
+                with self._lock:
+                    self.source.expire_exporters(now)
+                    # don't let sub-batches sit while the socket idles
+                    self.fleet.flush_partials()
+                if (
+                    config.idle_exit is not None
+                    and now - last_data >= config.idle_exit
+                ):
+                    return False
+                continue
+            now = time.monotonic()
+            last_data = now
+            self.datagrams_seen += 1
+            with self._lock:
+                records = self.source.ingest(payload, addr, now)
+                if records:
+                    self._fold(records)
+            if (
+                config.max_datagrams is not None
+                and self.datagrams_seen >= config.max_datagrams
+            ):
+                return False
+
+    def _fold(self, records: List[FlowRecord]) -> None:
+        """Journal one datagram's records, then admit them.
+
+        Holds the service lock (caller-acquired).  The flush makes the
+        lines visible to a concurrent death replay before any worker
+        can have received them.
+        """
+        assert self._journal is not None
+        for record in records:
+            self._journal.write(format_flow(record) + "\n")
+        self._journal.flush()
+        self.fleet.admit_tuples(
+            (
+                record.first_switched,
+                record.src_ip,
+                record.dst_ip,
+                record.protocol,
+                record.dst_port,
+                record.tcp_flags,
+            )
+            for record in records
+        )
+        if (
+            self.config.checkpoint_every
+            and self.records_admitted - self._last_checkpoint
+            >= self.config.checkpoint_every
+        ):
+            self._flush_journal(sync=True)
+            self.fleet.broadcast_checkpoint()
+            self._last_checkpoint = self.records_admitted
+
+    # -- journal -------------------------------------------------------
+
+    def _open_journal(self) -> None:
+        path = pathlib.Path(self.config.journal)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not path.exists() or path.stat().st_size == 0
+        self._journal = open(path, "a", encoding="ascii")
+        if fresh:
+            self._journal.write(JOURNAL_HEADER)
+            self._journal.flush()
+
+    def _flush_journal(self, sync: bool = False) -> None:
+        if self._journal is None:
+            return
+        self._journal.flush()
+        if sync:
+            os.fsync(self._journal.fileno())
+
+    # -- readiness -----------------------------------------------------
+
+    def _write_ready_file(self) -> None:
+        """Atomically publish the bound ports (tests/CI poll this)."""
+        if self.config.ready_file is None:
+            return
+        import json
+
+        path = pathlib.Path(self.config.ready_file)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "udp_port": self.udp_port,
+                "control_port": self.control_port,
+                "pid": os.getpid(),
+            },
+            sort_keys=True,
+        )
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(payload, encoding="ascii")
+        os.replace(tmp, path)

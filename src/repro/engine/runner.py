@@ -19,10 +19,9 @@ skips the pool entirely — produces bit-identical series.
 
 from __future__ import annotations
 
-import os
 import pathlib
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -44,24 +43,10 @@ __all__ = ["resolve_workers", "run_wild_isp_sharded"]
 _UNPACK_CHUNK = 65_536
 
 
-def resolve_workers(
-    workers: Optional[int], task_count: Optional[int] = None
-) -> int:
-    """Map a configured worker count to an effective one.
-
-    ``None`` or ``0`` selects ``os.cpu_count()`` (the engine default);
-    explicit negative values clamp to ``1`` rather than silently
-    re-selecting the default.  When ``task_count`` is given the result
-    is additionally capped at it — ``workers=64`` on a 4-shard plan
-    yields 4 processes, not 60 idle ones.
-    """
-    if workers is None or workers == 0:
-        resolved = os.cpu_count() or 1
-    else:
-        resolved = max(1, workers)
-    if task_count is not None:
-        resolved = min(resolved, max(1, task_count))
-    return resolved
+# Worker-count resolution now lives in the runtime layer so the sweep
+# fan-out and the stream fleet share the exact clamping/capping rules;
+# re-exported here because this was its historical home.
+from repro.runtime.workers import resolve_workers  # noqa: E402,F401
 
 
 def run_wild_isp_sharded(

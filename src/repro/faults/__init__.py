@@ -23,6 +23,11 @@ seams in the same vocabulary:
   encoded export datagrams, :func:`encode_export_stream` shapes the
   structural ones at encode time, and :class:`UdpReplayShim` pushes a
   delivered stream through a real socket;
+* :mod:`repro.faults.fleet` — sharded-stream damage: :class:`FleetPlan`
+  names the injection points of the fleet matrix (worker crash or hang
+  mid-stream, router crash, rebalance during a staged rule swap),
+  scoped by worker/batch/incarnation so restarts never re-fire a
+  fault;
 * :mod:`repro.faults.swap` — rule-lifecycle damage: :class:`SwapPlan`
   names the four injection points of the live rule-swap fault matrix
   (corrupt published artifact, crash mid-publish, backend outage
@@ -38,6 +43,7 @@ from repro.faults.datagrams import (
     UdpReplayShim,
     encode_export_stream,
 )
+from repro.faults.fleet import FLEET_FAULT_KINDS, FleetPlan
 from repro.faults.files import (
     corrupt_payload_byte,
     corrupt_version_header,
@@ -61,6 +67,8 @@ __all__ = [
     "DatagramPlan",
     "UdpReplayShim",
     "encode_export_stream",
+    "FLEET_FAULT_KINDS",
+    "FleetPlan",
     "SWAP_FAULT_KINDS",
     "SwapPlan",
     "FlakyProxy",

@@ -1,0 +1,103 @@
+"""Fleet-mode damage: the fault matrix of the sharded stream plane.
+
+:class:`FleetPlan` names the injection points a router → N-worker fleet
+must survive with a merged event log still byte-identical to the
+single-engine run:
+
+* ``worker_crash`` — a worker process dies hard (``os._exit``) just
+  before folding a given batch.  The supervisor restarts it with
+  capped backoff (resume from its own checkpoint + router replay of
+  the lost queue) or, once the restart budget is exhausted,
+  quarantines it and rebalances its ring slots to a successor;
+* ``worker_hang`` — a worker stops folding but keeps its process (and
+  heartbeat thread) alive.  Ack-progress monitoring, not heartbeat
+  staleness, is what must catch this one;
+* ``router_crash`` — the router dies mid-route with worker queues in
+  flight.  Recovery is a whole-fleet resume: ring assignment reloads
+  from ``ring.json``, per-slot replay offsets rebuild from worker
+  checkpoint lineage;
+* ``rebalance_during_swap`` — a worker is killed *between* a staged
+  rule-generation swap and its event-time activation boundary, so the
+  successor (or reborn worker) must still apply the swap at exactly
+  the same boundary.
+
+Plans are scoped by ``(worker, batch seq, incarnation)`` so a fault
+fires exactly once: the reborn incarnation of a crashed worker replays
+the same batch sequence numbers without re-tripping the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["FLEET_FAULT_KINDS", "FleetPlan"]
+
+#: Every injection point of the fleet fault matrix.
+FLEET_FAULT_KINDS = (
+    "worker_crash",
+    "worker_hang",
+    "router_crash",
+    "rebalance_during_swap",
+)
+
+
+@dataclass(frozen=True)
+class FleetPlan:
+    """One deterministic fleet fault.
+
+    ``kind`` selects the injection point; ``worker``/``at_batch`` pin
+    it to one worker's batch sequence number (0-based), and
+    ``incarnation`` scopes it to one process incarnation (default 0 —
+    the original process, so restarts do not re-fire).
+    ``router_crash`` uses ``at_batch`` as a count of *router* batch
+    sends and ignores ``worker``.
+    """
+
+    kind: str
+    worker: int = 0
+    at_batch: int = 0
+    incarnation: int = 0
+    #: how long a hung worker sleeps (longer than the router's hang
+    #: timeout, shorter than any test timeout)
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FLEET_FAULT_KINDS:
+            raise ValueError(
+                f"unknown fleet fault {self.kind!r} "
+                f"(kinds: {', '.join(FLEET_FAULT_KINDS)})"
+            )
+
+    # -- worker side --------------------------------------------------
+
+    def worker_action(
+        self, worker: int, incarnation: int, seq: int
+    ) -> Optional[Tuple[str, float]]:
+        """What (if anything) fires before this worker folds ``seq``.
+
+        Returns ``("crash", 0)`` or ``("hang", seconds)`` — or ``None``.
+        ``rebalance_during_swap`` is a ``worker_crash`` at the worker
+        side; the *swap* half of the scenario is staged by the test
+        driver before the stream reaches the activation boundary.
+        """
+        if (
+            self.worker != worker
+            or self.incarnation != incarnation
+            or self.at_batch != seq
+        ):
+            return None
+        if self.kind in ("worker_crash", "rebalance_during_swap"):
+            return ("crash", 0.0)
+        if self.kind == "worker_hang":
+            return ("hang", self.hang_seconds)
+        return None
+
+    # -- router side --------------------------------------------------
+
+    def router_crashes_at(self, batches_sent: int) -> bool:
+        """True when the router must die after ``batches_sent`` sends."""
+        return (
+            self.kind == "router_crash"
+            and batches_sent >= self.at_batch
+        )

@@ -1,0 +1,98 @@
+"""Deterministic merge of per-worker event logs.
+
+**The ordering contract.**  A single-engine run writes its event log in
+fold order: ascending global ``record_index``, with one record's events
+(possibly several rule classes completing on the same fold) emitted
+consecutively in rule-evaluation order.  In the fleet, every record is
+folded by exactly one worker — the ring keys each subscriber to one
+slot, each slot to one worker, and a rebalance moves whole slots with
+their checkpointed evidence — so each ``record_index`` appears in
+exactly *one* worker log, with its intra-record event order intact.
+The merge is therefore a stable sort of all worker-log lines by
+``record_index``: between records it recovers the global fold order,
+within a record the stable sort preserves the worker's emission order,
+and the line bytes are never re-serialised — which is how an N-worker
+fleet's merged log is *byte*-identical to the single-engine log, the
+equivalence the tests pin for N ∈ {1, 2, 4, 8}.
+
+This realises the (event_time, subscriber digest, seq) interleaving
+contract through one integer: the global arrival index already
+totally orders events by arrival, and arrival order is the stream
+engine's emission order.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import Iterable, List, Tuple, Union
+
+__all__ = ["merge_event_logs", "truncate_log"]
+
+#: Fast path for the compact sorted-key event line; any line it does
+#: not match falls back to a full JSON parse.
+_INDEX_RE = re.compile(rb'"record_index":\s*(\d+)')
+
+
+def _record_index(line: bytes) -> int:
+    match = _INDEX_RE.search(line)
+    if match:
+        return int(match.group(1))
+    return int(json.loads(line.decode("utf-8"))["record_index"])
+
+
+def merge_event_logs(
+    log_paths: Iterable[Union[str, pathlib.Path]],
+    out_path: Union[str, pathlib.Path],
+) -> int:
+    """Merge worker logs into ``out_path``; returns events written.
+
+    ``log_paths`` must be supplied in a deterministic order (the fleet
+    passes worker-id order) — the sort is stable, so the relative order
+    of equal keys is the concatenation order.  Equal keys across *two*
+    logs cannot happen in a correct fleet (one record folds on one
+    worker); determinism is preserved even if they did.  Missing logs
+    (a worker that never matched a record) are skipped.  A trailing
+    partial line — a worker killed mid-write after its last checkpoint
+    — is dropped, mirroring the byte-position truncation a resuming
+    sink performs.
+    """
+    keyed: List[Tuple[int, bytes]] = []
+    for log_path in log_paths:
+        log_path = pathlib.Path(log_path)
+        if not log_path.exists():
+            continue
+        raw = log_path.read_bytes()
+        if not raw:
+            continue
+        complete = raw if raw.endswith(b"\n") else (
+            raw[: raw.rfind(b"\n") + 1] if b"\n" in raw else b""
+        )
+        for line in complete.splitlines(keepends=True):
+            if line.strip():
+                keyed.append((_record_index(line), line))
+    keyed.sort(key=lambda item: item[0])  # Timsort: stable
+    out_path = pathlib.Path(out_path)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(out_path, "wb") as fh:
+        for _, line in keyed:
+            fh.write(line)
+    return len(keyed)
+
+
+def truncate_log(path: Union[str, pathlib.Path], position: int) -> None:
+    """Cut a dead worker's event log back to its checkpointed bytes.
+
+    Quarantine migrates the worker's *checkpointed* state to the
+    successor and replays everything after the checkpoint into it —
+    events the dead worker emitted past its checkpoint will be
+    re-emitted by the successor, so they must leave the dead log or the
+    merge would double-count them.  Exactly the truncation a resuming
+    engine performs on its own sink, applied post-mortem.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        return
+    with open(path, "r+b") as fh:
+        fh.truncate(position)

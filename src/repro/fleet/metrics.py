@@ -1,0 +1,112 @@
+"""Fleet counters: the ``"fleet"`` section of the metrics document.
+
+The router owns one :class:`FleetMetrics`; per-worker numbers are
+updated from batch acks (the worker reports its own fold counters with
+every ack, so the router's view lags the workers by at most the
+outstanding queue depth).  The document lands as the ``"fleet"``
+section of the standard stream metrics
+(:attr:`repro.pipeline.metrics.StreamMetrics.fleet`), next to the
+``"collector"`` section the live collector adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["FleetMetrics", "WorkerStats"]
+
+
+@dataclass
+class WorkerStats:
+    """The router's view of one worker (latest ack wins)."""
+
+    worker_id: int
+    incarnation: int = 0
+    slots: int = 0
+    batches_sent: int = 0
+    records_sent: int = 0
+    batches_acked: int = 0
+    #: the worker's own fold counters, as of its latest ack
+    records_processed: int = 0
+    events_emitted: int = 0
+    process_seconds: float = 0.0
+    restarts: int = 0
+    quarantined: bool = False
+    #: largest sent-minus-acked batch backlog observed
+    max_queue_depth: int = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return self.batches_sent - self.batches_acked
+
+    @property
+    def records_per_second(self) -> float:
+        if self.process_seconds <= 0:
+            return 0.0
+        return self.records_processed / self.process_seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "worker_id": self.worker_id,
+            "incarnation": self.incarnation,
+            "slots": self.slots,
+            "batches_sent": self.batches_sent,
+            "records_sent": self.records_sent,
+            "batches_acked": self.batches_acked,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "records_processed": self.records_processed,
+            "events_emitted": self.events_emitted,
+            "records_per_second": self.records_per_second,
+            "restarts": self.restarts,
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass
+class FleetMetrics:
+    """Router-level counters plus the per-worker table."""
+
+    workers: int = 0
+    ring_slots: int = 0
+    ring_epoch: int = 0
+    #: records the router admitted (routed or skipped as replayed)
+    records_routed: int = 0
+    #: records skipped during replay (already in worker checkpoints)
+    records_skipped: int = 0
+    rebalances: int = 0
+    #: wall seconds spent detecting death → adoption → replay complete
+    rebalance_seconds: float = 0.0
+    restarts: int = 0
+    hangs_detected: int = 0
+    #: wall seconds the deterministic merge took
+    merge_seconds: float = 0.0
+    merged_events: int = 0
+    worker_stats: Dict[int, WorkerStats] = field(default_factory=dict)
+
+    def worker(self, worker_id: int) -> WorkerStats:
+        stats = self.worker_stats.get(worker_id)
+        if stats is None:
+            stats = WorkerStats(worker_id)
+            self.worker_stats[worker_id] = stats
+        return stats
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "ring_slots": self.ring_slots,
+            "ring_epoch": self.ring_epoch,
+            "records_routed": self.records_routed,
+            "records_skipped": self.records_skipped,
+            "rebalances": self.rebalances,
+            "rebalance_seconds": self.rebalance_seconds,
+            "restarts": self.restarts,
+            "hangs_detected": self.hangs_detected,
+            "merge_seconds": self.merge_seconds,
+            "merged_events": self.merged_events,
+            "per_worker": [
+                self.worker_stats[worker_id].to_dict()
+                for worker_id in sorted(self.worker_stats)
+            ],
+        }

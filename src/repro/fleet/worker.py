@@ -1,0 +1,368 @@
+"""The fleet worker process: one routed engine, supervised.
+
+Each worker runs the *existing* stream assembly — a
+:class:`~repro.stream.processor.StreamDetectionEngine` with its own
+:class:`~repro.pipeline.state.EvidenceStateTable`, JSONL event sink,
+and checkpoint directory — fed routed ``(global index, tuple)`` batches
+(or routed columnar sub-chunks) from its command queue instead of a
+file.  Design points:
+
+**The worker owns checkpoint cadence** (engine built with
+``checkpoint_every=0``), exactly like the live collector service:
+checkpoints land at batch boundaries every ``checkpoint_every`` folded
+records, so the checkpoint's per-slot lineage counts are exact batch
+prefixes and the router can rebuild replay offsets from them.
+
+**Lineage rides in the checkpoint payload**: ``{"worker_id",
+"ring_epoch", "slot_counts"}``, where ``slot_counts[slot]`` is how many
+records of that ring slot this worker has folded.  Slot counts — not a
+single offset — are what make restart, rebalance, and whole-fleet
+resume one mechanism: the router re-reads the replayable source from
+record zero and skips each slot's checkpointed prefix.
+
+**Signals are the router's job.**  Workers ignore SIGTERM/SIGINT; a
+drain arrives as a queued ``("drain",)`` message *after* every
+in-flight batch, giving the fan-out-aware drain ordering (router stops
+admitting → workers drain → merger flushes).  A worker that loses its
+parent (router crash) exits without draining — whole-fleet resume
+recovers from its last checkpoint.
+
+**Liveness** is reported two ways: heartbeat files (the shard
+supervisor's :class:`~repro.resilience.supervisor.HeartbeatWriter`,
+beating from a daemon thread) prove the process is alive, and per-batch
+acks prove it is *folding* — a hung fold keeps heartbeating, so the
+router's hang detection watches ack progress, not heartbeats.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import queue as queue_module
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.netflow.parse import IndexedFlowChunk
+from repro.pipeline.events import JsonlEventSink
+from repro.resilience.supervisor import HeartbeatWriter
+from repro.stream.checkpoint import load_latest, tmp_leftover_count
+from repro.stream.processor import StreamConfig, StreamDetectionEngine
+
+__all__ = [
+    "WorkerSpec",
+    "worker_main",
+    "worker_dir",
+    "worker_checkpoint_dir",
+    "worker_log_path",
+]
+
+#: Exit codes a worker process ends with (the router reads these).
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_ORPHANED = 2
+
+
+def worker_dir(fleet_dir, worker_id: int) -> pathlib.Path:
+    """Per-worker subdirectory (``worker-NN``) of the fleet directory."""
+    return pathlib.Path(fleet_dir) / f"worker-{worker_id:02d}"
+
+
+def worker_checkpoint_dir(fleet_dir, worker_id: int) -> pathlib.Path:
+    """Where worker ``worker_id`` writes its lineage checkpoints."""
+    return worker_dir(fleet_dir, worker_id) / "checkpoints"
+
+
+def worker_log_path(fleet_dir, worker_id: int) -> pathlib.Path:
+    """Worker ``worker_id``'s own JSONL event log (pre-merge)."""
+    return worker_dir(fleet_dir, worker_id) / "events.jsonl"
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything one worker incarnation needs (crosses the fork)."""
+
+    worker_id: int
+    incarnation: int
+    fleet_dir: str
+    ring_epoch: int
+    threshold: float = 0.4
+    require_established: bool = False
+    #: per-worker table bound — the fleet passes the *full* single-
+    #: engine bound so adoption after a rebalance is lossless
+    max_subscribers: int = 1 << 16
+    ttl_seconds: Optional[int] = None
+    salt: str = "haystack"
+    #: worker-owned checkpoint cadence in folded records; 0 = only on
+    #: drain/adoption
+    checkpoint_every: int = 0
+    rules_version: int = 0
+    resume: bool = False
+    #: duck-typed fault plan (see repro.faults.fleet.FleetPlan)
+    plan: Optional[object] = None
+
+
+def worker_main(
+    spec: WorkerSpec,
+    rules,
+    hitlist,
+    staged: Optional[Tuple[object, int]],
+    command_queue,
+    status_queue,
+) -> None:
+    """Process entry point (fork): serve the command queue until drain."""
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        code = _serve(
+            spec, rules, hitlist, staged, command_queue, status_queue
+        )
+    except BaseException:
+        try:
+            status_queue.put(
+                (
+                    "error",
+                    spec.worker_id,
+                    spec.incarnation,
+                    traceback.format_exc(),
+                )
+            )
+            time.sleep(0.05)  # let the queue feeder flush
+        finally:
+            os._exit(EXIT_ERROR)
+    os._exit(code)
+
+
+def _build_engine(
+    spec: WorkerSpec, rules, hitlist, staged
+) -> Tuple[StreamDetectionEngine, Dict[str, object]]:
+    """Resume-or-fresh engine plus its live lineage dict."""
+    ckpt_dir = worker_checkpoint_dir(spec.fleet_dir, spec.worker_id)
+    log_path = worker_log_path(spec.fleet_dir, spec.worker_id)
+    log_path.parent.mkdir(parents=True, exist_ok=True)
+    config = StreamConfig(
+        threshold=spec.threshold,
+        require_established=spec.require_established,
+        max_subscribers=spec.max_subscribers,
+        ttl_seconds=spec.ttl_seconds,
+        workers=1,
+        salt=spec.salt,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=0,  # the worker owns the cadence
+    )
+    loaded = load_latest(ckpt_dir) if spec.resume else None
+    if loaded is None:
+        engine = StreamDetectionEngine(
+            rules,
+            hitlist,
+            config,
+            sink=JsonlEventSink(log_path, resume=False),
+            rules_version=spec.rules_version,
+        )
+        if spec.resume:
+            # A directory holding only torn-write .tmp leftovers means
+            # the worker died mid-first-checkpoint, not a fresh start —
+            # the lineage audit reads this counter to tell them apart.
+            engine.metrics.tmp_only_fallbacks = tmp_leftover_count(
+                ckpt_dir
+            )
+        if staged is not None:
+            generation, activate_at = staged
+            if generation.version > engine.rules_version:
+                engine.stage_rules(generation, activate_at)
+    else:
+        ckpt_rules = loaded.payload.get("rules") or {}
+        ckpt_version = int(ckpt_rules.get("active_version", 0))
+        if ckpt_version == spec.rules_version:
+            resume_rules, resume_hitlist = rules, hitlist
+        elif staged is not None and staged[0].version == ckpt_version:
+            # the worker died after applying a swap the base rules
+            # predate — resume under the generation it checkpointed
+            resume_rules = staged[0].rules
+            resume_hitlist = staged[0].hitlist
+        else:
+            raise RuntimeError(
+                f"worker {spec.worker_id} checkpointed rules version "
+                f"{ckpt_version}, fleet has {spec.rules_version} and "
+                f"no matching staged generation"
+            )
+        engine = StreamDetectionEngine.resume(
+            resume_rules,
+            resume_hitlist,
+            config,
+            sink=JsonlEventSink(log_path, resume=True),
+            rules_version=ckpt_version,
+        )
+        pending = engine.checkpoint_pending_rules
+        if (
+            pending is not None
+            and staged is not None
+            and staged[0].version == pending[0]
+        ):
+            # re-stage at the checkpointed boundary, not a new one
+            engine.stage_rules(staged[0], pending[1])
+        elif (
+            staged is not None
+            and staged[0].version > engine.rules_version
+        ):
+            engine.stage_rules(staged[0], staged[1])
+    lineage: Dict[str, object] = {
+        "worker_id": spec.worker_id,
+        "ring_epoch": spec.ring_epoch,
+        "slot_counts": {},
+    }
+    if engine.lineage is not None:
+        restored = engine.lineage.get("slot_counts") or {}
+        # JSON round-trips dict keys as strings
+        lineage["slot_counts"] = {
+            int(slot): int(count) for slot, count in restored.items()
+        }
+        lineage["ring_epoch"] = max(
+            spec.ring_epoch, int(engine.lineage.get("ring_epoch", 0))
+        )
+    engine.lineage = lineage
+    return engine, lineage
+
+
+def _serve(
+    spec: WorkerSpec,
+    rules,
+    hitlist,
+    staged,
+    command_queue,
+    status_queue,
+) -> int:
+    engine, lineage = _build_engine(spec, rules, hitlist, staged)
+    slot_counts: Dict[int, int] = lineage["slot_counts"]  # type: ignore[assignment]
+    heartbeat_dir = pathlib.Path(spec.fleet_dir) / "heartbeats"
+    heartbeat_dir.mkdir(parents=True, exist_ok=True)
+    parent = os.getppid()
+    plan = spec.plan
+
+    def checkpoint() -> None:
+        engine.write_checkpoint()
+
+    def ack(seq: int) -> None:
+        status_queue.put(
+            (
+                "ack",
+                spec.worker_id,
+                spec.incarnation,
+                seq,
+                engine.records_processed,
+                engine.metrics.events_emitted,
+                engine.metrics.process_seconds,
+            )
+        )
+
+    with HeartbeatWriter(str(heartbeat_dir), spec.worker_id):
+        while True:
+            try:
+                message = command_queue.get(timeout=0.5)
+            except queue_module.Empty:
+                if os.getppid() != parent:
+                    # the router died; a whole-fleet resume will replay
+                    # anything past our last checkpoint
+                    return EXIT_ORPHANED
+                continue
+            kind = message[0]
+            if kind in ("batch", "chunk"):
+                seq = message[1]
+                if plan is not None:
+                    action = plan.worker_action(
+                        spec.worker_id, spec.incarnation, seq
+                    )
+                    if action is not None:
+                        if action[0] == "crash":
+                            os._exit(EXIT_ERROR)
+                        time.sleep(action[1])  # hang; router kills us
+                if kind == "batch":
+                    items = message[2]
+                    folded = engine.process_pairs(iter(items))
+                    expected = len(items)
+                else:
+                    columns = message[2]
+                    chunk = IndexedFlowChunk(*columns)
+                    folded = engine.process_chunks(iter([chunk]))
+                    expected = len(chunk)
+                if folded != expected:  # pragma: no cover - no guards
+                    raise RuntimeError(
+                        f"worker folded {folded}/{expected} records"
+                    )
+                for slot, count in message[3].items():
+                    slot_counts[slot] = slot_counts.get(slot, 0) + count
+                if (
+                    spec.checkpoint_every
+                    and engine.metrics.records_since_checkpoint
+                    >= spec.checkpoint_every
+                ):
+                    checkpoint()
+                ack(seq)
+            elif kind == "adopt":
+                table_states, adopted_counts, epoch = message[1:]
+                absorbed = 0
+                table = engine._tables[0]
+                for state in table_states:
+                    absorbed += table.absorb(state)
+                for slot, count in adopted_counts.items():
+                    slot_counts[slot] = (
+                        slot_counts.get(slot, 0) + int(count)
+                    )
+                lineage["ring_epoch"] = int(epoch)
+                # Persist immediately: the adopted evidence and slot
+                # counts must be atomic with each other in lineage, or
+                # a later resume would re-fold records whose evidence
+                # was already absorbed.
+                checkpoint()
+                status_queue.put(
+                    (
+                        "adopted",
+                        spec.worker_id,
+                        spec.incarnation,
+                        absorbed,
+                    )
+                )
+            elif kind == "stage":
+                generation, activate_at = message[1:]
+                if generation.version > engine.rules_version and (
+                    engine.pending_rules is None
+                    or engine.pending_rules.generation.version
+                    != generation.version
+                ):
+                    engine.stage_rules(generation, activate_at)
+            elif kind == "checkpoint":
+                if engine.metrics.records_since_checkpoint:
+                    checkpoint()
+            elif kind == "drain":
+                engine.drain()
+                engine.sink.close()
+                status_queue.put(
+                    (
+                        "drained",
+                        spec.worker_id,
+                        spec.incarnation,
+                        {
+                            "records_processed": (
+                                engine.records_processed
+                            ),
+                            "events_emitted": (
+                                engine.metrics.events_emitted
+                            ),
+                            "process_seconds": (
+                                engine.metrics.process_seconds
+                            ),
+                            "tmp_only_fallbacks": (
+                                engine.metrics.tmp_only_fallbacks
+                            ),
+                            "subscribers_tracked": (
+                                engine.metrics.subscribers_tracked
+                            ),
+                        },
+                    )
+                )
+                time.sleep(0.05)  # let the queue feeder flush
+                return EXIT_OK
+            else:  # pragma: no cover - protocol error
+                raise RuntimeError(f"unknown fleet command {kind!r}")

@@ -42,6 +42,7 @@ __all__ = [
     "FLOW_FILE_COLUMNS",
     "ColumnarDecodeStage",
     "FlowChunk",
+    "IndexedFlowChunk",
     "FlowLineParser",
     "FlowTuple",
     "PARSE_CACHE_LIMIT",
@@ -223,6 +224,54 @@ class FlowChunk:
         """Rows from ``drop`` on, re-indexed (resume fast-forward)."""
         return FlowChunk(
             self.start_index + drop,
+            self.first[drop:],
+            self.src[drop:],
+            self.dst[drop:],
+            self.proto[drop:],
+            self.dport[drop:],
+            self.flags[drop:],
+        )
+
+
+class IndexedFlowChunk(FlowChunk):
+    """A chunk whose rows carry explicit, possibly gapped indices.
+
+    A plain :class:`FlowChunk` numbers its rows contiguously from
+    ``start_index`` — correct for a single linear stream.  A fleet
+    worker instead receives the *subset* of the stream whose keys hash
+    to its ring slots, and the merged event log is only byte-identical
+    to the single-engine run if each record folds under the global
+    index it had before routing.  ``indices`` is an int64 array, one
+    global stream index per row, ascending but not contiguous;
+    ``start_index`` degrades to ``indices[0]`` for code that only needs
+    a lower bound.
+    """
+
+    __slots__ = ("indices",)
+
+    def __init__(
+        self, indices, first, src, dst, proto, dport, flags
+    ) -> None:
+        start = int(indices[0]) if len(indices) else 0
+        super().__init__(start, first, src, dst, proto, dport, flags)
+        self.indices = indices
+
+    def head(self, count: int) -> "IndexedFlowChunk":
+        """The first ``count`` rows (``max_records`` bounding)."""
+        return IndexedFlowChunk(
+            self.indices[:count],
+            self.first[:count],
+            self.src[:count],
+            self.dst[:count],
+            self.proto[:count],
+            self.dport[:count],
+            self.flags[:count],
+        )
+
+    def tail(self, drop: int) -> "IndexedFlowChunk":
+        """Rows from ``drop`` on (indices travel with their rows)."""
+        return IndexedFlowChunk(
+            self.indices[drop:],
             self.first[drop:],
             self.src[drop:],
             self.dst[drop:],

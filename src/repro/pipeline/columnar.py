@@ -286,12 +286,18 @@ class ColumnarFlowPipeline:
         srcs = chunk.src[hit_rows].tolist()
         metrics.flows_matched += len(hit_rows)
         fold = stage._fold
-        base = chunk.start_index
+        # Routed fleet sub-chunks carry explicit per-row global stream
+        # indices; plain chunks number contiguously from start_index.
+        explicit = getattr(chunk, "indices", None)
+        if explicit is None:
+            hit_indices = (chunk.start_index + hit_rows).tolist()
+        else:
+            hit_indices = explicit[hit_rows].tolist()
         emit = self._emit
-        for row, when, src, fqdn in zip(
-            hit_rows.tolist(), whens, srcs, hit_fqdns
+        for index, when, src, fqdn in zip(
+            hit_indices, whens, srcs, hit_fqdns
         ):
-            events = fold(base + row, when, src, fqdn)
+            events = fold(index, when, src, fqdn)
             if events:
                 emit(events)
 

@@ -65,6 +65,7 @@ from repro.timeutil import SECONDS_PER_DAY, STUDY_START
 __all__ = [
     "SubscriberKeying",
     "AddressKeying",
+    "RecordRouter",
     "FlowDetectStage",
     "StreamingDetectStage",
     "BatchDetectStage",
@@ -102,6 +103,20 @@ class SubscriberKeying:
             self._identities[raw] = identity
         return identity
 
+    def ring_hash(self, raw: int) -> int:
+        """The stable integer the fleet ring partitions by.
+
+        The full digest value, before any ``% shards`` reduction — so a
+        ring of any slot count and a keying of any shard count agree on
+        which key a record belongs to.  ``identity(raw)[1]`` equals
+        ``ring_hash(raw) % shards`` by construction; the golden-vector
+        test pins both so an accidental hash change (which would
+        silently corrupt fleet ring assignment and checkpoint lineage)
+        fails tier-1.
+        """
+        digest, _ = self.identity(raw)
+        return int(digest, 16)
+
     def forget(self) -> int:
         """Drop the recomputable identity cache; entries freed."""
         count = len(self._identities)
@@ -134,11 +149,62 @@ class AddressKeying:
             self._names[raw] = identity
         return identity
 
+    def ring_hash(self, raw: int) -> int:
+        """The stable integer the fleet ring partitions by.
+
+        The address itself: ``identity(raw)[1]`` is ``raw % shards``,
+        so the address is the pre-reduction hash.
+        """
+        return raw
+
     def forget(self) -> int:
         """Drop the recomputable name cache; entries freed."""
         count = len(self._names)
         self._names.clear()
         return count
+
+
+class RecordRouter:
+    """Consistent record → ring-slot assignment for fleet fan-out.
+
+    The router stage in front of a worker fleet must send every record
+    of one subscriber key to the same slot, across runs and across
+    rebalances — detection folds per-key evidence in arrival order, so
+    splitting a key over two workers would reorder its folds.  The
+    assignment therefore reuses the keying's *memoised* identity: the
+    router is built with a keying whose ``shards`` equals the ring slot
+    count, making ``identity(src)[1]`` the slot directly (one dict hit
+    per repeated source, digest arithmetic only on first sight).
+
+    This stage is deliberately stateless beyond the recomputable memo:
+    a crashed router rebuilds assignment from the keying salt alone,
+    which is what makes whole-fleet resume possible.
+    """
+
+    __slots__ = ("keying", "slots")
+
+    def __init__(self, keying, slots: Optional[int] = None) -> None:
+        if slots is None:
+            slots = keying.shards
+        if slots != keying.shards:
+            raise ValueError(
+                f"router over {slots} slots needs a keying sharded "
+                f"{slots} ways, got {keying.shards}"
+            )
+        self.keying = keying
+        self.slots = slots
+
+    def slot_of(self, src: int) -> int:
+        """The ring slot of a raw source key (memoised)."""
+        return self.keying.identity(src)[1]
+
+    def route(
+        self, pairs: Iterable[Tuple[int, Tuple[int, int, int, int, int, int]]]
+    ) -> Iterable[Tuple[int, int, Tuple[int, int, int, int, int, int]]]:
+        """Yield ``(slot, index, tuple)`` for indexed flow tuples."""
+        identity = self.keying.identity
+        for index, record in pairs:
+            yield identity(record[1])[1], index, record
 
 
 class FlowDetectStage:
@@ -546,6 +612,20 @@ class FlowPipeline:
         return self._run(
             zip(itertools.count(start_index), tuples), max_records
         )
+
+    def run_pairs(
+        self,
+        pairs: Iterable[Tuple[int, Tuple[int, int, int, int, int, int]]],
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Ingest explicitly indexed ``(index, tuple)`` pairs.
+
+        The fleet path: a routed worker receives records whose global
+        stream indices are not contiguous (the router keeps the index a
+        record had in the single-stream order), and event-log merge
+        identity depends on folding them under exactly those indices.
+        """
+        return self._run(pairs, max_records)
 
     def _run(self, pairs, max_records: Optional[int]) -> int:
         observe = self.stage.observe

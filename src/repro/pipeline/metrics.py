@@ -238,6 +238,11 @@ class StreamMetrics:
     resumed_from_generation: Optional[int] = None
     #: damaged checkpoint generations skipped while resuming
     checkpoint_fallbacks: int = 0
+    #: fresh starts forced by a checkpoint directory holding *only*
+    #: torn-write ``.tmp`` leftovers — distinct from a genuinely empty
+    #: directory, which a fleet lineage audit must read as "new
+    #: worker", not "worker died mid-first-checkpoint"
+    tmp_only_fallbacks: int = 0
     records_quarantined: int = 0
     quarantine_reasons: Dict[str, int] = field(default_factory=dict)
     # -- live rule lifecycle (see repro.pipeline.swap) ----------------
@@ -264,6 +269,10 @@ class StreamMetrics:
     #: ``"collector"`` section when set.  ``None`` (file replay, batch)
     #: omits the section, keeping historical documents byte-stable.
     collector: Optional[object] = None
+    #: fleet-mode counters (see repro.fleet.metrics) — any object with
+    #: ``to_dict()`` (or a plain dict); rendered as the ``"fleet"``
+    #: section when set.  ``None`` (single-engine runs) omits it.
+    fleet: Optional[object] = None
 
     @property
     def records_per_second(self) -> float:
@@ -316,6 +325,7 @@ class StreamMetrics:
                 "overhead": self.checkpoint_overhead,
                 "resumed_from_generation": self.resumed_from_generation,
                 "fallbacks": self.checkpoint_fallbacks,
+                "tmp_only_fallbacks": self.tmp_only_fallbacks,
             },
             "quarantine": {
                 "total": self.records_quarantined,
@@ -344,6 +354,11 @@ class StreamMetrics:
             render = getattr(self.collector, "to_dict", None)
             doc["collector"] = render() if callable(render) else dict(
                 self.collector
+            )
+        if self.fleet is not None:
+            render = getattr(self.fleet, "to_dict", None)
+            doc["fleet"] = render() if callable(render) else dict(
+                self.fleet
             )
         return doc
 

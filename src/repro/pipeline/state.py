@@ -139,6 +139,39 @@ class EvidenceStateTable:
         for digest, entry in self._entries.items():
             yield digest, entry[1]
 
+    def absorb(self, state: Dict[str, object]) -> int:
+        """Merge a peer table's checkpointed entries into this one.
+
+        The fleet rebalance path: when a worker is quarantined its last
+        checkpoint's evidence migrates into the ring successor's live
+        table.  Ring assignment keys every subscriber to exactly one
+        worker, so the incoming digests are disjoint from the resident
+        ones; a collision (possible only after an eviction re-keyed
+        history) keeps the resident entry — the successor's view is
+        newer.  Entries arrive in the peer's LRU order and are appended
+        *before* re-sorting recency: absorbed evidence is older than
+        anything the successor folded since the peer checkpointed, so
+        it must sit on the eviction-first side of the order.  The TTL
+        clock advances to the peer's so expiry never moves backwards.
+        Returns the entries absorbed.
+        """
+        absorbed = 0
+        resident = self._entries
+        merged: "OrderedDict[str, List[object]]" = OrderedDict()
+        for digest, last_active, progress in state["entries"]:  # type: ignore[union-attr]
+            digest = str(digest)
+            if digest in resident:
+                continue
+            merged[digest] = [
+                int(last_active),
+                SubscriberProgress.from_state(progress),
+            ]
+            absorbed += 1
+        merged.update(resident)
+        self._entries = merged
+        self._clock = max(self._clock, int(state["clock"]))  # type: ignore[arg-type]
+        return absorbed
+
     # -- checkpoint support -------------------------------------------
 
     def to_state(self) -> Dict[str, object]:

@@ -50,11 +50,15 @@ from repro.runtime.shutdown import StopToken, current_token
 
 __all__ = [
     "DeadLetter",
+    "HeartbeatWriter",
+    "RestartTracker",
     "ShardEnvelope",
     "ShardSupervisor",
     "SupervisorConfig",
     "SupervisorReport",
     "execute_shard",
+    "heartbeat_path",
+    "read_heartbeat",
 ]
 
 #: Seconds between heartbeat-file touches inside a worker.
@@ -220,6 +224,7 @@ class _HeartbeatWriter:
 
 
 def _heartbeat_path(directory: str, index: int) -> pathlib.Path:
+    """Heartbeat file for worker ``index`` under ``directory``."""
     return pathlib.Path(directory) / f"hb-{index:06d}"
 
 
@@ -235,6 +240,47 @@ def _read_heartbeat(
         return int(pid_text), float(started_text), float(last_text)
     except (OSError, ValueError):
         return None
+
+
+# Public names for the heartbeat machinery.  Batch shards were the
+# first consumer; long-lived stream-fleet workers (repro.fleet) beat
+# through the exact same files and staleness rules, so the pieces are
+# part of this module's contract rather than private helpers.
+HeartbeatWriter = _HeartbeatWriter
+heartbeat_path = _heartbeat_path
+read_heartbeat = _read_heartbeat
+
+
+class RestartTracker:
+    """Capped-backoff restart budget for one long-lived worker.
+
+    :class:`ShardSupervisor` retries *tasks* — a shard is re-enqueued
+    until its budget runs out.  A fleet supervises *processes*: a
+    stream worker that dies is restarted in place (same ring slots,
+    resume from its own checkpoint) until the budget runs out, at which
+    point it is quarantined and its slots rebalance to a successor.
+    This tracker is that budget: :meth:`next_delay` returns the backoff
+    before the next restart, or ``None`` once the policy is exhausted
+    (the quarantine decision).
+    """
+
+    __slots__ = ("policy", "attempts")
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self.policy = policy
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.attempts >= self.policy.max_retries
+
+    def next_delay(self) -> Optional[float]:
+        """Backoff before the next restart; ``None`` = quarantine."""
+        if self.exhausted:
+            return None
+        delay = self.policy.delay(self.attempts)
+        self.attempts += 1
+        return delay
 
 
 def execute_shard(envelope: ShardEnvelope):

@@ -39,6 +39,7 @@ from repro.runtime.shutdown import (
     StopToken,
     current_token,
 )
+from repro.runtime.workers import resolve_workers
 
 __all__ = [
     "DeadlineBudget",
@@ -53,4 +54,5 @@ __all__ = [
     "current_token",
     "parse_memory_size",
     "read_rss_bytes",
+    "resolve_workers",
 ]

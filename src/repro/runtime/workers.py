@@ -1,0 +1,37 @@
+"""Shared worker-count resolution.
+
+Three fan-outs size process pools from a user-facing ``--workers``
+knob: the sharded batch engine (:mod:`repro.engine.runner`), the
+scenario-matrix sweep (:mod:`repro.sweep.runner`), and the stream
+fleet (:mod:`repro.fleet`).  They all want the same mapping — default
+to the machine, clamp nonsense, never spawn more processes than there
+is work — so the mapping lives here, once, in the runtime layer that
+all three may import.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["resolve_workers"]
+
+
+def resolve_workers(
+    workers: Optional[int], task_count: Optional[int] = None
+) -> int:
+    """Map a configured worker count to an effective one.
+
+    ``None`` or ``0`` selects ``os.cpu_count()`` (the engine default);
+    explicit negative values clamp to ``1`` rather than silently
+    re-selecting the default.  When ``task_count`` is given the result
+    is additionally capped at it — ``workers=64`` on a 4-shard plan
+    yields 4 processes, not 60 idle ones.
+    """
+    if workers is None or workers == 0:
+        resolved = os.cpu_count() or 1
+    else:
+        resolved = max(1, workers)
+    if task_count is not None:
+        resolved = min(resolved, max(1, task_count))
+    return resolved

@@ -34,7 +34,9 @@ from repro.stream.checkpoint import (
     CheckpointError,
     RuleVersionMismatch,
     latest_checkpoint,
+    load_latest,
     read_checkpoint,
+    tmp_leftover_count,
     write_checkpoint,
 )
 from repro.stream.events import (
@@ -50,7 +52,9 @@ __all__ = [
     "CheckpointError",
     "RuleVersionMismatch",
     "latest_checkpoint",
+    "load_latest",
     "read_checkpoint",
+    "tmp_leftover_count",
     "write_checkpoint",
     "DetectionEvent",
     "JsonlEventSink",

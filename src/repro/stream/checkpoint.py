@@ -41,6 +41,7 @@ __all__ = [
     "read_checkpoint",
     "latest_checkpoint",
     "load_latest",
+    "tmp_leftover_count",
 ]
 
 logger = logging.getLogger("repro.stream.checkpoint")
@@ -217,11 +218,31 @@ class LoadedCheckpoint:
     ``fallbacks`` counts the newer-but-damaged generations skipped
     before ``seq`` validated — the number the stream metrics surface as
     ``checkpoints.fallbacks`` so silent fallback is visible.
+    ``tmp_leftovers`` counts ``.tmp`` siblings from interrupted writes
+    that were present alongside (they never validate, so they are not
+    fallbacks, but a lineage audit wants to know a write was torn).
     """
 
     seq: int
     payload: Dict[str, object]
     fallbacks: int = 0
+    tmp_leftovers: int = 0
+
+
+def tmp_leftover_count(directory: Union[str, pathlib.Path]) -> int:
+    """Leftover ``.tmp`` checkpoint files from interrupted writes.
+
+    A directory holding *only* such leftovers is indistinguishable from
+    an empty one to :func:`load_latest` (both return ``None``) — but to
+    a lineage audit they mean very different things: a fresh start
+    versus a worker that died mid-first-checkpoint.  Callers that fall
+    back to a fresh engine use this count to surface the difference
+    (``StreamMetrics.tmp_only_fallbacks``).
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return 0
+    return sum(1 for _ in directory.glob("ckpt-*.json.tmp"))
 
 
 def load_latest(
@@ -233,11 +254,17 @@ def load_latest(
     ``.tmp`` files from an interrupted write are reported with a
     warning and skipped — the reader falls back to the previous
     checkpoint rather than crashing, and records how many generations
-    it skipped in :attr:`LoadedCheckpoint.fallbacks`.
+    it skipped in :attr:`LoadedCheckpoint.fallbacks` (and how many
+    torn-write leftovers it saw in
+    :attr:`LoadedCheckpoint.tmp_leftovers`).  A directory with only
+    ``.tmp`` leftovers returns ``None`` like an empty one; use
+    :func:`tmp_leftover_count` to tell the two apart.
     """
     directory = pathlib.Path(directory)
+    leftovers = 0
     if directory.is_dir():
         for leftover in sorted(directory.glob("ckpt-*.json.tmp")):
+            leftovers += 1
             logger.warning(
                 "ignoring partially-written checkpoint temp file %s "
                 "(interrupted write)",
@@ -246,7 +273,9 @@ def load_latest(
     fallbacks = 0
     for seq, path in reversed(list_checkpoints(directory)):
         try:
-            return LoadedCheckpoint(seq, read_checkpoint(path), fallbacks)
+            return LoadedCheckpoint(
+                seq, read_checkpoint(path), fallbacks, leftovers
+            )
         except CheckpointError as exc:
             fallbacks += 1
             logger.warning(

@@ -164,6 +164,13 @@ class StreamDetectionEngine:
         #: staged — the driver re-stages the matching generation so the
         #: continued run swaps at the same event-time boundary
         self.checkpoint_pending_rules: Optional[tuple] = None
+        #: fleet lineage carried verbatim through checkpoints — the
+        #: owning worker records ``{"worker_id", "ring_epoch",
+        #: "slot_counts"}`` here and the router reads it back on
+        #: resume/rebalance to rebuild per-slot replay offsets.  A
+        #: single-engine run leaves it ``None`` and its checkpoint
+        #: payloads are unchanged.
+        self.lineage: Optional[Dict[str, object]] = None
         # -- pipeline assembly (see repro.pipeline) -------------------
         per_worker = max(1, config.max_subscribers // config.workers)
         keying = SubscriberKeying(
@@ -331,6 +338,9 @@ class StreamDetectionEngine:
                 int(ckpt_rules["pending_activate_at"]),
             )
         engine.sink.truncate_to(int(payload["sink_position"]))
+        lineage = payload.get("lineage")
+        if lineage is not None:
+            engine.lineage = dict(lineage)
         return engine
 
     # -- live rule swap (see repro.pipeline.swap) ----------------------
@@ -429,6 +439,26 @@ class StreamDetectionEngine:
                 tuples,
                 start_index=start_index,
                 max_records=max_records,
+            )
+        finally:
+            self._sync_state_metrics()
+
+    def process_pairs(
+        self,
+        pairs,
+        max_records: Optional[int] = None,
+    ) -> int:
+        """Ingest explicitly indexed ``(index, tuple)`` pairs.
+
+        The fleet worker path: routed records keep the global stream
+        index they had before the router split the stream, so the
+        events this engine emits carry single-stream ``record_index``
+        values and the merged fleet log can be proven byte-identical to
+        the unsharded run.
+        """
+        try:
+            return self._pipeline.run_pairs(
+                pairs, max_records=max_records
             )
         finally:
             self._sync_state_metrics()
@@ -533,6 +563,8 @@ class StreamDetectionEngine:
             "sink_position": self.sink.position(),
             "tables": [table.to_state() for table in self._tables],
         }
+        if self.lineage is not None:
+            payload["lineage"] = dict(self.lineage)
         path = write_checkpoint(
             self.config.checkpoint_dir,
             metrics.records_processed,

@@ -27,6 +27,7 @@ from repro.isp.cgnat import AddressPlan, build_address_plan
 from repro.pipeline.assemble import run_flow_detection
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.flow import AddressKeying
+from repro.runtime.workers import resolve_workers
 from repro.sweep.axes import (
     CellTruth,
     SweepCell,
@@ -242,6 +243,7 @@ def run_sweep(
     model = model or TrafficModel()
     cells = grid.cells()
     out = pathlib.Path(out_dir) if out_dir is not None else None
+    workers = resolve_workers(workers, task_count=len(cells))
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [

@@ -29,6 +29,7 @@ class TestLayering:
             "repro.stream": True,
             "repro.ixp": True,
             "repro.collector": True,
+            "repro.fleet": True,
         }
 
     def test_checker_flags_synthetic_violation(self, tmp_path):

@@ -20,7 +20,13 @@ The staged pipeline refactor rests on one directional rule:
 * :mod:`repro.collector` (live collector mode) is a fourth assembly:
   it sits on pipeline/netflow/stream/runtime/resilience but never on
   :mod:`repro.engine` or :mod:`repro.ixp`, and nothing below the
-  assembly layer may import it back.
+  assembly layer may import it back;
+* :mod:`repro.fleet` (sharded streaming) is a fifth assembly: the
+  router sits on pipeline/netflow/stream/runtime/resilience (its
+  workers *run* the stream assembly) but never on
+  :mod:`repro.engine`, :mod:`repro.ixp`, or :mod:`repro.collector` —
+  the collector may import the fleet (``--fleet-workers``), never the
+  reverse — and nothing below the assembly layer may import it back.
 
 This script walks the import statements of every module in the scoped
 packages with :mod:`ast` (no third-party import-linter needed) and
@@ -43,16 +49,33 @@ from typing import Dict, Iterator, List, Set, Tuple
 
 #: package -> packages it must never import (directly or lazily).
 FORBIDDEN: Dict[str, Set[str]] = {
-    "repro.engine": {"repro.stream", "repro.ixp", "repro.collector"},
-    "repro.stream": {"repro.engine", "repro.ixp", "repro.collector"},
-    "repro.ixp": {"repro.engine", "repro.stream", "repro.collector"},
+    "repro.engine": {
+        "repro.stream",
+        "repro.ixp",
+        "repro.collector",
+        "repro.fleet",
+    },
+    "repro.stream": {
+        "repro.engine",
+        "repro.ixp",
+        "repro.collector",
+        "repro.fleet",
+    },
+    "repro.ixp": {
+        "repro.engine",
+        "repro.stream",
+        "repro.collector",
+        "repro.fleet",
+    },
     "repro.collector": {"repro.engine", "repro.ixp"},
+    "repro.fleet": {"repro.engine", "repro.ixp", "repro.collector"},
     "repro.pipeline": {
         "repro.engine",
         "repro.stream",
         "repro.ixp",
         "repro.rules",
         "repro.collector",
+        "repro.fleet",
     },
     "repro.netflow": {
         "repro.pipeline",
@@ -61,12 +84,14 @@ FORBIDDEN: Dict[str, Set[str]] = {
         "repro.ixp",
         "repro.rules",
         "repro.collector",
+        "repro.fleet",
     },
     "repro.rules": {
         "repro.engine",
         "repro.stream",
         "repro.ixp",
         "repro.collector",
+        "repro.fleet",
     },
 }
 
@@ -77,6 +102,7 @@ MUST_USE_PIPELINE = (
     "repro.stream",
     "repro.ixp",
     "repro.collector",
+    "repro.fleet",
 )
 
 
@@ -178,8 +204,8 @@ def main(argv=None) -> int:
     if violations:
         return 1
     print(
-        "layering ok: engine/stream/ixp/collector sit on pipeline, "
-        "not on each other"
+        "layering ok: engine/stream/ixp/collector/fleet sit on "
+        "pipeline, not on each other"
     )
     return 0
 
